@@ -1,0 +1,99 @@
+//! One Criterion benchmark per table/figure of the paper.
+//!
+//! Each benchmark runs a scaled-down version of the corresponding experiment
+//! (1 CPU, 8 k accesses, representative applications) so that `cargo bench`
+//! exercises every experiment code path end-to-end.  The full-size figures
+//! are regenerated with the `sms-experiments` binary.
+
+use bench::bench_config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{
+    agt_size, fig04_block_size, fig05_density, fig06_indexing, fig07_pht_size, fig08_training,
+    fig09_pht_training, fig10_region_size, fig11_ghb_comparison, fig12_speedup, fig13_breakdown,
+    table1,
+};
+use sms::PhtCapacity;
+use std::hint::black_box;
+use timing::TimingConfig;
+use trace::Application;
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("table1_parameters", |b| {
+        b.iter(|| {
+            let sys = table1::system_table(&cfg.hierarchy, &TimingConfig::table1(), cfg.cpus);
+            let apps = table1::application_table();
+            black_box((sys.rows.len(), apps.rows.len()))
+        })
+    });
+
+    group.bench_function("fig04_block_size", |b| {
+        b.iter(|| black_box(fig04_block_size::run(&cfg, true).points.len()))
+    });
+
+    group.bench_function("fig05_density", |b| {
+        b.iter(|| {
+            black_box(
+                fig05_density::run(&cfg, &[Application::OltpDb2, Application::Ocean])
+                    .per_app
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("fig06_indexing", |b| {
+        b.iter(|| black_box(fig06_indexing::run(&cfg, true).points.len()))
+    });
+
+    group.bench_function("fig07_pht_size", |b| {
+        b.iter(|| black_box(fig07_pht_size::run(&cfg, true, &[]).points.len()))
+    });
+
+    group.bench_function("fig08_training", |b| {
+        b.iter(|| black_box(fig08_training::run(&cfg, true, PhtCapacity::Unbounded).points.len()))
+    });
+
+    group.bench_function("fig09_pht_training", |b| {
+        b.iter(|| black_box(fig09_pht_training::run(&cfg, true).points.len()))
+    });
+
+    group.bench_function("fig10_region_size", |b| {
+        b.iter(|| black_box(fig10_region_size::run(&cfg, true).points.len()))
+    });
+
+    group.bench_function("agt_size", |b| {
+        b.iter(|| black_box(agt_size::run(&cfg, true).points.len()))
+    });
+
+    group.bench_function("fig11_ghb_comparison", |b| {
+        b.iter(|| {
+            black_box(
+                fig11_ghb_comparison::run(&cfg, &[Application::OltpDb2, Application::Sparse])
+                    .points
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("fig12_speedup", |b| {
+        b.iter(|| {
+            black_box(
+                fig12_speedup::run(&cfg, &[Application::Sparse, Application::WebApache])
+                    .points
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("fig13_breakdown", |b| {
+        b.iter(|| black_box(fig13_breakdown::run(&cfg, &[Application::Sparse]).points.len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

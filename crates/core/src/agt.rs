@@ -1,0 +1,388 @@
+//! The Active Generation Table (AGT): filter table + accumulation table.
+//!
+//! The AGT observes every L1 data access and records which blocks are touched
+//! over the course of each spatial region generation (Figure 2 of the paper):
+//!
+//! 1. a **trigger access** to a region with no live generation allocates an
+//!    entry in the *filter table*, recording the trigger PC and offset;
+//! 2. when a second, *distinct* block of the region is accessed, the entry
+//!    moves to the *accumulation table* and a pattern bit-vector starts
+//!    accumulating;
+//! 3. further accesses set bits in the accumulated pattern;
+//! 4. when any block of the region is evicted or invalidated, the generation
+//!    ends: a filter-table entry is simply discarded (only the trigger was
+//!    accessed, so there is nothing worth predicting), while an
+//!    accumulation-table entry is handed to the pattern history table.
+//!
+//! Both tables are small content-addressable memories; when one fills up a
+//! victim generation is terminated early (dropped from the filter table, or
+//! transferred to the PHT from the accumulation table).
+
+use crate::pattern::SpatialPattern;
+use crate::region::RegionConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trace::Pc;
+
+/// Capacities of the two AGT tables.  `None` models an unbounded table for
+/// limit studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgtConfig {
+    /// Filter-table entries (paper default: 32).
+    pub filter_entries: Option<usize>,
+    /// Accumulation-table entries (paper default: 64).
+    pub accumulation_entries: Option<usize>,
+}
+
+impl AgtConfig {
+    /// The practical configuration from Section 4.5: 32 filter entries and
+    /// 64 accumulation entries.
+    pub fn paper_default() -> Self {
+        Self {
+            filter_entries: Some(32),
+            accumulation_entries: Some(64),
+        }
+    }
+
+    /// Unbounded tables, for limit studies.
+    pub fn unbounded() -> Self {
+        Self {
+            filter_entries: None,
+            accumulation_entries: None,
+        }
+    }
+}
+
+impl Default for AgtConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A completed (or early-terminated) generation ready to train the PHT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainedPattern {
+    /// Base address of the spatial region.
+    pub region_base: u64,
+    /// PC of the generation's trigger access.
+    pub trigger_pc: Pc,
+    /// Block offset of the trigger access within the region.
+    pub trigger_offset: u32,
+    /// Blocks accessed during the generation (trigger included).
+    pub pattern: SpatialPattern,
+}
+
+/// Result of recording one access in the AGT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordOutcome {
+    /// Whether this access was the trigger of a new generation.
+    pub is_trigger: bool,
+    /// A generation terminated early because the accumulation table was full
+    /// and needed a victim; it should still train the PHT.
+    pub spilled: Option<TrainedPattern>,
+}
+
+#[derive(Debug, Clone)]
+struct FilterEntry {
+    trigger_pc: Pc,
+    trigger_offset: u32,
+    lru: u64,
+}
+
+#[derive(Debug, Clone)]
+struct AccumulationEntry {
+    trigger_pc: Pc,
+    trigger_offset: u32,
+    pattern: SpatialPattern,
+    lru: u64,
+}
+
+/// The Active Generation Table.
+#[derive(Debug, Clone)]
+pub struct ActiveGenerationTable {
+    region: RegionConfig,
+    config: AgtConfig,
+    filter: HashMap<u64, FilterEntry>,
+    accumulation: HashMap<u64, AccumulationEntry>,
+    tick: u64,
+}
+
+impl ActiveGenerationTable {
+    /// Creates an empty AGT.
+    pub fn new(region: RegionConfig, config: AgtConfig) -> Self {
+        Self {
+            region,
+            config,
+            filter: HashMap::new(),
+            accumulation: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// The region geometry the AGT tracks.
+    pub fn region(&self) -> &RegionConfig {
+        &self.region
+    }
+
+    /// Number of live generations currently tracked (both tables).
+    pub fn live_generations(&self) -> usize {
+        self.filter.len() + self.accumulation.len()
+    }
+
+    /// Records a demand access to `addr` issued by instruction `pc`.
+    pub fn record_access(&mut self, addr: u64, pc: Pc) -> RecordOutcome {
+        self.tick += 1;
+        let base = self.region.region_base(addr);
+        let offset = self.region.region_offset(addr);
+
+        // Step 3: accesses to regions already accumulating set pattern bits.
+        if let Some(entry) = self.accumulation.get_mut(&base) {
+            entry.pattern.set(offset);
+            entry.lru = self.tick;
+            return RecordOutcome {
+                is_trigger: false,
+                spilled: None,
+            };
+        }
+
+        // Step 2: a second distinct block moves the generation from the
+        // filter table to the accumulation table.
+        if let Some(entry) = self.filter.get_mut(&base) {
+            if entry.trigger_offset == offset {
+                entry.lru = self.tick;
+                return RecordOutcome {
+                    is_trigger: false,
+                    spilled: None,
+                };
+            }
+            let filter_entry = self.filter.remove(&base).expect("entry just found");
+            let mut pattern = SpatialPattern::new(self.region.blocks_per_region());
+            pattern.set(filter_entry.trigger_offset);
+            pattern.set(offset);
+            let spilled = self.insert_accumulation(
+                base,
+                AccumulationEntry {
+                    trigger_pc: filter_entry.trigger_pc,
+                    trigger_offset: filter_entry.trigger_offset,
+                    pattern,
+                    lru: self.tick,
+                },
+            );
+            return RecordOutcome {
+                is_trigger: false,
+                spilled,
+            };
+        }
+
+        // Step 1: trigger access allocates in the filter table.
+        self.insert_filter(
+            base,
+            FilterEntry {
+                trigger_pc: pc,
+                trigger_offset: offset,
+                lru: self.tick,
+            },
+        );
+        RecordOutcome {
+            is_trigger: true,
+            spilled: None,
+        }
+    }
+
+    fn insert_filter(&mut self, base: u64, entry: FilterEntry) {
+        if let Some(cap) = self.config.filter_entries {
+            if self.filter.len() >= cap {
+                // Victimize the least-recently-used filter entry; it is
+                // dropped (its generation had only a trigger access).
+                if let Some((&victim, _)) = self.filter.iter().min_by_key(|(_, e)| e.lru) {
+                    self.filter.remove(&victim);
+                }
+            }
+        }
+        self.filter.insert(base, entry);
+    }
+
+    fn insert_accumulation(
+        &mut self,
+        base: u64,
+        entry: AccumulationEntry,
+    ) -> Option<TrainedPattern> {
+        let mut spilled = None;
+        if let Some(cap) = self.config.accumulation_entries {
+            if self.accumulation.len() >= cap {
+                if let Some((&victim, _)) = self.accumulation.iter().min_by_key(|(_, e)| e.lru) {
+                    let victim_entry = self
+                        .accumulation
+                        .remove(&victim)
+                        .expect("victim just found");
+                    spilled = Some(TrainedPattern {
+                        region_base: victim,
+                        trigger_pc: victim_entry.trigger_pc,
+                        trigger_offset: victim_entry.trigger_offset,
+                        pattern: victim_entry.pattern,
+                    });
+                }
+            }
+        }
+        self.accumulation.insert(base, entry);
+        spilled
+    }
+
+    /// Ends the generation (if any) covering the region that contains
+    /// `block_addr`, due to an eviction or invalidation of that block.
+    ///
+    /// Returns the trained pattern when the ended generation had accumulated
+    /// two or more blocks; generations still in the filter table are
+    /// discarded and return `None`.
+    pub fn end_generation(&mut self, block_addr: u64) -> Option<TrainedPattern> {
+        let base = self.region.region_base(block_addr);
+        if self.filter.remove(&base).is_some() {
+            return None;
+        }
+        self.accumulation.remove(&base).map(|entry| TrainedPattern {
+            region_base: base,
+            trigger_pc: entry.trigger_pc,
+            trigger_offset: entry.trigger_offset,
+            pattern: entry.pattern,
+        })
+    }
+
+    /// Ends every live generation, returning the accumulated patterns (used
+    /// at the end of a trace so partially-observed generations still train).
+    pub fn drain(&mut self) -> Vec<TrainedPattern> {
+        self.filter.clear();
+        let mut out: Vec<TrainedPattern> = self
+            .accumulation
+            .drain()
+            .map(|(base, entry)| TrainedPattern {
+                region_base: base,
+                trigger_pc: entry.trigger_pc,
+                trigger_offset: entry.trigger_offset,
+                pattern: entry.pattern,
+            })
+            .collect();
+        out.sort_by_key(|t| t.region_base);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agt() -> ActiveGenerationTable {
+        ActiveGenerationTable::new(RegionConfig::paper_default(), AgtConfig::unbounded())
+    }
+
+    #[test]
+    fn figure2_example_sequence() {
+        // Access A+3 (trigger), A+2, A+0, then evict A+2: pattern 1011
+        // (offsets 0,1 unset/set per the figure's little-endian drawing; here
+        // we check offsets {0, 2, 3}).
+        let mut agt = agt();
+        let base = 0x10_0000u64;
+        let pc = 0x4000;
+        let out = agt.record_access(base + 3 * 64, pc);
+        assert!(out.is_trigger);
+        let out = agt.record_access(base + 2 * 64, pc + 8);
+        assert!(!out.is_trigger);
+        agt.record_access(base, pc + 16);
+        let trained = agt.end_generation(base + 2 * 64).expect("generation ends");
+        assert_eq!(trained.trigger_pc, pc);
+        assert_eq!(trained.trigger_offset, 3);
+        assert_eq!(trained.region_base, base);
+        assert_eq!(trained.pattern.iter_set().collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn single_access_generations_are_discarded() {
+        let mut agt = agt();
+        let base = 0x20_0000u64;
+        agt.record_access(base + 64, 0x4000);
+        assert!(agt.end_generation(base + 64).is_none());
+        assert_eq!(agt.live_generations(), 0);
+    }
+
+    #[test]
+    fn repeated_trigger_block_access_stays_in_filter() {
+        let mut agt = agt();
+        let base = 0x30_0000u64;
+        agt.record_access(base + 5 * 64, 0x4000);
+        agt.record_access(base + 5 * 64 + 8, 0x4004); // same block
+        assert_eq!(agt.live_generations(), 1);
+        // Still only a trigger: discarded on eviction.
+        assert!(agt.end_generation(base + 5 * 64).is_none());
+    }
+
+    #[test]
+    fn eviction_of_unaccessed_block_in_region_still_ends_generation() {
+        // The paper ends a generation when any block of the region departs.
+        let mut agt = agt();
+        let base = 0x40_0000u64;
+        agt.record_access(base, 0x4000);
+        agt.record_access(base + 64, 0x4000);
+        let trained = agt.end_generation(base + 10 * 64);
+        assert!(trained.is_some());
+    }
+
+    #[test]
+    fn filter_capacity_drops_oldest() {
+        let mut agt = ActiveGenerationTable::new(
+            RegionConfig::paper_default(),
+            AgtConfig {
+                filter_entries: Some(2),
+                accumulation_entries: Some(2),
+            },
+        );
+        agt.record_access(0x10_0000, 1);
+        agt.record_access(0x20_0000, 2);
+        agt.record_access(0x30_0000, 3); // evicts region 0x10_0000 from filter
+        assert_eq!(agt.live_generations(), 2);
+        // The dropped generation no longer trains.
+        assert!(agt.end_generation(0x10_0000).is_none());
+        assert!(agt.end_generation(0x20_0000).is_none()); // still filter-only
+    }
+
+    #[test]
+    fn accumulation_capacity_spills_to_pht() {
+        let mut agt = ActiveGenerationTable::new(
+            RegionConfig::paper_default(),
+            AgtConfig {
+                filter_entries: Some(8),
+                accumulation_entries: Some(1),
+            },
+        );
+        // Region A reaches the accumulation table.
+        agt.record_access(0x10_0000, 1);
+        agt.record_access(0x10_0040, 1);
+        // Region B also needs the accumulation table; A spills out.
+        agt.record_access(0x20_0000, 2);
+        let out = agt.record_access(0x20_0040, 2);
+        let spilled = out.spilled.expect("capacity victim must spill");
+        assert_eq!(spilled.region_base, 0x10_0000);
+        assert_eq!(spilled.pattern.count(), 2);
+    }
+
+    #[test]
+    fn drain_returns_accumulated_generations_only() {
+        let mut agt = agt();
+        agt.record_access(0x10_0000, 1); // filter only
+        agt.record_access(0x20_0000, 2);
+        agt.record_access(0x20_0080, 2);
+        let drained = agt.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].region_base, 0x20_0000);
+        assert_eq!(agt.live_generations(), 0);
+    }
+
+    #[test]
+    fn new_generation_can_start_after_end() {
+        let mut agt = agt();
+        let base = 0x50_0000u64;
+        agt.record_access(base, 0x4000);
+        agt.record_access(base + 64, 0x4000);
+        agt.end_generation(base);
+        let out = agt.record_access(base + 128, 0x5000);
+        assert!(out.is_trigger, "a fresh access after the end starts a new generation");
+    }
+}

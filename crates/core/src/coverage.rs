@@ -1,0 +1,147 @@
+//! Coverage / uncovered / overprediction accounting.
+//!
+//! The paper's figures report, for each predictor configuration and relative
+//! to the read misses of a baseline system without prefetching:
+//!
+//! * **coverage** — the fraction of baseline misses the predictor eliminates;
+//! * **uncovered** — the fraction that remain (including any new misses the
+//!   predictor's cache pollution introduces); and
+//! * **overpredictions** — blocks fetched but evicted or invalidated before
+//!   any demand use, expressed as a fraction of baseline misses (which is why
+//!   some bars in Figures 6, 8 and 11 exceed 100 %).
+
+use memsim::RunSummary;
+use serde::{Deserialize, Serialize};
+
+/// Which cache level coverage is being measured at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoverageLevel {
+    /// Primary-cache read misses.
+    L1,
+    /// Off-chip (L2) read misses.
+    L2,
+}
+
+/// Coverage statistics for one predictor run against a baseline run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageStats {
+    /// Read misses of the baseline system.
+    pub baseline_misses: u64,
+    /// Read misses remaining with the predictor enabled.
+    pub remaining_misses: u64,
+    /// Prefetched blocks evicted or invalidated before use.
+    pub overpredictions: u64,
+    /// Useful prefetches (demand hits on previously-unused prefetched lines).
+    pub useful_prefetches: u64,
+}
+
+impl CoverageStats {
+    /// Builds coverage statistics from a baseline and a predictor run at the
+    /// given level.
+    pub fn from_runs(baseline: &RunSummary, with: &RunSummary, level: CoverageLevel) -> Self {
+        let (base_stats, with_stats) = match level {
+            CoverageLevel::L1 => (&baseline.l1, &with.l1),
+            CoverageLevel::L2 => (&baseline.l2, &with.l2),
+        };
+        Self {
+            baseline_misses: base_stats.read_misses,
+            remaining_misses: with_stats.read_misses,
+            overpredictions: with_stats.prefetch_unused_evictions,
+            useful_prefetches: with_stats.prefetch_hits,
+        }
+    }
+
+    /// Fraction of baseline misses eliminated (can be negative if the
+    /// predictor polluted the cache badly; clamped at -1 for sanity).
+    pub fn coverage(&self) -> f64 {
+        if self.baseline_misses == 0 {
+            return 0.0;
+        }
+        let covered = self.baseline_misses as f64 - self.remaining_misses as f64;
+        (covered / self.baseline_misses as f64).max(-1.0)
+    }
+
+    /// Fraction of baseline misses that remain.
+    pub fn uncovered(&self) -> f64 {
+        if self.baseline_misses == 0 {
+            0.0
+        } else {
+            self.remaining_misses as f64 / self.baseline_misses as f64
+        }
+    }
+
+    /// Overpredictions as a fraction of baseline misses.
+    pub fn overprediction_fraction(&self) -> f64 {
+        if self.baseline_misses == 0 {
+            0.0
+        } else {
+            self.overpredictions as f64 / self.baseline_misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::CacheStats;
+
+    fn summary(read_misses: u64, prefetch_unused: u64, prefetch_hits: u64) -> RunSummary {
+        RunSummary {
+            accesses: 1000,
+            l1: CacheStats {
+                reads: 800,
+                read_misses,
+                prefetch_unused_evictions: prefetch_unused,
+                prefetch_hits,
+                ..Default::default()
+            },
+            l2: CacheStats {
+                reads: read_misses,
+                read_misses: read_misses / 2,
+                prefetch_unused_evictions: prefetch_unused / 2,
+                prefetch_hits: prefetch_hits / 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn coverage_math() {
+        let baseline = summary(100, 0, 0);
+        let with = summary(40, 25, 55);
+        let c = CoverageStats::from_runs(&baseline, &with, CoverageLevel::L1);
+        assert_eq!(c.baseline_misses, 100);
+        assert!((c.coverage() - 0.6).abs() < 1e-12);
+        assert!((c.uncovered() - 0.4).abs() < 1e-12);
+        assert!((c.overprediction_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l2_level_uses_l2_stats() {
+        let baseline = summary(100, 0, 0);
+        let with = summary(40, 24, 10);
+        let c = CoverageStats::from_runs(&baseline, &with, CoverageLevel::L2);
+        assert_eq!(c.baseline_misses, 50);
+        assert_eq!(c.remaining_misses, 20);
+        assert_eq!(c.overpredictions, 12);
+    }
+
+    #[test]
+    fn zero_baseline_is_handled() {
+        let baseline = summary(0, 0, 0);
+        let with = summary(0, 0, 0);
+        let c = CoverageStats::from_runs(&baseline, &with, CoverageLevel::L1);
+        assert_eq!(c.coverage(), 0.0);
+        assert_eq!(c.uncovered(), 0.0);
+        assert_eq!(c.overprediction_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pollution_clamps_at_minus_one() {
+        let baseline = summary(10, 0, 0);
+        let with = summary(100, 0, 0);
+        let c = CoverageStats::from_runs(&baseline, &with, CoverageLevel::L1);
+        assert!(c.coverage() >= -1.0);
+    }
+}

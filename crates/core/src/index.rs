@@ -1,0 +1,125 @@
+//! Prediction-index construction.
+//!
+//! The pattern history table is looked up with a key derived from the
+//! trigger access.  The paper compares four schemes (Section 4.2):
+//!
+//! * **Address** — the spatial region's base address;
+//! * **PC+address** — PC of the trigger combined with the region base;
+//! * **PC** — the trigger PC alone;
+//! * **PC+offset** — the trigger PC combined with the trigger's block offset
+//!   within the region (the scheme SMS adopts).
+//!
+//! PC-based schemes can predict accesses to regions that have never been
+//! visited, which is what gives SMS its advantage on scan-dominated DSS
+//! workloads; address-based schemes need storage proportional to the data
+//! set.
+
+use crate::region::RegionConfig;
+use serde::{Deserialize, Serialize};
+use trace::{Addr, Pc};
+
+/// How the pattern history table is indexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexScheme {
+    /// Region base address only.
+    Address,
+    /// Trigger PC combined with region base address.
+    PcAddress,
+    /// Trigger PC only.
+    Pc,
+    /// Trigger PC combined with the trigger's block offset in the region
+    /// (the SMS default).
+    PcOffset,
+}
+
+impl IndexScheme {
+    /// All schemes, in the order Figure 6 presents them.
+    pub const ALL: [IndexScheme; 4] = [
+        IndexScheme::Address,
+        IndexScheme::PcAddress,
+        IndexScheme::Pc,
+        IndexScheme::PcOffset,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexScheme::Address => "Addr",
+            IndexScheme::PcAddress => "PC+addr",
+            IndexScheme::Pc => "PC",
+            IndexScheme::PcOffset => "PC+off",
+        }
+    }
+
+    /// Computes the prediction index for a trigger access.
+    pub fn key(self, pc: Pc, addr: Addr, region: &RegionConfig) -> u64 {
+        let base = region.region_base(addr);
+        let offset = u64::from(region.region_offset(addr));
+        match self {
+            IndexScheme::Address => mix(base),
+            IndexScheme::PcAddress => mix(pc ^ base.rotate_left(17)),
+            IndexScheme::Pc => mix(pc),
+            IndexScheme::PcOffset => mix(pc ^ (offset << 48) ^ offset),
+        }
+    }
+}
+
+/// A 64-bit finalizer (splitmix64) so that structured PCs/addresses spread
+/// uniformly over PHT sets.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> RegionConfig {
+        RegionConfig::paper_default()
+    }
+
+    #[test]
+    fn pc_offset_distinguishes_offsets_but_not_regions() {
+        let r = region();
+        let pc = 0x4000;
+        let k1 = IndexScheme::PcOffset.key(pc, 0x10_0000, &r); // offset 0
+        let k2 = IndexScheme::PcOffset.key(pc, 0x10_0040, &r); // offset 1
+        let k3 = IndexScheme::PcOffset.key(pc, 0x20_0000, &r); // other region, offset 0
+        assert_ne!(k1, k2, "different offsets must yield different keys");
+        assert_eq!(k1, k3, "different regions with the same offset share a key");
+    }
+
+    #[test]
+    fn address_scheme_ignores_pc() {
+        let r = region();
+        let k1 = IndexScheme::Address.key(0x4000, 0x10_0040, &r);
+        let k2 = IndexScheme::Address.key(0x8000, 0x10_0080, &r);
+        assert_eq!(k1, k2, "same region, different PCs/offsets share a key");
+    }
+
+    #[test]
+    fn pc_address_distinguishes_both() {
+        let r = region();
+        let base = IndexScheme::PcAddress.key(0x4000, 0x10_0000, &r);
+        assert_ne!(base, IndexScheme::PcAddress.key(0x4004, 0x10_0000, &r));
+        assert_ne!(base, IndexScheme::PcAddress.key(0x4000, 0x20_0000, &r));
+    }
+
+    #[test]
+    fn pc_scheme_ignores_address_entirely() {
+        let r = region();
+        let k1 = IndexScheme::Pc.key(0x4000, 0x10_0000, &r);
+        let k2 = IndexScheme::Pc.key(0x4000, 0xdead_0000, &r);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            IndexScheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

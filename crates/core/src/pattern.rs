@@ -1,0 +1,227 @@
+//! Spatial pattern bit vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A spatial pattern: one bit per cache block in a spatial region, set when
+/// the block was (or is predicted to be) accessed during a generation.
+///
+/// Regions of up to 8 kB with 64 B blocks need 128 bits; the pattern stores
+/// its bits in two 64-bit words and carries its logical length so that
+/// patterns from differently-sized regions cannot be confused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpatialPattern {
+    bits: [u64; 2],
+    len: u32,
+}
+
+impl SpatialPattern {
+    /// Maximum number of blocks a pattern can describe.
+    pub const MAX_BLOCKS: u32 = 128;
+
+    /// Creates an empty pattern over `len` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or greater than [`Self::MAX_BLOCKS`].
+    pub fn new(len: u32) -> Self {
+        assert!(len > 0 && len <= Self::MAX_BLOCKS, "pattern length out of range");
+        Self { bits: [0; 2], len }
+    }
+
+    /// Creates a pattern over `len` blocks with the given offsets set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any offset is out of range.
+    pub fn from_offsets(len: u32, offsets: &[u32]) -> Self {
+        let mut p = Self::new(len);
+        for &o in offsets {
+            p.set(o);
+        }
+        p
+    }
+
+    /// Number of blocks the pattern covers.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0, 0]
+    }
+
+    /// Sets the bit for block `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len`.
+    pub fn set(&mut self, offset: u32) {
+        assert!(offset < self.len, "offset {offset} out of range (len {})", self.len);
+        self.bits[(offset / 64) as usize] |= 1u64 << (offset % 64);
+    }
+
+    /// Clears the bit for block `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len`.
+    pub fn clear(&mut self, offset: u32) {
+        assert!(offset < self.len, "offset {offset} out of range (len {})", self.len);
+        self.bits[(offset / 64) as usize] &= !(1u64 << (offset % 64));
+    }
+
+    /// Returns whether the bit for block `offset` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len`.
+    pub fn get(&self, offset: u32) -> bool {
+        assert!(offset < self.len, "offset {offset} out of range (len {})", self.len);
+        self.bits[(offset / 64) as usize] & (1u64 << (offset % 64)) != 0
+    }
+
+    /// Number of set bits (blocks accessed / predicted).
+    pub fn count(&self) -> u32 {
+        self.bits[0].count_ones() + self.bits[1].count_ones()
+    }
+
+    /// Iterates over the offsets of set bits in ascending order.
+    pub fn iter_set(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).filter(move |&o| self.get(o))
+    }
+
+    /// Unions another pattern into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &SpatialPattern) {
+        assert_eq!(self.len, other.len, "cannot union patterns of different lengths");
+        self.bits[0] |= other.bits[0];
+        self.bits[1] |= other.bits[1];
+    }
+
+    /// Counts bits set in `self` but not in `other` (predicted but unused
+    /// when `other` is the observed pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn count_minus(&self, other: &SpatialPattern) -> u32 {
+        assert_eq!(self.len, other.len, "cannot compare patterns of different lengths");
+        (self.bits[0] & !other.bits[0]).count_ones() + (self.bits[1] & !other.bits[1]).count_ones()
+    }
+
+    /// Counts bits set in both patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn count_intersection(&self, other: &SpatialPattern) -> u32 {
+        assert_eq!(self.len, other.len, "cannot compare patterns of different lengths");
+        (self.bits[0] & other.bits[0]).count_ones() + (self.bits[1] & other.bits[1]).count_ones()
+    }
+}
+
+impl fmt::Display for SpatialPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in 0..self.len {
+            write!(f, "{}", if self.get(o) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut p = SpatialPattern::new(32);
+        assert!(p.is_empty());
+        p.set(0);
+        p.set(31);
+        assert!(p.get(0) && p.get(31) && !p.get(15));
+        assert_eq!(p.count(), 2);
+        p.clear(0);
+        assert!(!p.get(0));
+        assert_eq!(p.count(), 1);
+    }
+
+    #[test]
+    fn wide_patterns_use_both_words() {
+        let mut p = SpatialPattern::new(128);
+        p.set(5);
+        p.set(64);
+        p.set(127);
+        assert_eq!(p.count(), 3);
+        assert_eq!(p.iter_set().collect::<Vec<_>>(), vec![5, 64, 127]);
+    }
+
+    #[test]
+    fn from_offsets_and_display() {
+        let p = SpatialPattern::from_offsets(4, &[1, 3]);
+        assert_eq!(p.to_string(), "0101");
+    }
+
+    #[test]
+    fn set_difference_and_intersection() {
+        let a = SpatialPattern::from_offsets(32, &[0, 1, 2, 3]);
+        let b = SpatialPattern::from_offsets(32, &[2, 3, 4]);
+        assert_eq!(a.count_minus(&b), 2);
+        assert_eq!(b.count_minus(&a), 1);
+        assert_eq!(a.count_intersection(&b), 2);
+    }
+
+    #[test]
+    fn union_accumulates() {
+        let mut a = SpatialPattern::from_offsets(32, &[0]);
+        let b = SpatialPattern::from_offsets(32, &[5, 9]);
+        a.union_with(&b);
+        assert_eq!(a.iter_set().collect::<Vec<_>>(), vec![0, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_offset_panics() {
+        let mut p = SpatialPattern::new(32);
+        p.set(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn mismatched_lengths_panic() {
+        let a = SpatialPattern::new(32);
+        let b = SpatialPattern::new(64);
+        let _ = a.count_minus(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn count_matches_iter_set(offsets in proptest::collection::vec(0u32..64, 0..40)) {
+            let p = SpatialPattern::from_offsets(64, &offsets);
+            prop_assert_eq!(p.count() as usize, p.iter_set().count());
+            // every offset we set is reported set
+            for &o in &offsets {
+                prop_assert!(p.get(o));
+            }
+        }
+
+        #[test]
+        fn union_is_superset(xs in proptest::collection::vec(0u32..32, 0..20),
+                             ys in proptest::collection::vec(0u32..32, 0..20)) {
+            let a = SpatialPattern::from_offsets(32, &xs);
+            let b = SpatialPattern::from_offsets(32, &ys);
+            let mut u = a;
+            u.union_with(&b);
+            for o in a.iter_set().chain(b.iter_set()) {
+                prop_assert!(u.get(o));
+            }
+            prop_assert_eq!(u.count_minus(&a), b.count_minus(&a));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The Pattern History Table (PHT).
+//!
+//! The PHT provides long-term storage of spatial patterns.  It is organized
+//! like a set-associative cache indexed by the prediction key (Section 3.2);
+//! the practical configuration in the paper is 16 k entries, 16-way
+//! set-associative — about the same storage as a 64 kB L1 data array.  An
+//! unbounded variant supports the paper's limit studies (Figures 6, 8, 10).
+
+use crate::pattern::SpatialPattern;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Storage capacity of the PHT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhtCapacity {
+    /// Unlimited storage (limit studies).
+    Unbounded,
+    /// A set-associative table with `entries` total entries organized in
+    /// `associativity`-way sets.
+    Bounded {
+        /// Total number of entries.
+        entries: usize,
+        /// Ways per set.
+        associativity: usize,
+    },
+}
+
+impl PhtCapacity {
+    /// The paper's practical configuration: 16 k entries, 16-way.
+    pub fn paper_default() -> Self {
+        PhtCapacity::Bounded {
+            entries: 16 * 1024,
+            associativity: 16,
+        }
+    }
+}
+
+impl Default for PhtCapacity {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BoundedEntry {
+    key: u64,
+    pattern: SpatialPattern,
+    lru: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Unbounded(HashMap<u64, SpatialPattern>),
+    Bounded {
+        sets: Vec<Vec<BoundedEntry>>,
+        associativity: usize,
+        tick: u64,
+    },
+}
+
+/// Long-term storage of spatial patterns, keyed by the prediction index.
+#[derive(Debug, Clone)]
+pub struct PatternHistoryTable {
+    storage: Storage,
+    insertions: u64,
+}
+
+impl PatternHistoryTable {
+    /// Creates an empty PHT with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bounded capacity has zero entries, zero associativity, or
+    /// an entry count not divisible by the associativity.
+    pub fn new(capacity: PhtCapacity) -> Self {
+        let storage = match capacity {
+            PhtCapacity::Unbounded => Storage::Unbounded(HashMap::new()),
+            PhtCapacity::Bounded {
+                entries,
+                associativity,
+            } => {
+                assert!(entries > 0 && associativity > 0, "PHT capacity must be positive");
+                assert!(
+                    entries % associativity == 0,
+                    "entries must be a multiple of associativity"
+                );
+                let num_sets = (entries / associativity).max(1);
+                Storage::Bounded {
+                    sets: vec![Vec::new(); num_sets],
+                    associativity,
+                    tick: 0,
+                }
+            }
+        };
+        Self {
+            storage,
+            insertions: 0,
+        }
+    }
+
+    /// Stores (or overwrites) the pattern for `key`.
+    pub fn insert(&mut self, key: u64, pattern: SpatialPattern) {
+        self.insertions += 1;
+        match &mut self.storage {
+            Storage::Unbounded(map) => {
+                map.insert(key, pattern);
+            }
+            Storage::Bounded {
+                sets,
+                associativity,
+                tick,
+            } => {
+                *tick += 1;
+                let set_index = (key as usize) % sets.len();
+                let set = &mut sets[set_index];
+                if let Some(entry) = set.iter_mut().find(|e| e.key == key) {
+                    entry.pattern = pattern;
+                    entry.lru = *tick;
+                    return;
+                }
+                if set.len() >= *associativity {
+                    // Evict the LRU way.
+                    if let Some(pos) = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.lru)
+                        .map(|(i, _)| i)
+                    {
+                        set.swap_remove(pos);
+                    }
+                }
+                set.push(BoundedEntry {
+                    key,
+                    pattern,
+                    lru: *tick,
+                });
+            }
+        }
+    }
+
+    /// Looks up the pattern for `key`, refreshing its recency.
+    pub fn lookup(&mut self, key: u64) -> Option<SpatialPattern> {
+        match &mut self.storage {
+            Storage::Unbounded(map) => map.get(&key).copied(),
+            Storage::Bounded { sets, tick, .. } => {
+                *tick += 1;
+                let set_index = (key as usize) % sets.len();
+                let set = &mut sets[set_index];
+                let entry = set.iter_mut().find(|e| e.key == key)?;
+                entry.lru = *tick;
+                Some(entry.pattern)
+            }
+        }
+    }
+
+    /// Number of patterns currently stored.
+    pub fn len(&self) -> usize {
+        match &self.storage {
+            Storage::Unbounded(map) => map.len(),
+            Storage::Bounded { sets, .. } => sets.iter().map(|s| s.len()).sum(),
+        }
+    }
+
+    /// Whether the table holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total insertions performed (a proxy for training traffic).
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(offsets: &[u32]) -> SpatialPattern {
+        SpatialPattern::from_offsets(32, offsets)
+    }
+
+    #[test]
+    fn unbounded_insert_lookup_overwrite() {
+        let mut pht = PatternHistoryTable::new(PhtCapacity::Unbounded);
+        assert!(pht.is_empty());
+        pht.insert(1, pat(&[0, 1]));
+        pht.insert(1, pat(&[2]));
+        assert_eq!(pht.len(), 1);
+        assert_eq!(pht.lookup(1).unwrap().iter_set().collect::<Vec<_>>(), vec![2]);
+        assert!(pht.lookup(2).is_none());
+        assert_eq!(pht.insertions(), 2);
+    }
+
+    #[test]
+    fn bounded_capacity_evicts_lru() {
+        // 1 set x 2 ways.
+        let mut pht = PatternHistoryTable::new(PhtCapacity::Bounded {
+            entries: 2,
+            associativity: 2,
+        });
+        pht.insert(10, pat(&[1]));
+        pht.insert(20, pat(&[2]));
+        // Touch key 10 so key 20 becomes LRU.
+        assert!(pht.lookup(10).is_some());
+        pht.insert(30, pat(&[3]));
+        assert!(pht.lookup(10).is_some());
+        assert!(pht.lookup(20).is_none(), "LRU entry must have been evicted");
+        assert!(pht.lookup(30).is_some());
+        assert_eq!(pht.len(), 2);
+    }
+
+    #[test]
+    fn bounded_reinsert_updates_in_place() {
+        let mut pht = PatternHistoryTable::new(PhtCapacity::Bounded {
+            entries: 4,
+            associativity: 2,
+        });
+        pht.insert(7, pat(&[1]));
+        pht.insert(7, pat(&[1, 2]));
+        assert_eq!(pht.len(), 1);
+        assert_eq!(pht.lookup(7).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn keys_map_to_distinct_sets() {
+        let mut pht = PatternHistoryTable::new(PhtCapacity::Bounded {
+            entries: 8,
+            associativity: 2,
+        });
+        for key in 0..8u64 {
+            pht.insert(key, pat(&[(key % 32) as u32]));
+        }
+        // 4 sets x 2 ways can hold exactly these 8 keys (0..8 map uniformly).
+        assert_eq!(pht.len(), 8);
+    }
+
+    #[test]
+    fn paper_default_is_16k_16way() {
+        match PhtCapacity::paper_default() {
+            PhtCapacity::Bounded {
+                entries,
+                associativity,
+            } => {
+                assert_eq!(entries, 16 * 1024);
+                assert_eq!(associativity, 16);
+            }
+            PhtCapacity::Unbounded => panic!("default must be bounded"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of associativity")]
+    fn bad_capacity_rejected() {
+        let _ = PatternHistoryTable::new(PhtCapacity::Bounded {
+            entries: 10,
+            associativity: 16,
+        });
+    }
+}

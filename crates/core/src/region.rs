@@ -1,0 +1,119 @@
+//! Spatial region geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of spatial regions: the region size and the cache block size it
+/// is divided into.
+///
+/// The paper fixes blocks at 64 B and sweeps regions from 128 B to the 8 kB
+/// OS page size, settling on 2 kB (32 blocks) as the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Spatial region size in bytes (power of two).
+    pub region_bytes: u64,
+    /// Cache block size in bytes (power of two, smaller than the region).
+    pub block_bytes: u64,
+}
+
+impl RegionConfig {
+    /// Creates a region configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is not a power of two, or the region does not
+    /// hold at least two blocks.
+    pub fn new(region_bytes: u64, block_bytes: u64) -> Self {
+        assert!(region_bytes.is_power_of_two(), "region size must be a power of two");
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            region_bytes >= 2 * block_bytes,
+            "a region must span at least two blocks"
+        );
+        Self {
+            region_bytes,
+            block_bytes,
+        }
+    }
+
+    /// The paper's default: 2 kB regions of 64 B blocks.
+    pub fn paper_default() -> Self {
+        Self::new(2048, 64)
+    }
+
+    /// Number of blocks per region.
+    pub fn blocks_per_region(&self) -> u32 {
+        (self.region_bytes / self.block_bytes) as u32
+    }
+
+    /// Region base address containing `addr`.
+    pub fn region_base(&self, addr: u64) -> u64 {
+        addr & !(self.region_bytes - 1)
+    }
+
+    /// Block offset of `addr` within its region.
+    pub fn region_offset(&self, addr: u64) -> u32 {
+        ((addr & (self.region_bytes - 1)) / self.block_bytes) as u32
+    }
+
+    /// Block-aligned address of `addr`.
+    pub fn block_addr(&self, addr: u64) -> u64 {
+        addr & !(self.block_bytes - 1)
+    }
+
+    /// Address of the block at `offset` within the region based at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `offset` is outside the region.
+    pub fn block_at(&self, base: u64, offset: u32) -> u64 {
+        debug_assert!(offset < self.blocks_per_region());
+        base + u64::from(offset) * self.block_bytes
+    }
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let r = RegionConfig::paper_default();
+        assert_eq!(r.blocks_per_region(), 32);
+        assert_eq!(r, RegionConfig::default());
+    }
+
+    #[test]
+    fn base_offset_block_round_trip() {
+        let r = RegionConfig::new(2048, 64);
+        let addr = 0x1_2345u64;
+        let base = r.region_base(addr);
+        let off = r.region_offset(addr);
+        assert_eq!(base % 2048, 0);
+        assert_eq!(r.block_at(base, off), r.block_addr(addr));
+    }
+
+    #[test]
+    fn eight_kb_regions_have_128_blocks() {
+        let r = RegionConfig::new(8192, 64);
+        assert_eq!(r.blocks_per_region(), 128);
+        assert_eq!(r.region_offset(8191), 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two blocks")]
+    fn degenerate_region_rejected() {
+        let _ = RegionConfig::new(64, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = RegionConfig::new(3000, 64);
+    }
+}

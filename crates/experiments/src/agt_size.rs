@@ -1,0 +1,131 @@
+//! Section 4.5: Active Generation Table sizing.
+//!
+//! The paper reports that a 32-entry filter table and a 64-entry accumulation
+//! table achieve the same coverage as unbounded tables.  This experiment
+//! sweeps AGT sizes and reports class-average coverage.
+
+use crate::common::{class_applications, ExperimentConfig};
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use sms::{AgtConfig, CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig, SmsPrefetcher};
+use stats::mean;
+use trace::ApplicationClass;
+
+/// The (filter, accumulation) sizes swept; `None` is the unbounded AGT.
+pub const AGT_SIZES: [Option<(usize, usize)>; 5] = [
+    Some((4, 8)),
+    Some((8, 16)),
+    Some((16, 32)),
+    Some((32, 64)),
+    None,
+];
+
+/// Coverage at one (class, AGT size) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AgtSizePoint {
+    /// Workload class.
+    pub class: ApplicationClass,
+    /// Filter/accumulation entries (`None` = unbounded).
+    pub sizes: Option<(usize, usize)>,
+    /// Class-average L1 coverage.
+    pub coverage: f64,
+}
+
+/// Complete result of the AGT sizing experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AgtSizeResult {
+    /// One point per (class, size).
+    pub points: Vec<AgtSizePoint>,
+}
+
+/// Runs the AGT sizing experiment.
+pub fn run(config: &ExperimentConfig, representative_only: bool) -> AgtSizeResult {
+    let mut result = AgtSizeResult::default();
+    for class in ApplicationClass::ALL {
+        let apps = class_applications(class, representative_only);
+        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+        for &sizes in &AGT_SIZES {
+            let agt = match sizes {
+                Some((filter, accumulation)) => AgtConfig {
+                    filter_entries: Some(filter),
+                    accumulation_entries: Some(accumulation),
+                },
+                None => AgtConfig::unbounded(),
+            };
+            let mut coverages = Vec::new();
+            for (app, baseline) in apps.iter().zip(&baselines) {
+                let sms_config = SmsConfig {
+                    region: RegionConfig::paper_default(),
+                    index_scheme: IndexScheme::PcOffset,
+                    agt,
+                    pht: PhtCapacity::Unbounded,
+                    streamer: sms::StreamerConfig::paper_default(),
+                };
+                let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
+                let with = config.run_with(*app, &mut sms);
+                coverages.push(config.coverage(baseline, &with, CoverageLevel::L1).coverage());
+            }
+            result.points.push(AgtSizePoint {
+                class,
+                sizes,
+                coverage: mean(&coverages),
+            });
+        }
+    }
+    result
+}
+
+/// Renders the experiment as a text table.
+pub fn table(result: &AgtSizeResult) -> Table {
+    let mut headers = vec!["Class".to_string()];
+    headers.extend(AGT_SIZES.iter().map(|s| match s {
+        Some((f, a)) => format!("{f}/{a}"),
+        None => "infinite".to_string(),
+    }));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Section 4.5: coverage vs AGT size (filter/accumulation entries)",
+        &headers_ref,
+    );
+    for class in ApplicationClass::ALL {
+        let mut row = vec![class.to_string()];
+        for &sizes in &AGT_SIZES {
+            let cov = result
+                .points
+                .iter()
+                .find(|p| p.class == class && p.sizes == sizes)
+                .map(|p| p.coverage)
+                .unwrap_or(0.0);
+            row.push(Table::pct(cov));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_unbounded_coverage() {
+        let result = run(&ExperimentConfig::tiny(), true);
+        for class in ApplicationClass::ALL {
+            let cov = |sizes: Option<(usize, usize)>| {
+                result
+                    .points
+                    .iter()
+                    .find(|p| p.class == class && p.sizes == sizes)
+                    .map(|p| p.coverage)
+                    .unwrap()
+            };
+            let practical = cov(Some((32, 64)));
+            let unbounded = cov(None);
+            assert!(
+                practical >= unbounded - 0.05,
+                "{class}: 32/64 AGT ({practical:.2}) should match unbounded ({unbounded:.2})"
+            );
+        }
+        assert!(table(&result).to_string().contains("32/64"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared experiment infrastructure: configuration, baseline/predictor runs
+//! and per-class aggregation.
+
+use memsim::{HierarchyConfig, MultiCpuSystem, NullPrefetcher, Prefetcher, RunSummary};
+use serde::{Deserialize, Serialize};
+use sms::{CoverageLevel, CoverageStats};
+use stats::mean;
+use trace::{Application, ApplicationClass, GeneratorConfig};
+
+/// Scale and substrate parameters shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of simulated processors (the paper uses 16; the default here is
+    /// 4 to keep laptop runtimes reasonable — coverage results are largely
+    /// insensitive to the processor count).
+    pub cpus: usize,
+    /// Demand accesses simulated per application.
+    pub accesses: usize,
+    /// Seed for the deterministic workload generators.
+    pub seed: u64,
+    /// Cache hierarchy (defaults to the scaled hierarchy so the shorter
+    /// synthetic traces still produce off-chip misses).
+    pub hierarchy: HierarchyConfig,
+}
+
+impl ExperimentConfig {
+    /// The default experiment scale: 4 CPUs, 300 k accesses per application.
+    pub fn full() -> Self {
+        Self {
+            cpus: 4,
+            accesses: 300_000,
+            seed: 2006,
+            hierarchy: HierarchyConfig::scaled(),
+        }
+    }
+
+    /// A reduced scale for quick runs and continuous integration.
+    pub fn quick() -> Self {
+        Self {
+            cpus: 2,
+            accesses: 60_000,
+            seed: 2006,
+            hierarchy: HierarchyConfig::scaled(),
+        }
+    }
+
+    /// A tiny scale for unit/integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            cpus: 2,
+            accesses: 20_000,
+            seed: 2006,
+            hierarchy: HierarchyConfig::scaled(),
+        }
+    }
+
+    /// The generator configuration implied by this experiment configuration.
+    pub fn generator(&self) -> GeneratorConfig {
+        GeneratorConfig::default().with_cpus(self.cpus)
+    }
+
+    /// Runs the baseline (no prefetching) system on `app`.
+    pub fn run_baseline(&self, app: Application) -> RunSummary {
+        self.run_with(app, &mut NullPrefetcher::new())
+    }
+
+    /// Runs `app` with the provided prefetcher attached.
+    pub fn run_with(&self, app: Application, prefetcher: &mut dyn Prefetcher) -> RunSummary {
+        self.run_with_hierarchy(app, prefetcher, &self.hierarchy)
+    }
+
+    /// Runs `app` with an explicit hierarchy (used by the block-size sweep).
+    pub fn run_with_hierarchy(
+        &self,
+        app: Application,
+        prefetcher: &mut dyn Prefetcher,
+        hierarchy: &HierarchyConfig,
+    ) -> RunSummary {
+        let mut system = MultiCpuSystem::new(self.cpus, hierarchy);
+        let mut stream = app.stream(self.seed, &self.generator());
+        memsim::run(&mut system, prefetcher, &mut stream, self.accesses)
+    }
+
+    /// Coverage of a predictor run against a baseline run at `level`.
+    pub fn coverage(
+        &self,
+        baseline: &RunSummary,
+        with: &RunSummary,
+        level: CoverageLevel,
+    ) -> CoverageStats {
+        CoverageStats::from_runs(baseline, with, level)
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Per-application coverage results aggregated into a class average.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassAverage {
+    /// Mean coverage fraction over the class's applications.
+    pub coverage: f64,
+    /// Mean uncovered fraction.
+    pub uncovered: f64,
+    /// Mean overprediction fraction.
+    pub overpredictions: f64,
+}
+
+/// Averages coverage statistics over a set of per-application results.
+pub fn class_average(stats: &[CoverageStats]) -> ClassAverage {
+    ClassAverage {
+        coverage: mean(&stats.iter().map(|s| s.coverage()).collect::<Vec<_>>()),
+        uncovered: mean(&stats.iter().map(|s| s.uncovered()).collect::<Vec<_>>()),
+        overpredictions: mean(
+            &stats
+                .iter()
+                .map(|s| s.overprediction_fraction())
+                .collect::<Vec<_>>(),
+        ),
+    }
+}
+
+/// The applications evaluated for a class in class-level figures.
+///
+/// Quick-mode experiments evaluate one representative application per class to
+/// bound runtime; full runs evaluate the complete suite.
+pub fn class_applications(class: ApplicationClass, representative_only: bool) -> Vec<Application> {
+    if representative_only {
+        match class {
+            ApplicationClass::Oltp => vec![Application::OltpDb2],
+            ApplicationClass::Dss => vec![Application::DssQry1, Application::DssQry2],
+            ApplicationClass::Web => vec![Application::WebApache],
+            ApplicationClass::Scientific => vec![Application::Ocean, Application::Sparse],
+        }
+    } else {
+        class.applications().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sms::{SmsConfig, SmsPrefetcher};
+
+    #[test]
+    fn baseline_and_sms_runs_complete() {
+        let cfg = ExperimentConfig::tiny();
+        let baseline = cfg.run_baseline(Application::Sparse);
+        assert_eq!(baseline.accesses, cfg.accesses as u64);
+        let mut sms = SmsPrefetcher::new(cfg.cpus, &SmsConfig::default());
+        let with = cfg.run_with(Application::Sparse, &mut sms);
+        let cov = cfg.coverage(&baseline, &with, CoverageLevel::L1);
+        assert!(cov.coverage() > 0.0);
+    }
+
+    #[test]
+    fn class_average_averages() {
+        let a = CoverageStats {
+            baseline_misses: 100,
+            remaining_misses: 40,
+            overpredictions: 10,
+            useful_prefetches: 60,
+        };
+        let b = CoverageStats {
+            baseline_misses: 100,
+            remaining_misses: 60,
+            overpredictions: 30,
+            useful_prefetches: 40,
+        };
+        let avg = class_average(&[a, b]);
+        assert!((avg.coverage - 0.5).abs() < 1e-12);
+        assert!((avg.uncovered - 0.5).abs() < 1e-12);
+        assert!((avg.overpredictions - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn representative_sets_are_subsets() {
+        for class in ApplicationClass::ALL {
+            let reps = class_applications(class, true);
+            let all = class_applications(class, false);
+            assert!(!reps.is_empty());
+            assert!(reps.iter().all(|a| all.contains(a)));
+        }
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(ExperimentConfig::tiny().accesses < ExperimentConfig::quick().accesses);
+        assert!(ExperimentConfig::quick().accesses < ExperimentConfig::full().accesses);
+    }
+}

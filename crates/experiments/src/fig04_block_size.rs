@@ -1,0 +1,181 @@
+//! Figure 4: L1 and L2 normalized read miss rate versus block/region size,
+//! with the oracle "opportunity" predictor and false sharing beyond 64 B.
+
+use crate::common::{class_applications, ExperimentConfig};
+use crate::report::Table;
+use memsim::{PrefetchRequest, Prefetcher, SystemOutcome};
+use serde::{Deserialize, Serialize};
+use sms::{OracleObserver, RegionConfig};
+use trace::{ApplicationClass, MemAccess};
+
+/// Block/region sizes the paper sweeps (bytes).
+pub const BLOCK_SIZES: [u64; 5] = [64, 128, 512, 2048, 8192];
+
+/// One data point of the figure: a workload class at a block/region size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockSizePoint {
+    /// Workload class.
+    pub class: ApplicationClass,
+    /// Block/region size in bytes.
+    pub block_bytes: u64,
+    /// L1 read miss rate with this block size, normalized to the 64 B L1
+    /// miss rate (excluding false sharing).
+    pub l1_other_misses: f64,
+    /// Additional normalized L1 misses caused by false sharing beyond 64 B.
+    pub l1_false_sharing: f64,
+    /// Normalized oracle (opportunity) L1 miss rate at this region size.
+    pub l1_opportunity: f64,
+    /// Same three series for off-chip (L2) misses.
+    pub l2_other_misses: f64,
+    /// Normalized off-chip false sharing misses.
+    pub l2_false_sharing: f64,
+    /// Normalized off-chip oracle miss rate.
+    pub l2_opportunity: f64,
+}
+
+/// Complete result of the Figure 4 experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fig4Result {
+    /// One point per (class, block size).
+    pub points: Vec<BlockSizePoint>,
+}
+
+/// An observer holding one oracle per region size so a single baseline run
+/// yields the whole opportunity curve.
+#[derive(Debug)]
+struct MultiOracle {
+    oracles: Vec<OracleObserver>,
+}
+
+impl Prefetcher for MultiOracle {
+    fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
+        for oracle in &mut self.oracles {
+            let _ = oracle.on_access(access, outcome);
+        }
+        Vec::new()
+    }
+
+    fn name(&self) -> &str {
+        "multi-oracle"
+    }
+}
+
+/// Runs the Figure 4 experiment.
+pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig4Result {
+    let mut result = Fig4Result::default();
+    for class in ApplicationClass::ALL {
+        let apps = class_applications(class, representative_only);
+        // Accumulators per block size: (l1_other, l1_fs, l1_opp, l2_other, l2_fs, l2_opp)
+        let mut sums = vec![[0.0f64; 6]; BLOCK_SIZES.len()];
+        for app in apps.iter().copied() {
+            // Baseline at 64B with oracles for each region size.
+            let mut multi = MultiOracle {
+                oracles: BLOCK_SIZES
+                    .iter()
+                    .map(|&bs| {
+                        let region = RegionConfig::new(bs.max(128), 64);
+                        OracleObserver::new(config.cpus, region, true)
+                    })
+                    .collect(),
+            };
+            let base64 = config.run_with(app, &mut multi);
+            let l1_base = base64.l1.read_misses.max(1) as f64;
+            let l2_base = base64.l2.read_misses.max(1) as f64;
+
+            for (i, &bs) in BLOCK_SIZES.iter().enumerate() {
+                let (l1_other, l1_fs, l2_other, l2_fs) = if bs == 64 {
+                    (1.0, 0.0, 1.0, 0.0)
+                } else {
+                    let hierarchy = config.hierarchy.with_block_bytes(bs);
+                    let mut nop = memsim::NullPrefetcher::new();
+                    let summary = config.run_with_hierarchy(app, &mut nop, &hierarchy);
+                    (
+                        summary.l1_breakdown.other_than_false_sharing() as f64 / l1_base,
+                        summary.l1_breakdown.false_sharing as f64 / l1_base,
+                        summary.l2_breakdown.other_than_false_sharing() as f64 / l2_base,
+                        summary.l2_breakdown.false_sharing as f64 / l2_base,
+                    )
+                };
+                let l1_opp = multi.oracles[i].l1().oracle_misses() as f64 / l1_base;
+                let l2_opp = multi.oracles[i].l2().oracle_misses() as f64 / l2_base;
+                let acc = &mut sums[i];
+                acc[0] += l1_other;
+                acc[1] += l1_fs;
+                acc[2] += l1_opp;
+                acc[3] += l2_other;
+                acc[4] += l2_fs;
+                acc[5] += l2_opp;
+            }
+        }
+        let n = apps.len() as f64;
+        for (i, &bs) in BLOCK_SIZES.iter().enumerate() {
+            let acc = &sums[i];
+            result.points.push(BlockSizePoint {
+                class,
+                block_bytes: bs,
+                l1_other_misses: acc[0] / n,
+                l1_false_sharing: acc[1] / n,
+                l1_opportunity: acc[2] / n,
+                l2_other_misses: acc[3] / n,
+                l2_false_sharing: acc[4] / n,
+                l2_opportunity: acc[5] / n,
+            });
+        }
+    }
+    result
+}
+
+/// Renders the figure as a text table.
+pub fn table(result: &Fig4Result) -> Table {
+    let mut t = Table::new(
+        "Figure 4: normalized read miss rate vs block/region size (1.0 = 64B baseline)",
+        &[
+            "Class",
+            "Size",
+            "L1 misses",
+            "L1 false-sharing",
+            "L1 opportunity",
+            "L2 misses",
+            "L2 false-sharing",
+            "L2 opportunity",
+        ],
+    );
+    for p in &result.points {
+        t.push_row(vec![
+            p.class.to_string(),
+            format!("{}B", p.block_bytes),
+            Table::num(p.l1_other_misses),
+            Table::num(p.l1_false_sharing),
+            Table::num(p.l1_opportunity),
+            Table::num(p.l2_other_misses),
+            Table::num(p.l2_false_sharing),
+            Table::num(p.l2_opportunity),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opportunity_grows_with_region_size() {
+        let result = run(&ExperimentConfig::tiny(), true);
+        assert_eq!(result.points.len(), 4 * BLOCK_SIZES.len());
+        for class in ApplicationClass::ALL {
+            let points: Vec<&BlockSizePoint> =
+                result.points.iter().filter(|p| p.class == class).collect();
+            let first = points.first().unwrap();
+            let last = points.last().unwrap();
+            assert!(
+                last.l1_opportunity <= first.l1_opportunity + 1e-9,
+                "{class}: opportunity miss rate should not grow with region size"
+            );
+            // The 64B points are normalized to exactly 1.0.
+            assert!((first.l1_other_misses - 1.0).abs() < 1e-9);
+        }
+        let t = table(&result);
+        assert!(t.to_string().contains("8192B"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Figure 6: prediction-index comparison (Address, PC+address, PC, PC+offset)
+//! with an unbounded PHT.
+
+use crate::common::{class_applications, class_average, ClassAverage, ExperimentConfig};
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use sms::{CoverageLevel, IndexScheme, RegionConfig, SmsConfig, SmsPrefetcher};
+use trace::ApplicationClass;
+
+/// Result for one (class, index scheme) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexingPoint {
+    /// Workload class.
+    pub class: ApplicationClass,
+    /// Index scheme evaluated.
+    pub scheme: IndexScheme,
+    /// Class-average coverage / uncovered / overprediction fractions.
+    pub average: ClassAverage,
+}
+
+/// Complete result of the Figure 6 experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// One point per (class, scheme).
+    pub points: Vec<IndexingPoint>,
+}
+
+/// Runs the Figure 6 experiment.
+pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig6Result {
+    let mut result = Fig6Result::default();
+    for class in ApplicationClass::ALL {
+        let apps = class_applications(class, representative_only);
+        // One baseline per application, reused across schemes.
+        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+        for scheme in IndexScheme::ALL {
+            let mut stats = Vec::new();
+            for (app, baseline) in apps.iter().zip(&baselines) {
+                let sms_config = SmsConfig::idealized(scheme, RegionConfig::paper_default());
+                let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
+                let with = config.run_with(*app, &mut sms);
+                stats.push(config.coverage(baseline, &with, CoverageLevel::L1));
+            }
+            result.points.push(IndexingPoint {
+                class,
+                scheme,
+                average: class_average(&stats),
+            });
+        }
+    }
+    result
+}
+
+/// Renders the figure as a text table.
+pub fn table(result: &Fig6Result) -> Table {
+    let mut t = Table::new(
+        "Figure 6: index comparison, L1 read misses, unbounded PHT",
+        &["Class", "Index", "Coverage", "Uncovered", "Overpredictions"],
+    );
+    for p in &result.points {
+        t.push_row(vec![
+            p.class.to_string(),
+            p.scheme.label().to_string(),
+            Table::pct(p.average.coverage),
+            Table::pct(p.average.uncovered),
+            Table::pct(p.average.overpredictions),
+        ]);
+    }
+    t
+}
+
+/// Convenience lookup of the coverage for a (class, scheme) pair.
+pub fn coverage_of(result: &Fig6Result, class: ApplicationClass, scheme: IndexScheme) -> f64 {
+    result
+        .points
+        .iter()
+        .find(|p| p.class == class && p.scheme == scheme)
+        .map(|p| p.average.coverage)
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_offset_beats_address_on_dss() {
+        let result = run(&ExperimentConfig::tiny(), true);
+        assert_eq!(result.points.len(), 16);
+        // DSS scans visit data once: address-based indexing cannot predict
+        // previously-unvisited regions, PC+offset can (the paper's headline
+        // qualitative result).
+        let dss_pc_off = coverage_of(&result, ApplicationClass::Dss, IndexScheme::PcOffset);
+        let dss_addr = coverage_of(&result, ApplicationClass::Dss, IndexScheme::Address);
+        assert!(
+            dss_pc_off > dss_addr + 0.1,
+            "PC+offset ({dss_pc_off:.2}) must clearly beat Address ({dss_addr:.2}) on DSS"
+        );
+        // All coverages are valid fractions.
+        for p in &result.points {
+            assert!(p.average.coverage <= 1.0 + 1e-9);
+        }
+        assert!(table(&result).to_string().contains("PC+off"));
+    }
+}

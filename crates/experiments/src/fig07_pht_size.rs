@@ -1,0 +1,154 @@
+//! Figure 7: PHT storage sensitivity for PC+address versus PC+offset
+//! indexing (16-way set-associative finite PHTs).
+
+use crate::common::{class_applications, class_average, ExperimentConfig};
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig, SmsPrefetcher};
+use trace::ApplicationClass;
+
+/// PHT sizes swept by the paper (`None` is the unbounded table).
+pub const PHT_SIZES: [Option<usize>; 5] = [Some(256), Some(1024), Some(4096), Some(16384), None];
+
+/// Coverage at one (class, scheme, PHT size) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhtSizePoint {
+    /// Workload class.
+    pub class: ApplicationClass,
+    /// Index scheme (PC+address or PC+offset).
+    pub scheme: IndexScheme,
+    /// PHT entries (`None` = unbounded).
+    pub pht_entries: Option<usize>,
+    /// Class-average L1 coverage.
+    pub coverage: f64,
+}
+
+/// Complete result of the Figure 7 experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// One point per (class, scheme, size).
+    pub points: Vec<PhtSizePoint>,
+}
+
+fn capacity(entries: Option<usize>) -> PhtCapacity {
+    match entries {
+        Some(entries) => PhtCapacity::Bounded {
+            entries,
+            associativity: 16,
+        },
+        None => PhtCapacity::Unbounded,
+    }
+}
+
+/// Runs the Figure 7 experiment for the given schemes (defaults to the
+/// paper's PC+address vs PC+offset comparison when `schemes` is empty).
+pub fn run(
+    config: &ExperimentConfig,
+    representative_only: bool,
+    schemes: &[IndexScheme],
+) -> Fig7Result {
+    let schemes: Vec<IndexScheme> = if schemes.is_empty() {
+        vec![IndexScheme::PcAddress, IndexScheme::PcOffset]
+    } else {
+        schemes.to_vec()
+    };
+    let mut result = Fig7Result::default();
+    for class in ApplicationClass::ALL {
+        let apps = class_applications(class, representative_only);
+        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+        for &scheme in &schemes {
+            for &entries in &PHT_SIZES {
+                let mut stats = Vec::new();
+                for (app, baseline) in apps.iter().zip(&baselines) {
+                    let sms_config = SmsConfig::idealized(scheme, RegionConfig::paper_default())
+                        .with_pht(capacity(entries));
+                    let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
+                    let with = config.run_with(*app, &mut sms);
+                    stats.push(config.coverage(baseline, &with, CoverageLevel::L1));
+                }
+                result.points.push(PhtSizePoint {
+                    class,
+                    scheme,
+                    pht_entries: entries,
+                    coverage: class_average(&stats).coverage,
+                });
+            }
+        }
+    }
+    result
+}
+
+/// Renders the figure as a text table (one row per class and scheme, one
+/// column per PHT size).
+pub fn table(result: &Fig7Result) -> Table {
+    let mut headers = vec!["Class".to_string(), "Index".to_string()];
+    headers.extend(PHT_SIZES.iter().map(|s| match s {
+        Some(n) => format!("{n}"),
+        None => "infinite".to_string(),
+    }));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Figure 7: coverage vs PHT size (16-way)", &headers_ref);
+    for class in ApplicationClass::ALL {
+        for scheme in [IndexScheme::PcAddress, IndexScheme::PcOffset] {
+            let row_points: Vec<&PhtSizePoint> = result
+                .points
+                .iter()
+                .filter(|p| p.class == class && p.scheme == scheme)
+                .collect();
+            if row_points.is_empty() {
+                continue;
+            }
+            let mut row = vec![class.to_string(), scheme.label().to_string()];
+            for &entries in &PHT_SIZES {
+                let cov = row_points
+                    .iter()
+                    .find(|p| p.pht_entries == entries)
+                    .map(|p| p.coverage)
+                    .unwrap_or(0.0);
+                row.push(Table::pct(cov));
+            }
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_offset_reaches_peak_with_small_tables() {
+        // Restrict to DSS (the most size-sensitive class for PC+address) to
+        // keep the test fast; check the paper's qualitative claims.
+        let config = ExperimentConfig::tiny();
+        let result = run(&config, true, &[IndexScheme::PcAddress, IndexScheme::PcOffset]);
+        let dss_points: Vec<&PhtSizePoint> = result
+            .points
+            .iter()
+            .filter(|p| p.class == ApplicationClass::Dss)
+            .collect();
+        let cov = |scheme: IndexScheme, entries: Option<usize>| {
+            dss_points
+                .iter()
+                .find(|p| p.scheme == scheme && p.pht_entries == entries)
+                .map(|p| p.coverage)
+                .unwrap()
+        };
+        // PC+offset at 16k entries is close to its unbounded coverage.
+        let pcoff_16k = cov(IndexScheme::PcOffset, Some(16384));
+        let pcoff_inf = cov(IndexScheme::PcOffset, None);
+        assert!(
+            pcoff_16k >= pcoff_inf * 0.8,
+            "PC+offset at 16k ({pcoff_16k:.2}) should approach its unbounded coverage ({pcoff_inf:.2})"
+        );
+        // PC+address needs storage proportional to the data set: at 16k
+        // entries it trails PC+offset on DSS.
+        let pcaddr_16k = cov(IndexScheme::PcAddress, Some(16384));
+        assert!(
+            pcoff_16k >= pcaddr_16k,
+            "PC+offset ({pcoff_16k:.2}) should beat PC+address ({pcaddr_16k:.2}) at 16k entries on DSS"
+        );
+        assert!(table(&result).to_string().contains("infinite"));
+    }
+}

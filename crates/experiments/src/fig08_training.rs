@@ -1,0 +1,141 @@
+//! Figure 8: comparison of training structures (decoupled sectored, logical
+//! sectored, AGT) with an unbounded PHT.
+
+use crate::common::{class_applications, ExperimentConfig};
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, TrainerKind, TrainingPrefetcher};
+use stats::mean;
+use trace::ApplicationClass;
+
+/// Result for one (class, trainer) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingPoint {
+    /// Workload class.
+    pub class: ApplicationClass,
+    /// Training structure evaluated.
+    pub trainer: TrainerKind,
+    /// Class-average L1 coverage.
+    pub coverage: f64,
+    /// Class-average uncovered fraction (for the decoupled sectored cache
+    /// this includes the extra misses its constrained contents cause).
+    pub uncovered: f64,
+    /// Class-average overprediction fraction.
+    pub overpredictions: f64,
+    /// Class-average PHT entries created (pattern fragmentation indicator).
+    pub pht_entries: f64,
+}
+
+/// Complete result of the Figure 8 experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Result {
+    /// One point per (class, trainer).
+    pub points: Vec<TrainingPoint>,
+}
+
+/// Runs the Figure 8 experiment with the given PHT bound (the paper uses an
+/// unbounded PHT for this figure; Figure 9 sweeps the bound).
+pub fn run(config: &ExperimentConfig, representative_only: bool, pht: PhtCapacity) -> Fig8Result {
+    let mut result = Fig8Result::default();
+    for class in ApplicationClass::ALL {
+        let apps = class_applications(class, representative_only);
+        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+        for trainer in TrainerKind::ALL {
+            let mut coverages = Vec::new();
+            let mut uncovered = Vec::new();
+            let mut overpredictions = Vec::new();
+            let mut pht_entries = Vec::new();
+            for (app, baseline) in apps.iter().zip(&baselines) {
+                let mut prefetcher = TrainingPrefetcher::new(
+                    config.cpus,
+                    trainer,
+                    RegionConfig::paper_default(),
+                    IndexScheme::PcOffset,
+                    pht,
+                    config.hierarchy.l1.capacity_bytes,
+                );
+                let with = config.run_with(*app, &mut prefetcher);
+                let cov = config.coverage(baseline, &with, CoverageLevel::L1);
+                let extra = prefetcher.extra_misses() as f64 / cov.baseline_misses.max(1) as f64;
+                coverages.push((cov.coverage() - extra).max(-1.0));
+                uncovered.push(cov.uncovered() + extra);
+                overpredictions.push(cov.overprediction_fraction());
+                pht_entries.push(prefetcher.pht_len() as f64);
+            }
+            result.points.push(TrainingPoint {
+                class,
+                trainer,
+                coverage: mean(&coverages),
+                uncovered: mean(&uncovered),
+                overpredictions: mean(&overpredictions),
+                pht_entries: mean(&pht_entries),
+            });
+        }
+    }
+    result
+}
+
+/// Renders the figure as a text table.
+pub fn table(result: &Fig8Result) -> Table {
+    let mut t = Table::new(
+        "Figure 8: training structures (unbounded PHT), L1 read misses",
+        &[
+            "Class",
+            "Trainer",
+            "Coverage",
+            "Uncovered",
+            "Overpredictions",
+            "PHT entries",
+        ],
+    );
+    for p in &result.points {
+        t.push_row(vec![
+            p.class.to_string(),
+            p.trainer.label().to_string(),
+            Table::pct(p.coverage),
+            Table::pct(p.uncovered),
+            Table::pct(p.overpredictions),
+            format!("{:.0}", p.pht_entries),
+        ]);
+    }
+    t
+}
+
+/// Convenience lookup.
+pub fn point_of(
+    result: &Fig8Result,
+    class: ApplicationClass,
+    trainer: TrainerKind,
+) -> Option<&TrainingPoint> {
+    result
+        .points
+        .iter()
+        .find(|p| p.class == class && p.trainer == trainer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agt_is_at_least_as_good_as_sectored_trainers_on_oltp() {
+        let result = run(&ExperimentConfig::tiny(), true, PhtCapacity::Unbounded);
+        assert_eq!(result.points.len(), 12);
+        let agt = point_of(&result, ApplicationClass::Oltp, TrainerKind::Agt).unwrap();
+        let ls = point_of(&result, ApplicationClass::Oltp, TrainerKind::LogicalSectored).unwrap();
+        let ds = point_of(&result, ApplicationClass::Oltp, TrainerKind::DecoupledSectored).unwrap();
+        assert!(
+            agt.coverage >= ls.coverage - 0.03,
+            "AGT ({:.2}) should match or beat LS ({:.2}) on OLTP",
+            agt.coverage,
+            ls.coverage
+        );
+        assert!(
+            agt.coverage >= ds.coverage - 0.03,
+            "AGT ({:.2}) should match or beat DS ({:.2}) on OLTP",
+            agt.coverage,
+            ds.coverage
+        );
+        assert!(table(&result).to_string().contains("AGT"));
+    }
+}

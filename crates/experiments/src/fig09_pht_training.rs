@@ -1,0 +1,143 @@
+//! Figure 9: PHT storage sensitivity of the logical sectored trainer versus
+//! the AGT.
+
+use crate::common::{class_applications, ExperimentConfig};
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, TrainerKind, TrainingPrefetcher};
+use stats::mean;
+use trace::ApplicationClass;
+
+/// PHT sizes swept (`None` = unbounded).
+pub const PHT_SIZES: [Option<usize>; 5] = [Some(256), Some(1024), Some(4096), Some(16384), None];
+
+/// Coverage at one (class, trainer, PHT size) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhtTrainingPoint {
+    /// Workload class.
+    pub class: ApplicationClass,
+    /// Training structure (LS or AGT).
+    pub trainer: TrainerKind,
+    /// PHT entries (`None` = unbounded).
+    pub pht_entries: Option<usize>,
+    /// Class-average L1 coverage.
+    pub coverage: f64,
+}
+
+/// Complete result of the Figure 9 experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Result {
+    /// One point per (class, trainer, size).
+    pub points: Vec<PhtTrainingPoint>,
+}
+
+fn capacity(entries: Option<usize>) -> PhtCapacity {
+    match entries {
+        Some(entries) => PhtCapacity::Bounded {
+            entries,
+            associativity: 16,
+        },
+        None => PhtCapacity::Unbounded,
+    }
+}
+
+/// Runs the Figure 9 experiment.
+pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig9Result {
+    let trainers = [TrainerKind::LogicalSectored, TrainerKind::Agt];
+    let mut result = Fig9Result::default();
+    for class in ApplicationClass::ALL {
+        let apps = class_applications(class, representative_only);
+        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+        for trainer in trainers {
+            for &entries in &PHT_SIZES {
+                let mut coverages = Vec::new();
+                for (app, baseline) in apps.iter().zip(&baselines) {
+                    let mut prefetcher = TrainingPrefetcher::new(
+                        config.cpus,
+                        trainer,
+                        RegionConfig::paper_default(),
+                        IndexScheme::PcOffset,
+                        capacity(entries),
+                        config.hierarchy.l1.capacity_bytes,
+                    );
+                    let with = config.run_with(*app, &mut prefetcher);
+                    coverages.push(config.coverage(baseline, &with, CoverageLevel::L1).coverage());
+                }
+                result.points.push(PhtTrainingPoint {
+                    class,
+                    trainer,
+                    pht_entries: entries,
+                    coverage: mean(&coverages),
+                });
+            }
+        }
+    }
+    result
+}
+
+/// Renders the figure as a text table.
+pub fn table(result: &Fig9Result) -> Table {
+    let mut headers = vec!["Class".to_string(), "Trainer".to_string()];
+    headers.extend(PHT_SIZES.iter().map(|s| match s {
+        Some(n) => format!("{n}"),
+        None => "infinite".to_string(),
+    }));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Figure 9: coverage vs PHT size, LS vs AGT training", &headers_ref);
+    for class in ApplicationClass::ALL {
+        for trainer in [TrainerKind::LogicalSectored, TrainerKind::Agt] {
+            let points: Vec<&PhtTrainingPoint> = result
+                .points
+                .iter()
+                .filter(|p| p.class == class && p.trainer == trainer)
+                .collect();
+            if points.is_empty() {
+                continue;
+            }
+            let mut row = vec![class.to_string(), trainer.label().to_string()];
+            for &entries in &PHT_SIZES {
+                let cov = points
+                    .iter()
+                    .find(|p| p.pht_entries == entries)
+                    .map(|p| p.coverage)
+                    .unwrap_or(0.0);
+                row.push(Table::pct(cov));
+            }
+            t.push_row(row);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agt_needs_no_more_pht_storage_than_ls_for_same_coverage() {
+        let result = run(&ExperimentConfig::tiny(), true);
+        assert_eq!(result.points.len(), 4 * 2 * PHT_SIZES.len());
+        // At the largest bounded size the AGT's coverage should be at least
+        // in the same ballpark as LS for OLTP (the class with the most
+        // interleaving, where LS fragments patterns).
+        let find = |trainer: TrainerKind, entries: Option<usize>| {
+            result
+                .points
+                .iter()
+                .find(|p| {
+                    p.class == ApplicationClass::Oltp
+                        && p.trainer == trainer
+                        && p.pht_entries == entries
+                })
+                .map(|p| p.coverage)
+                .unwrap()
+        };
+        let agt = find(TrainerKind::Agt, Some(16384));
+        let ls = find(TrainerKind::LogicalSectored, Some(16384));
+        assert!(
+            agt >= ls - 0.05,
+            "AGT coverage at 16k ({agt:.2}) should not trail LS ({ls:.2}) appreciably"
+        );
+        assert!(table(&result).to_string().contains("LS"));
+    }
+}

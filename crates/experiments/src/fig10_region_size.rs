@@ -1,0 +1,108 @@
+//! Figure 10: coverage versus spatial region size (PC+offset indexing, AGT
+//! training, unbounded PHT).
+
+use crate::common::{class_applications, ExperimentConfig};
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use sms::{CoverageLevel, IndexScheme, RegionConfig, SmsConfig, SmsPrefetcher};
+use stats::mean;
+use trace::ApplicationClass;
+
+/// Region sizes swept by the paper (bytes).
+pub const REGION_SIZES: [u64; 7] = [128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Coverage at one (class, region size) point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSizePoint {
+    /// Workload class.
+    pub class: ApplicationClass,
+    /// Spatial region size in bytes.
+    pub region_bytes: u64,
+    /// Class-average L1 coverage.
+    pub coverage: f64,
+}
+
+/// Complete result of the Figure 10 experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Fig10Result {
+    /// One point per (class, region size).
+    pub points: Vec<RegionSizePoint>,
+}
+
+/// Runs the Figure 10 experiment.
+pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig10Result {
+    let mut result = Fig10Result::default();
+    for class in ApplicationClass::ALL {
+        let apps = class_applications(class, representative_only);
+        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+        for &region_bytes in &REGION_SIZES {
+            let region = RegionConfig::new(region_bytes, 64);
+            let mut coverages = Vec::new();
+            for (app, baseline) in apps.iter().zip(&baselines) {
+                let sms_config = SmsConfig::idealized(IndexScheme::PcOffset, region);
+                let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
+                let with = config.run_with(*app, &mut sms);
+                coverages.push(config.coverage(baseline, &with, CoverageLevel::L1).coverage());
+            }
+            result.points.push(RegionSizePoint {
+                class,
+                region_bytes,
+                coverage: mean(&coverages),
+            });
+        }
+    }
+    result
+}
+
+/// Renders the figure as a text table.
+pub fn table(result: &Fig10Result) -> Table {
+    let mut headers = vec!["Class".to_string()];
+    headers.extend(REGION_SIZES.iter().map(|s| format!("{s}B")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Figure 10: coverage vs spatial region size (PC+offset, AGT, unbounded PHT)",
+        &headers_ref,
+    );
+    for class in ApplicationClass::ALL {
+        let mut row = vec![class.to_string()];
+        for &size in &REGION_SIZES {
+            let cov = result
+                .points
+                .iter()
+                .find(|p| p.class == class && p.region_bytes == size)
+                .map(|p| p.coverage)
+                .unwrap_or(0.0);
+            row.push(Table::pct(cov));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_grows_from_tiny_regions_to_2kb() {
+        let result = run(&ExperimentConfig::tiny(), true);
+        assert_eq!(result.points.len(), 4 * REGION_SIZES.len());
+        for class in [ApplicationClass::Dss, ApplicationClass::Scientific] {
+            let cov = |size: u64| {
+                result
+                    .points
+                    .iter()
+                    .find(|p| p.class == class && p.region_bytes == size)
+                    .map(|p| p.coverage)
+                    .unwrap()
+            };
+            assert!(
+                cov(2048) > cov(128),
+                "{class}: 2kB regions ({:.2}) should beat 128B regions ({:.2})",
+                cov(2048),
+                cov(128)
+            );
+        }
+        assert!(table(&result).to_string().contains("2048B"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Experiment runners that regenerate every table and figure of
+//! *Spatial Memory Streaming* (ISCA 2006).
+//!
+//! Each `figNN` module reproduces one figure of the paper's evaluation
+//! section on the synthetic workload suite, printing the same rows/series the
+//! paper reports (coverage, uncovered and overprediction fractions, miss-rate
+//! curves, speedups with confidence intervals, execution-time breakdowns).
+//! The `sms-experiments` binary exposes them on the command line:
+//!
+//! ```text
+//! sms-experiments all            # regenerate everything (slow)
+//! sms-experiments fig6 --quick   # one figure, reduced trace length
+//! ```
+//!
+//! Absolute numbers differ from the paper — the substrate is a trace-driven
+//! simulator fed by synthetic workloads rather than FLEXUS running the
+//! commercial stacks — but the qualitative shape of every result (who wins,
+//! by roughly what factor, where the crossovers are) is preserved; see
+//! `EXPERIMENTS.md` at the repository root for the side-by-side record.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod agt_size;
+pub mod common;
+pub mod fig04_block_size;
+pub mod fig05_density;
+pub mod fig06_indexing;
+pub mod fig07_pht_size;
+pub mod fig08_training;
+pub mod fig09_pht_training;
+pub mod fig10_region_size;
+pub mod fig11_ghb_comparison;
+pub mod fig12_speedup;
+pub mod fig13_breakdown;
+pub mod report;
+pub mod table1;
+
+pub use common::ExperimentConfig;
+pub use report::Table;

@@ -1,0 +1,156 @@
+//! `sms-experiments`: regenerate the tables and figures of
+//! *Spatial Memory Streaming* (ISCA 2006).
+//!
+//! Usage:
+//!
+//! ```text
+//! sms-experiments <experiment> [--quick] [--json <path>]
+//!
+//! experiments: all, table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
+//!              agt-size, fig11, fig12, fig13
+//! --quick      use shorter traces and representative applications per class
+//! --json PATH  additionally dump the raw results as JSON
+//! ```
+
+use experiments::common::ExperimentConfig;
+use experiments::{
+    agt_size, fig04_block_size, fig05_density, fig06_indexing, fig07_pht_size, fig08_training,
+    fig09_pht_training, fig10_region_size, fig11_ghb_comparison, fig12_speedup, fig13_breakdown,
+    table1,
+};
+use serde::Serialize;
+use sms::PhtCapacity;
+use std::process::ExitCode;
+use timing::TimingConfig;
+
+#[derive(Debug, Default, Serialize)]
+struct JsonDump {
+    fig4: Option<fig04_block_size::Fig4Result>,
+    fig5: Option<fig05_density::Fig5Result>,
+    fig6: Option<fig06_indexing::Fig6Result>,
+    fig7: Option<fig07_pht_size::Fig7Result>,
+    fig8: Option<fig08_training::Fig8Result>,
+    fig9: Option<fig09_pht_training::Fig9Result>,
+    fig10: Option<fig10_region_size::Fig10Result>,
+    agt_size: Option<agt_size::AgtSizeResult>,
+    fig11: Option<fig11_ghb_comparison::Fig11Result>,
+    fig12: Option<fig12_speedup::Fig12Result>,
+    fig13: Option<fig13_breakdown::Fig13Result>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> [--quick] [--json PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let experiment = args[0].to_ascii_lowercase();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::full()
+    };
+    // Quick runs restrict class-level experiments to representative
+    // applications; full runs use the whole suite.
+    let representative_only = quick;
+    let mut dump = JsonDump::default();
+
+    let known = [
+        "all", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "agt-size",
+        "fig11", "fig12", "fig13",
+    ];
+    if !known.contains(&experiment.as_str()) {
+        return usage();
+    }
+    let want = |name: &str| experiment == "all" || experiment == name;
+
+    if want("table1") {
+        println!("{}", table1::system_table(&config.hierarchy, &TimingConfig::table1(), config.cpus));
+        println!("{}", table1::application_table());
+    }
+    if want("fig4") {
+        let r = fig04_block_size::run(&config, representative_only);
+        println!("{}", fig04_block_size::table(&r));
+        dump.fig4 = Some(r);
+    }
+    if want("fig5") {
+        let r = fig05_density::run(&config, &[]);
+        println!("{}", fig05_density::table(&r));
+        dump.fig5 = Some(r);
+    }
+    if want("fig6") {
+        let r = fig06_indexing::run(&config, representative_only);
+        println!("{}", fig06_indexing::table(&r));
+        dump.fig6 = Some(r);
+    }
+    if want("fig7") {
+        let r = fig07_pht_size::run(&config, representative_only, &[]);
+        println!("{}", fig07_pht_size::table(&r));
+        dump.fig7 = Some(r);
+    }
+    if want("fig8") {
+        let r = fig08_training::run(&config, representative_only, PhtCapacity::Unbounded);
+        println!("{}", fig08_training::table(&r));
+        dump.fig8 = Some(r);
+    }
+    if want("fig9") {
+        let r = fig09_pht_training::run(&config, representative_only);
+        println!("{}", fig09_pht_training::table(&r));
+        dump.fig9 = Some(r);
+    }
+    if want("fig10") {
+        let r = fig10_region_size::run(&config, representative_only);
+        println!("{}", fig10_region_size::table(&r));
+        dump.fig10 = Some(r);
+    }
+    if want("agt-size") {
+        let r = agt_size::run(&config, representative_only);
+        println!("{}", agt_size::table(&r));
+        dump.agt_size = Some(r);
+    }
+    if want("fig11") {
+        let r = fig11_ghb_comparison::run(&config, &[]);
+        println!("{}", fig11_ghb_comparison::table(&r));
+        dump.fig11 = Some(r);
+    }
+    if want("fig12") {
+        let r = fig12_speedup::run(&config, &[]);
+        println!("{}", fig12_speedup::table(&r));
+        dump.fig12 = Some(r);
+    }
+    if want("fig13") {
+        let r = fig13_breakdown::run(&config, &[]);
+        println!("{}", fig13_breakdown::table(&r));
+        dump.fig13 = Some(r);
+    }
+
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&dump) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("\nraw results written to {path}");
+            }
+            Err(e) => {
+                eprintln!("failed to serialize results: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,111 @@
+//! Plain-text table rendering for experiment output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple text table: a title, a header row and data rows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (figure name and description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row should have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header length.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Formats a fraction as a percentage with one decimal.
+    pub fn pct(value: f64) -> String {
+        format!("{:.1}%", value * 100.0)
+    }
+
+    /// Formats a float with three decimals.
+    pub fn num(value: f64) -> String {
+        format!("{value:.3}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        writeln!(f, "\n== {} ==", self.title)?;
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:width$}  ", cell, width = widths[i]));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["App", "Coverage"]);
+        t.push_row(vec!["DB2".into(), Table::pct(0.553)]);
+        t.push_row(vec!["sparse".into(), Table::pct(0.92)]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("55.3%"));
+        assert!(s.contains("92.0%"));
+        // Column alignment: both data rows start the second column at the
+        // same character offset.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('%')).collect();
+        assert_eq!(lines[0].find('%').is_some(), lines[1].find('%').is_some());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(Table::pct(0.5), "50.0%");
+        assert_eq!(Table::num(1.23456), "1.235");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Table 1: system and application parameters.
+
+use crate::report::Table;
+use memsim::HierarchyConfig;
+use timing::TimingConfig;
+use trace::Application;
+
+/// Renders the system-model half of Table 1 (the parameters this reproduction
+/// actually uses, alongside the paper's values).
+pub fn system_table(hierarchy: &HierarchyConfig, timing: &TimingConfig, cpus: usize) -> Table {
+    let mut t = Table::new(
+        "Table 1 (left): system parameters (paper value -> reproduction value)",
+        &["Component", "Paper", "Reproduction"],
+    );
+    t.push_row(vec![
+        "Processors".into(),
+        "16x UltraSPARC III, 4 GHz OoO".into(),
+        format!("{cpus} trace-driven CPUs"),
+    ]);
+    t.push_row(vec![
+        "L1 caches".into(),
+        "64KB 2-way, 64B blocks, 2-cycle".into(),
+        format!(
+            "{}KB {}-way, {}B blocks",
+            hierarchy.l1.capacity_bytes / 1024,
+            hierarchy.l1.associativity,
+            hierarchy.l1.block_bytes
+        ),
+    ]);
+    t.push_row(vec![
+        "L2 cache".into(),
+        "8MB 8-way, 25-cycle".into(),
+        format!(
+            "{}KB {}-way, {:.0}-cycle",
+            hierarchy.l2.capacity_bytes / 1024,
+            hierarchy.l2.associativity,
+            timing.l2_hit_cycles
+        ),
+    ]);
+    t.push_row(vec![
+        "Main memory".into(),
+        "3GB, 60ns".into(),
+        format!("{:.0}-cycle latency", timing.memory_cycles),
+    ]);
+    t.push_row(vec![
+        "MSHRs / stream slots".into(),
+        "32 MSHRs, 16 SMS stream requests".into(),
+        format!("{} overlapping misses max", timing.max_mlp),
+    ]);
+    t.push_row(vec![
+        "Store buffer".into(),
+        "64 entries".into(),
+        format!("{} entries", timing.store_buffer_entries),
+    ]);
+    t
+}
+
+/// Renders the application-suite half of Table 1.
+pub fn application_table() -> Table {
+    let mut t = Table::new(
+        "Table 1 (right): application suite",
+        &["Application", "Class", "Paper configuration", "Reproduction"],
+    );
+    let paper: &[(&str, &str)] = &[
+        ("DB2", "TPC-C, 100 warehouses, 450MB buffer pool"),
+        ("Oracle", "TPC-C, 100 warehouses, 1.4GB SGA"),
+        ("Qry1", "TPC-H scan-dominated, 450MB buffer pool"),
+        ("Qry2", "TPC-H join-dominated"),
+        ("Qry16", "TPC-H join-dominated"),
+        ("Qry17", "TPC-H balanced scan-join"),
+        ("Apache", "SPECweb99, 16K connections, FastCGI"),
+        ("Zeus", "SPECweb99, 16K connections, FastCGI"),
+        ("em3d", "3M nodes, degree 2, 15% remote"),
+        ("ocean", "1026x1026 grid"),
+        ("sparse", "4096x4096 matrix"),
+    ];
+    for app in Application::ALL {
+        let paper_cfg = paper
+            .iter()
+            .find(|(name, _)| *name == app.short_name())
+            .map(|(_, cfg)| *cfg)
+            .unwrap_or("-");
+        t.push_row(vec![
+            app.short_name().into(),
+            app.class().to_string(),
+            paper_cfg.into(),
+            "synthetic generator (see trace::workloads)".into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_table_mentions_all_components() {
+        let t = system_table(&HierarchyConfig::table1(), &TimingConfig::table1(), 16);
+        let s = t.to_string();
+        for key in ["L1", "L2", "memory", "Store buffer"] {
+            assert!(s.to_lowercase().contains(&key.to_lowercase()), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn application_table_lists_all_eleven() {
+        let t = application_table();
+        assert_eq!(t.rows.len(), 11);
+        let s = t.to_string();
+        assert!(s.contains("TPC-C"));
+        assert!(s.contains("sparse"));
+    }
+}

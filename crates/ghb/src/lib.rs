@@ -1,0 +1,41 @@
+//! The Global History Buffer (GHB) PC/DC prefetcher of Nesbit & Smith
+//! (HPCA 2004), used by the paper as the state-of-the-art baseline
+//! (Section 4.6, Figure 11).
+//!
+//! GHB PC/DC keeps the addresses of recent misses in a FIFO **global history
+//! buffer**; an **index table** maps each miss PC to that PC's most recent
+//! buffer entry, and entries are chained so the per-PC miss history can be
+//! reconstructed newest-to-oldest.  On each miss the prefetcher computes the
+//! *delta* sequence of that PC's misses, finds the most recent prior
+//! occurrence of the two latest deltas (delta correlation) and predicts that
+//! the deltas which followed that occurrence will repeat, issuing prefetches
+//! into the secondary cache.
+//!
+//! Because each lookup walks the buffer several times, the paper (following
+//! the original proposal) attaches GHB to the L2, so it observes the L1 miss
+//! stream and prefetches into the L2 only.
+//!
+//! # Example
+//!
+//! ```
+//! use ghb::{GhbConfig, GhbPredictor};
+//!
+//! let mut ghb = GhbPredictor::new(&GhbConfig::with_entries(256));
+//! // A strided miss stream from one PC...
+//! let pc = 0x400;
+//! let mut predicted = Vec::new();
+//! for i in 0..8u64 {
+//!     predicted = ghb.on_miss(pc, 0x10_000 + i * 128);
+//! }
+//! // ...is predicted to continue with the same 128-byte stride.
+//! assert!(predicted.contains(&(0x10_000 + 8 * 128)));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod predictor;
+pub mod prefetcher;
+
+pub use predictor::{GhbConfig, GhbPredictor};
+pub use prefetcher::GhbPrefetcher;

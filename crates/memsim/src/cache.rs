@@ -1,0 +1,385 @@
+//! A set-associative, write-allocate cache with LRU replacement.
+//!
+//! The cache tracks, per line, whether it is dirty and whether it was filled
+//! by a prefetch/stream request and has not yet been used by a demand access.
+//! The latter is what the SMS coverage accounting needs: a demand access to a
+//! `prefetched` line is a miss that the prefetcher eliminated, while the
+//! eviction or invalidation of a still-unused `prefetched` line is an
+//! overprediction.
+
+use crate::config::CacheConfig;
+use trace::AccessKind;
+
+/// Per-line usage state relevant to prefetch accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLineState {
+    /// Filled by a demand miss (or already used by a demand access).
+    Demand,
+    /// Filled by a prefetch/stream and not yet referenced by a demand access.
+    PrefetchedUnused,
+}
+
+/// A line evicted or invalidated from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Block-aligned address of the departed line.
+    pub block_addr: u64,
+    /// Whether the line was dirty (needs write-back).
+    pub dirty: bool,
+    /// Usage state at departure; `PrefetchedUnused` means an overprediction.
+    pub state: CacheLineState,
+}
+
+/// Result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit in the cache.
+    pub hit: bool,
+    /// Whether the hit line had been filled by a prefetch and was unused
+    /// until now (i.e. the prefetch "covered" this would-be miss).
+    pub hit_on_prefetched: bool,
+    /// Line evicted to make room for the fill, if the access missed and the
+    /// set was full.
+    pub evicted: Option<EvictedLine>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    prefetched_unused: bool,
+    lru: u64,
+}
+
+impl Line {
+    const INVALID: Line = Line {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        prefetched_unused: false,
+        lru: 0,
+    };
+}
+
+/// A set-associative cache model.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let lines = vec![Line::INVALID; config.num_lines() as usize];
+        Self {
+            config,
+            lines,
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
+        let set = self.config.set_index(addr) as usize;
+        let assoc = self.config.associativity as usize;
+        set * assoc..(set + 1) * assoc
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        self.config.block_addr(addr)
+    }
+
+    fn touch(&mut self, index: usize) {
+        self.tick += 1;
+        self.lines[index].lru = self.tick;
+    }
+
+    fn find(&self, addr: u64) -> Option<usize> {
+        let tag = self.tag(addr);
+        self.set_range(addr)
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    /// Returns `true` if the block containing `addr` is present.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Returns the usage state of the block containing `addr`, if present.
+    pub fn line_state(&self, addr: u64) -> Option<CacheLineState> {
+        self.find(addr).map(|i| {
+            if self.lines[i].prefetched_unused {
+                CacheLineState::PrefetchedUnused
+            } else {
+                CacheLineState::Demand
+            }
+        })
+    }
+
+    /// Performs a demand access (load or store) to `addr`.
+    ///
+    /// On a miss the block is allocated (write-allocate) and the displaced
+    /// line, if any, is returned in the outcome.
+    ///
+    /// A *store* to a line that was filled by a prefetch and never used by a
+    /// demand access counts as a miss: stream requests behave like read
+    /// requests in the coherence protocol (Section 3.2 of the paper), so the
+    /// streamed copy is read-only and the store must still obtain write
+    /// permission.  The line is kept (no refetch of the data), but the access
+    /// is reported as a miss so upgrade latency and store-buffer pressure are
+    /// modelled.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
+        if let Some(i) = self.find(addr) {
+            let was_prefetched = self.lines[i].prefetched_unused;
+            if kind.is_write() && was_prefetched {
+                self.lines[i].prefetched_unused = false;
+                self.lines[i].dirty = true;
+                self.touch(i);
+                return AccessOutcome {
+                    hit: false,
+                    hit_on_prefetched: false,
+                    evicted: None,
+                };
+            }
+            self.lines[i].prefetched_unused = false;
+            if kind.is_write() {
+                self.lines[i].dirty = true;
+            }
+            self.touch(i);
+            return AccessOutcome {
+                hit: true,
+                hit_on_prefetched: was_prefetched,
+                evicted: None,
+            };
+        }
+        let evicted = self.fill_internal(addr, kind.is_write(), false);
+        AccessOutcome {
+            hit: false,
+            hit_on_prefetched: false,
+            evicted,
+        }
+    }
+
+    /// Fills `addr` as a prefetch/stream request.  Does nothing if the block
+    /// is already present.  Returns the displaced line, if any.
+    pub fn prefetch_fill(&mut self, addr: u64) -> Option<EvictedLine> {
+        if self.contains(addr) {
+            return None;
+        }
+        self.fill_internal(addr, false, true)
+    }
+
+    /// Fills `addr` without counting a demand access (used for write-backs
+    /// arriving from an upper level).  Does nothing if the block is already
+    /// present, other than marking it dirty when `dirty` is set.
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<EvictedLine> {
+        if let Some(i) = self.find(addr) {
+            if dirty {
+                self.lines[i].dirty = true;
+            }
+            self.touch(i);
+            return None;
+        }
+        self.fill_internal(addr, dirty, false)
+    }
+
+    fn fill_internal(&mut self, addr: u64, dirty: bool, prefetched: bool) -> Option<EvictedLine> {
+        let tag = self.tag(addr);
+        let range = self.set_range(addr);
+        // Prefer an invalid way; otherwise evict the LRU way.
+        let mut victim = range.start;
+        let mut best_lru = u64::MAX;
+        let mut found_invalid = false;
+        for i in range {
+            if !self.lines[i].valid {
+                victim = i;
+                found_invalid = true;
+                break;
+            }
+            if self.lines[i].lru < best_lru {
+                best_lru = self.lines[i].lru;
+                victim = i;
+            }
+        }
+        let evicted = if found_invalid {
+            None
+        } else {
+            let old = self.lines[victim];
+            Some(EvictedLine {
+                block_addr: old.tag,
+                dirty: old.dirty,
+                state: if old.prefetched_unused {
+                    CacheLineState::PrefetchedUnused
+                } else {
+                    CacheLineState::Demand
+                },
+            })
+        };
+        self.lines[victim] = Line {
+            tag,
+            valid: true,
+            dirty,
+            prefetched_unused: prefetched,
+            lru: 0,
+        };
+        self.touch(victim);
+        evicted
+    }
+
+    /// Invalidates the block containing `addr`, returning the removed line.
+    pub fn invalidate(&mut self, addr: u64) -> Option<EvictedLine> {
+        let i = self.find(addr)?;
+        let old = self.lines[i];
+        self.lines[i] = Line::INVALID;
+        Some(EvictedLine {
+            block_addr: old.tag,
+            dirty: old.dirty,
+            state: if old.prefetched_unused {
+                CacheLineState::PrefetchedUnused
+            } else {
+                CacheLineState::Demand
+            },
+        })
+    }
+
+    /// Number of valid lines currently resident (mainly for tests/debugging).
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Iterates over the block addresses of all resident lines.
+    pub fn resident_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines.iter().filter(|l| l.valid).map(|l| l.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B = 512B cache.
+        SetAssocCache::new(CacheConfig::new(512, 2, 64))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000, AccessKind::Read).hit);
+        assert!(c.access(0x1000, AccessKind::Read).hit);
+        assert!(c.access(0x103f, AccessKind::Read).hit, "same block");
+        assert!(!c.access(0x1040, AccessKind::Read).hit, "next block");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three blocks mapping to the same set (set stride = 4*64 = 256).
+        let a = 0x0000;
+        let b = 0x0100;
+        let d = 0x0200;
+        c.access(a, AccessKind::Read);
+        c.access(b, AccessKind::Read);
+        c.access(a, AccessKind::Read); // a is now MRU
+        let out = c.access(d, AccessKind::Read);
+        let evicted = out.evicted.expect("set was full");
+        assert_eq!(evicted.block_addr, b, "LRU line must be evicted");
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn writes_mark_dirty_and_eviction_reports_it() {
+        let mut c = tiny();
+        c.access(0x0000, AccessKind::Write);
+        c.access(0x0100, AccessKind::Read);
+        let out = c.access(0x0200, AccessKind::Read);
+        // 0x0000 was accessed first and not re-touched, so it is the LRU.
+        let evicted = out.evicted.unwrap();
+        assert_eq!(evicted.block_addr, 0x0000);
+        assert!(evicted.dirty);
+    }
+
+    #[test]
+    fn prefetch_fill_and_demand_hit() {
+        let mut c = tiny();
+        assert!(c.prefetch_fill(0x2000).is_none());
+        assert_eq!(c.line_state(0x2000), Some(CacheLineState::PrefetchedUnused));
+        let out = c.access(0x2000, AccessKind::Read);
+        assert!(out.hit);
+        assert!(out.hit_on_prefetched);
+        // A second access is an ordinary hit.
+        let out = c.access(0x2000, AccessKind::Read);
+        assert!(out.hit);
+        assert!(!out.hit_on_prefetched);
+        assert_eq!(c.line_state(0x2000), Some(CacheLineState::Demand));
+    }
+
+    #[test]
+    fn store_to_unused_prefetched_line_is_an_upgrade_miss() {
+        let mut c = tiny();
+        c.prefetch_fill(0x2000);
+        let out = c.access(0x2000, AccessKind::Write);
+        assert!(!out.hit, "streamed copies are read-only; a store must upgrade");
+        assert!(out.evicted.is_none(), "the data stays resident");
+        // After the upgrade the line behaves like a normal dirty line.
+        assert_eq!(c.line_state(0x2000), Some(CacheLineState::Demand));
+        assert!(c.access(0x2000, AccessKind::Write).hit);
+    }
+
+    #[test]
+    fn prefetch_fill_is_idempotent_when_present() {
+        let mut c = tiny();
+        c.access(0x2000, AccessKind::Read);
+        assert!(c.prefetch_fill(0x2000).is_none());
+        // Still counts as a demand line.
+        assert_eq!(c.line_state(0x2000), Some(CacheLineState::Demand));
+    }
+
+    #[test]
+    fn eviction_of_unused_prefetch_is_reported() {
+        let mut c = tiny();
+        c.prefetch_fill(0x0000);
+        c.access(0x0100, AccessKind::Read);
+        let out = c.access(0x0200, AccessKind::Read);
+        let evicted = out.evicted.unwrap();
+        assert_eq!(evicted.state, CacheLineState::PrefetchedUnused);
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = tiny();
+        c.access(0x3000, AccessKind::Write);
+        let inv = c.invalidate(0x3000).unwrap();
+        assert!(inv.dirty);
+        assert!(!c.contains(0x3000));
+        assert!(c.invalidate(0x3000).is_none());
+    }
+
+    #[test]
+    fn resident_lines_counts() {
+        let mut c = tiny();
+        assert_eq!(c.resident_lines(), 0);
+        c.access(0x0000, AccessKind::Read);
+        c.access(0x1000, AccessKind::Read);
+        assert_eq!(c.resident_lines(), 2);
+        let blocks: Vec<u64> = c.resident_blocks().collect();
+        assert!(blocks.contains(&0x0000) && blocks.contains(&0x1000));
+    }
+
+    #[test]
+    fn large_block_size_behaviour() {
+        // 2kB blocks: two addresses 1kB apart share a block.
+        let mut c = SetAssocCache::new(CacheConfig::new(16 * 1024, 2, 2048));
+        assert!(!c.access(0x0000, AccessKind::Read).hit);
+        assert!(c.access(0x0400, AccessKind::Read).hit);
+    }
+}

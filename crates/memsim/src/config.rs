@@ -1,0 +1,191 @@
+//! Cache and hierarchy configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a single set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Number of ways per set.
+    pub associativity: u32,
+    /// Block (line) size in bytes; must be a power of two.
+    pub block_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration, validating its invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero, `block_bytes` or the set count is not
+    /// a power of two, or the capacity is not divisible by
+    /// `associativity * block_bytes`.
+    pub fn new(capacity_bytes: u64, associativity: u32, block_bytes: u64) -> Self {
+        let config = Self {
+            capacity_bytes,
+            associativity,
+            block_bytes,
+        };
+        config.validate();
+        config
+    }
+
+    fn validate(&self) {
+        assert!(self.capacity_bytes > 0, "capacity must be positive");
+        assert!(self.associativity > 0, "associativity must be positive");
+        assert!(
+            self.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        assert!(
+            self.capacity_bytes % (u64::from(self.associativity) * self.block_bytes) == 0,
+            "capacity must be a multiple of associativity * block size"
+        );
+        assert!(
+            self.num_sets().is_power_of_two(),
+            "number of sets must be a power of two"
+        );
+    }
+
+    /// The paper's L1 data cache: 64 KB, 2-way, 64 B blocks (Table 1).
+    pub fn l1_table1() -> Self {
+        Self::new(64 * 1024, 2, 64)
+    }
+
+    /// The paper's unified L2 cache: 8 MB, 8-way, 64 B blocks (Table 1).
+    pub fn l2_table1() -> Self {
+        Self::new(8 * 1024 * 1024, 8, 64)
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.capacity_bytes / (u64::from(self.associativity) * self.block_bytes)
+    }
+
+    /// Total number of cache lines.
+    pub fn num_lines(&self) -> u64 {
+        self.capacity_bytes / self.block_bytes
+    }
+
+    /// Block-aligned address of the block containing `addr`.
+    pub fn block_addr(&self, addr: u64) -> u64 {
+        addr & !(self.block_bytes - 1)
+    }
+
+    /// Set index for `addr`.
+    pub fn set_index(&self, addr: u64) -> u64 {
+        (addr / self.block_bytes) & (self.num_sets() - 1)
+    }
+
+    /// Returns a copy of this configuration with a different block size but
+    /// the same capacity and associativity (used for the block-size sweep in
+    /// Figure 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting geometry is invalid.
+    pub fn with_block_bytes(&self, block_bytes: u64) -> Self {
+        Self::new(self.capacity_bytes, self.associativity, block_bytes)
+    }
+}
+
+/// Configuration for one processor's private two-level hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Primary data cache.
+    pub l1: CacheConfig,
+    /// Secondary cache.
+    pub l2: CacheConfig,
+}
+
+impl HierarchyConfig {
+    /// The hierarchy of Table 1 in the paper.
+    pub fn table1() -> Self {
+        Self {
+            l1: CacheConfig::l1_table1(),
+            l2: CacheConfig::l2_table1(),
+        }
+    }
+
+    /// A scaled-down hierarchy for laptop-scale experiments: 32 KB 2-way L1
+    /// and 1 MB 8-way L2.
+    ///
+    /// The paper's traces span billions of instructions against an 8 MB L2;
+    /// the reproduction's traces are shorter, so a proportionally smaller L2
+    /// preserves the ratio of working-set size to cache capacity and keeps
+    /// off-chip misses observable.
+    pub fn scaled() -> Self {
+        Self {
+            l1: CacheConfig::new(32 * 1024, 2, 64),
+            l2: CacheConfig::new(1024 * 1024, 8, 64),
+        }
+    }
+
+    /// Builds a hierarchy whose caches use `block_bytes`-sized blocks but
+    /// keep Table 1 capacities (for the Figure 4 block-size sweep).
+    pub fn with_block_bytes(&self, block_bytes: u64) -> Self {
+        Self {
+            l1: self.l1.with_block_bytes(block_bytes),
+            l2: self.l2.with_block_bytes(block_bytes),
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometry() {
+        let l1 = CacheConfig::l1_table1();
+        assert_eq!(l1.num_sets(), 512);
+        assert_eq!(l1.num_lines(), 1024);
+        let l2 = CacheConfig::l2_table1();
+        assert_eq!(l2.num_lines(), 131072);
+    }
+
+    #[test]
+    fn block_and_set_math() {
+        let c = CacheConfig::new(64 * 1024, 2, 64);
+        assert_eq!(c.block_addr(0x12345), 0x12340);
+        assert!(c.set_index(0x12345) < c.num_sets());
+        // Two addresses one set-stride apart map to the same set.
+        let stride = c.num_sets() * c.block_bytes;
+        assert_eq!(c.set_index(0x1000), c.set_index(0x1000 + stride));
+    }
+
+    #[test]
+    fn with_block_bytes_keeps_capacity() {
+        let c = CacheConfig::l1_table1().with_block_bytes(2048);
+        assert_eq!(c.capacity_bytes, 64 * 1024);
+        assert_eq!(c.block_bytes, 2048);
+        assert_eq!(c.num_sets(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_block_rejected() {
+        let _ = CacheConfig::new(64 * 1024, 2, 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_capacity_rejected() {
+        let _ = CacheConfig::new(100_000, 3, 64);
+    }
+
+    #[test]
+    fn scaled_hierarchy_is_smaller() {
+        let s = HierarchyConfig::scaled();
+        let t = HierarchyConfig::table1();
+        assert!(s.l2.capacity_bytes < t.l2.capacity_bytes);
+        assert_eq!(HierarchyConfig::default(), t);
+    }
+}

@@ -1,0 +1,126 @@
+//! Miss-status holding registers.
+//!
+//! The timing model uses the MSHR file to bound memory-level parallelism: a
+//! miss can only be overlapped with other misses while a free MSHR exists,
+//! and secondary misses to an already-outstanding block merge into the
+//! existing entry.  Table 1 gives 32 MSHRs per cache plus 16 SMS stream
+//! request slots.
+
+use std::collections::HashMap;
+
+/// A file of miss-status holding registers indexed by block address.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// Outstanding misses: block address -> number of merged requests.
+    outstanding: HashMap<u64, u32>,
+}
+
+/// Result of attempting to allocate an MSHR for a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAllocation {
+    /// A new entry was allocated for this block.
+    Primary,
+    /// The block already had an outstanding miss; the request merged.
+    Secondary,
+    /// No free entry: the miss must stall until one retires.
+    Stall,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an MSHR file needs at least one entry");
+        Self {
+            capacity,
+            outstanding: HashMap::new(),
+        }
+    }
+
+    /// Attempts to track a miss for `block_addr`.
+    pub fn allocate(&mut self, block_addr: u64) -> MshrAllocation {
+        if let Some(count) = self.outstanding.get_mut(&block_addr) {
+            *count += 1;
+            return MshrAllocation::Secondary;
+        }
+        if self.outstanding.len() >= self.capacity {
+            return MshrAllocation::Stall;
+        }
+        self.outstanding.insert(block_addr, 1);
+        MshrAllocation::Primary
+    }
+
+    /// Retires the outstanding miss for `block_addr` (fill returned).
+    ///
+    /// Returns the number of merged requests satisfied, or 0 if the block
+    /// had no outstanding entry.
+    pub fn retire(&mut self, block_addr: u64) -> u32 {
+        self.outstanding.remove(&block_addr).unwrap_or(0)
+    }
+
+    /// Number of occupied entries.
+    pub fn occupancy(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Whether a miss to `block_addr` is currently outstanding.
+    pub fn is_outstanding(&self, block_addr: u64) -> bool {
+        self.outstanding.contains_key(&block_addr)
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Clears all outstanding entries (e.g. at a sample boundary).
+    pub fn clear(&mut self) {
+        self.outstanding.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_secondary_and_stall() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(0x100), MshrAllocation::Primary);
+        assert_eq!(m.allocate(0x100), MshrAllocation::Secondary);
+        assert_eq!(m.allocate(0x200), MshrAllocation::Primary);
+        assert_eq!(m.allocate(0x300), MshrAllocation::Stall);
+        assert_eq!(m.occupancy(), 2);
+    }
+
+    #[test]
+    fn retire_frees_entry() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0x100);
+        m.allocate(0x100);
+        assert_eq!(m.retire(0x100), 2);
+        assert_eq!(m.retire(0x100), 0);
+        assert_eq!(m.allocate(0x200), MshrAllocation::Primary);
+    }
+
+    #[test]
+    fn is_outstanding_tracks_state() {
+        let mut m = MshrFile::new(4);
+        assert!(!m.is_outstanding(0x40));
+        m.allocate(0x40);
+        assert!(m.is_outstanding(0x40));
+        m.clear();
+        assert!(!m.is_outstanding(0x40));
+        assert_eq!(m.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

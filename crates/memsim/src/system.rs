@@ -1,0 +1,275 @@
+//! Multi-processor system with write-invalidate coherence.
+//!
+//! Each processor owns a private two-level hierarchy; a write by one
+//! processor invalidates the block in every other processor's caches, as a
+//! directory-based MOESI protocol would after granting exclusive ownership.
+//! The system records, per level, a [`MissBreakdown`] that separates cold,
+//! replacement, true-sharing and false-sharing misses — the categories
+//! Figure 4 of the paper reports.
+
+use crate::classify::{MissBreakdown, MissClassifier, MissKind};
+use crate::config::HierarchyConfig;
+use crate::hierarchy::{CpuHierarchy, HierarchyOutcome};
+use crate::stats::CacheStats;
+use trace::MemAccess;
+
+/// Result of pushing one access through the whole system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemOutcome {
+    /// The issuing processor's hierarchy outcome.
+    pub hierarchy: HierarchyOutcome,
+    /// Classification of the L1 miss, if the access missed in L1.
+    pub l1_miss_kind: Option<MissKind>,
+    /// Classification of the off-chip (L2) miss, if the access missed in L2.
+    pub l2_miss_kind: Option<MissKind>,
+    /// Blocks invalidated in *remote* L1 caches by this access (if a write).
+    /// Each entry is `(cpu, block_addr)`.
+    pub remote_invalidations: Vec<(u8, u64)>,
+}
+
+/// A shared-memory multiprocessor built from private per-CPU hierarchies.
+#[derive(Debug)]
+pub struct MultiCpuSystem {
+    cpus: Vec<CpuHierarchy>,
+    l1_classifier: MissClassifier,
+    l2_classifier: MissClassifier,
+    l1_breakdown: MissBreakdown,
+    l2_breakdown: MissBreakdown,
+    config: HierarchyConfig,
+}
+
+impl MultiCpuSystem {
+    /// Creates a system of `num_cpus` processors with identical hierarchies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cpus` is zero.
+    pub fn new(num_cpus: usize, config: &HierarchyConfig) -> Self {
+        assert!(num_cpus > 0, "need at least one cpu");
+        let cpus = (0..num_cpus)
+            .map(|cpu| CpuHierarchy::new(cpu as u8, config))
+            .collect();
+        Self {
+            cpus,
+            l1_classifier: MissClassifier::new(num_cpus, config.l1.block_bytes),
+            l2_classifier: MissClassifier::new(num_cpus, config.l2.block_bytes),
+            l1_breakdown: MissBreakdown::default(),
+            l2_breakdown: MissBreakdown::default(),
+            config: *config,
+        }
+    }
+
+    /// Number of processors in the system.
+    pub fn num_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// The hierarchy configuration shared by all processors.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Immutable access to one processor's hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn cpu(&self, cpu: u8) -> &CpuHierarchy {
+        &self.cpus[cpu as usize]
+    }
+
+    /// Mutable access to one processor's hierarchy (used by prefetch engines
+    /// to stream blocks in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn cpu_mut(&mut self, cpu: u8) -> &mut CpuHierarchy {
+        &mut self.cpus[cpu as usize]
+    }
+
+    /// Classification of L1 misses accumulated so far.
+    pub fn l1_breakdown(&self) -> &MissBreakdown {
+        &self.l1_breakdown
+    }
+
+    /// Classification of off-chip (L2) misses accumulated so far.
+    pub fn l2_breakdown(&self) -> &MissBreakdown {
+        &self.l2_breakdown
+    }
+
+    /// Aggregated L1 statistics over all processors.
+    pub fn l1_stats_total(&self) -> CacheStats {
+        let mut total = CacheStats::new();
+        for cpu in &self.cpus {
+            total.merge(cpu.l1_stats());
+        }
+        total
+    }
+
+    /// Aggregated L2 statistics over all processors.
+    pub fn l2_stats_total(&self) -> CacheStats {
+        let mut total = CacheStats::new();
+        for cpu in &self.cpus {
+            total.merge(cpu.l2_stats());
+        }
+        total
+    }
+
+    /// Pushes one access through the issuing processor's hierarchy and
+    /// applies coherence actions to the other processors.
+    pub fn access(&mut self, access: &MemAccess) -> SystemOutcome {
+        let cpu_idx = access.cpu as usize;
+        assert!(cpu_idx < self.cpus.len(), "access names an unknown cpu");
+
+        let hierarchy = self.cpus[cpu_idx].access(access);
+
+        let l1_miss_kind = if hierarchy.l1_miss() && access.kind.is_read() {
+            let kind = self.l1_classifier.classify_miss(access.cpu, access.addr);
+            self.l1_breakdown.record(kind);
+            Some(kind)
+        } else if hierarchy.l1_miss() {
+            // Track residency for write misses without counting them in the
+            // read-miss breakdown the figures report.
+            self.l1_classifier.note_fill(access.cpu, access.addr);
+            None
+        } else {
+            None
+        };
+        let l2_miss_kind = if hierarchy.offchip && access.kind.is_read() {
+            let kind = self.l2_classifier.classify_miss(access.cpu, access.addr);
+            self.l2_breakdown.record(kind);
+            Some(kind)
+        } else if hierarchy.offchip {
+            self.l2_classifier.note_fill(access.cpu, access.addr);
+            None
+        } else {
+            None
+        };
+
+        // Write-invalidate coherence: remove remote copies.
+        let mut remote_invalidations = Vec::new();
+        if access.kind.is_write() {
+            for other in 0..self.cpus.len() {
+                if other == cpu_idx {
+                    continue;
+                }
+                let other_cpu = other as u8;
+                let had_l1 = self.cpus[other].l1().contains(access.addr);
+                let had_l2 = self.cpus[other].l2().contains(access.addr);
+                if had_l1 || had_l2 {
+                    self.cpus[other].invalidate(access.addr);
+                    self.l1_classifier
+                        .record_invalidation(other_cpu, access.addr, access.addr);
+                    self.l2_classifier
+                        .record_invalidation(other_cpu, access.addr, access.addr);
+                    if had_l1 {
+                        let block = self.config.l1.block_addr(access.addr);
+                        remote_invalidations.push((other_cpu, block));
+                    }
+                }
+            }
+        }
+
+        SystemOutcome {
+            hierarchy,
+            l1_miss_kind,
+            l2_miss_kind,
+            remote_invalidations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn tiny_system(cpus: usize) -> MultiCpuSystem {
+        MultiCpuSystem::new(
+            cpus,
+            &HierarchyConfig {
+                l1: CacheConfig::new(1024, 2, 64),
+                l2: CacheConfig::new(8192, 4, 64),
+            },
+        )
+    }
+
+    #[test]
+    fn single_cpu_behaves_like_hierarchy() {
+        let mut sys = tiny_system(1);
+        let a = MemAccess::read(0, 0x400, 0x1000);
+        let out = sys.access(&a);
+        assert!(out.hierarchy.offchip);
+        assert_eq!(out.l1_miss_kind, Some(MissKind::Cold));
+        assert_eq!(out.l2_miss_kind, Some(MissKind::Cold));
+        let out = sys.access(&a);
+        assert!(out.hierarchy.l1_hit);
+        assert!(out.l1_miss_kind.is_none());
+    }
+
+    #[test]
+    fn remote_write_invalidates_and_later_miss_is_sharing() {
+        let mut sys = tiny_system(2);
+        let read0 = MemAccess::read(0, 0x400, 0x2000);
+        sys.access(&read0);
+        assert!(sys.cpu(0).l1().contains(0x2000));
+        // CPU 1 writes the same 64B block.
+        let write1 = MemAccess::write(1, 0x500, 0x2000);
+        let out = sys.access(&write1);
+        assert_eq!(out.remote_invalidations, vec![(0, 0x2000)]);
+        assert!(!sys.cpu(0).l1().contains(0x2000));
+        // CPU 0 re-reads: a true-sharing miss at 64B blocks.
+        let out = sys.access(&read0);
+        assert_eq!(out.l1_miss_kind, Some(MissKind::TrueSharing));
+    }
+
+    #[test]
+    fn false_sharing_detected_with_large_blocks() {
+        let mut sys = MultiCpuSystem::new(
+            2,
+            &HierarchyConfig {
+                l1: CacheConfig::new(16 * 1024, 2, 2048),
+                l2: CacheConfig::new(64 * 1024, 4, 2048),
+            },
+        );
+        // CPU 0 reads chunk 0 of a 2kB block; CPU 1 writes chunk 16.
+        sys.access(&MemAccess::read(0, 0x400, 0x8000));
+        sys.access(&MemAccess::write(1, 0x500, 0x8000 + 1024));
+        let out = sys.access(&MemAccess::read(0, 0x400, 0x8000));
+        assert_eq!(out.l1_miss_kind, Some(MissKind::FalseSharing));
+        assert_eq!(sys.l1_breakdown().false_sharing, 1);
+    }
+
+    #[test]
+    fn write_misses_do_not_enter_read_breakdown() {
+        let mut sys = tiny_system(1);
+        sys.access(&MemAccess::write(0, 0x400, 0x3000));
+        assert_eq!(sys.l1_breakdown().total(), 0);
+        // But a later read to the same block is not cold (it was filled).
+        for i in 1..=16u64 {
+            sys.access(&MemAccess::read(0, 0x400, 0x3000 + i * 1024));
+        }
+        let kinds: Vec<_> = (0..1)
+            .map(|_| sys.l1_classifier.classify_miss(0, 0x3000))
+            .collect();
+        assert_eq!(kinds[0], MissKind::Replacement);
+    }
+
+    #[test]
+    fn totals_aggregate_across_cpus() {
+        let mut sys = tiny_system(2);
+        sys.access(&MemAccess::read(0, 0x400, 0x1000));
+        sys.access(&MemAccess::read(1, 0x400, 0x2000));
+        let l1 = sys.l1_stats_total();
+        assert_eq!(l1.accesses, 2);
+        assert_eq!(l1.misses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cpu")]
+    fn access_with_bad_cpu_panics() {
+        let mut sys = tiny_system(1);
+        sys.access(&MemAccess::read(5, 0x400, 0x1000));
+    }
+}

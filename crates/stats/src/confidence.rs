@@ -1,0 +1,116 @@
+//! Student-t 95 % confidence intervals.
+
+use crate::summary::{mean, std_dev};
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 95 % critical values of the Student-t distribution for small
+/// degrees of freedom; beyond 30 the normal approximation (1.96) is used.
+const T_95: [f64; 31] = [
+    f64::INFINITY, // 0 dof is undefined; guarded in code
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// A mean together with the half-width of its 95 % confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95 % confidence interval around the mean.
+    pub half_width: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl ConfidenceInterval {
+    /// Computes the 95 % confidence interval of the mean of `values`.
+    ///
+    /// With fewer than two samples the half-width is reported as zero.
+    pub fn from_samples(values: &[f64]) -> Self {
+        let n = values.len();
+        if n < 2 {
+            return Self {
+                mean: mean(values),
+                half_width: 0.0,
+                samples: n,
+            };
+        }
+        let dof = n - 1;
+        let t = if dof < T_95.len() { T_95[dof] } else { 1.96 };
+        let sem = std_dev(values) / (n as f64).sqrt();
+        Self {
+            mean: mean(values),
+            half_width: t * sem,
+            samples: n,
+        }
+    }
+
+    /// Lower bound of the interval.
+    pub fn low(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound of the interval.
+    pub fn high(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether the interval excludes `value` (i.e. the difference from
+    /// `value` is statistically significant at the 95 % level).
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.low() || value > self.high()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.3}", self.mean, self.half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_mean() {
+        let xs = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let ci = ConfidenceInterval::from_samples(&xs);
+        assert!(ci.low() <= ci.mean && ci.mean <= ci.high());
+        assert_eq!(ci.samples, 5);
+        assert!(ci.half_width > 0.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_width() {
+        let ci = ConfidenceInterval::from_samples(&[2.0; 10]);
+        assert_eq!(ci.half_width, 0.0);
+        assert!(!ci.excludes(2.0));
+        assert!(ci.excludes(2.1));
+    }
+
+    #[test]
+    fn few_samples_widen_the_interval() {
+        let narrow = ConfidenceInterval::from_samples(&[1.0, 1.2, 0.8, 1.1, 0.9, 1.05, 0.95, 1.0]);
+        let wide = ConfidenceInterval::from_samples(&[1.0, 1.2, 0.8]);
+        assert!(wide.half_width > narrow.half_width);
+    }
+
+    #[test]
+    fn single_sample_is_degenerate() {
+        let ci = ConfidenceInterval::from_samples(&[3.0]);
+        assert_eq!(ci.mean, 3.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn large_samples_use_normal_approximation() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let ci = ConfidenceInterval::from_samples(&xs);
+        // SEM = std/sqrt(100); t ~ 1.96
+        let expected = 1.96 * crate::summary::std_dev(&xs) / 10.0;
+        assert!((ci.half_width - expected).abs() < 1e-9);
+        assert!(format!("{ci}").contains('±'));
+    }
+}

@@ -1,0 +1,15 @@
+//! Statistics helpers for the SMS reproduction: summary statistics,
+//! Student-t confidence intervals and paired-measurement sampling
+//! (the paper follows the SMARTS/paired-sampling methodology and reports
+//! 95 % confidence intervals on performance changes).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod confidence;
+pub mod sampling;
+pub mod summary;
+
+pub use confidence::ConfidenceInterval;
+pub use sampling::{paired_speedup, PairedSamples};
+pub use summary::{geometric_mean, mean, std_dev, variance};

@@ -1,0 +1,140 @@
+//! Paired-measurement sampling.
+//!
+//! The paper measures performance change with paired samples: the same
+//! execution sample is run on the base and enhanced systems, and the
+//! per-sample performance ratios are aggregated with a confidence interval.
+//! Pairing removes the (large) sample-to-sample workload variation from the
+//! variance of the *change*, which is what makes tight ±5 % intervals
+//! feasible.
+
+use crate::confidence::ConfidenceInterval;
+use serde::{Deserialize, Serialize};
+
+/// Paired per-sample measurements of a base and an enhanced system.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PairedSamples {
+    /// Base-system measurement per sample (e.g. cycles).
+    pub base: Vec<f64>,
+    /// Enhanced-system measurement per sample.
+    pub enhanced: Vec<f64>,
+}
+
+impl PairedSamples {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one paired sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either measurement is not strictly positive.
+    pub fn push(&mut self, base: f64, enhanced: f64) {
+        assert!(base > 0.0 && enhanced > 0.0, "measurements must be positive");
+        self.base.push(base);
+        self.enhanced.push(enhanced);
+    }
+
+    /// Number of paired samples collected.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether no samples have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Per-sample speedups (base / enhanced, so values above 1 mean the
+    /// enhanced system is faster).
+    pub fn speedups(&self) -> Vec<f64> {
+        self.base
+            .iter()
+            .zip(&self.enhanced)
+            .map(|(b, e)| b / e)
+            .collect()
+    }
+
+    /// The 95 % confidence interval of the per-sample speedup.
+    pub fn speedup_interval(&self) -> ConfidenceInterval {
+        ConfidenceInterval::from_samples(&self.speedups())
+    }
+
+    /// Overall speedup computed from the totals (equivalent to weighting
+    /// samples by their base duration).
+    pub fn aggregate_speedup(&self) -> f64 {
+        let base: f64 = self.base.iter().sum();
+        let enhanced: f64 = self.enhanced.iter().sum();
+        if enhanced == 0.0 {
+            0.0
+        } else {
+            base / enhanced
+        }
+    }
+}
+
+/// Convenience wrapper: paired speedup interval from two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or contain non-positive
+/// values.
+pub fn paired_speedup(base: &[f64], enhanced: &[f64]) -> ConfidenceInterval {
+    assert_eq!(base.len(), enhanced.len(), "paired samples must align");
+    let mut samples = PairedSamples::new();
+    for (&b, &e) in base.iter().zip(enhanced) {
+        samples.push(b, e);
+    }
+    samples.speedup_interval()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_and_aggregate() {
+        let mut s = PairedSamples::new();
+        s.push(100.0, 50.0);
+        s.push(200.0, 100.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.speedups(), vec![2.0, 2.0]);
+        assert!((s.aggregate_speedup() - 2.0).abs() < 1e-12);
+        let ci = s.speedup_interval();
+        assert!((ci.mean - 2.0).abs() < 1e-12);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn pairing_reduces_variance_versus_unpaired_ratio() {
+        // Samples vary a lot in absolute cost but the per-sample improvement
+        // is consistently 25 %.
+        let base = [100.0, 1000.0, 50.0, 400.0];
+        let enhanced: Vec<f64> = base.iter().map(|b| b * 0.8).collect();
+        let ci = paired_speedup(&base, &enhanced);
+        assert!((ci.mean - 1.25).abs() < 1e-9);
+        assert!(ci.half_width < 1e-9);
+    }
+
+    #[test]
+    fn empty_collection_behaves() {
+        let s = PairedSamples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.aggregate_speedup(), 0.0);
+        assert_eq!(s.speedup_interval().samples, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_slices_panic() {
+        let _ = paired_speedup(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_measurement_rejected() {
+        let mut s = PairedSamples::new();
+        s.push(0.0, 1.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Speedup computation with paired-sample confidence intervals (Figure 12)
+//! and normalized execution-time breakdown comparison (Figure 13).
+
+use crate::breakdown::TimeBreakdown;
+use crate::model::TimingResult;
+use serde::{Deserialize, Serialize};
+use stats::{ConfidenceInterval, PairedSamples};
+
+/// Computes the speedup of `enhanced` over `base` with a 95 % confidence
+/// interval from the paired per-segment cycle counts.
+///
+/// # Panics
+///
+/// Panics if the two results have different segment counts.
+pub fn speedup_with_ci(base: &TimingResult, enhanced: &TimingResult) -> ConfidenceInterval {
+    assert_eq!(
+        base.segment_cycles.len(),
+        enhanced.segment_cycles.len(),
+        "paired sampling requires identical segmentation"
+    );
+    let mut samples = PairedSamples::new();
+    for (&b, &e) in base.segment_cycles.iter().zip(&enhanced.segment_cycles) {
+        if b > 0.0 && e > 0.0 {
+            samples.push(b, e);
+        }
+    }
+    samples.speedup_interval()
+}
+
+/// The two normalized bars of one Figure 13 pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownComparison {
+    /// Base system, normalized so that its total is 1.0.
+    pub base: TimeBreakdown,
+    /// Enhanced (SMS) system, normalized by the *base* total per unit of
+    /// work, so the bar height directly shows the speedup.
+    pub enhanced: TimeBreakdown,
+    /// Overall speedup implied by the two totals.
+    pub speedup: f64,
+}
+
+impl BreakdownComparison {
+    /// Builds the comparison, normalizing both systems to the same amount of
+    /// completed work (accesses) and scaling so the base bar totals 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either result completed zero accesses.
+    pub fn new(base: &TimingResult, enhanced: &TimingResult) -> Self {
+        assert!(base.accesses > 0 && enhanced.accesses > 0, "empty timing results");
+        // Cycles per unit of work.
+        let base_per_work = base.breakdown.normalized_by(base.accesses as f64);
+        let enhanced_per_work = enhanced.breakdown.normalized_by(enhanced.accesses as f64);
+        let base_total = base_per_work.total();
+        let normalized_base = base_per_work.normalized_by(base_total);
+        let normalized_enhanced = enhanced_per_work.normalized_by(base_total);
+        let speedup = if normalized_enhanced.total() > 0.0 {
+            1.0 / normalized_enhanced.total()
+        } else {
+            0.0
+        };
+        Self {
+            base: normalized_base,
+            enhanced: normalized_enhanced,
+            speedup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::RunSummary;
+
+    fn result(cycles: &[f64], breakdown: TimeBreakdown, accesses: u64) -> TimingResult {
+        TimingResult {
+            total_cycles: cycles.iter().sum(),
+            breakdown,
+            segment_cycles: cycles.to_vec(),
+            accesses,
+            summary: RunSummary::default(),
+        }
+    }
+
+    #[test]
+    fn uniform_improvement_gives_tight_interval() {
+        let base = result(
+            &[100.0, 200.0, 300.0],
+            TimeBreakdown {
+                user_busy: 600.0,
+                ..Default::default()
+            },
+            1000,
+        );
+        let enhanced = result(
+            &[50.0, 100.0, 150.0],
+            TimeBreakdown {
+                user_busy: 300.0,
+                ..Default::default()
+            },
+            1000,
+        );
+        let ci = speedup_with_ci(&base, &enhanced);
+        assert!((ci.mean - 2.0).abs() < 1e-9);
+        assert!(ci.half_width < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_comparison_normalizes_to_base() {
+        let base = result(
+            &[1000.0],
+            TimeBreakdown {
+                user_busy: 400.0,
+                offchip_read: 600.0,
+                ..Default::default()
+            },
+            1000,
+        );
+        let enhanced = result(
+            &[500.0],
+            TimeBreakdown {
+                user_busy: 400.0,
+                offchip_read: 100.0,
+                ..Default::default()
+            },
+            1000,
+        );
+        let cmp = BreakdownComparison::new(&base, &enhanced);
+        assert!((cmp.base.total() - 1.0).abs() < 1e-9);
+        assert!(cmp.enhanced.total() < 1.0);
+        assert!((cmp.speedup - 2.0).abs() < 1e-9);
+        // Busy time is preserved, only the stall shrank.
+        assert!((cmp.base.user_busy - cmp.enhanced.user_busy).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical segmentation")]
+    fn mismatched_segments_panic() {
+        let base = result(&[1.0, 2.0], TimeBreakdown::default(), 10);
+        let enhanced = result(&[1.0], TimeBreakdown::default(), 10);
+        let _ = speedup_with_ci(&base, &enhanced);
+    }
+}

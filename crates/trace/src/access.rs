@@ -1,0 +1,162 @@
+//! Fundamental trace record types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A physical (or simulated-physical) byte address.
+pub type Addr = u64;
+
+/// A program-counter value identifying the instruction that issued an access.
+pub type Pc = u64;
+
+/// Whether a memory access reads or writes its target block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load (or instruction fetch treated as a load).
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Read`].
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// Returns `true` for [`AccessKind::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "R"),
+            AccessKind::Write => write!(f, "W"),
+        }
+    }
+}
+
+/// A single memory reference in a trace.
+///
+/// The trace carries the global interleaved order of references from all
+/// simulated processors; each record names the issuing processor, the program
+/// counter of the instruction, the byte address touched and whether the access
+/// is a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Index of the issuing processor (0-based).
+    pub cpu: u8,
+    /// Program counter of the load/store instruction.
+    pub pc: Pc,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// Creates a read access.
+    pub fn read(cpu: u8, pc: Pc, addr: Addr) -> Self {
+        Self {
+            cpu,
+            pc,
+            addr,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Creates a write access.
+    pub fn write(cpu: u8, pc: Pc, addr: Addr) -> Self {
+        Self {
+            cpu,
+            pc,
+            addr,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// Address of the cache block containing this access, for the given
+    /// power-of-two `block_size` in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `block_size` is not a power of two.
+    pub fn block_addr(&self, block_size: u64) -> Addr {
+        debug_assert!(block_size.is_power_of_two());
+        self.addr & !(block_size - 1)
+    }
+
+    /// Base address of the spatial region containing this access, for the
+    /// given power-of-two `region_size` in bytes.
+    pub fn region_base(&self, region_size: u64) -> Addr {
+        debug_assert!(region_size.is_power_of_two());
+        self.addr & !(region_size - 1)
+    }
+
+    /// Offset of the accessed block within its spatial region, measured in
+    /// cache blocks.
+    pub fn region_offset(&self, region_size: u64, block_size: u64) -> u32 {
+        debug_assert!(region_size.is_power_of_two());
+        debug_assert!(block_size.is_power_of_two());
+        ((self.addr & (region_size - 1)) / block_size) as u32
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu{} {} pc={:#x} addr={:#x}",
+            self.cpu, self.kind, self.pc, self.addr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_masks_low_bits() {
+        let a = MemAccess::read(0, 0x400, 0x12345);
+        assert_eq!(a.block_addr(64), 0x12340);
+        assert_eq!(a.block_addr(128), 0x12300);
+    }
+
+    #[test]
+    fn region_base_and_offset_agree() {
+        let a = MemAccess::read(1, 0x400, 0x1_2345);
+        let region = 2048;
+        let block = 64;
+        let base = a.region_base(region);
+        let off = a.region_offset(region, block);
+        assert_eq!(base % region, 0);
+        assert!(u64::from(off) < region / block);
+        assert_eq!(base + u64::from(off) * block, a.block_addr(block));
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Write.is_read());
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = MemAccess::write(3, 0x10, 0x20);
+        let s = format!("{a}");
+        assert!(s.contains("cpu3"));
+        assert!(s.contains('W'));
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(MemAccess::read(0, 1, 2).kind, AccessKind::Read);
+        assert_eq!(MemAccess::write(0, 1, 2).kind, AccessKind::Write);
+    }
+}

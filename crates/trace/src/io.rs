@@ -1,0 +1,207 @@
+//! Trace serialization: compact binary and human-readable text formats.
+//!
+//! Experiments normally drive simulators directly from generators, but the
+//! ability to persist and replay a trace makes runs reproducible across
+//! machines and lets external tools inspect generated workloads.
+
+use crate::access::{AccessKind, MemAccess};
+use std::io::{self, BufRead, Read, Write};
+
+/// Magic bytes identifying the binary trace format.
+pub const MAGIC: &[u8; 4] = b"SMST";
+/// Version of the binary trace format.
+pub const VERSION: u8 = 1;
+
+/// Writes a trace in the compact binary format.
+///
+/// Each record is 18 bytes: cpu (1), kind (1), pc (8), addr (8).
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_binary<W: Write>(mut w: W, accesses: &[MemAccess]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&(accesses.len() as u64).to_le_bytes())?;
+    for a in accesses {
+        w.write_all(&[a.cpu, if a.kind.is_write() { 1 } else { 0 }])?;
+        w.write_all(&a.pc.to_le_bytes())?;
+        w.write_all(&a.addr.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written with [`write_binary`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` if the header is malformed or the stream is
+/// truncated, and propagates underlying I/O errors.
+pub fn read_binary<R: Read>(mut r: R) -> io::Result<Vec<MemAccess>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported trace version",
+        ));
+    }
+    let mut len_bytes = [0u8; 8];
+    r.read_exact(&mut len_bytes)?;
+    let len = u64::from_le_bytes(len_bytes) as usize;
+    let mut out = Vec::with_capacity(len.min(1 << 24));
+    for _ in 0..len {
+        let mut head = [0u8; 2];
+        r.read_exact(&mut head)?;
+        let mut pc = [0u8; 8];
+        r.read_exact(&mut pc)?;
+        let mut addr = [0u8; 8];
+        r.read_exact(&mut addr)?;
+        out.push(MemAccess {
+            cpu: head[0],
+            kind: if head[1] == 1 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            pc: u64::from_le_bytes(pc),
+            addr: u64::from_le_bytes(addr),
+        });
+    }
+    Ok(out)
+}
+
+/// Writes a trace as one whitespace-separated record per line:
+/// `cpu kind pc addr` with `pc`/`addr` in hex.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_text<W: Write>(mut w: W, accesses: &[MemAccess]) -> io::Result<()> {
+    for a in accesses {
+        writeln!(w, "{} {} {:#x} {:#x}", a.cpu, a.kind, a.pc, a.addr)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format produced by [`write_text`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed lines and propagates I/O errors.
+pub fn read_text<R: BufRead>(r: R) -> io::Result<Vec<MemAccess>> {
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        fn parse(s: Option<&str>, lineno: usize) -> io::Result<&str> {
+            s.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing field", lineno + 1),
+                )
+            })
+        }
+        let cpu: u8 = parse(parts.next(), lineno)?.parse().map_err(bad_line(lineno))?;
+        let kind = match parse(parts.next(), lineno)? {
+            "R" => AccessKind::Read,
+            "W" => AccessKind::Write,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad access kind {other:?}", lineno + 1),
+                ))
+            }
+        };
+        let pc = parse_hex(parse(parts.next(), lineno)?).map_err(bad_line(lineno))?;
+        let addr = parse_hex(parse(parts.next(), lineno)?).map_err(bad_line(lineno))?;
+        out.push(MemAccess { cpu, pc, addr, kind });
+    }
+    Ok(out)
+}
+
+fn parse_hex(s: &str) -> Result<u64, std::num::ParseIntError> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    }
+}
+
+fn bad_line<E: std::fmt::Display>(lineno: usize) -> impl Fn(E) -> io::Error {
+    move |e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {}: {e}", lineno + 1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<MemAccess> {
+        vec![
+            MemAccess::read(0, 0x4000, 0x1_0000),
+            MemAccess::write(3, 0x4010, 0x1_0040),
+            MemAccess::read(15, 0xdead_beef, 0xffff_ffff_0000),
+        ]
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &trace).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &trace).unwrap();
+        let back = read_text(buf.as_slice()).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn text_ignores_comments_and_blank_lines() {
+        let text = "# comment\n\n0 R 0x10 0x40\n";
+        let back = read_text(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].addr, 0x40);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"XXXX\x01\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn text_rejects_bad_kind() {
+        let err = read_text("0 Q 0x1 0x2\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &trace).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+}

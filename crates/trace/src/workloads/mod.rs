@@ -1,0 +1,22 @@
+//! Workload generators modelling the paper's application suite.
+//!
+//! Each sub-module builds per-CPU access streams for one application class
+//! and exposes a constructor that returns a globally-interleaved
+//! [`Interleaver`](crate::interleave::Interleaver) over all simulated
+//! processors.  The generators are deterministic functions of `(seed,
+//! GeneratorConfig)`.
+//!
+//! | Module | Applications | Paper workload |
+//! |---|---|---|
+//! | [`oltp`] | `OltpDb2`, `OltpOracle` | TPC-C on DB2 / Oracle |
+//! | [`dss`] | `DssQry1/2/16/17` | TPC-H queries on DB2 |
+//! | [`web`] | `WebApache`, `WebZeus` | SPECweb99 on Apache / Zeus |
+//! | [`scientific`] | `Em3d`, `Ocean`, `Sparse` | em3d, ocean, sparse |
+
+pub mod common;
+pub mod dss;
+pub mod oltp;
+pub mod scientific;
+pub mod web;
+
+pub use common::{CodePath, PatternLibrary};

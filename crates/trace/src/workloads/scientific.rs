@@ -1,0 +1,312 @@
+//! Scientific reference applications: em3d, ocean and sparse.
+//!
+//! These provide the paper's frame of reference for the commercial results.
+//! Their defining properties are dense, regular traversals of large arrays
+//! with very few code paths, which both SMS and simpler prefetchers cover
+//! well:
+//!
+//! * **em3d** — electromagnetic wave propagation on a bipartite graph.  The
+//!   node array is swept linearly (dense patterns) while each node also
+//!   dereferences a small number of neighbour nodes, 15 % of which live in a
+//!   remote processor's partition (producing sharing).
+//! * **ocean** — grid-based ocean current simulation.  Stencil sweeps touch
+//!   every block of every grid row; rows are revisited on every iteration.
+//! * **sparse** — sparse matrix-vector multiply.  Matrix rows are read
+//!   sequentially (dense) and the source vector is gathered at scattered
+//!   indices; the matrix is revisited across iterations.
+
+use crate::access::MemAccess;
+use crate::config::GeneratorConfig;
+use crate::interleave::Interleaver;
+use crate::rng::coin;
+use crate::stream::{AccessStream, BoxedStream};
+use crate::workloads::common::{cpu_rng, BLOCK_BYTES};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Which scientific kernel to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScientificApp {
+    /// em3d: 3 M nodes, degree 2, 15 % remote neighbours.
+    Em3d,
+    /// ocean: 1026x1026 grid relaxation.
+    Ocean,
+    /// sparse: 4096x4096 sparse matrix-vector multiply.
+    Sparse,
+}
+
+impl ScientificApp {
+    fn label(self) -> &'static str {
+        match self {
+            ScientificApp::Em3d => "sci-em3d",
+            ScientificApp::Ocean => "sci-ocean",
+            ScientificApp::Sparse => "sci-sparse",
+        }
+    }
+
+    fn address_base(self) -> u64 {
+        match self {
+            ScientificApp::Em3d => 0x0A00_0000_0000,
+            ScientificApp::Ocean => 0x0B00_0000_0000,
+            ScientificApp::Sparse => 0x0C00_0000_0000,
+        }
+    }
+}
+
+/// Spatial region size used when reasoning about scientific data (2 kB).
+pub const SCI_REGION_BYTES: u64 = 2048;
+
+/// Per-processor scientific access stream.
+pub struct ScientificCpuStream {
+    name: String,
+    app: ScientificApp,
+    cpu: u8,
+    cpus: usize,
+    rng: ChaCha8Rng,
+    /// Bytes of the per-CPU partition of the main data structure.
+    partition_bytes: u64,
+    /// Sweep position, in blocks, within this CPU's partition.
+    cursor: u64,
+    queue: VecDeque<MemAccess>,
+}
+
+impl std::fmt::Debug for ScientificCpuStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScientificCpuStream")
+            .field("name", &self.name)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+impl ScientificCpuStream {
+    /// Creates the stream for one processor.
+    pub fn new(app: ScientificApp, seed: u64, config: &GeneratorConfig, cpu: u8) -> Self {
+        let rng = cpu_rng(seed, 0x30 + app as u64, cpu);
+        let partition_bytes = (config.data_set_bytes / config.cpus as u64).max(1 << 20);
+        Self {
+            name: format!("{}-cpu{cpu}", app.label()),
+            app,
+            cpu,
+            cpus: config.cpus,
+            rng,
+            partition_bytes,
+            cursor: 0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    fn partition_base(&self, cpu: u8) -> u64 {
+        self.app.address_base() + u64::from(cpu) * self.partition_bytes
+    }
+
+    fn partition_blocks(&self) -> u64 {
+        self.partition_bytes / BLOCK_BYTES
+    }
+
+    fn refill(&mut self) {
+        match self.app {
+            ScientificApp::Em3d => self.refill_em3d(),
+            ScientificApp::Ocean => self.refill_ocean(),
+            ScientificApp::Sparse => self.refill_sparse(),
+        }
+    }
+
+    /// em3d: process one node — read its state (a couple of consecutive
+    /// blocks), read each neighbour's value (possibly remote), write the
+    /// updated value back.
+    fn refill_em3d(&mut self) {
+        let base = self.partition_base(self.cpu);
+        let node_block = self.cursor % self.partition_blocks();
+        self.cursor += 1;
+        let pc_node = 0x00A0_0000;
+        let pc_neigh = 0x00A0_0040;
+        let pc_store = 0x00A0_0080;
+        let node_addr = base + node_block * BLOCK_BYTES;
+        self.queue.push_back(MemAccess::read(self.cpu, pc_node, node_addr));
+        self.queue
+            .push_back(MemAccess::read(self.cpu, pc_node + 4, node_addr + BLOCK_BYTES));
+        // Degree-2 neighbour reads; 15% of neighbours live in another CPU's
+        // partition (remote), the rest are nearby in this partition.
+        for d in 0..2u64 {
+            let remote = coin(&mut self.rng, 0.15) && self.cpus > 1;
+            let (owner, nbase) = if remote {
+                let mut other = self.rng.gen_range(0..self.cpus) as u8;
+                if other == self.cpu {
+                    other = (other + 1) % self.cpus as u8;
+                }
+                (other, self.partition_base(other))
+            } else {
+                (self.cpu, base)
+            };
+            let _ = owner;
+            let span = 5 * (SCI_REGION_BYTES / BLOCK_BYTES);
+            let offset = (node_block + self.rng.gen_range(1..=span) + d) % self.partition_blocks();
+            self.queue
+                .push_back(MemAccess::read(self.cpu, pc_neigh + d * 8, nbase + offset * BLOCK_BYTES));
+        }
+        self.queue.push_back(MemAccess::write(self.cpu, pc_store, node_addr));
+    }
+
+    /// ocean: stencil relaxation — sweep a grid row, reading the current
+    /// block, its horizontal neighbours and the rows above/below, writing
+    /// the result.  Every block of the partition is touched in order.
+    fn refill_ocean(&mut self) {
+        let base = self.partition_base(self.cpu);
+        let row_blocks = 1026 * 8 / BLOCK_BYTES + 1; // ~one grid row of f64s
+        let pc_load = 0x00B0_0000;
+        let pc_store = 0x00B0_0040;
+        let blocks = self.partition_blocks();
+        for i in 0..8u64 {
+            let b = (self.cursor + i) % blocks;
+            let addr = base + b * BLOCK_BYTES;
+            self.queue.push_back(MemAccess::read(self.cpu, pc_load, addr));
+            // Neighbouring rows (same column, previous/next row).
+            let up = (b + blocks - row_blocks % blocks) % blocks;
+            let down = (b + row_blocks) % blocks;
+            self.queue
+                .push_back(MemAccess::read(self.cpu, pc_load + 4, base + up * BLOCK_BYTES));
+            self.queue
+                .push_back(MemAccess::read(self.cpu, pc_load + 8, base + down * BLOCK_BYTES));
+            self.queue.push_back(MemAccess::write(self.cpu, pc_store, addr));
+        }
+        self.cursor += 8;
+    }
+
+    /// sparse: y = A*x — read a run of matrix blocks sequentially, gather a
+    /// few scattered source-vector blocks, write one result block.
+    fn refill_sparse(&mut self) {
+        let matrix_base = self.partition_base(self.cpu);
+        let vector_base = self.app.address_base() + 0x40_0000_0000;
+        let result_base = self.app.address_base() + 0x60_0000_0000 + u64::from(self.cpu) * self.partition_bytes;
+        let pc_mat = 0x00C0_0000;
+        let pc_vec = 0x00C0_0040;
+        let pc_res = 0x00C0_0080;
+        let blocks = self.partition_blocks();
+        let vector_blocks = 4096 * 8 / BLOCK_BYTES;
+        // One matrix row worth of non-zeros: a dense run of blocks.
+        let run = 24;
+        for i in 0..run {
+            let b = (self.cursor + i) % blocks;
+            self.queue
+                .push_back(MemAccess::read(self.cpu, pc_mat, matrix_base + b * BLOCK_BYTES));
+            if i % 4 == 0 {
+                let v = self.rng.gen_range(0..vector_blocks);
+                self.queue
+                    .push_back(MemAccess::read(self.cpu, pc_vec, vector_base + v * BLOCK_BYTES));
+            }
+        }
+        let row = (self.cursor / run) % blocks;
+        self.queue
+            .push_back(MemAccess::write(self.cpu, pc_res, result_base + row * BLOCK_BYTES));
+        self.cursor += run;
+    }
+}
+
+impl Iterator for ScientificCpuStream {
+    type Item = MemAccess;
+
+    fn next(&mut self) -> Option<MemAccess> {
+        while self.queue.is_empty() {
+            self.refill();
+        }
+        self.queue.pop_front()
+    }
+}
+
+impl AccessStream for ScientificCpuStream {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Builds the globally-interleaved scientific stream over all configured CPUs.
+pub fn stream(app: ScientificApp, seed: u64, config: &GeneratorConfig) -> Interleaver {
+    let streams: Vec<BoxedStream> = (0..config.cpus)
+        .map(|cpu| Box::new(ScientificCpuStream::new(app, seed, config, cpu as u8)) as BoxedStream)
+        .collect();
+    // Scientific codes run long uninterrupted compute loops per CPU.
+    Interleaver::with_burst(app.label(), streams, seed, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessKind;
+    use std::collections::{HashMap, HashSet};
+
+    fn take(app: ScientificApp, n: usize) -> Vec<MemAccess> {
+        let config = GeneratorConfig::default().with_cpus(2);
+        stream(app, 13, &config).take(n).collect()
+    }
+
+    #[test]
+    fn produces_requested_volume() {
+        for app in [ScientificApp::Em3d, ScientificApp::Ocean, ScientificApp::Sparse] {
+            assert_eq!(take(app, 10_000).len(), 10_000);
+        }
+    }
+
+    #[test]
+    fn ocean_and_sparse_regions_are_dense() {
+        for app in [ScientificApp::Ocean, ScientificApp::Sparse] {
+            let t = take(app, 50_000);
+            let mut blocks: HashMap<u64, HashSet<u64>> = HashMap::new();
+            for a in &t {
+                blocks
+                    .entry(a.region_base(SCI_REGION_BYTES))
+                    .or_default()
+                    .insert(a.block_addr(BLOCK_BYTES));
+            }
+            let dense = blocks.values().filter(|s| s.len() >= 16).count();
+            assert!(
+                dense * 2 > blocks.len(),
+                "{app:?}: expected most regions dense, got {dense}/{}",
+                blocks.len()
+            );
+        }
+    }
+
+    #[test]
+    fn em3d_touches_remote_partitions() {
+        let t = take(ScientificApp::Em3d, 50_000);
+        // CPU 0's partition base and size.
+        let config = GeneratorConfig::default().with_cpus(2);
+        let partition = (config.data_set_bytes / 2).max(1 << 20);
+        let base = ScientificApp::Em3d.address_base();
+        let cpu0_remote = t
+            .iter()
+            .filter(|a| a.cpu == 0 && a.addr >= base + partition && a.addr < base + 2 * partition)
+            .count();
+        assert!(cpu0_remote > 0, "em3d must issue remote-neighbour reads");
+    }
+
+    #[test]
+    fn em3d_has_writes() {
+        let t = take(ScientificApp::Em3d, 10_000);
+        assert!(t.iter().any(|a| a.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn sweeps_are_sequential() {
+        let t = take(ScientificApp::Ocean, 20_000);
+        // Per CPU, the primary sweep addresses should be non-decreasing most
+        // of the time (modulo the stencil neighbours and wrap-around).
+        let addrs: Vec<u64> = t
+            .iter()
+            .filter(|a| a.cpu == 0 && a.pc == 0x00B0_0000)
+            .map(|a| a.addr)
+            .collect();
+        let increasing = addrs.windows(2).filter(|w| w[1] >= w[0]).count();
+        assert!(increasing as f64 / addrs.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let config = GeneratorConfig::default().with_cpus(2);
+        let a: Vec<_> = stream(ScientificApp::Sparse, 2, &config).take(4000).collect();
+        let b: Vec<_> = stream(ScientificApp::Sparse, 2, &config).take(4000).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,73 @@
+//! Decision-support scans and joins: why code-based (PC+offset) indexing is
+//! fundamentally stronger than address-based indexing.
+//!
+//! TPC-H style scans sweep enormous tables and touch every page exactly once.
+//! An address-indexed predictor can only predict regions it has seen before,
+//! so it is useless for such cold data; a PC-indexed predictor learns the
+//! *code's* access layout from the first few pages and then predicts every
+//! subsequent page — including ones never visited.  This example reproduces
+//! that comparison (the essence of the paper's Figure 6) on the four DSS
+//! queries.
+//!
+//! ```text
+//! cargo run --release --example dss_scan_join
+//! ```
+
+use memsim::{HierarchyConfig, MultiCpuSystem, NullPrefetcher};
+use sms::{CoverageLevel, CoverageStats, IndexScheme, RegionConfig, SmsConfig, SmsPrefetcher};
+use trace::{Application, GeneratorConfig};
+
+fn coverage_with_scheme(
+    app: Application,
+    scheme: IndexScheme,
+    cpus: usize,
+    accesses: usize,
+) -> CoverageStats {
+    let generator = GeneratorConfig::default().with_cpus(cpus);
+    let hierarchy = HierarchyConfig::scaled();
+
+    let mut base_sys = MultiCpuSystem::new(cpus, &hierarchy);
+    let mut stream = app.stream(11, &generator);
+    let baseline = memsim::run(
+        &mut base_sys,
+        &mut NullPrefetcher::new(),
+        &mut stream,
+        accesses,
+    );
+
+    let mut sms_sys = MultiCpuSystem::new(cpus, &hierarchy);
+    let config = SmsConfig::idealized(scheme, RegionConfig::paper_default());
+    let mut sms = SmsPrefetcher::new(cpus, &config);
+    let mut stream = app.stream(11, &generator);
+    let with = memsim::run(&mut sms_sys, &mut sms, &mut stream, accesses);
+
+    CoverageStats::from_runs(&baseline, &with, CoverageLevel::L1)
+}
+
+fn main() {
+    let cpus = 2;
+    let accesses = 150_000;
+    let queries = [
+        Application::DssQry1,
+        Application::DssQry2,
+        Application::DssQry16,
+        Application::DssQry17,
+    ];
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "Query", "Addr", "PC+addr", "PC", "PC+off"
+    );
+    for app in queries {
+        let mut row = format!("{:<8}", app.short_name());
+        for scheme in IndexScheme::ALL {
+            let cov = coverage_with_scheme(app, scheme, cpus, accesses);
+            row.push_str(&format!(" {:>11.1}%", cov.coverage() * 100.0));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nScan-dominated queries visit each page once, so the address-indexed\n\
+         predictor has no history to draw on; PC+offset predicts pages it has\n\
+         never seen because the scan loop's layout repeats."
+    );
+}

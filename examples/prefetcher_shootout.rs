@@ -1,0 +1,66 @@
+//! Prefetcher shootout: the practical SMS configuration versus GHB PC/DC
+//! (256-entry and 16k-entry) on the full eleven-application suite — the
+//! example-sized version of the paper's Figure 11.
+//!
+//! ```text
+//! cargo run --release --example prefetcher_shootout
+//! ```
+
+use ghb::{GhbConfig, GhbPrefetcher};
+use memsim::{HierarchyConfig, MultiCpuSystem, NullPrefetcher, Prefetcher, RunSummary};
+use sms::{CoverageLevel, CoverageStats, SmsConfig, SmsPrefetcher};
+use trace::{Application, GeneratorConfig};
+
+fn run(
+    app: Application,
+    prefetcher: &mut dyn Prefetcher,
+    cpus: usize,
+    accesses: usize,
+) -> RunSummary {
+    let generator = GeneratorConfig::default().with_cpus(cpus);
+    let hierarchy = HierarchyConfig::scaled();
+    let mut system = MultiCpuSystem::new(cpus, &hierarchy);
+    let mut stream = app.stream(2006, &generator);
+    memsim::run(&mut system, prefetcher, &mut stream, accesses)
+}
+
+fn main() {
+    let cpus = 2;
+    let accesses = 120_000;
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}   (off-chip read-miss coverage)",
+        "App", "GHB-256", "GHB-16k", "SMS"
+    );
+    let mut sms_total = 0.0;
+    let mut ghb_total = 0.0;
+    for app in Application::ALL {
+        let baseline = run(app, &mut NullPrefetcher::new(), cpus, accesses);
+
+        let mut ghb_small = GhbPrefetcher::new(cpus, &GhbConfig::paper_small());
+        let small = run(app, &mut ghb_small, cpus, accesses);
+        let mut ghb_large = GhbPrefetcher::new(cpus, &GhbConfig::paper_large());
+        let large = run(app, &mut ghb_large, cpus, accesses);
+        let mut sms = SmsPrefetcher::new(cpus, &SmsConfig::paper_default());
+        let with_sms = run(app, &mut sms, cpus, accesses);
+
+        let cov = |with: &RunSummary| {
+            CoverageStats::from_runs(&baseline, with, CoverageLevel::L2).coverage()
+        };
+        let (c_small, c_large, c_sms) = (cov(&small), cov(&large), cov(&with_sms));
+        sms_total += c_sms;
+        ghb_total += c_large;
+        println!(
+            "{:<8} {:>9.1}% {:>9.1}% {:>9.1}%",
+            app.short_name(),
+            c_small * 100.0,
+            c_large * 100.0,
+            c_sms * 100.0
+        );
+    }
+    let n = Application::ALL.len() as f64;
+    println!(
+        "\nmean off-chip coverage: SMS {:.1}%  vs  GHB-16k {:.1}%",
+        sms_total / n * 100.0,
+        ghb_total / n * 100.0
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: run Spatial Memory Streaming on a synthetic OLTP workload and
+//! report how many primary-cache and off-chip read misses it eliminates.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use memsim::{HierarchyConfig, MultiCpuSystem, NullPrefetcher};
+use sms::{CoverageLevel, CoverageStats, SmsConfig, SmsPrefetcher};
+use trace::{Application, GeneratorConfig};
+
+fn main() {
+    let cpus = 4;
+    let accesses = 200_000;
+    let seed = 42;
+
+    let generator = GeneratorConfig::default().with_cpus(cpus);
+    let hierarchy = HierarchyConfig::scaled();
+    let app = Application::OltpDb2;
+
+    // 1. Baseline: the system without any prefetching.
+    let mut baseline_system = MultiCpuSystem::new(cpus, &hierarchy);
+    let mut baseline_prefetcher = NullPrefetcher::new();
+    let mut stream = app.stream(seed, &generator);
+    let baseline = memsim::run(
+        &mut baseline_system,
+        &mut baseline_prefetcher,
+        &mut stream,
+        accesses,
+    );
+
+    // 2. The same trace with the paper's practical SMS configuration
+    //    (2 kB regions, PC+offset indexing, 32/64 AGT, 16k x 16-way PHT).
+    let mut sms_system = MultiCpuSystem::new(cpus, &hierarchy);
+    let mut sms = SmsPrefetcher::new(cpus, &SmsConfig::paper_default());
+    let mut stream = app.stream(seed, &generator);
+    let with_sms = memsim::run(&mut sms_system, &mut sms, &mut stream, accesses);
+
+    // 3. Coverage accounting, exactly as the paper's figures report it.
+    let l1 = CoverageStats::from_runs(&baseline, &with_sms, CoverageLevel::L1);
+    let l2 = CoverageStats::from_runs(&baseline, &with_sms, CoverageLevel::L2);
+
+    println!("workload            : {app} ({accesses} accesses, {cpus} CPUs)");
+    println!("baseline L1 misses  : {}", l1.baseline_misses);
+    println!("L1 coverage         : {:.1}%", l1.coverage() * 100.0);
+    println!("L1 overpredictions  : {:.1}%", l1.overprediction_fraction() * 100.0);
+    println!("off-chip coverage   : {:.1}%", l2.coverage() * 100.0);
+
+    let stats = sms.total_stats();
+    println!(
+        "predictor activity  : {} generations observed, {} patterns trained, {} PHT hits",
+        stats.triggers, stats.patterns_trained, stats.pht_hits
+    );
+}

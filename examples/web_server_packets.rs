@@ -1,0 +1,69 @@
+//! Web-server packet buffers: measures the spatial access density of the
+//! SPECweb-style workloads, then shows the performance effect of SMS with the
+//! cycle-approximate timing model (speedup and time breakdown — the
+//! example-sized version of Figures 5, 12 and 13 for the web class).
+//!
+//! ```text
+//! cargo run --release --example web_server_packets
+//! ```
+
+use memsim::{HierarchyConfig, MultiCpuSystem, NullPrefetcher};
+use sms::{DensityBin, DensityObserver, RegionConfig, SmsConfig, SmsPrefetcher};
+use timing::{speedup_with_ci, BreakdownComparison, TimingConfig, TimingModel};
+use trace::{Application, GeneratorConfig};
+
+fn main() {
+    let cpus = 2;
+    let accesses = 150_000;
+    let generator = GeneratorConfig::default().with_cpus(cpus);
+    let hierarchy = HierarchyConfig::scaled();
+
+    for app in [Application::WebApache, Application::WebZeus] {
+        println!("=== {} ===", app.short_name());
+
+        // Access density over 2 kB regions: packet buffers are touched in
+        // sparse-to-medium patterns, interleaved across many connections.
+        let mut observer = DensityObserver::new(cpus, RegionConfig::paper_default());
+        let mut system = MultiCpuSystem::new(cpus, &hierarchy);
+        let mut stream = app.stream(9, &generator);
+        let _ = memsim::run(&mut system, &mut observer, &mut stream, accesses);
+        let (l1_density, _) = observer.finish();
+        println!("L1 miss density over 2kB regions:");
+        for (bin, fraction) in DensityBin::PAPER_BINS.iter().zip(l1_density.fractions()) {
+            if fraction > 0.005 {
+                println!("  {:<12} {:>5.1}%", bin.label(), fraction * 100.0);
+            }
+        }
+
+        // Timing: baseline versus SMS.
+        let timing = TimingConfig::table1().with_system_busy_fraction(0.30);
+        let model = TimingModel::new(hierarchy, cpus, timing);
+        let mut base = NullPrefetcher::new();
+        let mut stream = app.stream(9, &generator);
+        let base_result = model.evaluate(&mut base, &mut stream, accesses, 20);
+        let mut sms = SmsPrefetcher::new(cpus, &SmsConfig::paper_default());
+        let mut stream = app.stream(9, &generator);
+        let sms_result = model.evaluate(&mut sms, &mut stream, accesses, 20);
+
+        let ci = speedup_with_ci(&base_result, &sms_result);
+        let cmp = BreakdownComparison::new(&base_result, &sms_result);
+        println!("speedup: {ci}");
+        println!("normalized time (base = 1.000):");
+        println!(
+            "  base: off-chip {:.3}  on-chip {:.3}  busy {:.3}  other {:.3}",
+            cmp.base.offchip_read,
+            cmp.base.onchip_read,
+            cmp.base.user_busy + cmp.base.system_busy,
+            cmp.base.other + cmp.base.store_buffer,
+        );
+        println!(
+            "  SMS : off-chip {:.3}  on-chip {:.3}  busy {:.3}  other {:.3}  (total {:.3})",
+            cmp.enhanced.offchip_read,
+            cmp.enhanced.onchip_read,
+            cmp.enhanced.user_busy + cmp.enhanced.system_busy,
+            cmp.enhanced.other + cmp.enhanced.store_buffer,
+            cmp.enhanced.total(),
+        );
+        println!();
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-crate invariants checked with property-based testing: the cache
+//! simulator, the predictors and the coverage accounting must agree with each
+//! other on randomly generated inputs, not just on the curated workloads.
+
+use memsim::{CacheConfig, HierarchyConfig, MultiCpuSystem, NullPrefetcher};
+use proptest::prelude::*;
+use sms::{AgtConfig, ActiveGenerationTable, RegionConfig, SmsConfig, SmsPrefetcher, SpatialPattern};
+use trace::{AccessKind, MemAccess};
+
+/// Strategy producing a short random access trace confined to a small address
+/// space so that conflicts, evictions and sharing all occur.
+fn trace_strategy(cpus: u8) -> impl Strategy<Value = Vec<MemAccess>> {
+    proptest::collection::vec(
+        (
+            0..cpus,
+            0u64..64,            // pc index
+            0u64..(1 << 16),     // address within 64 KiB
+            proptest::bool::weighted(0.2),
+        )
+            .prop_map(|(cpu, pc, addr, is_write)| MemAccess {
+                cpu,
+                pc: 0x4000 + pc * 8,
+                addr,
+                kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+            }),
+        1..400,
+    )
+}
+
+fn tiny_hierarchy() -> HierarchyConfig {
+    HierarchyConfig {
+        l1: CacheConfig::new(2 * 1024, 2, 64),
+        l2: CacheConfig::new(8 * 1024, 4, 64),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache-statistics identities hold on arbitrary traces.
+    #[test]
+    fn run_summary_identities(trace in trace_strategy(2)) {
+        let mut system = MultiCpuSystem::new(2, &tiny_hierarchy());
+        let mut prefetcher = NullPrefetcher::new();
+        let n = trace.len();
+        let summary = memsim::run(&mut system, &mut prefetcher, &mut trace.into_iter(), n);
+        prop_assert_eq!(summary.accesses, n as u64);
+        prop_assert_eq!(summary.l1.reads + summary.l1.writes, summary.l1.accesses);
+        prop_assert_eq!(summary.l1.read_misses + summary.l1.write_misses, summary.l1.misses);
+        prop_assert!(summary.l1.misses <= summary.l1.accesses);
+        // Without a prefetcher there can be no prefetch activity.
+        prop_assert_eq!(summary.l1.prefetch_hits, 0);
+        prop_assert_eq!(summary.prefetch_requests, 0);
+        // The L2 only sees L1 misses.
+        prop_assert!(summary.l2.accesses <= summary.l1.misses);
+        // Read miss classification covers every L1 read miss.
+        prop_assert_eq!(summary.l1_breakdown.total(), summary.l1.read_misses);
+    }
+
+    /// Attaching SMS never changes how much work is simulated, and its
+    /// coverage accounting stays within bounds.
+    #[test]
+    fn sms_preserves_work_and_bounds(trace in trace_strategy(2)) {
+        let n = trace.len();
+        let mut base_sys = MultiCpuSystem::new(2, &tiny_hierarchy());
+        let baseline = memsim::run(
+            &mut base_sys,
+            &mut NullPrefetcher::new(),
+            &mut trace.clone().into_iter(),
+            n,
+        );
+        let mut sms_sys = MultiCpuSystem::new(2, &tiny_hierarchy());
+        let mut sms = SmsPrefetcher::new(2, &SmsConfig::paper_default());
+        let with = memsim::run(&mut sms_sys, &mut sms, &mut trace.into_iter(), n);
+        prop_assert_eq!(baseline.accesses, with.accesses);
+        prop_assert_eq!(baseline.l1.reads, with.l1.reads);
+        // Demand misses eliminated can never exceed the useful prefetches
+        // (plus a small slack for second-order replacement-order effects).
+        let covered = baseline.l1.read_misses as i64 - with.l1.read_misses as i64;
+        prop_assert!(covered <= with.l1.prefetch_hits as i64 + 8);
+    }
+
+    /// AGT generations never record blocks outside their region and always
+    /// contain the trigger block.
+    #[test]
+    fn agt_patterns_stay_in_region(offsets in proptest::collection::vec(0u32..32, 2..20)) {
+        let region = RegionConfig::paper_default();
+        let mut agt = ActiveGenerationTable::new(region, AgtConfig::unbounded());
+        let base = 0x8_0000u64;
+        for (i, &o) in offsets.iter().enumerate() {
+            agt.record_access(base + u64::from(o) * 64, 0x4000 + i as u64);
+        }
+        let trained = agt.end_generation(base + u64::from(offsets[0]) * 64);
+        if offsets.iter().any(|&o| o != offsets[0]) {
+            let trained = trained.expect("two distinct blocks must train");
+            prop_assert!(trained.pattern.get(trained.trigger_offset));
+            prop_assert_eq!(trained.trigger_offset, offsets[0]);
+            for o in trained.pattern.iter_set() {
+                prop_assert!(offsets.contains(&o));
+            }
+            // Every accessed offset is recorded.
+            for &o in &offsets {
+                prop_assert!(trained.pattern.get(o));
+            }
+        } else {
+            prop_assert!(trained.is_none());
+        }
+    }
+
+    /// Spatial patterns round-trip through offset lists.
+    #[test]
+    fn pattern_offset_round_trip(offsets in proptest::collection::vec(0u32..128, 0..64)) {
+        let pattern = SpatialPattern::from_offsets(128, &offsets);
+        let mut expected: Vec<u32> = offsets.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        let got: Vec<u32> = pattern.iter_set().collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end integration tests: every application of the suite runs through
+//! the full stack (generator -> cache system -> SMS predictor -> coverage
+//! accounting) and produces sane, reproducible results.
+
+use memsim::{HierarchyConfig, MultiCpuSystem, NullPrefetcher, RunSummary};
+use sms::{CoverageLevel, CoverageStats, OracleObserver, RegionConfig, SmsConfig, SmsPrefetcher};
+use trace::{Application, GeneratorConfig};
+
+const CPUS: usize = 2;
+const ACCESSES: usize = 25_000;
+const SEED: u64 = 99;
+
+fn baseline(app: Application) -> RunSummary {
+    let generator = GeneratorConfig::default().with_cpus(CPUS);
+    let mut system = MultiCpuSystem::new(CPUS, &HierarchyConfig::scaled());
+    let mut stream = app.stream(SEED, &generator);
+    memsim::run(&mut system, &mut NullPrefetcher::new(), &mut stream, ACCESSES)
+}
+
+fn with_sms(app: Application) -> RunSummary {
+    let generator = GeneratorConfig::default().with_cpus(CPUS);
+    let mut system = MultiCpuSystem::new(CPUS, &HierarchyConfig::scaled());
+    let mut sms = SmsPrefetcher::new(CPUS, &SmsConfig::paper_default());
+    let mut stream = app.stream(SEED, &generator);
+    memsim::run(&mut system, &mut sms, &mut stream, ACCESSES)
+}
+
+#[test]
+fn every_application_runs_and_sms_covers_misses() {
+    for app in Application::ALL {
+        let base = baseline(app);
+        assert_eq!(base.accesses, ACCESSES as u64, "{app}: wrong access count");
+        assert!(base.l1.read_misses > 0, "{app}: baseline must miss");
+
+        let sms = with_sms(app);
+        let cov = CoverageStats::from_runs(&base, &sms, CoverageLevel::L1);
+        assert!(
+            cov.coverage() > 0.05,
+            "{app}: SMS should cover at least a few percent of L1 misses (got {:.3})",
+            cov.coverage()
+        );
+        assert!(
+            cov.coverage() <= 1.0 + 1e-9,
+            "{app}: coverage cannot exceed 100%"
+        );
+    }
+}
+
+#[test]
+fn baseline_runs_are_deterministic() {
+    let a = baseline(Application::WebZeus);
+    let b = baseline(Application::WebZeus);
+    assert_eq!(a, b, "identical seeds must give identical results");
+}
+
+#[test]
+fn sms_runs_are_deterministic() {
+    let a = with_sms(Application::OltpOracle);
+    let b = with_sms(Application::OltpOracle);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn oracle_opportunity_bounds_real_coverage() {
+    // The oracle's miss reduction (one miss per generation) is an upper bound
+    // on what any real spatial predictor at the same region size can achieve.
+    for app in [Application::OltpDb2, Application::DssQry2, Application::Sparse] {
+        let generator = GeneratorConfig::default().with_cpus(CPUS);
+        let mut system = MultiCpuSystem::new(CPUS, &HierarchyConfig::scaled());
+        let mut oracle = OracleObserver::new(CPUS, RegionConfig::paper_default(), true);
+        let mut stream = app.stream(SEED, &generator);
+        let base = memsim::run(&mut system, &mut oracle, &mut stream, ACCESSES);
+
+        let sms = with_sms(app);
+        let cov = CoverageStats::from_runs(&base, &sms, CoverageLevel::L1);
+        let opportunity = oracle.l1().opportunity_fraction();
+        assert!(
+            cov.coverage() <= opportunity + 0.05,
+            "{app}: SMS coverage {:.3} exceeds oracle opportunity {:.3}",
+            cov.coverage(),
+            opportunity
+        );
+    }
+}
+
+#[test]
+fn sms_write_traffic_is_accounted() {
+    // Stream requests are read requests; they must never increase the demand
+    // write miss count.
+    let base = baseline(Application::DssQry1);
+    let sms = with_sms(Application::DssQry1);
+    assert!(sms.l1.write_misses <= base.l1.write_misses + base.l1.write_misses / 10 + 16);
+}
+
+#[test]
+fn off_chip_misses_are_a_subset_of_l1_misses() {
+    for app in [Application::WebApache, Application::Em3d] {
+        let base = baseline(app);
+        assert!(base.l2.read_misses <= base.l1.read_misses);
+        assert!(base.l2.accesses <= base.l1.misses);
+    }
+}

@@ -1,0 +1,84 @@
+//! Integration tests over the experiment runners: each figure's result must
+//! be internally consistent (fractions bounded, series complete, qualitative
+//! orderings from the paper preserved).
+
+use experiments::common::ExperimentConfig;
+use experiments::{
+    fig05_density, fig06_indexing, fig10_region_size, fig11_ghb_comparison, fig12_speedup,
+};
+use sms::IndexScheme;
+use trace::{Application, ApplicationClass};
+
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig::tiny()
+}
+
+#[test]
+fn fig5_density_fractions_are_well_formed() {
+    let result = fig05_density::run(&tiny(), &[Application::OltpDb2, Application::Sparse]);
+    for entry in &result.per_app {
+        for hist in [&entry.l1, &entry.l2] {
+            let fractions = hist.fractions();
+            assert!(fractions.iter().all(|&f| (0.0..=1.0).contains(&f)));
+            let sum: f64 = fractions.iter().sum();
+            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn fig6_pc_offset_is_best_or_close_everywhere() {
+    let result = fig06_indexing::run(&tiny(), true);
+    for class in ApplicationClass::ALL {
+        let pc_off = fig06_indexing::coverage_of(&result, class, IndexScheme::PcOffset);
+        for scheme in IndexScheme::ALL {
+            let other = fig06_indexing::coverage_of(&result, class, scheme);
+            assert!(
+                pc_off >= other - 0.15,
+                "{class}: PC+offset ({pc_off:.2}) should be competitive with {} ({other:.2})",
+                scheme.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig10_has_a_point_for_every_class_and_size() {
+    let result = fig10_region_size::run(&tiny(), true);
+    assert_eq!(
+        result.points.len(),
+        ApplicationClass::ALL.len() * fig10_region_size::REGION_SIZES.len()
+    );
+    for p in &result.points {
+        assert!(p.coverage >= -1.0 && p.coverage <= 1.0);
+    }
+}
+
+#[test]
+fn fig11_sms_is_competitive_with_ghb_on_average() {
+    let apps = [Application::OltpDb2, Application::DssQry2, Application::Ocean];
+    let result = fig11_ghb_comparison::run(&tiny(), &apps);
+    let mean = |p: fig11_ghb_comparison::Fig11Prefetcher| {
+        apps.iter()
+            .map(|&a| fig11_ghb_comparison::coverage_of(&result, a, p))
+            .sum::<f64>()
+            / apps.len() as f64
+    };
+    let sms = mean(fig11_ghb_comparison::Fig11Prefetcher::Sms);
+    let ghb = mean(fig11_ghb_comparison::Fig11Prefetcher::Ghb16k);
+    assert!(
+        sms > ghb - 0.05,
+        "SMS mean off-chip coverage ({sms:.2}) should not trail GHB-16k ({ghb:.2})"
+    );
+}
+
+#[test]
+fn fig12_speedups_are_positive_and_bounded() {
+    let result = fig12_speedup::run(&tiny(), &[Application::Sparse, Application::WebApache]);
+    for p in &result.points {
+        assert!(p.aggregate > 0.5 && p.aggregate < 20.0, "{}: {}", p.app, p.aggregate);
+        assert!(p.speedup.half_width >= 0.0);
+        assert!(p.speedup.low() <= p.speedup.mean && p.speedup.mean <= p.speedup.high());
+    }
+    assert!(result.geometric_mean > 0.9);
+}
