@@ -53,7 +53,13 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     group.bench_function("fig08_training", |b| {
-        b.iter(|| black_box(fig08_training::run(&cfg, true, PhtCapacity::Unbounded).points.len()))
+        b.iter(|| {
+            black_box(
+                fig08_training::run(&cfg, true, PhtCapacity::Unbounded)
+                    .points
+                    .len(),
+            )
+        })
     });
 
     group.bench_function("fig09_pht_training", |b| {
@@ -89,7 +95,13 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     group.bench_function("fig13_breakdown", |b| {
-        b.iter(|| black_box(fig13_breakdown::run(&cfg, &[Application::Sparse]).points.len()))
+        b.iter(|| {
+            black_box(
+                fig13_breakdown::run(&cfg, &[Application::Sparse])
+                    .points
+                    .len(),
+            )
+        })
     });
 
     group.finish();

@@ -291,7 +291,10 @@ mod tests {
         assert_eq!(trained.trigger_pc, pc);
         assert_eq!(trained.trigger_offset, 3);
         assert_eq!(trained.region_base, base);
-        assert_eq!(trained.pattern.iter_set().collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(
+            trained.pattern.iter_set().collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
     }
 
     #[test]
@@ -383,6 +386,9 @@ mod tests {
         agt.record_access(base + 64, 0x4000);
         agt.end_generation(base);
         let out = agt.record_access(base + 128, 0x5000);
-        assert!(out.is_trigger, "a fresh access after the end starts a new generation");
+        assert!(
+            out.is_trigger,
+            "a fresh access after the end starts a new generation"
+        );
     }
 }

@@ -32,7 +32,10 @@ impl DensityBin {
         DensityBin { lo: 8, hi: 15 },
         DensityBin { lo: 16, hi: 23 },
         DensityBin { lo: 24, hi: 31 },
-        DensityBin { lo: 32, hi: u32::MAX },
+        DensityBin {
+            lo: 32,
+            hi: u32::MAX,
+        },
     ];
 
     /// Human-readable label ("4-7 Blocks").

@@ -60,8 +60,8 @@ pub mod index;
 pub mod oracle;
 pub mod pattern;
 pub mod pht;
-pub mod prefetcher;
 pub mod predictor;
+pub mod prefetcher;
 pub mod region;
 pub mod streamer;
 pub mod training;

@@ -25,7 +25,10 @@ impl SpatialPattern {
     ///
     /// Panics if `len` is zero or greater than [`Self::MAX_BLOCKS`].
     pub fn new(len: u32) -> Self {
-        assert!(len > 0 && len <= Self::MAX_BLOCKS, "pattern length out of range");
+        assert!(
+            len > 0 && len <= Self::MAX_BLOCKS,
+            "pattern length out of range"
+        );
         Self { bits: [0; 2], len }
     }
 
@@ -58,7 +61,11 @@ impl SpatialPattern {
     ///
     /// Panics if `offset >= len`.
     pub fn set(&mut self, offset: u32) {
-        assert!(offset < self.len, "offset {offset} out of range (len {})", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} out of range (len {})",
+            self.len
+        );
         self.bits[(offset / 64) as usize] |= 1u64 << (offset % 64);
     }
 
@@ -68,7 +75,11 @@ impl SpatialPattern {
     ///
     /// Panics if `offset >= len`.
     pub fn clear(&mut self, offset: u32) {
-        assert!(offset < self.len, "offset {offset} out of range (len {})", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} out of range (len {})",
+            self.len
+        );
         self.bits[(offset / 64) as usize] &= !(1u64 << (offset % 64));
     }
 
@@ -78,7 +89,11 @@ impl SpatialPattern {
     ///
     /// Panics if `offset >= len`.
     pub fn get(&self, offset: u32) -> bool {
-        assert!(offset < self.len, "offset {offset} out of range (len {})", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} out of range (len {})",
+            self.len
+        );
         self.bits[(offset / 64) as usize] & (1u64 << (offset % 64)) != 0
     }
 
@@ -98,7 +113,10 @@ impl SpatialPattern {
     ///
     /// Panics if the lengths differ.
     pub fn union_with(&mut self, other: &SpatialPattern) {
-        assert_eq!(self.len, other.len, "cannot union patterns of different lengths");
+        assert_eq!(
+            self.len, other.len,
+            "cannot union patterns of different lengths"
+        );
         self.bits[0] |= other.bits[0];
         self.bits[1] |= other.bits[1];
     }
@@ -110,7 +128,10 @@ impl SpatialPattern {
     ///
     /// Panics if the lengths differ.
     pub fn count_minus(&self, other: &SpatialPattern) -> u32 {
-        assert_eq!(self.len, other.len, "cannot compare patterns of different lengths");
+        assert_eq!(
+            self.len, other.len,
+            "cannot compare patterns of different lengths"
+        );
         (self.bits[0] & !other.bits[0]).count_ones() + (self.bits[1] & !other.bits[1]).count_ones()
     }
 
@@ -120,7 +141,10 @@ impl SpatialPattern {
     ///
     /// Panics if the lengths differ.
     pub fn count_intersection(&self, other: &SpatialPattern) -> u32 {
-        assert_eq!(self.len, other.len, "cannot compare patterns of different lengths");
+        assert_eq!(
+            self.len, other.len,
+            "cannot compare patterns of different lengths"
+        );
         (self.bits[0] & other.bits[0]).count_ones() + (self.bits[1] & other.bits[1]).count_ones()
     }
 }

@@ -79,7 +79,10 @@ impl PatternHistoryTable {
                 entries,
                 associativity,
             } => {
-                assert!(entries > 0 && associativity > 0, "PHT capacity must be positive");
+                assert!(
+                    entries > 0 && associativity > 0,
+                    "PHT capacity must be positive"
+                );
                 assert!(
                     entries % associativity == 0,
                     "entries must be a multiple of associativity"
@@ -187,7 +190,10 @@ mod tests {
         pht.insert(1, pat(&[0, 1]));
         pht.insert(1, pat(&[2]));
         assert_eq!(pht.len(), 1);
-        assert_eq!(pht.lookup(1).unwrap().iter_set().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(
+            pht.lookup(1).unwrap().iter_set().collect::<Vec<_>>(),
+            vec![2]
+        );
         assert!(pht.lookup(2).is_none());
         assert_eq!(pht.insertions(), 2);
     }

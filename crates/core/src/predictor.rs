@@ -161,15 +161,18 @@ impl SmsPredictor {
     }
 
     fn train(&mut self, trained: TrainedPattern) {
-        debug_assert!(trained.pattern.count() >= 2, "filter-only generations never train");
+        debug_assert!(
+            trained.pattern.count() >= 2,
+            "filter-only generations never train"
+        );
         let trigger_addr = self
             .config
             .region
             .block_at(trained.region_base, trained.trigger_offset);
-        let key = self
-            .config
-            .index_scheme
-            .key(trained.trigger_pc, trigger_addr, &self.config.region);
+        let key =
+            self.config
+                .index_scheme
+                .key(trained.trigger_pc, trigger_addr, &self.config.region);
         self.pht.insert(key, trained.pattern);
         self.stats.patterns_trained += 1;
     }

@@ -126,7 +126,10 @@ mod tests {
             baseline.l1.read_misses,
             with_sms.l1.read_misses
         );
-        let covered = baseline.l1.read_misses.saturating_sub(with_sms.l1.read_misses) as f64
+        let covered = baseline
+            .l1
+            .read_misses
+            .saturating_sub(with_sms.l1.read_misses) as f64
             / baseline.l1.read_misses as f64;
         assert!(covered > 0.3, "DSS scan coverage too low: {covered:.2}");
     }
@@ -134,7 +137,10 @@ mod tests {
     #[test]
     fn sms_reduces_misses_on_scientific() {
         let (baseline, with_sms) = run_pair(Application::Sparse, 60_000);
-        let covered = baseline.l1.read_misses.saturating_sub(with_sms.l1.read_misses) as f64
+        let covered = baseline
+            .l1
+            .read_misses
+            .saturating_sub(with_sms.l1.read_misses) as f64
             / baseline.l1.read_misses.max(1) as f64;
         assert!(covered > 0.4, "sparse coverage too low: {covered:.2}");
     }
@@ -144,8 +150,8 @@ mod tests {
         let (baseline, with_sms) = run_pair(Application::OltpDb2, 60_000);
         assert!(with_sms.l1.read_misses <= baseline.l1.read_misses);
         // Overpredictions exist but stay bounded relative to baseline misses.
-        let over = with_sms.l1.prefetch_unused_evictions as f64
-            / baseline.l1.read_misses.max(1) as f64;
+        let over =
+            with_sms.l1.prefetch_unused_evictions as f64 / baseline.l1.read_misses.max(1) as f64;
         assert!(over < 1.5, "overprediction ratio too high: {over:.2}");
     }
 

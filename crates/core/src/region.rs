@@ -23,8 +23,14 @@ impl RegionConfig {
     /// Panics if either size is not a power of two, or the region does not
     /// hold at least two blocks.
     pub fn new(region_bytes: u64, block_bytes: u64) -> Self {
-        assert!(region_bytes.is_power_of_two(), "region size must be a power of two");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            region_bytes.is_power_of_two(),
+            "region size must be a power of two"
+        );
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(
             region_bytes >= 2 * block_bytes,
             "a region must span at least two blocks"

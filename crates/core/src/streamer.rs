@@ -63,7 +63,10 @@ impl PredictionRegisterFile {
     ///
     /// Panics if the configuration has zero registers.
     pub fn new(region: RegionConfig, config: StreamerConfig) -> Self {
-        assert!(config.registers > 0, "need at least one prediction register");
+        assert!(
+            config.registers > 0,
+            "need at least one prediction register"
+        );
         Self {
             region,
             config,
@@ -148,7 +151,9 @@ impl PredictionRegisterFile {
             };
             match next_offset {
                 Some(offset) => {
-                    let reg = self.registers[idx].as_mut().expect("register checked above");
+                    let reg = self.registers[idx]
+                        .as_mut()
+                        .expect("register checked above");
                     reg.pattern.clear(offset);
                     out.push(self.region.block_at(reg.region_base, offset));
                     if reg.pattern.is_empty() {
@@ -222,8 +227,7 @@ mod tests {
         let first = f.drain();
         // One request from each active register.
         assert_eq!(first.len(), 2);
-        let regions: std::collections::HashSet<u64> =
-            first.iter().map(|a| a & !2047).collect();
+        let regions: std::collections::HashSet<u64> = first.iter().map(|a| a & !2047).collect();
         assert_eq!(regions.len(), 2, "requests must alternate between regions");
     }
 

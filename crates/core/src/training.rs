@@ -121,15 +121,15 @@ impl TrainingPrefetcher {
             TrainerKind::DecoupledSectored | TrainerKind::LogicalSectored => {
                 for _ in 0..num_cpus {
                     let state = match kind {
-                        TrainerKind::DecoupledSectored => SectoredState::Decoupled(
-                            DecoupledSectoredCache::new(
+                        TrainerKind::DecoupledSectored => {
+                            SectoredState::Decoupled(DecoupledSectoredCache::new(
                                 l1_capacity_bytes,
                                 region.region_bytes,
                                 region.block_bytes,
                                 2,
                                 2,
-                            ),
-                        ),
+                            ))
+                        }
                         _ => SectoredState::Logical(LogicalSectoredTags::new(
                             l1_capacity_bytes,
                             region.region_bytes,
@@ -358,8 +358,8 @@ mod tests {
         let base = baseline(Application::OltpDb2, 60_000);
         let agt = run_with(TrainerKind::Agt, Application::OltpDb2, 60_000);
         let ls = run_with(TrainerKind::LogicalSectored, Application::OltpDb2, 60_000);
-        let agt_cov = (base.l1.read_misses as f64 - agt.l1.read_misses as f64)
-            / base.l1.read_misses as f64;
+        let agt_cov =
+            (base.l1.read_misses as f64 - agt.l1.read_misses as f64) / base.l1.read_misses as f64;
         let ls_cov =
             (base.l1.read_misses as f64 - ls.l1.read_misses as f64) / base.l1.read_misses as f64;
         assert!(

@@ -7,7 +7,9 @@
 use crate::common::{class_applications, ExperimentConfig};
 use crate::report::Table;
 use serde::{Deserialize, Serialize};
-use sms::{AgtConfig, CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig, SmsPrefetcher};
+use sms::{
+    AgtConfig, CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig, SmsPrefetcher,
+};
 use stats::mean;
 use trace::ApplicationClass;
 
@@ -63,7 +65,11 @@ pub fn run(config: &ExperimentConfig, representative_only: bool) -> AgtSizeResul
                 };
                 let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
                 let with = config.run_with(*app, &mut sms);
-                coverages.push(config.coverage(baseline, &with, CoverageLevel::L1).coverage());
+                coverages.push(
+                    config
+                        .coverage(baseline, &with, CoverageLevel::L1)
+                        .coverage(),
+                );
             }
             result.points.push(AgtSizePoint {
                 class,

@@ -73,15 +73,25 @@ mod tests {
         assert_eq!(result.per_app.len(), 2);
         for entry in &result.per_app {
             let sum: f64 = entry.l1.fractions().iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "{:?} fractions must sum to 1", entry.app);
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{:?} fractions must sum to 1",
+                entry.app
+            );
         }
         // OLTP is dominated by sparse generations, ocean by dense ones.
         let oltp = &result.per_app[0].l1;
         let ocean = &result.per_app[1].l1;
         let oltp_sparse: f64 = oltp.fractions()[..3].iter().sum();
         let ocean_dense: f64 = ocean.fractions()[4..].iter().sum();
-        assert!(oltp_sparse > 0.4, "OLTP sparse-generation share: {oltp_sparse}");
-        assert!(ocean_dense > 0.4, "ocean dense-generation share: {ocean_dense}");
+        assert!(
+            oltp_sparse > 0.4,
+            "OLTP sparse-generation share: {oltp_sparse}"
+        );
+        assert!(
+            ocean_dense > 0.4,
+            "ocean dense-generation share: {ocean_dense}"
+        );
         let rendered = table(&result).to_string();
         assert!(rendered.contains("ocean"));
     }

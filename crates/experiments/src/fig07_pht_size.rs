@@ -122,7 +122,11 @@ mod tests {
         // Restrict to DSS (the most size-sensitive class for PC+address) to
         // keep the test fast; check the paper's qualitative claims.
         let config = ExperimentConfig::tiny();
-        let result = run(&config, true, &[IndexScheme::PcAddress, IndexScheme::PcOffset]);
+        let result = run(
+            &config,
+            true,
+            &[IndexScheme::PcAddress, IndexScheme::PcOffset],
+        );
         let dss_points: Vec<&PhtSizePoint> = result
             .points
             .iter()

@@ -122,8 +122,18 @@ mod tests {
         let result = run(&ExperimentConfig::tiny(), true, PhtCapacity::Unbounded);
         assert_eq!(result.points.len(), 12);
         let agt = point_of(&result, ApplicationClass::Oltp, TrainerKind::Agt).unwrap();
-        let ls = point_of(&result, ApplicationClass::Oltp, TrainerKind::LogicalSectored).unwrap();
-        let ds = point_of(&result, ApplicationClass::Oltp, TrainerKind::DecoupledSectored).unwrap();
+        let ls = point_of(
+            &result,
+            ApplicationClass::Oltp,
+            TrainerKind::LogicalSectored,
+        )
+        .unwrap();
+        let ds = point_of(
+            &result,
+            ApplicationClass::Oltp,
+            TrainerKind::DecoupledSectored,
+        )
+        .unwrap();
         assert!(
             agt.coverage >= ls.coverage - 0.03,
             "AGT ({:.2}) should match or beat LS ({:.2}) on OLTP",

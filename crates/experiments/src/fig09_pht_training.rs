@@ -61,7 +61,11 @@ pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig9Result {
                         config.hierarchy.l1.capacity_bytes,
                     );
                     let with = config.run_with(*app, &mut prefetcher);
-                    coverages.push(config.coverage(baseline, &with, CoverageLevel::L1).coverage());
+                    coverages.push(
+                        config
+                            .coverage(baseline, &with, CoverageLevel::L1)
+                            .coverage(),
+                    );
                 }
                 result.points.push(PhtTrainingPoint {
                     class,
@@ -83,7 +87,10 @@ pub fn table(result: &Fig9Result) -> Table {
         None => "infinite".to_string(),
     }));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new("Figure 9: coverage vs PHT size, LS vs AGT training", &headers_ref);
+    let mut t = Table::new(
+        "Figure 9: coverage vs PHT size, LS vs AGT training",
+        &headers_ref,
+    );
     for class in ApplicationClass::ALL {
         for trainer in [TrainerKind::LogicalSectored, TrainerKind::Agt] {
             let points: Vec<&PhtTrainingPoint> = result

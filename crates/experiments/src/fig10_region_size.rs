@@ -42,7 +42,11 @@ pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig10Result 
                 let sms_config = SmsConfig::idealized(IndexScheme::PcOffset, region);
                 let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
                 let with = config.run_with(*app, &mut sms);
-                coverages.push(config.coverage(baseline, &with, CoverageLevel::L1).coverage());
+                coverages.push(
+                    config
+                        .coverage(baseline, &with, CoverageLevel::L1)
+                        .coverage(),
+                );
             }
             result.points.push(RegionSizePoint {
                 class,

@@ -96,7 +96,13 @@ pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig11Result {
 pub fn table(result: &Fig11Result) -> Table {
     let mut t = Table::new(
         "Figure 11: off-chip read-miss coverage, GHB vs practical SMS",
-        &["App", "Prefetcher", "Coverage", "Uncovered", "Overpredictions"],
+        &[
+            "App",
+            "Prefetcher",
+            "Coverage",
+            "Uncovered",
+            "Overpredictions",
+        ],
     );
     for p in &result.points {
         t.push_row(vec![

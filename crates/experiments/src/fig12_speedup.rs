@@ -45,11 +45,9 @@ fn system_busy_fraction(class: ApplicationClass) -> f64 {
 }
 
 /// Runs both timing evaluations (baseline and SMS) for one application.
-pub fn evaluate_app(
-    config: &ExperimentConfig,
-    app: Application,
-) -> (TimingResult, TimingResult) {
-    let timing = TimingConfig::table1().with_system_busy_fraction(system_busy_fraction(app.class()));
+pub fn evaluate_app(config: &ExperimentConfig, app: Application) -> (TimingResult, TimingResult) {
+    let timing =
+        TimingConfig::table1().with_system_busy_fraction(system_busy_fraction(app.class()));
     let model = TimingModel::new(config.hierarchy, config.cpus, timing);
     let generator = config.generator();
 
@@ -128,7 +126,11 @@ mod tests {
         // OLTP speedup is muted relative to coverage but must not be a
         // slowdown beyond noise.
         let oltp = &result.points[1];
-        assert!(oltp.aggregate > 0.95, "OLTP aggregate {:.3}", oltp.aggregate);
+        assert!(
+            oltp.aggregate > 0.95,
+            "OLTP aggregate {:.3}",
+            oltp.aggregate
+        );
         assert!(
             sparse.aggregate > oltp.aggregate,
             "scientific speedup should exceed OLTP speedup"

@@ -59,7 +59,10 @@ pub fn table(result: &Fig13Result) -> Table {
         ],
     );
     for p in &result.points {
-        for (label, b) in [("base", &p.comparison.base), ("SMS", &p.comparison.enhanced)] {
+        for (label, b) in [
+            ("base", &p.comparison.base),
+            ("SMS", &p.comparison.enhanced),
+        ] {
             t.push_row(vec![
                 p.app.short_name().to_string(),
                 label.to_string(),

@@ -78,7 +78,10 @@ fn main() -> ExitCode {
     let want = |name: &str| experiment == "all" || experiment == name;
 
     if want("table1") {
-        println!("{}", table1::system_table(&config.hierarchy, &TimingConfig::table1(), config.cpus));
+        println!(
+            "{}",
+            table1::system_table(&config.hierarchy, &TimingConfig::table1(), config.cpus)
+        );
         println!("{}", table1::application_table());
     }
     if want("fig4") {

@@ -59,7 +59,12 @@ pub fn system_table(hierarchy: &HierarchyConfig, timing: &TimingConfig, cpus: us
 pub fn application_table() -> Table {
     let mut t = Table::new(
         "Table 1 (right): application suite",
-        &["Application", "Class", "Paper configuration", "Reproduction"],
+        &[
+            "Application",
+            "Class",
+            "Paper configuration",
+            "Reproduction",
+        ],
     );
     let paper: &[(&str, &str)] = &[
         ("DB2", "TPC-C, 100 warehouses, 450MB buffer pool"),
@@ -99,7 +104,10 @@ mod tests {
         let t = system_table(&HierarchyConfig::table1(), &TimingConfig::table1(), 16);
         let s = t.to_string();
         for key in ["L1", "L2", "memory", "Store buffer"] {
-            assert!(s.to_lowercase().contains(&key.to_lowercase()), "missing {key}");
+            assert!(
+                s.to_lowercase().contains(&key.to_lowercase()),
+                "missing {key}"
+            );
         }
     }
 

@@ -120,9 +120,7 @@ impl GhbPredictor {
     fn entry_at(&self, seq: u64) -> Option<GhbEntry> {
         // An absolute sequence number is resident only while it is within the
         // last `history_entries` insertions.
-        if seq >= self.next_seq
-            || self.next_seq - seq > self.config.history_entries as u64
-        {
+        if seq >= self.next_seq || self.next_seq - seq > self.config.history_entries as u64 {
             return None;
         }
         self.buffer[self.slot(seq)]
@@ -133,7 +131,9 @@ impl GhbPredictor {
         let mut history = Vec::new();
         let mut cursor = self.index.get(&pc).copied();
         while let Some(seq) = cursor {
-            let Some(entry) = self.entry_at(seq) else { break };
+            let Some(entry) = self.entry_at(seq) else {
+                break;
+            };
             history.push(entry.block_addr);
             if history.len() >= self.config.max_chain {
                 break;
@@ -151,7 +151,11 @@ impl GhbPredictor {
         let block_addr = addr & !(self.config.block_bytes - 1);
 
         // Insert the new entry, linking it to the PC's previous entry.
-        let prev = self.index.get(&pc).copied().filter(|&seq| self.entry_at(seq).is_some());
+        let prev = self
+            .index
+            .get(&pc)
+            .copied()
+            .filter(|&seq| self.entry_at(seq).is_some());
         let seq = self.next_seq;
         self.next_seq += 1;
         let slot = self.slot(seq);
@@ -237,7 +241,10 @@ mod tests {
             last = ghb.on_miss(pc, addr);
             addr += if i % 2 == 0 { 64 } else { 192 };
         }
-        assert!(!last.is_empty(), "alternating delta pattern should correlate");
+        assert!(
+            !last.is_empty(),
+            "alternating delta pattern should correlate"
+        );
     }
 
     #[test]
@@ -256,7 +263,9 @@ mod tests {
     fn random_addresses_produce_few_predictions() {
         let mut ghb = GhbPredictor::new(&GhbConfig::paper_small());
         // Irregular, non-repeating deltas.
-        let addrs = [0x0u64, 0x1_0040, 0x3_1000, 0x9_2040, 0x2_0080, 0x7_4000, 0x5_00c0];
+        let addrs = [
+            0x0u64, 0x1_0040, 0x3_1000, 0x9_2040, 0x2_0080, 0x7_4000, 0x5_00c0,
+        ];
         let mut total = 0;
         for (i, &a) in addrs.iter().enumerate() {
             total += ghb.on_miss(0x600, a + (i as u64) * 7 * 64).len();

@@ -328,7 +328,10 @@ mod tests {
         let mut c = tiny();
         c.prefetch_fill(0x2000);
         let out = c.access(0x2000, AccessKind::Write);
-        assert!(!out.hit, "streamed copies are read-only; a store must upgrade");
+        assert!(
+            !out.hit,
+            "streamed copies are read-only; a store must upgrade"
+        );
         assert!(out.evicted.is_none(), "the data stays resident");
         // After the upgrade the line behaves like a normal dirty line.
         assert_eq!(c.line_state(0x2000), Some(CacheLineState::Demand));

@@ -47,7 +47,10 @@ impl MissClassifier {
     /// Panics if `cpus` is zero or `block_bytes` is not a power of two.
     pub fn new(cpus: usize, block_bytes: u64) -> Self {
         assert!(cpus > 0, "need at least one cpu");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         Self {
             block_bytes,
             seen: vec![HashSet::new(); cpus],

@@ -39,7 +39,8 @@ impl CacheConfig {
             "block size must be a power of two"
         );
         assert!(
-            self.capacity_bytes % (u64::from(self.associativity) * self.block_bytes) == 0,
+            self.capacity_bytes
+                .is_multiple_of(u64::from(self.associativity) * self.block_bytes),
             "capacity must be a multiple of associativity * block size"
         );
         assert!(

@@ -114,8 +114,9 @@ mod tests {
     fn baseline_run_counts_accesses_and_misses() {
         let mut sys = MultiCpuSystem::new(1, &tiny_config());
         let mut p = NullPrefetcher::new();
-        let accesses: Vec<MemAccess> =
-            (0..100).map(|i| MemAccess::read(0, 0x400, i * 64)).collect();
+        let accesses: Vec<MemAccess> = (0..100)
+            .map(|i| MemAccess::read(0, 0x400, i * 64))
+            .collect();
         let summary = run(&mut sys, &mut p, &mut accesses.into_iter(), 100);
         assert_eq!(summary.accesses, 100);
         assert_eq!(summary.l1.read_misses, 100);
@@ -125,7 +126,11 @@ mod tests {
     /// A prefetcher that always requests the next sequential block.
     struct NextLine;
     impl Prefetcher for NextLine {
-        fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
+        fn on_access(
+            &mut self,
+            access: &MemAccess,
+            outcome: &SystemOutcome,
+        ) -> Vec<PrefetchRequest> {
             if outcome.hierarchy.l1_miss() {
                 vec![PrefetchRequest {
                     cpu: access.cpu,
@@ -145,8 +150,9 @@ mod tests {
     fn next_line_prefetcher_halves_sequential_misses() {
         let mut sys = MultiCpuSystem::new(1, &tiny_config());
         let mut p = NextLine;
-        let accesses: Vec<MemAccess> =
-            (0..200).map(|i| MemAccess::read(0, 0x400, i * 64)).collect();
+        let accesses: Vec<MemAccess> = (0..200)
+            .map(|i| MemAccess::read(0, 0x400, i * 64))
+            .collect();
         let summary = run(&mut sys, &mut p, &mut accesses.clone().into_iter(), 200);
 
         let mut base_sys = MultiCpuSystem::new(1, &tiny_config());
@@ -162,7 +168,10 @@ mod tests {
     fn accesses_to_unknown_cpus_are_skipped() {
         let mut sys = MultiCpuSystem::new(1, &tiny_config());
         let mut p = NullPrefetcher::new();
-        let accesses = vec![MemAccess::read(7, 0x400, 0x40), MemAccess::read(0, 0x400, 0x80)];
+        let accesses = vec![
+            MemAccess::read(7, 0x400, 0x40),
+            MemAccess::read(0, 0x400, 0x80),
+        ];
         let summary = run(&mut sys, &mut p, &mut accesses.into_iter(), 10);
         assert_eq!(summary.accesses, 1);
     }

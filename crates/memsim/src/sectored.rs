@@ -78,7 +78,10 @@ struct SectorTagArray {
 impl SectorTagArray {
     fn new(region_bytes: u64, block_bytes: u64, sets: usize, assoc: usize) -> Self {
         assert!(region_bytes.is_power_of_two() && block_bytes.is_power_of_two());
-        assert!(region_bytes > block_bytes, "a sector must span several blocks");
+        assert!(
+            region_bytes > block_bytes,
+            "a sector must span several blocks"
+        );
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(assoc >= 1);
         let blocks = (region_bytes / block_bytes) as usize;
@@ -178,7 +181,11 @@ impl SectorTagArray {
                 victim = i;
             }
         }
-        let completed = if found_empty { None } else { self.eviction_of(victim) };
+        let completed = if found_empty {
+            None
+        } else {
+            self.eviction_of(victim)
+        };
         let blocks = self.entries[victim].valid_blocks.len();
         self.entries[victim] = SectorEntry {
             region_base: region,
@@ -249,7 +256,10 @@ impl DecoupledSectoredCache {
     ) -> Self {
         assert!(tag_factor >= 1);
         let sectors = capacity_bytes / region_bytes;
-        assert!(sectors >= assoc as u64, "capacity must hold at least one sector per way");
+        assert!(
+            sectors >= assoc as u64,
+            "capacity must hold at least one sector per way"
+        );
         let sets = ((sectors as usize * tag_factor) / assoc).next_power_of_two();
         Self {
             tags: SectorTagArray::new(region_bytes, block_bytes, sets, assoc),
@@ -289,7 +299,10 @@ impl LogicalSectoredTags {
     /// Panics on degenerate geometry.
     pub fn new(capacity_bytes: u64, region_bytes: u64, block_bytes: u64, assoc: usize) -> Self {
         let sectors = capacity_bytes / region_bytes;
-        assert!(sectors >= assoc as u64, "capacity must hold at least one sector per way");
+        assert!(
+            sectors >= assoc as u64,
+            "capacity must hold at least one sector per way"
+        );
         let sets = ((sectors as usize) / assoc).next_power_of_two();
         Self {
             tags: SectorTagArray::new(region_bytes, block_bytes, sets, assoc),

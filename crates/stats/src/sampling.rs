@@ -31,7 +31,10 @@ impl PairedSamples {
     ///
     /// Panics if either measurement is not strictly positive.
     pub fn push(&mut self, base: f64, enhanced: f64) {
-        assert!(base > 0.0 && enhanced > 0.0, "measurements must be positive");
+        assert!(
+            base > 0.0 && enhanced > 0.0,
+            "measurements must be positive"
+        );
         self.base.push(base);
         self.enhanced.push(enhanced);
     }

@@ -1,0 +1,113 @@
+//! Hand-computed reference values for the stats crate: every formula is
+//! checked against numbers worked out by hand (or with a table), not against
+//! the implementation itself, plus serialization round-trips through the
+//! vendored serde/serde_json stack.
+
+use stats::{
+    geometric_mean, mean, paired_speedup, std_dev, variance, ConfidenceInterval, PairedSamples,
+};
+
+const EPS: f64 = 1e-12;
+
+#[test]
+fn confidence_interval_matches_t_table_by_hand() {
+    // Samples 1..=5: mean 3, sample variance 2.5, std dev sqrt(2.5),
+    // SEM = sqrt(2.5)/sqrt(5) = sqrt(0.5), dof 4 => t = 2.776.
+    let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let ci = ConfidenceInterval::from_samples(&xs);
+    assert!((ci.mean - 3.0).abs() < EPS);
+    let expected_half = 2.776 * 0.5f64.sqrt();
+    assert!(
+        (ci.half_width - expected_half).abs() < 1e-9,
+        "got {}, expected {expected_half}",
+        ci.half_width
+    );
+    assert!((ci.low() - (3.0 - expected_half)).abs() < EPS);
+    assert!((ci.high() - (3.0 + expected_half)).abs() < EPS);
+}
+
+#[test]
+fn two_samples_use_the_wide_t_value() {
+    // dof 1 => t = 12.706.  Samples 10 and 20: mean 15, std dev
+    // sqrt(50) = 5*sqrt(2), SEM = 5, half-width = 63.53.
+    let ci = ConfidenceInterval::from_samples(&[10.0, 20.0]);
+    assert!((ci.mean - 15.0).abs() < EPS);
+    assert!((ci.half_width - 12.706 * 5.0).abs() < 1e-9);
+}
+
+#[test]
+fn excludes_is_exclusive_of_the_boundary() {
+    let ci = ConfidenceInterval {
+        mean: 1.0,
+        half_width: 0.25,
+        samples: 10,
+    };
+    assert!(!ci.excludes(0.75));
+    assert!(!ci.excludes(1.25));
+    assert!(ci.excludes(0.7499999));
+    assert!(ci.excludes(1.2500001));
+}
+
+#[test]
+fn summary_statistics_by_hand() {
+    // mean: (3 + 5 + 7) / 3 = 5;  variance: (4 + 0 + 4) / 2 = 4; sd 2.
+    let xs = [3.0, 5.0, 7.0];
+    assert!((mean(&xs) - 5.0).abs() < EPS);
+    assert!((variance(&xs) - 4.0).abs() < EPS);
+    assert!((std_dev(&xs) - 2.0).abs() < EPS);
+    // Geometric mean of 1, 4, 16 is (64)^(1/3) = 4.
+    assert!((geometric_mean(&[1.0, 4.0, 16.0]) - 4.0).abs() < 1e-9);
+}
+
+#[test]
+fn aggregate_speedup_weights_by_base_duration() {
+    // Per-sample speedups are 2.0 and 1.0 (mean 1.5), but the aggregate
+    // weights by base time: (100 + 10) / (50 + 10) = 11/6.
+    let mut s = PairedSamples::new();
+    s.push(100.0, 50.0);
+    s.push(10.0, 10.0);
+    let ci = s.speedup_interval();
+    assert!((ci.mean - 1.5).abs() < EPS);
+    assert!((s.aggregate_speedup() - 11.0 / 6.0).abs() < EPS);
+    // Half-width by hand: speedups [2, 1], sd = sqrt(0.5), SEM = 0.5,
+    // dof 1 => 12.706 * 0.5.
+    assert!((ci.half_width - 12.706 * 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn paired_speedup_matches_manual_interval() {
+    let base = [120.0, 80.0, 100.0];
+    let enhanced = [60.0, 50.0, 40.0];
+    // speedups: 2.0, 1.6, 2.5 => mean 6.1/3.
+    let ci = paired_speedup(&base, &enhanced);
+    assert!((ci.mean - 6.1 / 3.0).abs() < 1e-9);
+    assert_eq!(ci.samples, 3);
+    // Manual: deviations from mean m = 2.0333..: s^2 = sum(d^2)/2.
+    let m: f64 = 6.1 / 3.0;
+    let var = ((2.0 - m).powi(2) + (1.6 - m).powi(2) + (2.5 - m).powi(2)) / 2.0;
+    let expected = 4.303 * (var / 3.0).sqrt();
+    assert!((ci.half_width - expected).abs() < 1e-9);
+}
+
+#[test]
+fn confidence_interval_serializes_and_round_trips() {
+    let ci = ConfidenceInterval {
+        mean: 1.25,
+        half_width: 0.5,
+        samples: 7,
+    };
+    let json = serde_json::to_string(&ci).expect("serialize");
+    assert_eq!(json, r#"{"mean":1.25,"half_width":0.5,"samples":7}"#);
+    let back: ConfidenceInterval = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back, ci);
+}
+
+#[test]
+fn paired_samples_round_trip_through_json() {
+    let mut s = PairedSamples::new();
+    s.push(2.0, 1.0);
+    s.push(4.0, 3.0);
+    let json = serde_json::to_string_pretty(&s).expect("serialize");
+    let back: PairedSamples = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back, s);
+}

@@ -53,7 +53,10 @@ impl TimeBreakdown {
     ///
     /// Panics if `denominator` is not strictly positive.
     pub fn normalized_by(&self, denominator: f64) -> TimeBreakdown {
-        assert!(denominator > 0.0, "normalization denominator must be positive");
+        assert!(
+            denominator > 0.0,
+            "normalization denominator must be positive"
+        );
         TimeBreakdown {
             user_busy: self.user_busy / denominator,
             system_busy: self.system_busy / denominator,

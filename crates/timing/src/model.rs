@@ -184,8 +184,8 @@ impl TimingModel {
 
             // The store buffer drains while the CPU makes forward progress.
             state.store_backlog = (state.store_backlog - cycles_this_access).max(0.0);
-            let capacity_cycles = cfg.store_buffer_entries as f64 * cfg.store_drain_cycles
-                / cfg.store_mlp as f64;
+            let capacity_cycles =
+                cfg.store_buffer_entries as f64 * cfg.store_drain_cycles / cfg.store_mlp as f64;
             if state.store_backlog > capacity_cycles {
                 let stall = state.store_backlog - capacity_cycles;
                 breakdown.store_buffer += stall;

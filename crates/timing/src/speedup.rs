@@ -47,7 +47,10 @@ impl BreakdownComparison {
     ///
     /// Panics if either result completed zero accesses.
     pub fn new(base: &TimingResult, enhanced: &TimingResult) -> Self {
-        assert!(base.accesses > 0 && enhanced.accesses > 0, "empty timing results");
+        assert!(
+            base.accesses > 0 && enhanced.accesses > 0,
+            "empty timing results"
+        );
         // Cycles per unit of work.
         let base_per_work = base.breakdown.normalized_by(base.accesses as f64);
         let enhanced_per_work = enhanced.breakdown.normalized_by(enhanced.accesses as f64);

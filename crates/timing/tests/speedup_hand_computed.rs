@@ -1,0 +1,106 @@
+//! Hand-computed reference values for `timing::speedup_with_ci` and
+//! `timing::BreakdownComparison`: the paired-sample statistics and the
+//! Figure 13 normalization are checked against numbers worked out by hand.
+
+use memsim::RunSummary;
+use timing::{speedup_with_ci, BreakdownComparison, TimeBreakdown, TimingResult};
+
+fn result(cycles: &[f64], breakdown: TimeBreakdown, accesses: u64) -> TimingResult {
+    TimingResult {
+        total_cycles: cycles.iter().sum(),
+        breakdown,
+        segment_cycles: cycles.to_vec(),
+        accesses,
+        summary: RunSummary::default(),
+    }
+}
+
+fn busy(user_busy: f64, offchip_read: f64) -> TimeBreakdown {
+    TimeBreakdown {
+        user_busy,
+        offchip_read,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn speedup_ci_matches_manual_t_interval() {
+    // Per-segment speedups: 100/50 = 2, 200/100 = 2, 400/100 = 4.
+    // mean = 8/3; deviations (-2/3, -2/3, 4/3); sum of squares 24/9;
+    // sample variance (n-1) = 4/3; SEM = sqrt((4/3)/3) = 2/3;
+    // dof 2 => t = 4.303; half-width = 4.303 * 2/3.
+    let base = result(&[100.0, 200.0, 400.0], busy(700.0, 0.0), 1_000);
+    let enhanced = result(&[50.0, 100.0, 100.0], busy(250.0, 0.0), 1_000);
+    let ci = speedup_with_ci(&base, &enhanced);
+    assert_eq!(ci.samples, 3);
+    assert!((ci.mean - 8.0 / 3.0).abs() < 1e-12);
+    assert!((ci.half_width - 4.303 * 2.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn zero_cycle_segments_are_skipped_in_pairing() {
+    // The second segment is empty on the base side (e.g. a CPU that never
+    // reached this sample); only segments measured on both systems pair up.
+    let base = result(&[100.0, 0.0, 300.0], busy(400.0, 0.0), 100);
+    let enhanced = result(&[50.0, 10.0, 150.0], busy(210.0, 0.0), 100);
+    let ci = speedup_with_ci(&base, &enhanced);
+    assert_eq!(ci.samples, 2);
+    assert!((ci.mean - 2.0).abs() < 1e-12);
+    assert!(ci.half_width < 1e-12);
+}
+
+#[test]
+fn breakdown_comparison_by_hand() {
+    // Base: 400 busy + 600 off-chip over 1000 accesses => 1.0 cycles/access,
+    // normalized bar = (0.4 busy, 0.6 off-chip), total 1.0.
+    // Enhanced: 400 busy + 100 off-chip over 1000 accesses => 0.5 of the
+    // base height: (0.4 busy, 0.1 off-chip) => speedup 2.0.
+    let base = result(&[1000.0], busy(400.0, 600.0), 1_000);
+    let enhanced = result(&[500.0], busy(400.0, 100.0), 1_000);
+    let cmp = BreakdownComparison::new(&base, &enhanced);
+
+    assert!((cmp.base.total() - 1.0).abs() < 1e-12);
+    assert!((cmp.base.user_busy - 0.4).abs() < 1e-12);
+    assert!((cmp.base.offchip_read - 0.6).abs() < 1e-12);
+
+    assert!((cmp.enhanced.total() - 0.5).abs() < 1e-12);
+    assert!((cmp.enhanced.user_busy - 0.4).abs() < 1e-12);
+    assert!((cmp.enhanced.offchip_read - 0.1).abs() < 1e-12);
+
+    assert!((cmp.speedup - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn breakdown_comparison_normalizes_work_before_height() {
+    // The enhanced run completed twice the work in the same total cycles:
+    // per-access it costs half as much, so the bar is half as tall even
+    // though the raw cycle counts are equal.
+    let base = result(&[1000.0], busy(500.0, 500.0), 1_000);
+    let enhanced = result(&[1000.0], busy(500.0, 500.0), 2_000);
+    let cmp = BreakdownComparison::new(&base, &enhanced);
+    assert!((cmp.base.total() - 1.0).abs() < 1e-12);
+    assert!((cmp.enhanced.total() - 0.5).abs() < 1e-12);
+    assert!((cmp.speedup - 2.0).abs() < 1e-12);
+}
+
+#[test]
+fn identical_results_give_unit_speedup_and_equal_bars() {
+    let base = result(&[250.0, 250.0], busy(300.0, 200.0), 500);
+    let same = result(&[250.0, 250.0], busy(300.0, 200.0), 500);
+    let ci = speedup_with_ci(&base, &same);
+    assert!((ci.mean - 1.0).abs() < 1e-12);
+    assert!(ci.half_width < 1e-12);
+    let cmp = BreakdownComparison::new(&base, &same);
+    assert!((cmp.speedup - 1.0).abs() < 1e-12);
+    assert_eq!(cmp.base, cmp.enhanced);
+}
+
+#[test]
+fn breakdown_comparison_round_trips_through_json() {
+    let base = result(&[1000.0], busy(400.0, 600.0), 1_000);
+    let enhanced = result(&[500.0], busy(400.0, 100.0), 1_000);
+    let cmp = BreakdownComparison::new(&base, &enhanced);
+    let json = serde_json::to_string_pretty(&cmp).expect("serialize");
+    let back: BreakdownComparison = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back, cmp);
+}

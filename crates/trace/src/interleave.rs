@@ -147,7 +147,11 @@ mod tests {
         let inter = Interleaver::new("mix", streams, 2);
         let all: Vec<_> = inter.collect();
         for cpu in 0..2u8 {
-            let addrs: Vec<u64> = all.iter().filter(|a| a.cpu == cpu).map(|a| a.addr).collect();
+            let addrs: Vec<u64> = all
+                .iter()
+                .filter(|a| a.cpu == cpu)
+                .map(|a| a.addr)
+                .collect();
             let mut sorted = addrs.clone();
             sorted.sort_unstable();
             assert_eq!(addrs, sorted, "cpu {cpu} order was not preserved");

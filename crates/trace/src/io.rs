@@ -41,7 +41,10 @@ pub fn read_binary<R: Read>(mut r: R) -> io::Result<Vec<MemAccess>> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     let mut version = [0u8; 1];
     r.read_exact(&mut version)?;
@@ -111,7 +114,9 @@ pub fn read_text<R: BufRead>(r: R) -> io::Result<Vec<MemAccess>> {
                 )
             })
         }
-        let cpu: u8 = parse(parts.next(), lineno)?.parse().map_err(bad_line(lineno))?;
+        let cpu: u8 = parse(parts.next(), lineno)?
+            .parse()
+            .map_err(bad_line(lineno))?;
         let kind = match parse(parts.next(), lineno)? {
             "R" => AccessKind::Read,
             "W" => AccessKind::Write,
@@ -124,7 +129,12 @@ pub fn read_text<R: BufRead>(r: R) -> io::Result<Vec<MemAccess>> {
         };
         let pc = parse_hex(parse(parts.next(), lineno)?).map_err(bad_line(lineno))?;
         let addr = parse_hex(parse(parts.next(), lineno)?).map_err(bad_line(lineno))?;
-        out.push(MemAccess { cpu, pc, addr, kind });
+        out.push(MemAccess {
+            cpu,
+            pc,
+            addr,
+            kind,
+        });
     }
     Ok(out)
 }

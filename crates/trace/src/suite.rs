@@ -52,11 +52,9 @@ impl ApplicationClass {
                 Application::DssQry17,
             ],
             ApplicationClass::Web => &[Application::WebApache, Application::WebZeus],
-            ApplicationClass::Scientific => &[
-                Application::Em3d,
-                Application::Ocean,
-                Application::Sparse,
-            ],
+            ApplicationClass::Scientific => {
+                &[Application::Em3d, Application::Ocean, Application::Sparse]
+            }
         }
     }
 }
@@ -148,7 +146,9 @@ impl Application {
             Application::WebApache => web::stream(web::WebServer::Apache, seed, config),
             Application::WebZeus => web::stream(web::WebServer::Zeus, seed, config),
             Application::Em3d => scientific::stream(scientific::ScientificApp::Em3d, seed, config),
-            Application::Ocean => scientific::stream(scientific::ScientificApp::Ocean, seed, config),
+            Application::Ocean => {
+                scientific::stream(scientific::ScientificApp::Ocean, seed, config)
+            }
             Application::Sparse => {
                 scientific::stream(scientific::ScientificApp::Sparse, seed, config)
             }

@@ -96,7 +96,10 @@ pub struct PatternLibraryConfig {
 impl PatternLibraryConfig {
     /// Validates the configuration, panicking on nonsensical values.
     fn validate(&self) {
-        assert!(self.region_blocks >= 2, "regions must hold at least 2 blocks");
+        assert!(
+            self.region_blocks >= 2,
+            "regions must hold at least 2 blocks"
+        );
         assert!(self.variants_per_path >= 1, "need at least one variant");
         assert!(
             self.min_density >= 1 && self.min_density <= self.max_density,
@@ -153,7 +156,11 @@ impl PatternLibrary {
             // Contiguous run starting at a random offset, wrapping is avoided
             // by clamping the start.
             let max_start = blocks.saturating_sub(density as u32);
-            let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start)
+            };
             CanonicalPattern::new((0..density as u32).map(|i| start + i).collect())
         } else {
             // Scattered blocks: trigger plus distinct random offsets.
@@ -271,7 +278,10 @@ impl BurstBuffer {
     }
 
     /// Pops the next buffered access, refilling via `refill` when empty.
-    pub fn next_with(&mut self, mut refill: impl FnMut(&mut VecDeque<MemAccess>)) -> Option<MemAccess> {
+    pub fn next_with(
+        &mut self,
+        mut refill: impl FnMut(&mut VecDeque<MemAccess>),
+    ) -> Option<MemAccess> {
         if self.queue.is_empty() {
             refill(&mut self.queue);
         }
@@ -293,7 +303,12 @@ impl Default for BurstBuffer {
 
 /// Creates a deterministic per-CPU RNG for workload `workload_id`.
 pub fn cpu_rng(seed: u64, workload_id: u64, cpu: u8) -> ChaCha8Rng {
-    stream_rng(seed, workload_id.wrapping_mul(257).wrapping_add(u64::from(cpu) + 1))
+    stream_rng(
+        seed,
+        workload_id
+            .wrapping_mul(257)
+            .wrapping_add(u64::from(cpu) + 1),
+    )
 }
 
 #[cfg(test)]
@@ -302,10 +317,7 @@ mod tests {
 
     fn library() -> (ChaCha8Rng, PatternLibrary) {
         let mut rng = stream_rng(11, 1);
-        let paths = vec![
-            CodePath::new("hdr", 0x4000),
-            CodePath::new("tuple", 0x4100),
-        ];
+        let paths = vec![CodePath::new("hdr", 0x4000), CodePath::new("tuple", 0x4100)];
         let cfg = PatternLibraryConfig {
             region_blocks: 32,
             variants_per_path: 4,

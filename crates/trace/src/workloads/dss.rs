@@ -287,7 +287,9 @@ impl DssCpuStream {
     /// Appends aggregates to the temporary table: a short run of stores.
     fn emit_temp_store(&mut self) {
         let base = self.temp_table_base();
-        let run = self.rng.gen_range(2..=self.params.temp_store_run_max.max(3));
+        let run = self
+            .rng
+            .gen_range(2..=self.params.temp_store_run_max.max(3));
         for i in 0..run {
             let addr = base + (self.temp_cursor + i) * BLOCK_BYTES;
             self.queue
@@ -337,7 +339,12 @@ mod tests {
 
     #[test]
     fn produces_requested_volume() {
-        for q in [DssQuery::Qry1, DssQuery::Qry2, DssQuery::Qry16, DssQuery::Qry17] {
+        for q in [
+            DssQuery::Qry1,
+            DssQuery::Qry2,
+            DssQuery::Qry16,
+            DssQuery::Qry17,
+        ] {
             assert_eq!(take(q, 10_000).len(), 10_000);
         }
     }
@@ -365,7 +372,9 @@ mod tests {
         let mut region_count: HashMap<u64, usize> = HashMap::new();
         for a in &t {
             if a.addr >= params_base && a.addr < params_base + 0x40_0000_0000 {
-                *region_count.entry(a.region_base(DSS_REGION_BYTES)).or_insert(0) += 1;
+                *region_count
+                    .entry(a.region_base(DSS_REGION_BYTES))
+                    .or_insert(0) += 1;
             }
         }
         // Pages are dense (tens of accesses) but visited in one generation:

@@ -163,7 +163,11 @@ impl OltpCpuStream {
     }
 
     fn pick_region(&mut self) -> u64 {
-        let idx = zipf_index(&mut self.rng, self.num_regions as usize, self.params.page_reuse_theta);
+        let idx = zipf_index(
+            &mut self.rng,
+            self.num_regions as usize,
+            self.params.page_reuse_theta,
+        );
         self.params.address_base + (idx as u64) * OLTP_REGION_BYTES
     }
 
@@ -181,11 +185,9 @@ impl OltpCpuStream {
             // its pattern), as in a real DBMS.
             let region_id = ((region - self.params.address_base) / OLTP_REGION_BYTES) as usize;
             let path_window = 16;
-            let path = (region_id.wrapping_mul(31)
-                + zipf_index(&mut self.rng, path_window, 0.6))
+            let path = (region_id.wrapping_mul(31) + zipf_index(&mut self.rng, path_window, 0.6))
                 % self.lib.num_paths();
-            let variant = (region_id.wrapping_mul(7)
-                + zipf_index(&mut self.rng, 2, 0.5))
+            let variant = (region_id.wrapping_mul(7) + zipf_index(&mut self.rng, 2, 0.5))
                 % self.params.variants_per_path;
             let write_prob = if coin(&mut self.rng, self.params.btree_fraction) {
                 // Index descent is read-only.
@@ -208,9 +210,8 @@ impl OltpCpuStream {
         }
         // Log append: short sequential run of writes in a private region.
         if coin(&mut self.rng, 0.4) {
-            let log_base = self.params.address_base
-                + 0x10_0000_0000
-                + u64::from(self.cpu) * 0x1000_0000;
+            let log_base =
+                self.params.address_base + 0x10_0000_0000 + u64::from(self.cpu) * 0x1000_0000;
             for i in 0..self.rng.gen_range(1..=3u64) {
                 let addr = log_base + (self.log_cursor + i) * BLOCK_BYTES;
                 self.contexts[ctx].push_back(MemAccess::write(self.cpu, 0x0050_0000, addr));
@@ -251,9 +252,7 @@ impl AccessStream for OltpCpuStream {
 /// Builds the globally-interleaved OLTP stream over all configured CPUs.
 pub fn stream(variant: OltpVariant, seed: u64, config: &GeneratorConfig) -> Interleaver {
     let streams: Vec<BoxedStream> = (0..config.cpus)
-        .map(|cpu| {
-            Box::new(OltpCpuStream::new(variant, seed, config, cpu as u8)) as BoxedStream
-        })
+        .map(|cpu| Box::new(OltpCpuStream::new(variant, seed, config, cpu as u8)) as BoxedStream)
         .collect();
     Interleaver::new(variant.label(), streams, seed)
 }
@@ -334,7 +333,9 @@ mod tests {
         let t = take(OltpVariant::Db2, 50_000);
         let mut counts = std::collections::HashMap::new();
         for a in &t {
-            *counts.entry(a.region_base(OLTP_REGION_BYTES)).or_insert(0usize) += 1;
+            *counts
+                .entry(a.region_base(OLTP_REGION_BYTES))
+                .or_insert(0usize) += 1;
         }
         let max = counts.values().copied().max().unwrap();
         let mean = t.len() / counts.len();

@@ -124,9 +124,13 @@ impl ScientificCpuStream {
         let pc_neigh = 0x00A0_0040;
         let pc_store = 0x00A0_0080;
         let node_addr = base + node_block * BLOCK_BYTES;
-        self.queue.push_back(MemAccess::read(self.cpu, pc_node, node_addr));
         self.queue
-            .push_back(MemAccess::read(self.cpu, pc_node + 4, node_addr + BLOCK_BYTES));
+            .push_back(MemAccess::read(self.cpu, pc_node, node_addr));
+        self.queue.push_back(MemAccess::read(
+            self.cpu,
+            pc_node + 4,
+            node_addr + BLOCK_BYTES,
+        ));
         // Degree-2 neighbour reads; 15% of neighbours live in another CPU's
         // partition (remote), the rest are nearby in this partition.
         for d in 0..2u64 {
@@ -143,10 +147,14 @@ impl ScientificCpuStream {
             let _ = owner;
             let span = 5 * (SCI_REGION_BYTES / BLOCK_BYTES);
             let offset = (node_block + self.rng.gen_range(1..=span) + d) % self.partition_blocks();
-            self.queue
-                .push_back(MemAccess::read(self.cpu, pc_neigh + d * 8, nbase + offset * BLOCK_BYTES));
+            self.queue.push_back(MemAccess::read(
+                self.cpu,
+                pc_neigh + d * 8,
+                nbase + offset * BLOCK_BYTES,
+            ));
         }
-        self.queue.push_back(MemAccess::write(self.cpu, pc_store, node_addr));
+        self.queue
+            .push_back(MemAccess::write(self.cpu, pc_store, node_addr));
     }
 
     /// ocean: stencil relaxation — sweep a grid row, reading the current
@@ -161,15 +169,23 @@ impl ScientificCpuStream {
         for i in 0..8u64 {
             let b = (self.cursor + i) % blocks;
             let addr = base + b * BLOCK_BYTES;
-            self.queue.push_back(MemAccess::read(self.cpu, pc_load, addr));
+            self.queue
+                .push_back(MemAccess::read(self.cpu, pc_load, addr));
             // Neighbouring rows (same column, previous/next row).
             let up = (b + blocks - row_blocks % blocks) % blocks;
             let down = (b + row_blocks) % blocks;
+            self.queue.push_back(MemAccess::read(
+                self.cpu,
+                pc_load + 4,
+                base + up * BLOCK_BYTES,
+            ));
+            self.queue.push_back(MemAccess::read(
+                self.cpu,
+                pc_load + 8,
+                base + down * BLOCK_BYTES,
+            ));
             self.queue
-                .push_back(MemAccess::read(self.cpu, pc_load + 4, base + up * BLOCK_BYTES));
-            self.queue
-                .push_back(MemAccess::read(self.cpu, pc_load + 8, base + down * BLOCK_BYTES));
-            self.queue.push_back(MemAccess::write(self.cpu, pc_store, addr));
+                .push_back(MemAccess::write(self.cpu, pc_store, addr));
         }
         self.cursor += 8;
     }
@@ -179,7 +195,8 @@ impl ScientificCpuStream {
     fn refill_sparse(&mut self) {
         let matrix_base = self.partition_base(self.cpu);
         let vector_base = self.app.address_base() + 0x40_0000_0000;
-        let result_base = self.app.address_base() + 0x60_0000_0000 + u64::from(self.cpu) * self.partition_bytes;
+        let result_base =
+            self.app.address_base() + 0x60_0000_0000 + u64::from(self.cpu) * self.partition_bytes;
         let pc_mat = 0x00C0_0000;
         let pc_vec = 0x00C0_0040;
         let pc_res = 0x00C0_0080;
@@ -189,17 +206,26 @@ impl ScientificCpuStream {
         let run = 24;
         for i in 0..run {
             let b = (self.cursor + i) % blocks;
-            self.queue
-                .push_back(MemAccess::read(self.cpu, pc_mat, matrix_base + b * BLOCK_BYTES));
+            self.queue.push_back(MemAccess::read(
+                self.cpu,
+                pc_mat,
+                matrix_base + b * BLOCK_BYTES,
+            ));
             if i % 4 == 0 {
                 let v = self.rng.gen_range(0..vector_blocks);
-                self.queue
-                    .push_back(MemAccess::read(self.cpu, pc_vec, vector_base + v * BLOCK_BYTES));
+                self.queue.push_back(MemAccess::read(
+                    self.cpu,
+                    pc_vec,
+                    vector_base + v * BLOCK_BYTES,
+                ));
             }
         }
         let row = (self.cursor / run) % blocks;
-        self.queue
-            .push_back(MemAccess::write(self.cpu, pc_res, result_base + row * BLOCK_BYTES));
+        self.queue.push_back(MemAccess::write(
+            self.cpu,
+            pc_res,
+            result_base + row * BLOCK_BYTES,
+        ));
         self.cursor += run;
     }
 }
@@ -243,7 +269,11 @@ mod tests {
 
     #[test]
     fn produces_requested_volume() {
-        for app in [ScientificApp::Em3d, ScientificApp::Ocean, ScientificApp::Sparse] {
+        for app in [
+            ScientificApp::Em3d,
+            ScientificApp::Ocean,
+            ScientificApp::Sparse,
+        ] {
             assert_eq!(take(app, 10_000).len(), 10_000);
         }
     }
@@ -305,8 +335,12 @@ mod tests {
     #[test]
     fn deterministic_for_same_seed() {
         let config = GeneratorConfig::default().with_cpus(2);
-        let a: Vec<_> = stream(ScientificApp::Sparse, 2, &config).take(4000).collect();
-        let b: Vec<_> = stream(ScientificApp::Sparse, 2, &config).take(4000).collect();
+        let a: Vec<_> = stream(ScientificApp::Sparse, 2, &config)
+            .take(4000)
+            .collect();
+        let b: Vec<_> = stream(ScientificApp::Sparse, 2, &config)
+            .take(4000)
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -318,7 +318,10 @@ mod tests {
         let mut owners: std::collections::HashMap<u64, HashSet<u8>> = Default::default();
         for a in &t {
             if a.addr >= shared_base && a.addr < shared_base + 0x10_0000_0000 {
-                owners.entry(a.region_base(WEB_REGION_BYTES)).or_default().insert(a.cpu);
+                owners
+                    .entry(a.region_base(WEB_REGION_BYTES))
+                    .or_default()
+                    .insert(a.cpu);
             }
         }
         assert!(

@@ -47,8 +47,14 @@ fn main() {
         print!(" +{}", (addr - page_b) / 64);
     }
     println!();
-    assert!(streamed.contains(&(page_b + 31 * 64)), "slot index predicted");
-    assert!(streamed.contains(&(page_b + 9 * 64)), "tuple block predicted");
+    assert!(
+        streamed.contains(&(page_b + 31 * 64)),
+        "slot index predicted"
+    );
+    assert!(
+        streamed.contains(&(page_b + 9 * 64)),
+        "tuple block predicted"
+    );
 
     println!("\n--- Part 2: the full synthetic TPC-C workload ---");
     let cpus = 4;

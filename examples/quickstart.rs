@@ -43,7 +43,10 @@ fn main() {
     println!("workload            : {app} ({accesses} accesses, {cpus} CPUs)");
     println!("baseline L1 misses  : {}", l1.baseline_misses);
     println!("L1 coverage         : {:.1}%", l1.coverage() * 100.0);
-    println!("L1 overpredictions  : {:.1}%", l1.overprediction_fraction() * 100.0);
+    println!(
+        "L1 overpredictions  : {:.1}%",
+        l1.overprediction_fraction() * 100.0
+    );
     println!("off-chip coverage   : {:.1}%", l2.coverage() * 100.0);
 
     let stats = sms.total_stats();

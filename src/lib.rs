@@ -1,0 +1,21 @@
+//! Umbrella package for the Spatial Memory Streaming reproduction.
+//!
+//! This crate carries the repository-level integration tests (`tests/`) and
+//! runnable examples (`examples/`), and re-exports every workspace crate so
+//! downstream users can depend on a single package:
+//!
+//! * [`sms`] — the SMS predictor itself (AGT, PHT, streamer, oracle).
+//! * [`memsim`] — the multi-CPU cache-hierarchy simulator.
+//! * [`trace`] — deterministic synthetic workload generators.
+//! * [`ghb`] — the Global History Buffer comparison prefetcher.
+//! * [`timing`] — the first-order timing/speedup model.
+//! * [`stats`] — confidence intervals, sampling and summaries.
+//! * [`experiments`] — runners that regenerate the paper's figures.
+
+pub use experiments;
+pub use ghb;
+pub use memsim;
+pub use sms;
+pub use stats;
+pub use timing;
+pub use trace;

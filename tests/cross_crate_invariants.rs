@@ -4,7 +4,9 @@
 
 use memsim::{CacheConfig, HierarchyConfig, MultiCpuSystem, NullPrefetcher};
 use proptest::prelude::*;
-use sms::{AgtConfig, ActiveGenerationTable, RegionConfig, SmsConfig, SmsPrefetcher, SpatialPattern};
+use sms::{
+    ActiveGenerationTable, AgtConfig, RegionConfig, SmsConfig, SmsPrefetcher, SpatialPattern,
+};
 use trace::{AccessKind, MemAccess};
 
 /// Strategy producing a short random access trace confined to a small address
@@ -13,15 +15,19 @@ fn trace_strategy(cpus: u8) -> impl Strategy<Value = Vec<MemAccess>> {
     proptest::collection::vec(
         (
             0..cpus,
-            0u64..64,            // pc index
-            0u64..(1 << 16),     // address within 64 KiB
+            0u64..64,        // pc index
+            0u64..(1 << 16), // address within 64 KiB
             proptest::bool::weighted(0.2),
         )
             .prop_map(|(cpu, pc, addr, is_write)| MemAccess {
                 cpu,
                 pc: 0x4000 + pc * 8,
                 addr,
-                kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                kind: if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
             }),
         1..400,
     )

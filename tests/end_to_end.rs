@@ -14,7 +14,12 @@ fn baseline(app: Application) -> RunSummary {
     let generator = GeneratorConfig::default().with_cpus(CPUS);
     let mut system = MultiCpuSystem::new(CPUS, &HierarchyConfig::scaled());
     let mut stream = app.stream(SEED, &generator);
-    memsim::run(&mut system, &mut NullPrefetcher::new(), &mut stream, ACCESSES)
+    memsim::run(
+        &mut system,
+        &mut NullPrefetcher::new(),
+        &mut stream,
+        ACCESSES,
+    )
 }
 
 fn with_sms(app: Application) -> RunSummary {
@@ -64,7 +69,11 @@ fn sms_runs_are_deterministic() {
 fn oracle_opportunity_bounds_real_coverage() {
     // The oracle's miss reduction (one miss per generation) is an upper bound
     // on what any real spatial predictor at the same region size can achieve.
-    for app in [Application::OltpDb2, Application::DssQry2, Application::Sparse] {
+    for app in [
+        Application::OltpDb2,
+        Application::DssQry2,
+        Application::Sparse,
+    ] {
         let generator = GeneratorConfig::default().with_cpus(CPUS);
         let mut system = MultiCpuSystem::new(CPUS, &HierarchyConfig::scaled());
         let mut oracle = OracleObserver::new(CPUS, RegionConfig::paper_default(), true);

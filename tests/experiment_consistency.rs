@@ -56,7 +56,11 @@ fn fig10_has_a_point_for_every_class_and_size() {
 
 #[test]
 fn fig11_sms_is_competitive_with_ghb_on_average() {
-    let apps = [Application::OltpDb2, Application::DssQry2, Application::Ocean];
+    let apps = [
+        Application::OltpDb2,
+        Application::DssQry2,
+        Application::Ocean,
+    ];
     let result = fig11_ghb_comparison::run(&tiny(), &apps);
     let mean = |p: fig11_ghb_comparison::Fig11Prefetcher| {
         apps.iter()
@@ -76,7 +80,12 @@ fn fig11_sms_is_competitive_with_ghb_on_average() {
 fn fig12_speedups_are_positive_and_bounded() {
     let result = fig12_speedup::run(&tiny(), &[Application::Sparse, Application::WebApache]);
     for p in &result.points {
-        assert!(p.aggregate > 0.5 && p.aggregate < 20.0, "{}: {}", p.app, p.aggregate);
+        assert!(
+            p.aggregate > 0.5 && p.aggregate < 20.0,
+            "{}: {}",
+            p.app,
+            p.aggregate
+        );
         assert!(p.speedup.half_width >= 0.0);
         assert!(p.speedup.low() <= p.speedup.mean && p.speedup.mean <= p.speedup.high());
     }

@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! re-implements just enough of `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the types this workspace actually derives them on: non-generic structs
+//! (named, tuple and unit) and enums whose variants are unit, tuple or
+//! struct-like.  The generated code targets the vendored `serde` crate's
+//! value-tree model (`serde::Value`) rather than the real serde data model.
+//!
+//! Parsing is done directly over `proc_macro::TokenStream` (no `syn`/`quote`),
+//! which is sufficient because derive input is always a single well-formed
+//! item definition.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives `serde::Serialize` (vendored value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    src.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (vendored value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    src.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported ({name})");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a token stream on top-level commas, treating `<`/`>` pairs as
+/// nesting (angle brackets are bare puncts in token streams).
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|toks| !toks.is_empty())
+        .map(|toks| {
+            let mut i = 0;
+            skip_attrs_and_vis(&toks, &mut i);
+            match &toks[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected field name, found {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|t| !t.is_empty())
+        .count()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level_commas(stream)
+        .into_iter()
+        .filter(|toks| !toks.is_empty())
+        .map(|toks| {
+            let mut i = 0;
+            skip_attrs_and_vis(&toks, &mut i);
+            let name = match &toks[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, found {other}"),
+            };
+            i += 1;
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit, // also covers `Variant = 3` discriminants
+            };
+            (name, fields)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let mut s = String::from("{ let mut __fields = ::std::vec::Vec::new();\n");
+            for f in names {
+                s.push_str(&format!(
+                    "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields) }");
+            s
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+            )),
+            Fields::Named(names) => {
+                let binds = names.join(", ");
+                let mut pushes = String::new();
+                for f in names {
+                    pushes.push_str(&format!(
+                        "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => {{\n\
+                         let mut __fields = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(__fields))])\n\
+                     }},\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                    binds.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn named_fields_from_object(path: &str, names: &[String]) -> String {
+    let mut s = format!("::std::result::Result::Ok({path} {{\n");
+    for f in names {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\"))?,\n"
+        ));
+    }
+    s.push_str("})");
+    s
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(names) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                 \"expected object for struct {name}\"))?;\n{}",
+            named_fields_from_object(name, names)
+        ),
+        Fields::Tuple(n) => {
+            let mut s = format!(
+                "let __arr = __v.as_array().ok_or_else(|| ::serde::de::Error::custom(\
+                     \"expected array for tuple struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::from_value(__arr.get({i}).unwrap_or(&::serde::Value::Null))?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            Fields::Named(names) => {
+                let ctor = named_fields_from_object(&format!("{name}::{vname}"), names);
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let __obj = __payload.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                             \"expected object payload for variant {vname}\"))?;\n\
+                         {ctor}\n\
+                     }},\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                if *n == 1 {
+                    tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__payload)?)),\n"
+                    ));
+                } else {
+                    let mut s = format!(
+                        "\"{vname}\" => {{\n\
+                             let __arr = __payload.as_array().ok_or_else(|| ::serde::de::Error::custom(\
+                                 \"expected array payload for variant {vname}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname}(\n"
+                    );
+                    for i in 0..*n {
+                        s.push_str(&format!(
+                            "::serde::Deserialize::from_value(__arr.get({i}).unwrap_or(&::serde::Value::Null))?,\n"
+                        ));
+                    }
+                    s.push_str("))},\n");
+                    tagged_arms.push_str(&s);
+                }
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                             &format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = (&__m[0].0, &__m[0].1);\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                                 &format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                         \"expected string or single-key object for enum {name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
