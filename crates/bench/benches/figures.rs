@@ -6,7 +6,8 @@
 //! are regenerated with the `sms-experiments` binary.
 
 use bench::bench_config;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use engine::EngineConfig;
 use experiments::{
     agt_size, fig04_block_size, fig05_density, fig06_indexing, fig07_pht_size, fig08_training,
     fig09_pht_training, fig10_region_size, fig11_ghb_comparison, fig12_speedup, fig13_breakdown,
@@ -107,5 +108,27 @@ fn bench_figures(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_figures);
+/// Benchmarks of the engine's execution paths themselves: the same job list
+/// through the serial fallback and the sharded thread pool, so the overhead
+/// (or win) of parallel execution is visible next to the figure timings.
+fn bench_engine(c: &mut Criterion) {
+    let cfg = bench_config();
+    let jobs = fig11_ghb_comparison::jobs(&cfg, &[Application::OltpDb2, Application::Sparse]);
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+
+    group.bench_function("run_jobs_serial", |b| {
+        b.iter(|| black_box(engine::run_jobs_with(&jobs, &EngineConfig::serial()).len()))
+    });
+
+    group.bench_function("run_jobs_2_workers", |b| {
+        b.iter(|| black_box(engine::run_jobs_with(&jobs, &EngineConfig::with_workers(2)).len()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_engine);
 criterion_main!(benches);

@@ -19,12 +19,17 @@ use memsim::HierarchyConfig;
 /// The experiment scale used inside Criterion benchmark iterations: small
 /// enough that a single iteration completes in tens of milliseconds, while
 /// still exercising every code path of the full experiments.
+///
+/// Benchmarks pin the engine to one worker (`workers: 1`) so iteration
+/// timings measure the simulation itself, not thread scheduling; the
+/// `engine` benchmark group measures the parallel path explicitly.
 pub fn bench_config() -> ExperimentConfig {
     ExperimentConfig {
         cpus: 1,
         accesses: 8_000,
         seed: 2006,
         hierarchy: HierarchyConfig::scaled(),
+        workers: 1,
     }
 }
 

@@ -258,6 +258,43 @@ mod tests {
     }
 
     #[test]
+    fn drain_up_to_zero_budget_issues_nothing_and_keeps_state() {
+        let mut f = file(2, 4);
+        f.allocate(0x10_0000, pat(&[0, 1, 2]));
+        assert!(f.drain_up_to(0).is_empty());
+        assert_eq!(f.active_registers(), 1, "zero budget must not consume");
+        // The pending requests are still all there afterwards.
+        assert_eq!(f.drain_up_to(8).len(), 3);
+    }
+
+    #[test]
+    fn drain_up_to_budget_larger_than_queue_drains_everything_once() {
+        let mut f = file(4, 1);
+        f.allocate(0x10_0000, pat(&[0, 1]));
+        f.allocate(0x20_0000, pat(&[5]));
+        let reqs = f.drain_up_to(1000);
+        assert_eq!(reqs.len(), 3, "oversized budget drains exactly the queue");
+        assert_eq!(f.active_registers(), 0);
+        assert!(f.drain_up_to(1000).is_empty(), "nothing left to issue");
+    }
+
+    #[test]
+    fn cancel_then_drain_skips_cancelled_region_only() {
+        let mut f = file(4, 8);
+        f.allocate(0x10_0000, pat(&[0, 1]));
+        f.allocate(0x20_0000, pat(&[2, 3]));
+        f.cancel_region(0x10_0040);
+        let reqs = f.drain_up_to(8);
+        assert_eq!(reqs, vec![0x20_0000 + 2 * 64, 0x20_0000 + 3 * 64]);
+        assert_eq!(f.active_registers(), 0);
+        // Cancelling an already-cancelled (or never-allocated) region and
+        // draining again is a no-op.
+        f.cancel_region(0x10_0040);
+        f.cancel_region(0x30_0000);
+        assert!(f.drain_up_to(4).is_empty());
+    }
+
+    #[test]
     fn reallocation_for_same_region_overwrites() {
         let mut f = file(4, 8);
         f.allocate(0x10_0000, pat(&[0]));

@@ -1,0 +1,58 @@
+//! The unified parallel simulation engine behind every figure of the SMS
+//! reproduction.
+//!
+//! Every experiment in the evaluation is some number of independent
+//! trace→cache→prefetcher simulations.  This crate turns each of those runs
+//! into a declarative [`SimJob`] — workload, generator parameters, seed,
+//! system configuration, serializable [`PrefetcherSpec`], access budget, and
+//! an optional timing-model evaluation — and executes whole job lists with
+//! [`run_jobs`]:
+//!
+//! * jobs are sharded across worker threads (`std::thread::scope` with an
+//!   atomic work-stealing cursor; worker count from [`EngineConfig`],
+//!   defaulting to the available hardware parallelism);
+//! * every job builds its own trace generator and prefetcher from the job
+//!   description on the executing thread, so parallel results are
+//!   **bit-identical** to the serial path;
+//! * results are merged deterministically back into submission order, each
+//!   carrying the run's [`memsim::RunSummary`], a spec-specific
+//!   [`ProbeReport`] (density histograms, oracle misses, predictor
+//!   counters), and the [`timing::TimingResult`] for timing jobs.
+//!
+//! # Example
+//!
+//! ```
+//! use engine::{run_jobs_with, EngineConfig, PrefetcherSpec, SimJob};
+//! use memsim::HierarchyConfig;
+//! use trace::{Application, GeneratorConfig};
+//!
+//! let jobs: Vec<SimJob> = [PrefetcherSpec::Null, PrefetcherSpec::sms_paper_default()]
+//!     .into_iter()
+//!     .map(|prefetcher| {
+//!         SimJob::new(memsim::SimJob {
+//!             app: Application::OltpDb2,
+//!             generator: GeneratorConfig::default().with_cpus(2),
+//!             seed: 2006,
+//!             cpus: 2,
+//!             hierarchy: HierarchyConfig::scaled(),
+//!             prefetcher,
+//!             accesses: 10_000,
+//!         })
+//!     })
+//!     .collect();
+//! let results = run_jobs_with(&jobs, &EngineConfig::with_workers(2));
+//! assert_eq!(results.len(), 2);
+//! // SMS must not increase the baseline's L1 read misses.
+//! assert!(results[1].summary.l1.read_misses <= results[0].summary.l1.read_misses);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod runner;
+pub mod spec;
+
+pub use runner::{run_job, run_jobs, run_jobs_with, EngineConfig, JobResult, SimJob, TimingSpec};
+pub use spec::{
+    BuiltPrefetcher, MultiOracle, OracleProbeSpec, PrefetcherSpec, ProbeReport, TrainingSpec,
+};

@@ -1,0 +1,273 @@
+//! The job executor: runs a list of [`SimJob`]s serially or sharded across
+//! worker threads, with a deterministic merge of the results.
+//!
+//! Every job is self-contained — it builds its own system, prefetcher and
+//! trace generator (from the job's seed) on whichever thread executes it —
+//! so the parallel path is bit-identical to the serial path and the result
+//! order never depends on scheduling.
+
+use crate::spec::{PrefetcherSpec, ProbeReport};
+use memsim::{PrefetcherFactory, RunSummary};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use timing::{TimingConfig, TimingModel, TimingResult};
+
+/// Timing-model parameters attached to a job that should run through the
+/// [`TimingModel`] instead of the plain cache driver (Figures 12 and 13).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingSpec {
+    /// Cycle-level parameters of the modeled system.
+    pub config: TimingConfig,
+    /// Number of equal trace segments for paired sampling.
+    pub segments: usize,
+}
+
+/// One unit of work for the engine: the driver-level [`memsim::SimJob`]
+/// (trace, system, prefetcher spec, access budget, seed) plus an optional
+/// timing-model evaluation.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// The simulation run proper, instantiated on the executing thread.
+    pub sim: memsim::SimJob<PrefetcherSpec>,
+    /// When set, the job runs through the timing model and also reports a
+    /// [`TimingResult`].
+    pub timing: Option<TimingSpec>,
+}
+
+impl SimJob {
+    /// A plain cache-simulation job (no timing model).
+    pub fn new(sim: memsim::SimJob<PrefetcherSpec>) -> Self {
+        Self { sim, timing: None }
+    }
+
+    /// Attaches a timing-model evaluation to the job.
+    pub fn with_timing(mut self, config: TimingConfig, segments: usize) -> Self {
+        self.timing = Some(TimingSpec { config, segments });
+        self
+    }
+}
+
+impl From<memsim::SimJob<PrefetcherSpec>> for SimJob {
+    fn from(sim: memsim::SimJob<PrefetcherSpec>) -> Self {
+        Self::new(sim)
+    }
+}
+
+/// The result of one [`SimJob`], tagged with the job's position in the input
+/// list so merged results are always in submission order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Index of the job in the submitted list.
+    pub job_index: usize,
+    /// Cache-simulation summary of the run.
+    pub summary: RunSummary,
+    /// Post-run prefetcher/probe state.
+    pub probe: ProbeReport,
+    /// Timing-model result, present iff the job carried a
+    /// [`SimJob::timing`] spec.
+    pub timing: Option<TimingResult>,
+}
+
+/// Execution parameters of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of worker threads; `0` means one per available hardware
+    /// thread, `1` forces the serial path.
+    pub workers: usize,
+}
+
+impl EngineConfig {
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        Self { workers: 0 }
+    }
+
+    /// The serial fallback: run every job on the calling thread.
+    pub fn serial() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// An explicit worker count (`0` = auto).
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers }
+    }
+
+    /// The worker count actually used for `jobs` queued jobs.
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        requested.min(jobs).max(1)
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Runs one job to completion on the calling thread.
+pub fn run_job(index: usize, job: &SimJob) -> JobResult {
+    match &job.timing {
+        Some(spec) => {
+            let sim = &job.sim;
+            let model = TimingModel::new(sim.hierarchy, sim.cpus, spec.config);
+            let mut prefetcher = sim.prefetcher.build(sim.cpus);
+            let mut stream = sim.app.stream(sim.seed, &sim.generator);
+            let (timing, summary) =
+                model.evaluate(&mut prefetcher, &mut stream, sim.accesses, spec.segments);
+            JobResult {
+                job_index: index,
+                summary,
+                probe: prefetcher.into_report(),
+                timing: Some(timing),
+            }
+        }
+        None => {
+            let (summary, built) = memsim::run_job(&job.sim);
+            JobResult {
+                job_index: index,
+                summary,
+                probe: built.into_report(),
+                timing: None,
+            }
+        }
+    }
+}
+
+/// Runs every job with the default engine configuration (one worker per
+/// available hardware thread) and returns the results in submission order.
+pub fn run_jobs(jobs: &[SimJob]) -> Vec<JobResult> {
+    run_jobs_with(jobs, &EngineConfig::default())
+}
+
+/// Runs every job, sharding the list across `config.workers` threads, and
+/// merges the results deterministically back into submission order.
+///
+/// With one effective worker the engine runs serially on the calling thread;
+/// either way the results are bit-identical, because each job builds its own
+/// trace generator and prefetcher from the job description.
+pub fn run_jobs_with(jobs: &[SimJob], config: &EngineConfig) -> Vec<JobResult> {
+    let workers = config.effective_workers(jobs.len());
+    if workers <= 1 {
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(index, job)| run_job(index, job))
+            .collect();
+    }
+
+    // Work-stealing by atomic cursor: each worker claims the next unclaimed
+    // job, so long jobs do not serialize behind a static partition.
+    let next = AtomicUsize::new(0);
+    let shards: Vec<Vec<JobResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut shard = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= jobs.len() {
+                            break;
+                        }
+                        shard.push(run_job(index, &jobs[index]));
+                    }
+                    shard
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: job_index recovers submission order regardless of
+    // which worker ran which job.
+    let mut results: Vec<JobResult> = shards.into_iter().flatten().collect();
+    results.sort_by_key(|r| r.job_index);
+    debug_assert!(results.iter().enumerate().all(|(i, r)| r.job_index == i));
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghb::GhbConfig;
+    use memsim::HierarchyConfig;
+    use sms::SmsConfig;
+    use trace::{Application, GeneratorConfig};
+
+    fn job(app: Application, prefetcher: PrefetcherSpec) -> SimJob {
+        SimJob::new(memsim::SimJob {
+            app,
+            generator: GeneratorConfig::default().with_cpus(2),
+            seed: 2006,
+            cpus: 2,
+            hierarchy: HierarchyConfig::scaled(),
+            prefetcher,
+            accesses: 8_000,
+        })
+    }
+
+    fn job_list() -> Vec<SimJob> {
+        vec![
+            job(Application::OltpDb2, PrefetcherSpec::Null),
+            job(Application::OltpDb2, PrefetcherSpec::sms_paper_default()),
+            job(
+                Application::Sparse,
+                PrefetcherSpec::Ghb(GhbConfig::paper_small()),
+            ),
+            job(
+                Application::DssQry1,
+                PrefetcherSpec::Sms(SmsConfig::paper_default()),
+            ),
+            job(Application::WebApache, PrefetcherSpec::Null)
+                .with_timing(TimingConfig::table1(), 4),
+        ]
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_bit_for_bit() {
+        let jobs = job_list();
+        let serial = run_jobs_with(&jobs, &EngineConfig::serial());
+        let parallel = run_jobs_with(&jobs, &EngineConfig::with_workers(4));
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().enumerate().all(|(i, r)| r.job_index == i));
+        for r in &serial {
+            assert_eq!(r.summary.skipped_accesses, 0);
+        }
+    }
+
+    #[test]
+    fn timing_jobs_report_timing_results() {
+        let jobs = job_list();
+        let results = run_jobs(&jobs);
+        assert!(results[4].timing.is_some());
+        assert!(results[..4].iter().all(|r| r.timing.is_none()));
+        let t = results[4].timing.as_ref().unwrap();
+        assert_eq!(t.segment_cycles.len(), 4);
+        assert_eq!(t.accesses, results[4].summary.accesses);
+    }
+
+    #[test]
+    fn effective_workers_clamps_sensibly() {
+        assert_eq!(EngineConfig::serial().effective_workers(100), 1);
+        assert_eq!(EngineConfig::with_workers(8).effective_workers(3), 3);
+        assert_eq!(EngineConfig::with_workers(2).effective_workers(0), 1);
+        assert!(EngineConfig::auto().effective_workers(64) >= 1);
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let jobs = vec![job(Application::Ocean, PrefetcherSpec::Null)];
+        let results = run_jobs_with(&jobs, &EngineConfig::with_workers(16));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].summary.accesses, 8_000);
+    }
+}

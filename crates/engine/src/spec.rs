@@ -1,0 +1,329 @@
+//! Serializable prefetcher specifications and the prefetchers built from
+//! them.
+//!
+//! A [`PrefetcherSpec`] names everything the evaluation attaches to the
+//! simulated memory system — the SMS and GHB prefetchers, the alternative
+//! training structures, and the passive measurement probes (density and
+//! oracle observers) — as plain data.  Jobs carry specs rather than live
+//! prefetchers so they can be shipped to any worker thread; the engine calls
+//! [`PrefetcherFactory::build`] on the executing thread and, after the run,
+//! extracts a [`ProbeReport`] of whatever post-run state the spec's
+//! prefetcher exposes.
+
+use ghb::{GhbConfig, GhbPrefetcher};
+use memsim::{NullPrefetcher, PrefetchRequest, Prefetcher, PrefetcherFactory, SystemOutcome};
+use serde::{Deserialize, Serialize};
+use sms::{
+    DensityHistogram, DensityObserver, IndexScheme, OracleObserver, PhtCapacity, PredictorStats,
+    RegionConfig, SmsConfig, SmsPrefetcher, TrainerKind, TrainingPrefetcher,
+};
+use trace::MemAccess;
+
+/// Configuration of a [`TrainingPrefetcher`] (Figures 8 and 9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSpec {
+    /// Training structure (AGT, logical sectored, decoupled sectored).
+    pub trainer: TrainerKind,
+    /// Spatial region geometry.
+    pub region: RegionConfig,
+    /// Prediction-index scheme.
+    pub index_scheme: IndexScheme,
+    /// Pattern history table bound.
+    pub pht: PhtCapacity,
+    /// Capacity of the L1 the sectored tag arrays shadow.
+    pub l1_capacity_bytes: u64,
+}
+
+/// Configuration of a bank of [`OracleObserver`]s measured in one run
+/// (Figure 4 measures every region size against a single 64 B baseline).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleProbeSpec {
+    /// One oracle per region geometry, reported in this order.
+    pub regions: Vec<RegionConfig>,
+    /// Track read accesses only (the paper reports read miss rates).
+    pub read_only: bool,
+}
+
+/// A serializable description of the prefetcher (or passive probe) attached
+/// to a simulation job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrefetcherSpec {
+    /// No prefetching (baseline runs).
+    Null,
+    /// Spatial Memory Streaming with the given configuration.
+    Sms(SmsConfig),
+    /// The GHB PC/DC baseline prefetcher.
+    Ghb(GhbConfig),
+    /// An alternative training structure feeding the SMS PHT.
+    Training(TrainingSpec),
+    /// Passive access-density measurement (Figure 5).
+    DensityProbe(RegionConfig),
+    /// Passive oracle-opportunity measurement at several region sizes
+    /// (Figure 4).
+    OracleProbe(OracleProbeSpec),
+}
+
+impl PrefetcherSpec {
+    /// The practical SMS configuration evaluated in Figure 11.
+    pub fn sms_paper_default() -> Self {
+        PrefetcherSpec::Sms(SmsConfig::paper_default())
+    }
+}
+
+/// A bank of independent [`OracleObserver`]s fed by one baseline run, so a
+/// single simulation yields the opportunity curve for every region size.
+#[derive(Debug)]
+pub struct MultiOracle {
+    /// One oracle per requested region geometry, in spec order.
+    pub oracles: Vec<OracleObserver>,
+}
+
+impl Prefetcher for MultiOracle {
+    fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
+        for oracle in &mut self.oracles {
+            let _ = oracle.on_access(access, outcome);
+        }
+        Vec::new()
+    }
+
+    fn name(&self) -> &str {
+        "multi-oracle"
+    }
+}
+
+/// A live prefetcher instantiated from a [`PrefetcherSpec`].
+#[derive(Debug)]
+pub enum BuiltPrefetcher {
+    /// Built from [`PrefetcherSpec::Null`].
+    Null(NullPrefetcher),
+    /// Built from [`PrefetcherSpec::Sms`].
+    Sms(SmsPrefetcher),
+    /// Built from [`PrefetcherSpec::Ghb`].
+    Ghb(GhbPrefetcher),
+    /// Built from [`PrefetcherSpec::Training`].
+    Training(Box<TrainingPrefetcher>),
+    /// Built from [`PrefetcherSpec::DensityProbe`].
+    Density(DensityObserver),
+    /// Built from [`PrefetcherSpec::OracleProbe`].
+    Oracle(MultiOracle),
+}
+
+impl BuiltPrefetcher {
+    /// Extracts the post-run measurement state this prefetcher exposes.
+    pub fn into_report(self) -> ProbeReport {
+        match self {
+            BuiltPrefetcher::Null(_) | BuiltPrefetcher::Ghb(_) => ProbeReport::None,
+            BuiltPrefetcher::Sms(sms) => ProbeReport::Sms(sms.total_stats()),
+            BuiltPrefetcher::Training(t) => ProbeReport::Training {
+                extra_misses: t.extra_misses(),
+                pht_len: t.pht_len() as u64,
+            },
+            BuiltPrefetcher::Density(obs) => {
+                let (l1, l2) = obs.finish();
+                ProbeReport::Density { l1, l2 }
+            }
+            BuiltPrefetcher::Oracle(multi) => ProbeReport::Oracle {
+                l1_misses: multi
+                    .oracles
+                    .iter()
+                    .map(|o| o.l1().oracle_misses())
+                    .collect(),
+                l2_misses: multi
+                    .oracles
+                    .iter()
+                    .map(|o| o.l2().oracle_misses())
+                    .collect(),
+            },
+        }
+    }
+}
+
+impl Prefetcher for BuiltPrefetcher {
+    fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
+        match self {
+            BuiltPrefetcher::Null(p) => p.on_access(access, outcome),
+            BuiltPrefetcher::Sms(p) => p.on_access(access, outcome),
+            BuiltPrefetcher::Ghb(p) => p.on_access(access, outcome),
+            BuiltPrefetcher::Training(p) => p.on_access(access, outcome),
+            BuiltPrefetcher::Density(p) => p.on_access(access, outcome),
+            BuiltPrefetcher::Oracle(p) => p.on_access(access, outcome),
+        }
+    }
+
+    fn on_stream_eviction(&mut self, cpu: u8, block_addr: u64) {
+        match self {
+            BuiltPrefetcher::Null(p) => p.on_stream_eviction(cpu, block_addr),
+            BuiltPrefetcher::Sms(p) => p.on_stream_eviction(cpu, block_addr),
+            BuiltPrefetcher::Ghb(p) => p.on_stream_eviction(cpu, block_addr),
+            BuiltPrefetcher::Training(p) => p.on_stream_eviction(cpu, block_addr),
+            BuiltPrefetcher::Density(p) => p.on_stream_eviction(cpu, block_addr),
+            BuiltPrefetcher::Oracle(p) => p.on_stream_eviction(cpu, block_addr),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            BuiltPrefetcher::Null(p) => p.name(),
+            BuiltPrefetcher::Sms(p) => p.name(),
+            BuiltPrefetcher::Ghb(p) => p.name(),
+            BuiltPrefetcher::Training(p) => p.name(),
+            BuiltPrefetcher::Density(p) => p.name(),
+            BuiltPrefetcher::Oracle(p) => p.name(),
+        }
+    }
+}
+
+impl PrefetcherFactory for PrefetcherSpec {
+    type Output = BuiltPrefetcher;
+
+    fn build(&self, num_cpus: usize) -> BuiltPrefetcher {
+        match self {
+            PrefetcherSpec::Null => BuiltPrefetcher::Null(NullPrefetcher::new()),
+            PrefetcherSpec::Sms(config) => {
+                BuiltPrefetcher::Sms(SmsPrefetcher::new(num_cpus, config))
+            }
+            PrefetcherSpec::Ghb(config) => {
+                BuiltPrefetcher::Ghb(GhbPrefetcher::new(num_cpus, config))
+            }
+            PrefetcherSpec::Training(spec) => {
+                BuiltPrefetcher::Training(Box::new(TrainingPrefetcher::new(
+                    num_cpus,
+                    spec.trainer,
+                    spec.region,
+                    spec.index_scheme,
+                    spec.pht,
+                    spec.l1_capacity_bytes,
+                )))
+            }
+            PrefetcherSpec::DensityProbe(region) => {
+                BuiltPrefetcher::Density(DensityObserver::new(num_cpus, *region))
+            }
+            PrefetcherSpec::OracleProbe(spec) => BuiltPrefetcher::Oracle(MultiOracle {
+                oracles: spec
+                    .regions
+                    .iter()
+                    .map(|&region| OracleObserver::new(num_cpus, region, spec.read_only))
+                    .collect(),
+            }),
+        }
+    }
+}
+
+/// Post-run state extracted from a built prefetcher, in spec-specific form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProbeReport {
+    /// The spec exposes no post-run state (null and GHB prefetchers — the
+    /// GHB's issued-prefetch count is already in the run summary).
+    None,
+    /// Summed per-processor SMS predictor counters.
+    Sms(PredictorStats),
+    /// Extra-miss and PHT-population counters of a training structure.
+    Training {
+        /// Misses added by the decoupled sectored cache's constrained
+        /// contents (zero for the other trainers).
+        extra_misses: u64,
+        /// Patterns resident in the PHT at the end of the run.
+        pht_len: u64,
+    },
+    /// Density histograms from a [`PrefetcherSpec::DensityProbe`] run.
+    Density {
+        /// L1 read-miss density histogram.
+        l1: DensityHistogram,
+        /// Off-chip read-miss density histogram.
+        l2: DensityHistogram,
+    },
+    /// Oracle misses from a [`PrefetcherSpec::OracleProbe`] run, one entry
+    /// per requested region geometry, in spec order.
+    Oracle {
+        /// L1 oracle misses per region geometry.
+        l1_misses: Vec<u64>,
+        /// Off-chip oracle misses per region geometry.
+        l2_misses: Vec<u64>,
+    },
+}
+
+impl ProbeReport {
+    /// The density histograms, if this report came from a density probe.
+    pub fn density(&self) -> Option<(&DensityHistogram, &DensityHistogram)> {
+        match self {
+            ProbeReport::Density { l1, l2 } => Some((l1, l2)),
+            _ => None,
+        }
+    }
+
+    /// The training counters, if this report came from a training run.
+    pub fn training(&self) -> Option<(u64, u64)> {
+        match self {
+            ProbeReport::Training {
+                extra_misses,
+                pht_len,
+            } => Some((*extra_misses, *pht_len)),
+            _ => None,
+        }
+    }
+
+    /// The per-region oracle misses, if this report came from an oracle
+    /// probe.
+    pub fn oracle(&self) -> Option<(&[u64], &[u64])> {
+        match self {
+            ProbeReport::Oracle {
+                l1_misses,
+                l2_misses,
+            } => Some((l1_misses, l2_misses)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_build_their_prefetchers() {
+        let cases = [
+            (PrefetcherSpec::Null, "baseline"),
+            (PrefetcherSpec::sms_paper_default(), "sms"),
+            (PrefetcherSpec::Ghb(GhbConfig::paper_small()), "ghb-pc/dc"),
+            (
+                PrefetcherSpec::DensityProbe(RegionConfig::paper_default()),
+                "density-observer",
+            ),
+            (
+                PrefetcherSpec::OracleProbe(OracleProbeSpec {
+                    regions: vec![RegionConfig::paper_default()],
+                    read_only: true,
+                }),
+                "multi-oracle",
+            ),
+        ];
+        for (spec, name) in cases {
+            let built = spec.build(2);
+            assert_eq!(built.name(), name, "{spec:?}");
+        }
+        let training = PrefetcherSpec::Training(TrainingSpec {
+            trainer: TrainerKind::Agt,
+            region: RegionConfig::paper_default(),
+            index_scheme: IndexScheme::PcOffset,
+            pht: PhtCapacity::Unbounded,
+            l1_capacity_bytes: 64 * 1024,
+        });
+        let built = training.build(1);
+        assert!(matches!(built, BuiltPrefetcher::Training(_)));
+        assert_eq!(built.into_report().training(), Some((0, 0)));
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = PrefetcherSpec::Training(TrainingSpec {
+            trainer: TrainerKind::LogicalSectored,
+            region: RegionConfig::paper_default(),
+            index_scheme: IndexScheme::PcOffset,
+            pht: PhtCapacity::paper_default(),
+            l1_capacity_bytes: 64 * 1024,
+        });
+        let json = serde_json::to_string(&spec).expect("serialize");
+        let back: PrefetcherSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(spec, back);
+    }
+}

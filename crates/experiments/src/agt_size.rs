@@ -4,12 +4,11 @@
 //! table achieve the same coverage as unbounded tables.  This experiment
 //! sweeps AGT sizes and reports class-average coverage.
 
-use crate::common::{class_applications, ExperimentConfig};
+use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
+use engine::{PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
-use sms::{
-    AgtConfig, CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig, SmsPrefetcher,
-};
+use sms::{AgtConfig, CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig};
 use stats::mean;
 use trace::ApplicationClass;
 
@@ -40,44 +39,74 @@ pub struct AgtSizeResult {
     pub points: Vec<AgtSizePoint>,
 }
 
+/// The SMS configuration evaluated at one AGT size.
+fn sms_config(sizes: Option<(usize, usize)>) -> SmsConfig {
+    let agt = match sizes {
+        Some((filter, accumulation)) => AgtConfig {
+            filter_entries: Some(filter),
+            accumulation_entries: Some(accumulation),
+        },
+        None => AgtConfig::unbounded(),
+    };
+    SmsConfig {
+        region: RegionConfig::paper_default(),
+        index_scheme: IndexScheme::PcOffset,
+        agt,
+        pht: PhtCapacity::Unbounded,
+        streamer: sms::StreamerConfig::paper_default(),
+    }
+}
+
+/// The engine jobs this experiment declares: per class, one baseline per
+/// application followed by one SMS job per (AGT size, application).
+pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for (_, apps) in classes_with_applications(representative_only) {
+        for &app in &apps {
+            jobs.push(config.baseline_job(app));
+        }
+        for &sizes in &AGT_SIZES {
+            for &app in &apps {
+                jobs.push(config.job(app, PrefetcherSpec::Sms(sms_config(sizes))));
+            }
+        }
+    }
+    jobs
+}
+
 /// Runs the AGT sizing experiment.
 pub fn run(config: &ExperimentConfig, representative_only: bool) -> AgtSizeResult {
+    let classes = classes_with_applications(representative_only);
+    let results = config.run_jobs(&jobs(config, representative_only));
+    let mut cursor = results.iter();
+
     let mut result = AgtSizeResult::default();
-    for class in ApplicationClass::ALL {
-        let apps = class_applications(class, representative_only);
-        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+    for (class, apps) in &classes {
+        let baselines: Vec<_> = apps
+            .iter()
+            .map(|_| cursor.next().expect("baseline"))
+            .collect();
         for &sizes in &AGT_SIZES {
-            let agt = match sizes {
-                Some((filter, accumulation)) => AgtConfig {
-                    filter_entries: Some(filter),
-                    accumulation_entries: Some(accumulation),
-                },
-                None => AgtConfig::unbounded(),
-            };
-            let mut coverages = Vec::new();
-            for (app, baseline) in apps.iter().zip(&baselines) {
-                let sms_config = SmsConfig {
-                    region: RegionConfig::paper_default(),
-                    index_scheme: IndexScheme::PcOffset,
-                    agt,
-                    pht: PhtCapacity::Unbounded,
-                    streamer: sms::StreamerConfig::paper_default(),
-                };
-                let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
-                let with = config.run_with(*app, &mut sms);
-                coverages.push(
+            let coverages: Vec<f64> = baselines
+                .iter()
+                .map(|baseline| {
+                    let with = cursor.next().expect("sms run");
                     config
-                        .coverage(baseline, &with, CoverageLevel::L1)
-                        .coverage(),
-                );
-            }
+                        .coverage(&baseline.summary, &with.summary, CoverageLevel::L1)
+                        .coverage()
+                })
+                .collect();
             result.points.push(AgtSizePoint {
-                class,
+                class: *class,
                 sizes,
                 coverage: mean(&coverages),
             });
         }
     }
+    assert!(
+        cursor.next().is_none(),
+        "job declaration and result post-processing fell out of sync"
+    );
     result
 }
 

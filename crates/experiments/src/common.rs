@@ -1,10 +1,17 @@
-//! Shared experiment infrastructure: configuration, baseline/predictor runs
-//! and per-class aggregation.
+//! Shared experiment infrastructure: configuration, job construction and
+//! per-class aggregation.
+//!
+//! Every figure declares a list of [`SimJob`]s and hands it to the engine;
+//! the helpers here build those jobs from the experiment-wide scale
+//! parameters ([`ExperimentConfig`]) so the modules only describe *what* to
+//! run, never *how*.
 
-use memsim::{HierarchyConfig, MultiCpuSystem, NullPrefetcher, Prefetcher, RunSummary};
+use engine::{EngineConfig, JobResult, PrefetcherSpec, SimJob};
+use memsim::{HierarchyConfig, RunSummary};
 use serde::{Deserialize, Serialize};
 use sms::{CoverageLevel, CoverageStats};
 use stats::mean;
+use timing::TimingConfig;
 use trace::{Application, ApplicationClass, GeneratorConfig};
 
 /// Scale and substrate parameters shared by all experiments.
@@ -21,6 +28,9 @@ pub struct ExperimentConfig {
     /// Cache hierarchy (defaults to the scaled hierarchy so the shorter
     /// synthetic traces still produce off-chip misses).
     pub hierarchy: HierarchyConfig,
+    /// Engine worker threads used to execute job lists (`0` = one per
+    /// available hardware thread, `1` = serial).
+    pub workers: usize,
 }
 
 impl ExperimentConfig {
@@ -31,6 +41,7 @@ impl ExperimentConfig {
             accesses: 300_000,
             seed: 2006,
             hierarchy: HierarchyConfig::scaled(),
+            workers: 0,
         }
     }
 
@@ -41,6 +52,7 @@ impl ExperimentConfig {
             accesses: 60_000,
             seed: 2006,
             hierarchy: HierarchyConfig::scaled(),
+            workers: 0,
         }
     }
 
@@ -51,7 +63,14 @@ impl ExperimentConfig {
             accesses: 20_000,
             seed: 2006,
             hierarchy: HierarchyConfig::scaled(),
+            workers: 0,
         }
+    }
+
+    /// Returns a copy with an explicit engine worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
     /// The generator configuration implied by this experiment configuration.
@@ -59,26 +78,56 @@ impl ExperimentConfig {
         GeneratorConfig::default().with_cpus(self.cpus)
     }
 
-    /// Runs the baseline (no prefetching) system on `app`.
-    pub fn run_baseline(&self, app: Application) -> RunSummary {
-        self.run_with(app, &mut NullPrefetcher::new())
+    /// The engine configuration implied by this experiment configuration.
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig::with_workers(self.workers)
     }
 
-    /// Runs `app` with the provided prefetcher attached.
-    pub fn run_with(&self, app: Application, prefetcher: &mut dyn Prefetcher) -> RunSummary {
-        self.run_with_hierarchy(app, prefetcher, &self.hierarchy)
+    /// A job running `app` with `prefetcher` on this configuration's
+    /// hierarchy.
+    pub fn job(&self, app: Application, prefetcher: PrefetcherSpec) -> SimJob {
+        self.job_with_hierarchy(app, prefetcher, self.hierarchy)
     }
 
-    /// Runs `app` with an explicit hierarchy (used by the block-size sweep).
-    pub fn run_with_hierarchy(
+    /// A job with an explicit hierarchy (used by the block-size sweep).
+    pub fn job_with_hierarchy(
         &self,
         app: Application,
-        prefetcher: &mut dyn Prefetcher,
-        hierarchy: &HierarchyConfig,
-    ) -> RunSummary {
-        let mut system = MultiCpuSystem::new(self.cpus, hierarchy);
-        let mut stream = app.stream(self.seed, &self.generator());
-        memsim::run(&mut system, prefetcher, &mut stream, self.accesses)
+        prefetcher: PrefetcherSpec,
+        hierarchy: HierarchyConfig,
+    ) -> SimJob {
+        SimJob::new(memsim::SimJob {
+            app,
+            generator: self.generator(),
+            seed: self.seed,
+            cpus: self.cpus,
+            hierarchy,
+            prefetcher,
+            accesses: self.accesses,
+        })
+    }
+
+    /// A baseline (no prefetching) job for `app`.
+    pub fn baseline_job(&self, app: Application) -> SimJob {
+        self.job(app, PrefetcherSpec::Null)
+    }
+
+    /// A job evaluated through the timing model with `segments` paired
+    /// sampling segments.
+    pub fn timing_job(
+        &self,
+        app: Application,
+        prefetcher: PrefetcherSpec,
+        timing: TimingConfig,
+        segments: usize,
+    ) -> SimJob {
+        self.job(app, prefetcher).with_timing(timing, segments)
+    }
+
+    /// Executes `jobs` with this configuration's engine settings, returning
+    /// results in submission order.
+    pub fn run_jobs(&self, jobs: &[SimJob]) -> Vec<JobResult> {
+        engine::run_jobs_with(jobs, &self.engine())
     }
 
     /// Coverage of a predictor run against a baseline run at `level`.
@@ -140,19 +189,37 @@ pub fn class_applications(class: ApplicationClass, representative_only: bool) ->
     }
 }
 
+/// The class/application pairs evaluated by a class-level figure, in figure
+/// order.
+pub fn classes_with_applications(
+    representative_only: bool,
+) -> Vec<(ApplicationClass, Vec<Application>)> {
+    ApplicationClass::ALL
+        .into_iter()
+        .map(|class| (class, class_applications(class, representative_only)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sms::{SmsConfig, SmsPrefetcher};
+    use sms::SmsConfig;
 
     #[test]
-    fn baseline_and_sms_runs_complete() {
+    fn baseline_and_sms_jobs_complete() {
         let cfg = ExperimentConfig::tiny();
-        let baseline = cfg.run_baseline(Application::Sparse);
+        let jobs = vec![
+            cfg.baseline_job(Application::Sparse),
+            cfg.job(
+                Application::Sparse,
+                PrefetcherSpec::Sms(SmsConfig::default()),
+            ),
+        ];
+        let results = cfg.run_jobs(&jobs);
+        let baseline = &results[0].summary;
         assert_eq!(baseline.accesses, cfg.accesses as u64);
-        let mut sms = SmsPrefetcher::new(cfg.cpus, &SmsConfig::default());
-        let with = cfg.run_with(Application::Sparse, &mut sms);
-        let cov = cfg.coverage(&baseline, &with, CoverageLevel::L1);
+        assert_eq!(baseline.skipped_accesses, 0);
+        let cov = cfg.coverage(baseline, &results[1].summary, CoverageLevel::L1);
         assert!(cov.coverage() > 0.0);
     }
 
@@ -190,5 +257,11 @@ mod tests {
     fn scales_are_ordered() {
         assert!(ExperimentConfig::tiny().accesses < ExperimentConfig::quick().accesses);
         assert!(ExperimentConfig::quick().accesses < ExperimentConfig::full().accesses);
+    }
+
+    #[test]
+    fn worker_override_threads_through() {
+        let cfg = ExperimentConfig::tiny().with_workers(3);
+        assert_eq!(cfg.engine().workers, 3);
     }
 }

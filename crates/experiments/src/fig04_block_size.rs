@@ -1,12 +1,12 @@
 //! Figure 4: L1 and L2 normalized read miss rate versus block/region size,
 //! with the oracle "opportunity" predictor and false sharing beyond 64 B.
 
-use crate::common::{class_applications, ExperimentConfig};
+use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
-use memsim::{PrefetchRequest, Prefetcher, SystemOutcome};
+use engine::{OracleProbeSpec, PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
-use sms::{OracleObserver, RegionConfig};
-use trace::{ApplicationClass, MemAccess};
+use sms::RegionConfig;
+use trace::ApplicationClass;
 
 /// Block/region sizes the paper sweeps (bytes).
 pub const BLOCK_SIZES: [u64; 5] = [64, 128, 512, 2048, 8192];
@@ -40,45 +40,52 @@ pub struct Fig4Result {
     pub points: Vec<BlockSizePoint>,
 }
 
-/// An observer holding one oracle per region size so a single baseline run
-/// yields the whole opportunity curve.
-#[derive(Debug)]
-struct MultiOracle {
-    oracles: Vec<OracleObserver>,
-}
-
-impl Prefetcher for MultiOracle {
-    fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
-        for oracle in &mut self.oracles {
-            let _ = oracle.on_access(access, outcome);
+/// The engine jobs this figure declares: per application, one 64 B baseline
+/// carrying an oracle probe for every region size, followed by one plain
+/// baseline per larger block size.
+pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for (_, apps) in classes_with_applications(representative_only) {
+        for app in apps {
+            jobs.push(
+                config.job(
+                    app,
+                    PrefetcherSpec::OracleProbe(OracleProbeSpec {
+                        regions: BLOCK_SIZES
+                            .iter()
+                            .map(|&bs| RegionConfig::new(bs.max(128), 64))
+                            .collect(),
+                        read_only: true,
+                    }),
+                ),
+            );
+            for &bs in BLOCK_SIZES.iter().filter(|&&bs| bs != 64) {
+                jobs.push(config.job_with_hierarchy(
+                    app,
+                    PrefetcherSpec::Null,
+                    config.hierarchy.with_block_bytes(bs),
+                ));
+            }
         }
-        Vec::new()
     }
-
-    fn name(&self) -> &str {
-        "multi-oracle"
-    }
+    jobs
 }
 
 /// Runs the Figure 4 experiment.
 pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig4Result {
+    let classes = classes_with_applications(representative_only);
+    let results = config.run_jobs(&jobs(config, representative_only));
+    let mut cursor = results.iter();
+
     let mut result = Fig4Result::default();
-    for class in ApplicationClass::ALL {
-        let apps = class_applications(class, representative_only);
+    for (class, apps) in &classes {
         // Accumulators per block size: (l1_other, l1_fs, l1_opp, l2_other, l2_fs, l2_opp)
         let mut sums = vec![[0.0f64; 6]; BLOCK_SIZES.len()];
-        for app in apps.iter().copied() {
+        for _ in apps {
             // Baseline at 64B with oracles for each region size.
-            let mut multi = MultiOracle {
-                oracles: BLOCK_SIZES
-                    .iter()
-                    .map(|&bs| {
-                        let region = RegionConfig::new(bs.max(128), 64);
-                        OracleObserver::new(config.cpus, region, true)
-                    })
-                    .collect(),
-            };
-            let base64 = config.run_with(app, &mut multi);
+            let probe_run = cursor.next().expect("oracle probe result");
+            let (l1_opps, l2_opps) = probe_run.probe.oracle().expect("oracle probe job");
+            let base64 = &probe_run.summary;
             let l1_base = base64.l1.read_misses.max(1) as f64;
             let l2_base = base64.l2.read_misses.max(1) as f64;
 
@@ -86,9 +93,7 @@ pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig4Result {
                 let (l1_other, l1_fs, l2_other, l2_fs) = if bs == 64 {
                     (1.0, 0.0, 1.0, 0.0)
                 } else {
-                    let hierarchy = config.hierarchy.with_block_bytes(bs);
-                    let mut nop = memsim::NullPrefetcher::new();
-                    let summary = config.run_with_hierarchy(app, &mut nop, &hierarchy);
+                    let summary = &cursor.next().expect("block-size baseline result").summary;
                     (
                         summary.l1_breakdown.other_than_false_sharing() as f64 / l1_base,
                         summary.l1_breakdown.false_sharing as f64 / l1_base,
@@ -96,22 +101,20 @@ pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig4Result {
                         summary.l2_breakdown.false_sharing as f64 / l2_base,
                     )
                 };
-                let l1_opp = multi.oracles[i].l1().oracle_misses() as f64 / l1_base;
-                let l2_opp = multi.oracles[i].l2().oracle_misses() as f64 / l2_base;
                 let acc = &mut sums[i];
                 acc[0] += l1_other;
                 acc[1] += l1_fs;
-                acc[2] += l1_opp;
+                acc[2] += l1_opps[i] as f64 / l1_base;
                 acc[3] += l2_other;
                 acc[4] += l2_fs;
-                acc[5] += l2_opp;
+                acc[5] += l2_opps[i] as f64 / l2_base;
             }
         }
         let n = apps.len() as f64;
         for (i, &bs) in BLOCK_SIZES.iter().enumerate() {
             let acc = &sums[i];
             result.points.push(BlockSizePoint {
-                class,
+                class: *class,
                 block_bytes: bs,
                 l1_other_misses: acc[0] / n,
                 l1_false_sharing: acc[1] / n,
@@ -122,6 +125,10 @@ pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig4Result {
             });
         }
     }
+    assert!(
+        cursor.next().is_none(),
+        "job declaration and result post-processing fell out of sync"
+    );
     result
 }
 

@@ -3,8 +3,9 @@
 
 use crate::common::ExperimentConfig;
 use crate::report::Table;
+use engine::{PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
-use sms::{DensityBin, DensityHistogram, DensityObserver, RegionConfig};
+use sms::{DensityBin, DensityHistogram, RegionConfig};
 use trace::Application;
 
 /// Density histograms for one application.
@@ -25,6 +26,19 @@ pub struct Fig5Result {
     pub per_app: Vec<DensityResult>,
 }
 
+/// The engine jobs this figure declares: one density-probe run per
+/// application.
+pub fn jobs(config: &ExperimentConfig, apps: &[Application]) -> Vec<SimJob> {
+    apps.iter()
+        .map(|&app| {
+            config.job(
+                app,
+                PrefetcherSpec::DensityProbe(RegionConfig::paper_default()),
+            )
+        })
+        .collect()
+}
+
 /// Runs the Figure 5 experiment over `apps` (the full suite when empty).
 pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig5Result {
     let apps: Vec<Application> = if apps.is_empty() {
@@ -32,12 +46,16 @@ pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig5Result {
     } else {
         apps.to_vec()
     };
+    let results = config.run_jobs(&jobs(config, &apps));
+    assert_eq!(results.len(), apps.len(), "one density result per app");
     let mut result = Fig5Result::default();
-    for app in apps {
-        let mut observer = DensityObserver::new(config.cpus, RegionConfig::paper_default());
-        let _ = config.run_with(app, &mut observer);
-        let (l1, l2) = observer.finish();
-        result.per_app.push(DensityResult { app, l1, l2 });
+    for (app, job) in apps.into_iter().zip(&results) {
+        let (l1, l2) = job.probe.density().expect("density probe job");
+        result.per_app.push(DensityResult {
+            app,
+            l1: l1.clone(),
+            l2: l2.clone(),
+        });
     }
     result
 }

@@ -1,10 +1,11 @@
 //! Figure 6: prediction-index comparison (Address, PC+address, PC, PC+offset)
 //! with an unbounded PHT.
 
-use crate::common::{class_applications, class_average, ClassAverage, ExperimentConfig};
+use crate::common::{class_average, classes_with_applications, ClassAverage, ExperimentConfig};
 use crate::report::Table;
+use engine::{PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
-use sms::{CoverageLevel, IndexScheme, RegionConfig, SmsConfig, SmsPrefetcher};
+use sms::{CoverageLevel, IndexScheme, RegionConfig, SmsConfig};
 use trace::ApplicationClass;
 
 /// Result for one (class, index scheme) pair.
@@ -25,28 +26,56 @@ pub struct Fig6Result {
     pub points: Vec<IndexingPoint>,
 }
 
+/// The engine jobs this figure declares: per class, one baseline per
+/// application followed by one idealized-SMS job per (scheme, application).
+pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for (_, apps) in classes_with_applications(representative_only) {
+        for &app in &apps {
+            jobs.push(config.baseline_job(app));
+        }
+        for scheme in IndexScheme::ALL {
+            for &app in &apps {
+                let sms_config = SmsConfig::idealized(scheme, RegionConfig::paper_default());
+                jobs.push(config.job(app, PrefetcherSpec::Sms(sms_config)));
+            }
+        }
+    }
+    jobs
+}
+
 /// Runs the Figure 6 experiment.
 pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig6Result {
+    let classes = classes_with_applications(representative_only);
+    let results = config.run_jobs(&jobs(config, representative_only));
+    let mut cursor = results.iter();
+
     let mut result = Fig6Result::default();
-    for class in ApplicationClass::ALL {
-        let apps = class_applications(class, representative_only);
+    for (class, apps) in &classes {
         // One baseline per application, reused across schemes.
-        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+        let baselines: Vec<_> = apps
+            .iter()
+            .map(|_| cursor.next().expect("baseline"))
+            .collect();
         for scheme in IndexScheme::ALL {
-            let mut stats = Vec::new();
-            for (app, baseline) in apps.iter().zip(&baselines) {
-                let sms_config = SmsConfig::idealized(scheme, RegionConfig::paper_default());
-                let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
-                let with = config.run_with(*app, &mut sms);
-                stats.push(config.coverage(baseline, &with, CoverageLevel::L1));
-            }
+            let stats: Vec<_> = baselines
+                .iter()
+                .map(|baseline| {
+                    let with = cursor.next().expect("sms run");
+                    config.coverage(&baseline.summary, &with.summary, CoverageLevel::L1)
+                })
+                .collect();
             result.points.push(IndexingPoint {
-                class,
+                class: *class,
                 scheme,
                 average: class_average(&stats),
             });
         }
     }
+    assert!(
+        cursor.next().is_none(),
+        "job declaration and result post-processing fell out of sync"
+    );
     result
 }
 

@@ -1,10 +1,11 @@
 //! Figure 7: PHT storage sensitivity for PC+address versus PC+offset
 //! indexing (16-way set-associative finite PHTs).
 
-use crate::common::{class_applications, class_average, ExperimentConfig};
+use crate::common::{class_average, classes_with_applications, ExperimentConfig};
 use crate::report::Table;
+use engine::{PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
-use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig, SmsPrefetcher};
+use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig};
 use trace::ApplicationClass;
 
 /// PHT sizes swept by the paper (`None` is the unbounded table).
@@ -40,6 +41,40 @@ fn capacity(entries: Option<usize>) -> PhtCapacity {
     }
 }
 
+fn schemes_or_default(schemes: &[IndexScheme]) -> Vec<IndexScheme> {
+    if schemes.is_empty() {
+        vec![IndexScheme::PcAddress, IndexScheme::PcOffset]
+    } else {
+        schemes.to_vec()
+    }
+}
+
+/// The engine jobs this figure declares: per class, one baseline per
+/// application followed by one SMS job per (scheme, PHT size, application).
+pub fn jobs(
+    config: &ExperimentConfig,
+    representative_only: bool,
+    schemes: &[IndexScheme],
+) -> Vec<SimJob> {
+    let schemes = schemes_or_default(schemes);
+    let mut jobs = Vec::new();
+    for (_, apps) in classes_with_applications(representative_only) {
+        for &app in &apps {
+            jobs.push(config.baseline_job(app));
+        }
+        for &scheme in &schemes {
+            for &entries in &PHT_SIZES {
+                for &app in &apps {
+                    let sms_config = SmsConfig::idealized(scheme, RegionConfig::paper_default())
+                        .with_pht(capacity(entries));
+                    jobs.push(config.job(app, PrefetcherSpec::Sms(sms_config)));
+                }
+            }
+        }
+    }
+    jobs
+}
+
 /// Runs the Figure 7 experiment for the given schemes (defaults to the
 /// paper's PC+address vs PC+offset comparison when `schemes` is empty).
 pub fn run(
@@ -47,27 +82,28 @@ pub fn run(
     representative_only: bool,
     schemes: &[IndexScheme],
 ) -> Fig7Result {
-    let schemes: Vec<IndexScheme> = if schemes.is_empty() {
-        vec![IndexScheme::PcAddress, IndexScheme::PcOffset]
-    } else {
-        schemes.to_vec()
-    };
+    let classes = classes_with_applications(representative_only);
+    let results = config.run_jobs(&jobs(config, representative_only, schemes));
+    let schemes = schemes_or_default(schemes);
+    let mut cursor = results.iter();
+
     let mut result = Fig7Result::default();
-    for class in ApplicationClass::ALL {
-        let apps = class_applications(class, representative_only);
-        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+    for (class, apps) in &classes {
+        let baselines: Vec<_> = apps
+            .iter()
+            .map(|_| cursor.next().expect("baseline"))
+            .collect();
         for &scheme in &schemes {
             for &entries in &PHT_SIZES {
-                let mut stats = Vec::new();
-                for (app, baseline) in apps.iter().zip(&baselines) {
-                    let sms_config = SmsConfig::idealized(scheme, RegionConfig::paper_default())
-                        .with_pht(capacity(entries));
-                    let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
-                    let with = config.run_with(*app, &mut sms);
-                    stats.push(config.coverage(baseline, &with, CoverageLevel::L1));
-                }
+                let stats: Vec<_> = baselines
+                    .iter()
+                    .map(|baseline| {
+                        let with = cursor.next().expect("sms run");
+                        config.coverage(&baseline.summary, &with.summary, CoverageLevel::L1)
+                    })
+                    .collect();
                 result.points.push(PhtSizePoint {
-                    class,
+                    class: *class,
                     scheme,
                     pht_entries: entries,
                     coverage: class_average(&stats).coverage,
@@ -75,6 +111,10 @@ pub fn run(
             }
         }
     }
+    assert!(
+        cursor.next().is_none(),
+        "job declaration and result post-processing fell out of sync"
+    );
     result
 }
 

@@ -1,10 +1,11 @@
 //! Figure 8: comparison of training structures (decoupled sectored, logical
 //! sectored, AGT) with an unbounded PHT.
 
-use crate::common::{class_applications, ExperimentConfig};
+use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
+use engine::{PrefetcherSpec, SimJob, TrainingSpec};
 use serde::{Deserialize, Serialize};
-use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, TrainerKind, TrainingPrefetcher};
+use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, TrainerKind};
 use stats::mean;
 use trace::ApplicationClass;
 
@@ -33,37 +34,71 @@ pub struct Fig8Result {
     pub points: Vec<TrainingPoint>,
 }
 
+/// The training-prefetcher spec this figure evaluates.
+fn training_spec(
+    config: &ExperimentConfig,
+    trainer: TrainerKind,
+    pht: PhtCapacity,
+) -> TrainingSpec {
+    TrainingSpec {
+        trainer,
+        region: RegionConfig::paper_default(),
+        index_scheme: IndexScheme::PcOffset,
+        pht,
+        l1_capacity_bytes: config.hierarchy.l1.capacity_bytes,
+    }
+}
+
+/// The engine jobs this figure declares: per class, one baseline per
+/// application followed by one training run per (trainer, application).
+pub fn jobs(config: &ExperimentConfig, representative_only: bool, pht: PhtCapacity) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for (_, apps) in classes_with_applications(representative_only) {
+        for &app in &apps {
+            jobs.push(config.baseline_job(app));
+        }
+        for trainer in TrainerKind::ALL {
+            for &app in &apps {
+                jobs.push(config.job(
+                    app,
+                    PrefetcherSpec::Training(training_spec(config, trainer, pht)),
+                ));
+            }
+        }
+    }
+    jobs
+}
+
 /// Runs the Figure 8 experiment with the given PHT bound (the paper uses an
 /// unbounded PHT for this figure; Figure 9 sweeps the bound).
 pub fn run(config: &ExperimentConfig, representative_only: bool, pht: PhtCapacity) -> Fig8Result {
+    let classes = classes_with_applications(representative_only);
+    let results = config.run_jobs(&jobs(config, representative_only, pht));
+    let mut cursor = results.iter();
+
     let mut result = Fig8Result::default();
-    for class in ApplicationClass::ALL {
-        let apps = class_applications(class, representative_only);
-        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+    for (class, apps) in &classes {
+        let baselines: Vec<_> = apps
+            .iter()
+            .map(|_| cursor.next().expect("baseline"))
+            .collect();
         for trainer in TrainerKind::ALL {
             let mut coverages = Vec::new();
             let mut uncovered = Vec::new();
             let mut overpredictions = Vec::new();
             let mut pht_entries = Vec::new();
-            for (app, baseline) in apps.iter().zip(&baselines) {
-                let mut prefetcher = TrainingPrefetcher::new(
-                    config.cpus,
-                    trainer,
-                    RegionConfig::paper_default(),
-                    IndexScheme::PcOffset,
-                    pht,
-                    config.hierarchy.l1.capacity_bytes,
-                );
-                let with = config.run_with(*app, &mut prefetcher);
-                let cov = config.coverage(baseline, &with, CoverageLevel::L1);
-                let extra = prefetcher.extra_misses() as f64 / cov.baseline_misses.max(1) as f64;
+            for baseline in &baselines {
+                let with = cursor.next().expect("training run");
+                let (extra_misses, pht_len) = with.probe.training().expect("training job");
+                let cov = config.coverage(&baseline.summary, &with.summary, CoverageLevel::L1);
+                let extra = extra_misses as f64 / cov.baseline_misses.max(1) as f64;
                 coverages.push((cov.coverage() - extra).max(-1.0));
                 uncovered.push(cov.uncovered() + extra);
                 overpredictions.push(cov.overprediction_fraction());
-                pht_entries.push(prefetcher.pht_len() as f64);
+                pht_entries.push(pht_len as f64);
             }
             result.points.push(TrainingPoint {
-                class,
+                class: *class,
                 trainer,
                 coverage: mean(&coverages),
                 uncovered: mean(&uncovered),
@@ -72,6 +107,10 @@ pub fn run(config: &ExperimentConfig, representative_only: bool, pht: PhtCapacit
             });
         }
     }
+    assert!(
+        cursor.next().is_none(),
+        "job declaration and result post-processing fell out of sync"
+    );
     result
 }
 

@@ -1,10 +1,11 @@
 //! Figure 9: PHT storage sensitivity of the logical sectored trainer versus
 //! the AGT.
 
-use crate::common::{class_applications, ExperimentConfig};
+use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
+use engine::{PrefetcherSpec, SimJob, TrainingSpec};
 use serde::{Deserialize, Serialize};
-use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, TrainerKind, TrainingPrefetcher};
+use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, TrainerKind};
 use stats::mean;
 use trace::ApplicationClass;
 
@@ -41,34 +42,63 @@ fn capacity(entries: Option<usize>) -> PhtCapacity {
     }
 }
 
+/// The trainers this figure compares, in figure order.
+const TRAINERS: [TrainerKind; 2] = [TrainerKind::LogicalSectored, TrainerKind::Agt];
+
+/// The engine jobs this figure declares: per class, one baseline per
+/// application followed by one training run per (trainer, PHT size,
+/// application).
+pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for (_, apps) in classes_with_applications(representative_only) {
+        for &app in &apps {
+            jobs.push(config.baseline_job(app));
+        }
+        for trainer in TRAINERS {
+            for &entries in &PHT_SIZES {
+                for &app in &apps {
+                    jobs.push(config.job(
+                        app,
+                        PrefetcherSpec::Training(TrainingSpec {
+                            trainer,
+                            region: RegionConfig::paper_default(),
+                            index_scheme: IndexScheme::PcOffset,
+                            pht: capacity(entries),
+                            l1_capacity_bytes: config.hierarchy.l1.capacity_bytes,
+                        }),
+                    ));
+                }
+            }
+        }
+    }
+    jobs
+}
+
 /// Runs the Figure 9 experiment.
 pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig9Result {
-    let trainers = [TrainerKind::LogicalSectored, TrainerKind::Agt];
+    let classes = classes_with_applications(representative_only);
+    let results = config.run_jobs(&jobs(config, representative_only));
+    let mut cursor = results.iter();
+
     let mut result = Fig9Result::default();
-    for class in ApplicationClass::ALL {
-        let apps = class_applications(class, representative_only);
-        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
-        for trainer in trainers {
+    for (class, apps) in &classes {
+        let baselines: Vec<_> = apps
+            .iter()
+            .map(|_| cursor.next().expect("baseline"))
+            .collect();
+        for trainer in TRAINERS {
             for &entries in &PHT_SIZES {
-                let mut coverages = Vec::new();
-                for (app, baseline) in apps.iter().zip(&baselines) {
-                    let mut prefetcher = TrainingPrefetcher::new(
-                        config.cpus,
-                        trainer,
-                        RegionConfig::paper_default(),
-                        IndexScheme::PcOffset,
-                        capacity(entries),
-                        config.hierarchy.l1.capacity_bytes,
-                    );
-                    let with = config.run_with(*app, &mut prefetcher);
-                    coverages.push(
+                let coverages: Vec<f64> = baselines
+                    .iter()
+                    .map(|baseline| {
+                        let with = cursor.next().expect("training run");
                         config
-                            .coverage(baseline, &with, CoverageLevel::L1)
-                            .coverage(),
-                    );
-                }
+                            .coverage(&baseline.summary, &with.summary, CoverageLevel::L1)
+                            .coverage()
+                    })
+                    .collect();
                 result.points.push(PhtTrainingPoint {
-                    class,
+                    class: *class,
                     trainer,
                     pht_entries: entries,
                     coverage: mean(&coverages),
@@ -76,6 +106,10 @@ pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig9Result {
             }
         }
     }
+    assert!(
+        cursor.next().is_none(),
+        "job declaration and result post-processing fell out of sync"
+    );
     result
 }
 

@@ -1,10 +1,11 @@
 //! Figure 10: coverage versus spatial region size (PC+offset indexing, AGT
 //! training, unbounded PHT).
 
-use crate::common::{class_applications, ExperimentConfig};
+use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
+use engine::{PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
-use sms::{CoverageLevel, IndexScheme, RegionConfig, SmsConfig, SmsPrefetcher};
+use sms::{CoverageLevel, IndexScheme, RegionConfig, SmsConfig};
 use stats::mean;
 use trace::ApplicationClass;
 
@@ -29,32 +30,59 @@ pub struct Fig10Result {
     pub points: Vec<RegionSizePoint>,
 }
 
-/// Runs the Figure 10 experiment.
-pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig10Result {
-    let mut result = Fig10Result::default();
-    for class in ApplicationClass::ALL {
-        let apps = class_applications(class, representative_only);
-        let baselines: Vec<_> = apps.iter().map(|&app| config.run_baseline(app)).collect();
+/// The engine jobs this figure declares: per class, one baseline per
+/// application followed by one idealized-SMS job per (region size,
+/// application).
+pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for (_, apps) in classes_with_applications(representative_only) {
+        for &app in &apps {
+            jobs.push(config.baseline_job(app));
+        }
         for &region_bytes in &REGION_SIZES {
             let region = RegionConfig::new(region_bytes, 64);
-            let mut coverages = Vec::new();
-            for (app, baseline) in apps.iter().zip(&baselines) {
+            for &app in &apps {
                 let sms_config = SmsConfig::idealized(IndexScheme::PcOffset, region);
-                let mut sms = SmsPrefetcher::new(config.cpus, &sms_config);
-                let with = config.run_with(*app, &mut sms);
-                coverages.push(
-                    config
-                        .coverage(baseline, &with, CoverageLevel::L1)
-                        .coverage(),
-                );
+                jobs.push(config.job(app, PrefetcherSpec::Sms(sms_config)));
             }
+        }
+    }
+    jobs
+}
+
+/// Runs the Figure 10 experiment.
+pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig10Result {
+    let classes = classes_with_applications(representative_only);
+    let results = config.run_jobs(&jobs(config, representative_only));
+    let mut cursor = results.iter();
+
+    let mut result = Fig10Result::default();
+    for (class, apps) in &classes {
+        let baselines: Vec<_> = apps
+            .iter()
+            .map(|_| cursor.next().expect("baseline"))
+            .collect();
+        for &region_bytes in &REGION_SIZES {
+            let coverages: Vec<f64> = baselines
+                .iter()
+                .map(|baseline| {
+                    let with = cursor.next().expect("sms run");
+                    config
+                        .coverage(&baseline.summary, &with.summary, CoverageLevel::L1)
+                        .coverage()
+                })
+                .collect();
             result.points.push(RegionSizePoint {
-                class,
+                class: *class,
                 region_bytes,
                 coverage: mean(&coverages),
             });
         }
     }
+    assert!(
+        cursor.next().is_none(),
+        "job declaration and result post-processing fell out of sync"
+    );
     result
 }
 

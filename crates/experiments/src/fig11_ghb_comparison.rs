@@ -4,9 +4,10 @@
 
 use crate::common::ExperimentConfig;
 use crate::report::Table;
-use ghb::{GhbConfig, GhbPrefetcher};
+use engine::{PrefetcherSpec, SimJob};
+use ghb::GhbConfig;
 use serde::{Deserialize, Serialize};
-use sms::{CoverageLevel, CoverageStats, SmsConfig, SmsPrefetcher};
+use sms::{CoverageLevel, CoverageStats, SmsConfig};
 use trace::Application;
 
 /// The prefetchers compared in Figure 11.
@@ -37,6 +38,15 @@ impl Fig11Prefetcher {
             Fig11Prefetcher::Sms => "SMS",
         }
     }
+
+    /// The engine spec for this configuration.
+    pub fn spec(self) -> PrefetcherSpec {
+        match self {
+            Fig11Prefetcher::Ghb256 => PrefetcherSpec::Ghb(GhbConfig::paper_small()),
+            Fig11Prefetcher::Ghb16k => PrefetcherSpec::Ghb(GhbConfig::paper_large()),
+            Fig11Prefetcher::Sms => PrefetcherSpec::Sms(SmsConfig::paper_default()),
+        }
+    }
 }
 
 /// Result for one (application, prefetcher) pair.
@@ -57,6 +67,19 @@ pub struct Fig11Result {
     pub points: Vec<Fig11Point>,
 }
 
+/// The engine jobs this figure declares: per application, one baseline
+/// followed by the three compared prefetcher configurations.
+pub fn jobs(config: &ExperimentConfig, apps: &[Application]) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for &app in apps {
+        jobs.push(config.baseline_job(app));
+        for prefetcher in Fig11Prefetcher::ALL {
+            jobs.push(config.job(app, prefetcher.spec()));
+        }
+    }
+    jobs
+}
+
 /// Runs the Figure 11 experiment over `apps` (the full suite when empty).
 pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig11Result {
     let apps: Vec<Application> = if apps.is_empty() {
@@ -64,31 +87,25 @@ pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig11Result {
     } else {
         apps.to_vec()
     };
+    let results = config.run_jobs(&jobs(config, &apps));
+    let mut cursor = results.iter();
+
     let mut result = Fig11Result::default();
     for app in apps {
-        let baseline = config.run_baseline(app);
+        let baseline = cursor.next().expect("baseline");
         for prefetcher in Fig11Prefetcher::ALL {
-            let with = match prefetcher {
-                Fig11Prefetcher::Ghb256 => {
-                    let mut p = GhbPrefetcher::new(config.cpus, &GhbConfig::paper_small());
-                    config.run_with(app, &mut p)
-                }
-                Fig11Prefetcher::Ghb16k => {
-                    let mut p = GhbPrefetcher::new(config.cpus, &GhbConfig::paper_large());
-                    config.run_with(app, &mut p)
-                }
-                Fig11Prefetcher::Sms => {
-                    let mut p = SmsPrefetcher::new(config.cpus, &SmsConfig::paper_default());
-                    config.run_with(app, &mut p)
-                }
-            };
+            let with = cursor.next().expect("prefetcher run");
             result.points.push(Fig11Point {
                 app,
                 prefetcher,
-                coverage: config.coverage(&baseline, &with, CoverageLevel::L2),
+                coverage: config.coverage(&baseline.summary, &with.summary, CoverageLevel::L2),
             });
         }
     }
+    assert!(
+        cursor.next().is_none(),
+        "job declaration and result post-processing fell out of sync"
+    );
     result
 }
 

@@ -3,11 +3,11 @@
 
 use crate::common::ExperimentConfig;
 use crate::report::Table;
-use memsim::NullPrefetcher;
+use engine::{PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
-use sms::{SmsConfig, SmsPrefetcher};
+use sms::SmsConfig;
 use stats::{geometric_mean, ConfidenceInterval};
-use timing::{speedup_with_ci, TimingConfig, TimingModel, TimingResult};
+use timing::{speedup_with_ci, TimingConfig, TimingResult};
 use trace::{Application, ApplicationClass};
 
 /// Number of paired-sampling segments per run.
@@ -44,21 +44,68 @@ fn system_busy_fraction(class: ApplicationClass) -> f64 {
     }
 }
 
-/// Runs both timing evaluations (baseline and SMS) for one application.
-pub fn evaluate_app(config: &ExperimentConfig, app: Application) -> (TimingResult, TimingResult) {
+/// The pair of timing jobs (baseline, practical SMS) evaluating one
+/// application; shared with Figure 13.
+pub fn timing_jobs(config: &ExperimentConfig, app: Application) -> [SimJob; 2] {
     let timing =
         TimingConfig::table1().with_system_busy_fraction(system_busy_fraction(app.class()));
-    let model = TimingModel::new(config.hierarchy, config.cpus, timing);
-    let generator = config.generator();
+    [
+        config.timing_job(app, PrefetcherSpec::Null, timing, SEGMENTS),
+        config.timing_job(
+            app,
+            PrefetcherSpec::Sms(SmsConfig::paper_default()),
+            timing,
+            SEGMENTS,
+        ),
+    ]
+}
 
-    let mut base = NullPrefetcher::new();
-    let mut stream = app.stream(config.seed, &generator);
-    let base_result = model.evaluate(&mut base, &mut stream, config.accesses, SEGMENTS);
+/// The engine jobs this figure declares: a (baseline, SMS) timing pair per
+/// application.
+pub fn jobs(config: &ExperimentConfig, apps: &[Application]) -> Vec<SimJob> {
+    apps.iter()
+        .flat_map(|&app| timing_jobs(config, app))
+        .collect()
+}
 
-    let mut sms = SmsPrefetcher::new(config.cpus, &SmsConfig::paper_default());
-    let mut stream = app.stream(config.seed, &generator);
-    let sms_result = model.evaluate(&mut sms, &mut stream, config.accesses, SEGMENTS);
-    (base_result, sms_result)
+/// Executes the job list and returns, per application, the (baseline, SMS)
+/// timing result pair; shared with Figure 13.
+pub fn evaluate_apps(
+    config: &ExperimentConfig,
+    apps: &[Application],
+) -> Vec<(TimingResult, TimingResult)> {
+    config
+        .run_jobs(&jobs(config, apps))
+        .chunks_exact(2)
+        .map(|pair| {
+            let base = pair[0].timing.clone().expect("baseline timing job");
+            let sms = pair[1].timing.clone().expect("sms timing job");
+            (base, sms)
+        })
+        .collect()
+}
+
+/// Builds the figure from already-executed (baseline, SMS) timing pairs —
+/// shared with Figure 13 so an `all` run simulates each pair only once.
+pub fn from_evaluations(
+    apps: &[Application],
+    evaluations: &[(TimingResult, TimingResult)],
+) -> Fig12Result {
+    assert_eq!(apps.len(), evaluations.len(), "one timing pair per app");
+    let mut result = Fig12Result::default();
+    let mut aggregates = Vec::new();
+    for (app, (base_result, sms_result)) in apps.iter().zip(evaluations) {
+        let ci = speedup_with_ci(base_result, sms_result);
+        let aggregate = base_result.total_cycles / sms_result.total_cycles.max(1e-9);
+        aggregates.push(aggregate);
+        result.points.push(SpeedupPoint {
+            app: *app,
+            speedup: ci,
+            aggregate,
+        });
+    }
+    result.geometric_mean = geometric_mean(&aggregates);
+    result
 }
 
 /// Runs the Figure 12 experiment over `apps` (the full suite when empty).
@@ -68,21 +115,7 @@ pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig12Result {
     } else {
         apps.to_vec()
     };
-    let mut result = Fig12Result::default();
-    let mut aggregates = Vec::new();
-    for app in apps {
-        let (base_result, sms_result) = evaluate_app(config, app);
-        let ci = speedup_with_ci(&base_result, &sms_result);
-        let aggregate = base_result.total_cycles / sms_result.total_cycles.max(1e-9);
-        aggregates.push(aggregate);
-        result.points.push(SpeedupPoint {
-            app,
-            speedup: ci,
-            aggregate,
-        });
-    }
-    result.geometric_mean = geometric_mean(&aggregates);
-    result
+    from_evaluations(&apps, &evaluate_apps(config, &apps))
 }
 
 /// Renders the figure as a text table.

@@ -2,11 +2,15 @@
 //! systems, per application.
 
 use crate::common::ExperimentConfig;
-use crate::fig12_speedup::evaluate_app;
+use crate::fig12_speedup::evaluate_apps;
 use crate::report::Table;
 use serde::{Deserialize, Serialize};
-use timing::BreakdownComparison;
+use timing::{BreakdownComparison, TimingResult};
 use trace::Application;
+
+/// This figure evaluates exactly the (baseline, SMS) timing pairs of
+/// Figure 12, so it shares that figure's job declaration.
+pub use crate::fig12_speedup::jobs;
 
 /// Breakdown comparison for one application.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,6 +28,23 @@ pub struct Fig13Result {
     pub points: Vec<BreakdownPoint>,
 }
 
+/// Builds the figure from already-executed (baseline, SMS) timing pairs —
+/// shared with Figure 12 so an `all` run simulates each pair only once.
+pub fn from_evaluations(
+    apps: &[Application],
+    evaluations: &[(TimingResult, TimingResult)],
+) -> Fig13Result {
+    assert_eq!(apps.len(), evaluations.len(), "one timing pair per app");
+    let mut result = Fig13Result::default();
+    for (app, (base_result, sms_result)) in apps.iter().zip(evaluations) {
+        result.points.push(BreakdownPoint {
+            app: *app,
+            comparison: BreakdownComparison::new(base_result, sms_result),
+        });
+    }
+    result
+}
+
 /// Runs the Figure 13 experiment over `apps` (the full suite when empty).
 pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig13Result {
     let apps: Vec<Application> = if apps.is_empty() {
@@ -31,15 +52,7 @@ pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig13Result {
     } else {
         apps.to_vec()
     };
-    let mut result = Fig13Result::default();
-    for app in apps {
-        let (base_result, sms_result) = evaluate_app(config, app);
-        result.points.push(BreakdownPoint {
-            app,
-            comparison: BreakdownComparison::new(&base_result, &sms_result),
-        });
-    }
-    result
+    from_evaluations(&apps, &evaluate_apps(config, &apps))
 }
 
 /// Renders the figure as a text table (two rows per application).

@@ -5,11 +5,16 @@
 //! section on the synthetic workload suite, printing the same rows/series the
 //! paper reports (coverage, uncovered and overprediction fractions, miss-rate
 //! curves, speedups with confidence intervals, execution-time breakdowns).
-//! The `sms-experiments` binary exposes them on the command line:
+//! Every module *declares* its simulations as an [`engine::SimJob`] list
+//! (see each module's `jobs` function) and post-processes the
+//! [`engine::JobResult`]s; the engine executes the list across worker
+//! threads with results bit-identical to a serial run.  The
+//! `sms-experiments` binary exposes the figures on the command line:
 //!
 //! ```text
 //! sms-experiments all            # regenerate everything (slow)
 //! sms-experiments fig6 --quick   # one figure, reduced trace length
+//! sms-experiments --figure fig05 --jobs 2 --json out.json
 //! ```
 //!
 //! Absolute numbers differ from the paper — the substrate is a trace-driven

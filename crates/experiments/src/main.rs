@@ -4,12 +4,16 @@
 //! Usage:
 //!
 //! ```text
-//! sms-experiments <experiment> [--quick] [--json <path>]
+//! sms-experiments <experiment> [--quick] [--jobs N] [--json <path>]
+//! sms-experiments --figure <experiment> [--quick] [--jobs N] [--json <path>]
 //!
 //! experiments: all, table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
-//!              agt-size, fig11, fig12, fig13
-//! --quick      use shorter traces and representative applications per class
-//! --json PATH  additionally dump the raw results as JSON
+//!              agt-size, fig11, fig12, fig13 (leading zeros accepted: fig05)
+//! --figure NAME  name the experiment as a flag instead of positionally
+//! --quick        use shorter traces and representative applications per class
+//! --jobs N       engine worker threads (default: all hardware threads;
+//!                1 forces the serial path)
+//! --json PATH    additionally dump the raw results as JSON
 //! ```
 
 use experiments::common::ExperimentConfig;
@@ -22,6 +26,7 @@ use serde::Serialize;
 use sms::PhtCapacity;
 use std::process::ExitCode;
 use timing::TimingConfig;
+use trace::Application;
 
 #[derive(Debug, Default, Serialize)]
 struct JsonDump {
@@ -40,29 +45,57 @@ struct JsonDump {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> [--quick] [--json PATH]"
+        "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> [--quick] [--jobs N] [--json PATH]"
     );
     ExitCode::from(2)
 }
 
+/// Canonicalizes an experiment name: lowercase, zero-padded figure numbers
+/// accepted ("fig05" and "fig5" both select Figure 5).
+fn normalize_experiment(name: &str) -> String {
+    let name = name.to_ascii_lowercase();
+    match name.strip_prefix("fig").and_then(|n| n.parse::<u32>().ok()) {
+        Some(number) => format!("fig{number}"),
+        None => name,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        return usage();
-    }
-    let experiment = args[0].to_ascii_lowercase();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    // The experiment is named positionally or via --figure.
+    let experiment = match flag_value("--figure") {
+        Some(name) => name,
+        None => match args.first() {
+            Some(first) if !first.starts_with("--") => first.clone(),
+            _ => return usage(),
+        },
+    };
+    let experiment = normalize_experiment(&experiment);
     let quick = args.iter().any(|a| a == "--quick");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let json_path = flag_value("--json");
+    let workers = match flag_value("--jobs") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--jobs expects a number, got {n:?}");
+                return usage();
+            }
+        },
+        None => 0,
+    };
 
     let config = if quick {
         ExperimentConfig::quick()
     } else {
         ExperimentConfig::full()
-    };
+    }
+    .with_workers(workers);
     // Quick runs restrict class-level experiments to representative
     // applications; full runs use the whole suite.
     let representative_only = quick;
@@ -129,15 +162,21 @@ fn main() -> ExitCode {
         println!("{}", fig11_ghb_comparison::table(&r));
         dump.fig11 = Some(r);
     }
-    if want("fig12") {
-        let r = fig12_speedup::run(&config, &[]);
-        println!("{}", fig12_speedup::table(&r));
-        dump.fig12 = Some(r);
-    }
-    if want("fig13") {
-        let r = fig13_breakdown::run(&config, &[]);
-        println!("{}", fig13_breakdown::table(&r));
-        dump.fig13 = Some(r);
+    if want("fig12") || want("fig13") {
+        // Figures 12 and 13 post-process the same (baseline, SMS) timing
+        // evaluations, so an `all` run executes the job list only once.
+        let apps = Application::ALL;
+        let evaluations = fig12_speedup::evaluate_apps(&config, &apps);
+        if want("fig12") {
+            let r = fig12_speedup::from_evaluations(&apps, &evaluations);
+            println!("{}", fig12_speedup::table(&r));
+            dump.fig12 = Some(r);
+        }
+        if want("fig13") {
+            let r = fig13_breakdown::from_evaluations(&apps, &evaluations);
+            println!("{}", fig13_breakdown::table(&r));
+            dump.fig13 = Some(r);
+        }
     }
 
     if let Some(path) = json_path {

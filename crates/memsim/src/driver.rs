@@ -3,19 +3,29 @@
 //! [`run`] pushes accesses from a stream through a [`MultiCpuSystem`], lets a
 //! [`Prefetcher`] react to every outcome, applies the requested fills, and
 //! accumulates a [`RunSummary`] of per-level statistics and miss breakdowns.
+//!
+//! [`run_job`] is the self-contained variant used by the `engine` crate: a
+//! [`SimJob`] fully describes one run (trace, system, prefetcher spec, access
+//! budget and seed) so that jobs can be executed on any thread and always
+//! reproduce bit-identical summaries.
 
 use crate::classify::MissBreakdown;
-use crate::prefetch::{PrefetchLevel, Prefetcher};
+use crate::config::HierarchyConfig;
+use crate::prefetch::{NullPrefetcher, PrefetchLevel, Prefetcher};
 use crate::stats::CacheStats;
 use crate::system::MultiCpuSystem;
 use serde::{Deserialize, Serialize};
-use trace::MemAccess;
+use trace::{Application, GeneratorConfig, MemAccess};
 
 /// Aggregate results of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
     /// Number of demand accesses simulated.
     pub accesses: u64,
+    /// Accesses naming CPUs outside the simulated system, dropped without
+    /// touching any cache.  Always zero when the trace generator and the
+    /// system agree on the processor count.
+    pub skipped_accesses: u64,
     /// L1 statistics summed over all processors.
     pub l1: CacheStats,
     /// L2 statistics summed over all processors.
@@ -49,12 +59,84 @@ impl RunSummary {
     }
 }
 
+/// Builds a [`Prefetcher`] from a (typically serializable) specification.
+///
+/// The driver and the `engine` crate construct prefetchers from specs rather
+/// than taking live instances, so a [`SimJob`] can be shipped to any worker
+/// thread and instantiated there.  Implementations must be deterministic:
+/// building twice from the same spec yields prefetchers with identical
+/// behavior.
+pub trait PrefetcherFactory {
+    /// The concrete prefetcher this factory builds.
+    type Output: Prefetcher;
+
+    /// Instantiates a fresh prefetcher for a `num_cpus`-processor system.
+    fn build(&self, num_cpus: usize) -> Self::Output;
+}
+
+impl<F: PrefetcherFactory> PrefetcherFactory for &F {
+    type Output = F::Output;
+
+    fn build(&self, num_cpus: usize) -> Self::Output {
+        (*self).build(num_cpus)
+    }
+}
+
+/// The stateless null prefetcher is its own factory.
+impl PrefetcherFactory for NullPrefetcher {
+    type Output = NullPrefetcher;
+
+    fn build(&self, _num_cpus: usize) -> NullPrefetcher {
+        NullPrefetcher::new()
+    }
+}
+
+/// A complete, self-contained description of one simulation run: which trace
+/// to generate, what system to build, which prefetcher to attach, and how
+/// many accesses to simulate.
+///
+/// Jobs own no live state — the stream generator and the prefetcher are both
+/// constructed from the job when it runs — so the same job always produces a
+/// bit-identical [`RunSummary`], regardless of which thread executes it.
+#[derive(Debug, Clone)]
+pub struct SimJob<F> {
+    /// Workload whose synthetic trace feeds the run.
+    pub app: Application,
+    /// Trace-generator parameters (CPU count, data-set size, sharing).
+    pub generator: GeneratorConfig,
+    /// Seed for the deterministic trace generator.
+    pub seed: u64,
+    /// Number of simulated processors.
+    pub cpus: usize,
+    /// Cache hierarchy configuration.
+    pub hierarchy: HierarchyConfig,
+    /// Prefetcher specification, instantiated when the job runs.
+    pub prefetcher: F,
+    /// Demand accesses to simulate.
+    pub accesses: usize,
+}
+
+/// Runs one [`SimJob`] from scratch: builds the system, instantiates the
+/// prefetcher from its spec, generates the trace from the job's seed, and
+/// drives [`run`].
+///
+/// The built prefetcher is returned alongside the summary so callers can
+/// extract post-run state (predictor counters, observer histograms).
+pub fn run_job<F: PrefetcherFactory>(job: &SimJob<F>) -> (RunSummary, F::Output) {
+    let mut system = MultiCpuSystem::new(job.cpus, &job.hierarchy);
+    let mut prefetcher = job.prefetcher.build(job.cpus);
+    let mut stream = job.app.stream(job.seed, &job.generator);
+    let summary = run(&mut system, &mut prefetcher, &mut stream, job.accesses);
+    (summary, prefetcher)
+}
+
 /// Runs `num_accesses` accesses from `stream` through `system` with
 /// `prefetcher` attached.
 ///
-/// Accesses naming CPUs outside the system are skipped (the generators are
-/// normally configured with the same CPU count as the system, so this is a
-/// defensive measure, not an expected path).
+/// Accesses naming CPUs outside the system are dropped and counted in
+/// [`RunSummary::skipped_accesses`] (the generators are normally configured
+/// with the same CPU count as the system, so this is a defensive measure,
+/// not an expected path).
 pub fn run<S>(
     system: &mut MultiCpuSystem,
     prefetcher: &mut dyn Prefetcher,
@@ -67,6 +149,7 @@ where
     let mut summary = RunSummary::default();
     for access in stream.take(num_accesses) {
         if (access.cpu as usize) >= system.num_cpus() {
+            summary.skipped_accesses += 1;
             continue;
         }
         let outcome = system.access(&access);
@@ -119,6 +202,7 @@ mod tests {
             .collect();
         let summary = run(&mut sys, &mut p, &mut accesses.into_iter(), 100);
         assert_eq!(summary.accesses, 100);
+        assert_eq!(summary.skipped_accesses, 0);
         assert_eq!(summary.l1.read_misses, 100);
         assert!(summary.l1_read_mpki() > 999.0);
     }
@@ -165,7 +249,7 @@ mod tests {
     }
 
     #[test]
-    fn accesses_to_unknown_cpus_are_skipped() {
+    fn accesses_to_unknown_cpus_are_skipped_and_counted() {
         let mut sys = MultiCpuSystem::new(1, &tiny_config());
         let mut p = NullPrefetcher::new();
         let accesses = vec![
@@ -174,5 +258,44 @@ mod tests {
         ];
         let summary = run(&mut sys, &mut p, &mut accesses.into_iter(), 10);
         assert_eq!(summary.accesses, 1);
+        assert_eq!(summary.skipped_accesses, 1);
+    }
+
+    #[test]
+    fn run_job_is_reproducible_and_skips_nothing() {
+        let job = SimJob {
+            app: Application::OltpDb2,
+            generator: GeneratorConfig::default().with_cpus(2),
+            seed: 7,
+            cpus: 2,
+            hierarchy: HierarchyConfig::scaled(),
+            prefetcher: NullPrefetcher::new(),
+            accesses: 5_000,
+        };
+        let (first, _) = run_job(&job);
+        let (second, _) = run_job(&job);
+        assert_eq!(first, second, "same job must give bit-identical summaries");
+        assert_eq!(first.accesses, 5_000);
+        // A well-formed job pairs generator and system CPU counts, so nothing
+        // is silently dropped.
+        assert_eq!(first.skipped_accesses, 0);
+    }
+
+    #[test]
+    fn mismatched_generator_reports_skips() {
+        // Generator emits accesses for 4 CPUs but the system only has 2:
+        // roughly half the stream must be counted as skipped.
+        let job = SimJob {
+            app: Application::Ocean,
+            generator: GeneratorConfig::default().with_cpus(4),
+            seed: 7,
+            cpus: 2,
+            hierarchy: HierarchyConfig::scaled(),
+            prefetcher: NullPrefetcher::new(),
+            accesses: 4_000,
+        };
+        let (summary, _) = run_job(&job);
+        assert!(summary.skipped_accesses > 0, "mismatch must be visible");
+        assert_eq!(summary.accesses + summary.skipped_accesses, 4_000);
     }
 }

@@ -31,13 +31,14 @@
 //!
 //! let mut base = NullPrefetcher::new();
 //! let mut stream = Application::Sparse.stream(1, &gen_cfg);
-//! let base_result = model.evaluate(&mut base, &mut stream, 20_000, 10);
+//! let (base_result, base_summary) = model.evaluate(&mut base, &mut stream, 20_000, 10);
 //!
 //! let mut sms = SmsPrefetcher::new(2, &SmsConfig::default());
 //! let mut stream = Application::Sparse.stream(1, &gen_cfg);
-//! let sms_result = model.evaluate(&mut sms, &mut stream, 20_000, 10);
+//! let (sms_result, _) = model.evaluate(&mut sms, &mut stream, 20_000, 10);
 //!
 //! assert!(sms_result.total_cycles <= base_result.total_cycles);
+//! assert_eq!(base_summary.accesses, 20_000);
 //! ```
 
 #![warn(missing_docs)]

@@ -8,6 +8,10 @@ use std::collections::VecDeque;
 use trace::MemAccess;
 
 /// Result of evaluating one system configuration on a trace.
+///
+/// The underlying cache-simulation [`RunSummary`] is returned alongside this
+/// by [`TimingModel::evaluate`] rather than embedded, so callers that carry
+/// both (such as the engine's job results) hold exactly one copy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingResult {
     /// Estimated total cycles summed over all processors.
@@ -18,8 +22,6 @@ pub struct TimingResult {
     pub segment_cycles: Vec<f64>,
     /// Demand accesses simulated (the unit of completed work).
     pub accesses: u64,
-    /// The underlying cache-simulation summary.
-    pub summary: RunSummary,
 }
 
 impl TimingResult {
@@ -88,7 +90,8 @@ impl TimingModel {
 
     /// Evaluates `num_accesses` accesses from `stream` with `prefetcher`
     /// attached, splitting the run into `segments` equal segments for paired
-    /// sampling.
+    /// sampling.  Returns the timing result together with the underlying
+    /// cache-simulation summary.
     ///
     /// # Panics
     ///
@@ -99,7 +102,7 @@ impl TimingModel {
         stream: &mut S,
         num_accesses: usize,
         segments: usize,
-    ) -> TimingResult
+    ) -> (TimingResult, RunSummary)
     where
         S: Iterator<Item = MemAccess> + ?Sized,
     {
@@ -112,10 +115,12 @@ impl TimingModel {
         let mut segment_cycles = vec![0.0; segments];
         let segment_len = (num_accesses / segments).max(1);
         let mut accesses_done: u64 = 0;
+        let mut skipped_accesses: u64 = 0;
         let mut prefetch_requests: u64 = 0;
 
         for access in stream.take(num_accesses) {
             if (access.cpu as usize) >= self.num_cpus {
+                skipped_accesses += 1;
                 continue;
             }
             let outcome = system.access(&access);
@@ -198,22 +203,24 @@ impl TimingModel {
             accesses_done += 1;
         }
 
-        let mut summary = RunSummary {
+        let summary = RunSummary {
             accesses: accesses_done,
+            skipped_accesses,
             l1: system.l1_stats_total(),
             l2: system.l2_stats_total(),
             l1_breakdown: *system.l1_breakdown(),
             l2_breakdown: *system.l2_breakdown(),
             prefetch_requests,
         };
-        summary.accesses = accesses_done;
-        TimingResult {
-            total_cycles: breakdown.total(),
-            breakdown,
-            segment_cycles,
-            accesses: accesses_done,
+        (
+            TimingResult {
+                total_cycles: breakdown.total(),
+                breakdown,
+                segment_cycles,
+                accesses: accesses_done,
+            },
             summary,
-        }
+        )
     }
 }
 
@@ -240,8 +247,10 @@ mod tests {
         let cfg = GeneratorConfig::default().with_cpus(1);
         let mut p = NullPrefetcher::new();
         let mut stream = Application::OltpDb2.stream(3, &cfg);
-        let r = m.evaluate(&mut p, &mut stream, 20_000, 8);
+        let (r, summary) = m.evaluate(&mut p, &mut stream, 20_000, 8);
         assert_eq!(r.accesses, 20_000);
+        assert_eq!(summary.accesses, 20_000);
+        assert_eq!(summary.skipped_accesses, 0);
         assert!((r.total_cycles - r.breakdown.total()).abs() < 1e-6);
         let seg_sum: f64 = r.segment_cycles.iter().sum();
         assert!((seg_sum - r.total_cycles).abs() < 1e-6);
@@ -254,10 +263,10 @@ mod tests {
         let cfg = GeneratorConfig::default().with_cpus(2);
         let mut base = NullPrefetcher::new();
         let mut stream = Application::Sparse.stream(5, &cfg);
-        let base_r = m.evaluate(&mut base, &mut stream, 40_000, 10);
+        let (base_r, _) = m.evaluate(&mut base, &mut stream, 40_000, 10);
         let mut sms = SmsPrefetcher::new(2, &SmsConfig::default());
         let mut stream = Application::Sparse.stream(5, &cfg);
-        let sms_r = m.evaluate(&mut sms, &mut stream, 40_000, 10);
+        let (sms_r, _) = m.evaluate(&mut sms, &mut stream, 40_000, 10);
         assert!(sms_r.total_cycles < base_r.total_cycles);
         assert!(sms_r.breakdown.offchip_read < base_r.breakdown.offchip_read);
     }
@@ -268,10 +277,10 @@ mod tests {
         let cfg = GeneratorConfig::default().with_cpus(1);
         let mut p = NullPrefetcher::new();
         let mut stream = Application::DssQry1.stream(4, &cfg);
-        let q1 = m.evaluate(&mut p, &mut stream, 40_000, 8);
+        let (q1, _) = m.evaluate(&mut p, &mut stream, 40_000, 8);
         let mut p = NullPrefetcher::new();
         let mut stream = Application::DssQry2.stream(4, &cfg);
-        let q2 = m.evaluate(&mut p, &mut stream, 40_000, 8);
+        let (q2, _) = m.evaluate(&mut p, &mut stream, 40_000, 8);
         assert!(
             q1.breakdown.store_buffer > q2.breakdown.store_buffer,
             "Qry1 ({}) should stall on stores more than Qry2 ({})",
@@ -290,7 +299,7 @@ mod tests {
         let cfg = GeneratorConfig::default().with_cpus(1);
         let mut p = NullPrefetcher::new();
         let mut stream = Application::WebApache.stream(2, &cfg);
-        let r = m.evaluate(&mut p, &mut stream, 10_000, 4);
+        let (r, _) = m.evaluate(&mut p, &mut stream, 10_000, 4);
         let busy = r.breakdown.user_busy + r.breakdown.system_busy;
         assert!((r.breakdown.system_busy / busy - 0.25).abs() < 1e-9);
     }

@@ -73,7 +73,6 @@ impl BreakdownComparison {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use memsim::RunSummary;
 
     fn result(cycles: &[f64], breakdown: TimeBreakdown, accesses: u64) -> TimingResult {
         TimingResult {
@@ -81,7 +80,6 @@ mod tests {
             breakdown,
             segment_cycles: cycles.to_vec(),
             accesses,
-            summary: RunSummary::default(),
         }
     }
 

@@ -2,7 +2,6 @@
 //! `timing::BreakdownComparison`: the paired-sample statistics and the
 //! Figure 13 normalization are checked against numbers worked out by hand.
 
-use memsim::RunSummary;
 use timing::{speedup_with_ci, BreakdownComparison, TimeBreakdown, TimingResult};
 
 fn result(cycles: &[f64], breakdown: TimeBreakdown, accesses: u64) -> TimingResult {
@@ -11,7 +10,6 @@ fn result(cycles: &[f64], breakdown: TimeBreakdown, accesses: u64) -> TimingResu
         breakdown,
         segment_cycles: cycles.to_vec(),
         accesses,
-        summary: RunSummary::default(),
     }
 }
 

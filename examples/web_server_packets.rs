@@ -40,10 +40,10 @@ fn main() {
         let model = TimingModel::new(hierarchy, cpus, timing);
         let mut base = NullPrefetcher::new();
         let mut stream = app.stream(9, &generator);
-        let base_result = model.evaluate(&mut base, &mut stream, accesses, 20);
+        let (base_result, _) = model.evaluate(&mut base, &mut stream, accesses, 20);
         let mut sms = SmsPrefetcher::new(cpus, &SmsConfig::paper_default());
         let mut stream = app.stream(9, &generator);
-        let sms_result = model.evaluate(&mut sms, &mut stream, accesses, 20);
+        let (sms_result, _) = model.evaluate(&mut sms, &mut stream, accesses, 20);
 
         let ci = speedup_with_ci(&base_result, &sms_result);
         let cmp = BreakdownComparison::new(&base_result, &sms_result);

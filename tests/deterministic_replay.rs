@@ -1,11 +1,16 @@
 //! Deterministic-replay regression tests: the trace generators and the cache
 //! simulator are pinned to exact, platform-independent behavior.  The same
 //! `GeneratorConfig` seed must produce a byte-identical `RunSummary` for every
-//! application, and the raw access streams themselves are pinned with golden
+//! application, the raw access streams themselves are pinned with golden
 //! hashes so that any accidental change to the generator RNG (or to the order
-//! in which generators consume random draws) is caught immediately.
+//! in which generators consume random draws) is caught immediately, and the
+//! parallel engine must reproduce the serial path bit for bit.
 
+use engine::{EngineConfig, PrefetcherSpec, SimJob};
+use ghb::GhbConfig;
 use memsim::{HierarchyConfig, MultiCpuSystem, NullPrefetcher, RunSummary};
+use sms::SmsConfig;
+use timing::TimingConfig;
 use trace::{AccessKind, Application, GeneratorConfig};
 
 const CPUS: usize = 2;
@@ -58,6 +63,74 @@ fn same_seed_gives_byte_identical_summaries() {
         let a = serde_json::to_string(&first).expect("serialize");
         let b = serde_json::to_string(&second).expect("serialize");
         assert_eq!(a, b, "{app}: serialized summaries must match byte for byte");
+    }
+}
+
+/// A mixed job list exercising every execution path of the engine: plain
+/// baselines, SMS, GHB, a density probe, and a timing-model job.
+fn engine_job_list() -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for (i, app) in [
+        Application::OltpDb2,
+        Application::DssQry1,
+        Application::WebApache,
+        Application::Ocean,
+        Application::Sparse,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let base = memsim::SimJob {
+            app,
+            generator: GeneratorConfig::default().with_cpus(CPUS),
+            seed: SEED + i as u64,
+            cpus: CPUS,
+            hierarchy: HierarchyConfig::scaled(),
+            prefetcher: PrefetcherSpec::Null,
+            accesses: ACCESSES,
+        };
+        jobs.push(SimJob::new(base.clone()));
+        jobs.push(SimJob::new(memsim::SimJob {
+            prefetcher: PrefetcherSpec::Sms(SmsConfig::paper_default()),
+            ..base.clone()
+        }));
+        jobs.push(SimJob::new(memsim::SimJob {
+            prefetcher: PrefetcherSpec::Ghb(GhbConfig::paper_small()),
+            ..base.clone()
+        }));
+        jobs.push(
+            SimJob::new(memsim::SimJob {
+                prefetcher: PrefetcherSpec::Sms(SmsConfig::paper_default()),
+                ..base
+            })
+            .with_timing(TimingConfig::table1(), 8),
+        );
+    }
+    jobs
+}
+
+#[test]
+fn parallel_engine_matches_serial_bit_for_bit() {
+    let jobs = engine_job_list();
+    let serial = engine::run_jobs_with(&jobs, &EngineConfig::serial());
+    let parallel = engine::run_jobs_with(&jobs, &EngineConfig::with_workers(4));
+    assert_eq!(serial.len(), jobs.len());
+    assert_eq!(
+        serial, parallel,
+        "4-worker engine results must be bit-identical to the serial path"
+    );
+    // Byte-identical, not merely `==`: serialize both result lists.
+    let a = serde_json::to_string(&serial).expect("serialize serial");
+    let b = serde_json::to_string(&parallel).expect("serialize parallel");
+    assert_eq!(a, b, "serialized results must match byte for byte");
+    for (i, result) in serial.iter().enumerate() {
+        assert_eq!(result.job_index, i, "results must come back in job order");
+        // Well-formed jobs pair generator and system CPU counts, so the
+        // engine must never silently drop accesses.
+        assert_eq!(
+            result.summary.skipped_accesses, 0,
+            "job {i} silently skipped accesses"
+        );
     }
 }
 

@@ -35,6 +35,10 @@ fn every_application_runs_and_sms_covers_misses() {
     for app in Application::ALL {
         let base = baseline(app);
         assert_eq!(base.accesses, ACCESSES as u64, "{app}: wrong access count");
+        debug_assert_eq!(
+            base.skipped_accesses, 0,
+            "{app}: no access may be silently dropped"
+        );
         assert!(base.l1.read_misses > 0, "{app}: baseline must miss");
 
         let sms = with_sms(app);

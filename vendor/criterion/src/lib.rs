@@ -5,7 +5,9 @@
 //! bench_function, finish}`, `Bencher::iter`, `Throughput` and the
 //! `criterion_group!` / `criterion_main!` macros — with a simple
 //! wall-clock timing loop instead of criterion's statistical machinery.
-//! Each benchmark prints its mean iteration time to stdout.
+//! Each iteration is timed individually, so every benchmark prints its mean
+//! iteration time together with the min/max and the sample standard
+//! deviation (computed by `stats::summary`) to stdout.
 
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -91,14 +93,29 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Through
     let mut bencher = Bencher {
         iters: 0,
         elapsed: Duration::ZERO,
+        samples: Vec::new(),
     };
     f(&mut bencher);
     if bencher.iters == 0 {
         println!("  {label}: no iterations recorded");
         return;
     }
-    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
-    let mut line = format!("  {label}: {:.3} ms/iter", per_iter * 1e3);
+    let per_iter = stats::mean(&bencher.samples);
+    let min = bencher
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher.samples.iter().copied().fold(0.0f64, f64::max);
+    let sigma = stats::std_dev(&bencher.samples);
+    let mut line = format!(
+        "  {label}: {:.3} ms/iter (min {:.3}, max {:.3}, \u{3c3} {:.3}, n={})",
+        per_iter * 1e3,
+        min * 1e3,
+        max * 1e3,
+        sigma * 1e3,
+        bencher.iters
+    );
     if let Some(Throughput::Elements(n)) = throughput {
         let rate = n as f64 / per_iter;
         line.push_str(&format!(" ({rate:.0} elem/s)"));
@@ -114,25 +131,29 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Through
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    samples: Vec<f64>,
 }
 
 impl Bencher {
     /// Calls `f` repeatedly until enough time has been measured, recording
-    /// the total elapsed time and iteration count.
+    /// each iteration's wall-clock time individually so the report can show
+    /// min/max and the sample standard deviation alongside the mean.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // One warm-up call outside the measurement.
         black_box(f());
         let start = Instant::now();
-        let mut iters = 0u64;
+        let mut samples = Vec::new();
         loop {
+            let iter_start = Instant::now();
             black_box(f());
-            iters += 1;
-            if start.elapsed() >= MIN_MEASURE || iters >= MAX_ITERS {
+            samples.push(iter_start.elapsed().as_secs_f64());
+            if start.elapsed() >= MIN_MEASURE || samples.len() as u64 >= MAX_ITERS {
                 break;
             }
         }
         self.elapsed = start.elapsed();
-        self.iters = iters;
+        self.iters = samples.len() as u64;
+        self.samples = samples;
     }
 }
 
@@ -166,6 +187,7 @@ mod tests {
         let mut b = Bencher {
             iters: 0,
             elapsed: Duration::ZERO,
+            samples: Vec::new(),
         };
         let mut count = 0u64;
         b.iter(|| {
@@ -174,6 +196,27 @@ mod tests {
         });
         assert!(b.iters >= 1);
         assert!(b.elapsed > Duration::ZERO);
+        assert_eq!(b.samples.len() as u64, b.iters);
+    }
+
+    #[test]
+    fn sample_statistics_are_consistent() {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            samples: Vec::new(),
+        };
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        let mean = stats::mean(&b.samples);
+        let min = b.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().copied().fold(0.0f64, f64::max);
+        assert!(
+            min <= mean && mean <= max,
+            "min {min} mean {mean} max {max}"
+        );
+        assert!(stats::std_dev(&b.samples) >= 0.0);
+        // Every sample really slept, so the minimum is bounded below.
+        assert!(min >= 45e-6, "min sample {min} too small");
     }
 
     #[test]
