@@ -1,23 +1,33 @@
 //! The unified parallel simulation engine behind every figure of the SMS
-//! reproduction.
+//! reproduction — now a general simulation service with an **open plugin
+//! API**.
 //!
 //! Every experiment in the evaluation is some number of independent
 //! trace→cache→prefetcher simulations.  This crate turns each of those runs
-//! into a declarative [`SimJob`] — workload, generator parameters, seed,
-//! system configuration, serializable [`PrefetcherSpec`], access budget, and
-//! an optional timing-model evaluation — and executes whole job lists with
-//! [`run_jobs`]:
+//! into a declarative, fully serializable [`SimJob`] — a
+//! [`trace::TraceSource`] (synthetic generator or streamed trace file),
+//! system configuration, a registry-resolved [`PrefetcherSpec`], access
+//! budget, and an optional timing-model evaluation — and executes whole job
+//! lists with [`run_jobs`]:
 //!
+//! * prefetchers and probes are **plugins**: a [`PrefetcherSpec`] is just a
+//!   stable plugin name plus a JSON parameter tree, resolved through a
+//!   [`Registry`] that ships with the built-ins (`null`, `sms`, `ghb`,
+//!   `training`, `density-probe`, `oracle-probe`) and accepts custom
+//!   [`PrefetcherPlugin`]s from experiments and tests;
 //! * jobs are sharded across worker threads (`std::thread::scope` with an
 //!   atomic work-stealing cursor; worker count from [`EngineConfig`],
 //!   defaulting to the available hardware parallelism);
-//! * every job builds its own trace generator and prefetcher from the job
+//! * every job builds its own access stream and prefetcher from the job
 //!   description on the executing thread, so parallel results are
 //!   **bit-identical** to the serial path;
 //! * results are merged deterministically back into submission order, each
-//!   carrying the run's [`memsim::RunSummary`], a spec-specific
-//!   [`ProbeReport`] (density histograms, oracle misses, predictor
-//!   counters), and the [`timing::TimingResult`] for timing jobs.
+//!   carrying the run's [`memsim::RunSummary`], an open serializable
+//!   [`ProbeReport`] (`{kind, data}` — density histograms, oracle misses,
+//!   predictor counters), and the [`timing::TimingResult`] for timing jobs;
+//! * whole job lists round-trip through JSON spec files ([`JobList`]), which
+//!   is what `sms-experiments run --spec jobs.json` executes and every
+//!   figure's `--emit-spec` writes.
 //!
 //! # Example
 //!
@@ -26,18 +36,18 @@
 //! use memsim::HierarchyConfig;
 //! use trace::{Application, GeneratorConfig};
 //!
-//! let jobs: Vec<SimJob> = [PrefetcherSpec::Null, PrefetcherSpec::sms_paper_default()]
+//! let jobs: Vec<SimJob> = [PrefetcherSpec::null(), PrefetcherSpec::sms_paper_default()]
 //!     .into_iter()
 //!     .map(|prefetcher| {
-//!         SimJob::new(memsim::SimJob {
-//!             app: Application::OltpDb2,
-//!             generator: GeneratorConfig::default().with_cpus(2),
-//!             seed: 2006,
-//!             cpus: 2,
-//!             hierarchy: HierarchyConfig::scaled(),
+//!         SimJob::new(memsim::SimJob::synthetic(
+//!             Application::OltpDb2,
+//!             GeneratorConfig::default().with_cpus(2),
+//!             2006,
+//!             2,
+//!             HierarchyConfig::scaled(),
 //!             prefetcher,
-//!             accesses: 10_000,
-//!         })
+//!             10_000,
+//!         ))
 //!     })
 //!     .collect();
 //! let results = run_jobs_with(&jobs, &EngineConfig::with_workers(2));
@@ -49,10 +59,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod plugin;
 pub mod runner;
 pub mod spec;
 
-pub use runner::{run_job, run_jobs, run_jobs_with, EngineConfig, JobResult, SimJob, TimingSpec};
-pub use spec::{
-    BuiltPrefetcher, MultiOracle, OracleProbeSpec, PrefetcherSpec, ProbeReport, TrainingSpec,
+pub use plugin::{
+    closest_match, decode_params, BuiltPrefetcher, DensityReport, OracleReport, PluginError,
+    PrefetcherPlugin, Probe, ProbeReport, Registry, TrainingReport,
 };
+pub use runner::{
+    run_job, run_jobs, run_jobs_in, run_jobs_with, EngineConfig, EngineError, JobList, JobResult,
+    SimJob, TimingSpec,
+};
+pub use spec::{MultiOracle, OracleProbeSpec, PrefetcherSpec, TrainingSpec};

@@ -1,20 +1,27 @@
 //! The job executor: runs a list of [`SimJob`]s serially or sharded across
 //! worker threads, with a deterministic merge of the results.
 //!
-//! Every job is self-contained — it builds its own system, prefetcher and
-//! trace generator (from the job's seed) on whichever thread executes it —
+//! Every job is self-contained — it builds its own system, resolves its
+//! prefetcher spec through a plugin [`Registry`] and opens its trace source
+//! (synthetic generator or streamed file) on whichever thread executes it —
 //! so the parallel path is bit-identical to the serial path and the result
 //! order never depends on scheduling.
+//!
+//! Jobs and results are serializable end to end: a [`JobList`] round-trips
+//! through a JSON spec file (`sms-experiments run --spec jobs.json`), and a
+//! `Vec<JobResult>` is the JSON the engine writes back out.
 
-use crate::spec::{PrefetcherSpec, ProbeReport};
-use memsim::{PrefetcherFactory, RunSummary};
+use crate::plugin::{PluginError, ProbeReport, Registry};
+use crate::spec::PrefetcherSpec;
+use memsim::{MultiCpuSystem, RunSummary};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use timing::{TimingConfig, TimingModel, TimingResult};
 
 /// Timing-model parameters attached to a job that should run through the
 /// [`TimingModel`] instead of the plain cache driver (Figures 12 and 13).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TimingSpec {
     /// Cycle-level parameters of the modeled system.
     pub config: TimingConfig,
@@ -23,9 +30,9 @@ pub struct TimingSpec {
 }
 
 /// One unit of work for the engine: the driver-level [`memsim::SimJob`]
-/// (trace, system, prefetcher spec, access budget, seed) plus an optional
+/// (trace source, system, prefetcher spec, access budget) plus an optional
 /// timing-model evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimJob {
     /// The simulation run proper, instantiated on the executing thread.
     pub sim: memsim::SimJob<PrefetcherSpec>,
@@ -53,6 +60,29 @@ impl From<memsim::SimJob<PrefetcherSpec>> for SimJob {
     }
 }
 
+/// A serialized list of engine jobs: the on-disk spec-file format behind
+/// `sms-experiments run --spec` and every figure's `--emit-spec`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobList {
+    /// Spec-file format version.
+    pub version: u32,
+    /// The jobs, in submission order.
+    pub jobs: Vec<SimJob>,
+}
+
+impl JobList {
+    /// Current spec-file format version.
+    pub const VERSION: u32 = 1;
+
+    /// Wraps `jobs` in the current format version.
+    pub fn new(jobs: Vec<SimJob>) -> Self {
+        Self {
+            version: Self::VERSION,
+            jobs,
+        }
+    }
+}
+
 /// The result of one [`SimJob`], tagged with the job's position in the input
 /// list so merged results are always in submission order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,6 +97,48 @@ pub struct JobResult {
     /// [`SimJob::timing`] spec.
     pub timing: Option<TimingResult>,
 }
+
+/// An error raised while preparing a job for execution (resolving its
+/// prefetcher spec or opening its trace source).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The job's prefetcher spec failed to resolve or build.
+    Plugin {
+        /// Index of the failing job in the submitted list.
+        job_index: usize,
+        /// The underlying registry/plugin error.
+        error: PluginError,
+    },
+    /// The job's trace source failed to open.
+    Trace {
+        /// Index of the failing job in the submitted list.
+        job_index: usize,
+        /// Description of the failing source.
+        source: String,
+        /// The I/O error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plugin { job_index, error } => {
+                write!(f, "job {job_index}: {error}")
+            }
+            EngineError::Trace {
+                job_index,
+                source,
+                message,
+            } => write!(
+                f,
+                "job {job_index}: trace source {source} failed: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Execution parameters of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -111,14 +183,33 @@ impl Default for EngineConfig {
     }
 }
 
-/// Runs one job to completion on the calling thread.
-pub fn run_job(index: usize, job: &SimJob) -> JobResult {
-    match &job.timing {
+/// Runs one job to completion on the calling thread, resolving its
+/// prefetcher spec through `registry`.
+///
+/// # Errors
+///
+/// [`EngineError::Plugin`] if the spec does not resolve or build, and
+/// [`EngineError::Trace`] if a file-backed trace source fails to open or
+/// turns out to be corrupt mid-stream (a corrupt record must fail the job
+/// loudly rather than silently shorten the run).
+pub fn run_job(index: usize, job: &SimJob, registry: &Registry) -> Result<JobResult, EngineError> {
+    let sim = &job.sim;
+    let trace_error = |message: String| EngineError::Trace {
+        job_index: index,
+        source: sim.source.describe(),
+        message,
+    };
+    let mut prefetcher =
+        registry
+            .build(&sim.prefetcher, sim.cpus)
+            .map_err(|error| EngineError::Plugin {
+                job_index: index,
+                error,
+            })?;
+    let mut stream = sim.source.open().map_err(|e| trace_error(e.to_string()))?;
+    let result = match &job.timing {
         Some(spec) => {
-            let sim = &job.sim;
             let model = TimingModel::new(sim.hierarchy, sim.cpus, spec.config);
-            let mut prefetcher = sim.prefetcher.build(sim.cpus);
-            let mut stream = sim.app.stream(sim.seed, &sim.generator);
             let (timing, summary) =
                 model.evaluate(&mut prefetcher, &mut stream, sim.accesses, spec.segments);
             JobResult {
@@ -129,43 +220,76 @@ pub fn run_job(index: usize, job: &SimJob) -> JobResult {
             }
         }
         None => {
-            let (summary, built) = memsim::run_job(&job.sim);
+            let mut system = MultiCpuSystem::new(sim.cpus, &sim.hierarchy);
+            let summary = memsim::run(&mut system, &mut prefetcher, &mut stream, sim.accesses);
             JobResult {
                 job_index: index,
                 summary,
-                probe: built.into_report(),
+                probe: prefetcher.into_report(),
                 timing: None,
             }
         }
+    };
+    if let Some(e) = stream.take_error() {
+        return Err(trace_error(format!("corrupt mid-stream: {e}")));
     }
+    Ok(result)
 }
 
-/// Runs every job with the default engine configuration (one worker per
-/// available hardware thread) and returns the results in submission order.
+/// Runs every job against the built-in plugin registry with the default
+/// engine configuration (one worker per available hardware thread) and
+/// returns the results in submission order.
+///
+/// # Panics
+///
+/// Panics if a job fails to prepare (unknown plugin, bad parameters,
+/// unopenable trace file).  Specs built with the typed
+/// [`PrefetcherSpec`] constructors over synthetic sources never fail; use
+/// [`run_jobs_in`] to handle errors from externally-loaded job files.
 pub fn run_jobs(jobs: &[SimJob]) -> Vec<JobResult> {
     run_jobs_with(jobs, &EngineConfig::default())
 }
 
-/// Runs every job, sharding the list across `config.workers` threads, and
-/// merges the results deterministically back into submission order.
+/// Runs every job against the built-in plugin registry with an explicit
+/// engine configuration.
+///
+/// # Panics
+///
+/// As [`run_jobs`]: panics if a job fails to prepare.
+pub fn run_jobs_with(jobs: &[SimJob], config: &EngineConfig) -> Vec<JobResult> {
+    run_jobs_in(jobs, config, Registry::builtin()).expect("job failed to prepare")
+}
+
+/// Runs every job, resolving prefetcher specs through `registry` and
+/// sharding the list across `config.workers` threads, then merges the
+/// results deterministically back into submission order.
 ///
 /// With one effective worker the engine runs serially on the calling thread;
 /// either way the results are bit-identical, because each job builds its own
-/// trace generator and prefetcher from the job description.
-pub fn run_jobs_with(jobs: &[SimJob], config: &EngineConfig) -> Vec<JobResult> {
+/// access stream and prefetcher from the job description.
+///
+/// # Errors
+///
+/// The first (lowest-job-index) preparation failure, regardless of worker
+/// scheduling.  Already-completed work on other threads is discarded.
+pub fn run_jobs_in(
+    jobs: &[SimJob],
+    config: &EngineConfig,
+    registry: &Registry,
+) -> Result<Vec<JobResult>, EngineError> {
     let workers = config.effective_workers(jobs.len());
     if workers <= 1 {
         return jobs
             .iter()
             .enumerate()
-            .map(|(index, job)| run_job(index, job))
+            .map(|(index, job)| run_job(index, job, registry))
             .collect();
     }
 
     // Work-stealing by atomic cursor: each worker claims the next unclaimed
     // job, so long jobs do not serialize behind a static partition.
     let next = AtomicUsize::new(0);
-    let shards: Vec<Vec<JobResult>> = std::thread::scope(|scope| {
+    let shards: Vec<Vec<(usize, Result<JobResult, EngineError>)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
@@ -175,7 +299,15 @@ pub fn run_jobs_with(jobs: &[SimJob], config: &EngineConfig) -> Vec<JobResult> {
                         if index >= jobs.len() {
                             break;
                         }
-                        shard.push(run_job(index, &jobs[index]));
+                        let result = run_job(index, &jobs[index], registry);
+                        let failed = result.is_err();
+                        shard.push((index, result));
+                        if failed {
+                            // No point burning the queue down after a
+                            // failure; the merge below still picks the
+                            // lowest-index error deterministically.
+                            break;
+                        }
                     }
                     shard
                 })
@@ -187,12 +319,18 @@ pub fn run_jobs_with(jobs: &[SimJob], config: &EngineConfig) -> Vec<JobResult> {
             .collect()
     });
 
-    // Deterministic merge: job_index recovers submission order regardless of
-    // which worker ran which job.
-    let mut results: Vec<JobResult> = shards.into_iter().flatten().collect();
-    results.sort_by_key(|r| r.job_index);
+    // Deterministic merge: the tagged index recovers submission order
+    // regardless of which worker ran which job, and the lowest-index error
+    // wins regardless of scheduling.
+    let mut tagged: Vec<(usize, Result<JobResult, EngineError>)> =
+        shards.into_iter().flatten().collect();
+    tagged.sort_by_key(|(index, _)| *index);
+    let results: Vec<JobResult> = tagged
+        .into_iter()
+        .map(|(_, result)| result)
+        .collect::<Result<_, _>>()?;
     debug_assert!(results.iter().enumerate().all(|(i, r)| r.job_index == i));
-    results
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -204,30 +342,30 @@ mod tests {
     use trace::{Application, GeneratorConfig};
 
     fn job(app: Application, prefetcher: PrefetcherSpec) -> SimJob {
-        SimJob::new(memsim::SimJob {
+        SimJob::new(memsim::SimJob::synthetic(
             app,
-            generator: GeneratorConfig::default().with_cpus(2),
-            seed: 2006,
-            cpus: 2,
-            hierarchy: HierarchyConfig::scaled(),
+            GeneratorConfig::default().with_cpus(2),
+            2006,
+            2,
+            HierarchyConfig::scaled(),
             prefetcher,
-            accesses: 8_000,
-        })
+            8_000,
+        ))
     }
 
     fn job_list() -> Vec<SimJob> {
         vec![
-            job(Application::OltpDb2, PrefetcherSpec::Null),
+            job(Application::OltpDb2, PrefetcherSpec::null()),
             job(Application::OltpDb2, PrefetcherSpec::sms_paper_default()),
             job(
                 Application::Sparse,
-                PrefetcherSpec::Ghb(GhbConfig::paper_small()),
+                PrefetcherSpec::ghb(&GhbConfig::paper_small()),
             ),
             job(
                 Application::DssQry1,
-                PrefetcherSpec::Sms(SmsConfig::paper_default()),
+                PrefetcherSpec::sms(&SmsConfig::paper_default()),
             ),
-            job(Application::WebApache, PrefetcherSpec::Null)
+            job(Application::WebApache, PrefetcherSpec::null())
                 .with_timing(TimingConfig::table1(), 4),
         ]
     }
@@ -265,9 +403,102 @@ mod tests {
 
     #[test]
     fn more_workers_than_jobs_is_fine() {
-        let jobs = vec![job(Application::Ocean, PrefetcherSpec::Null)];
+        let jobs = vec![job(Application::Ocean, PrefetcherSpec::null())];
         let results = run_jobs_with(&jobs, &EngineConfig::with_workers(16));
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].summary.accesses, 8_000);
+    }
+
+    #[test]
+    fn job_lists_round_trip_through_json() {
+        let list = JobList::new(job_list());
+        let json = serde_json::to_string_pretty(&list).expect("serialize");
+        let back: JobList = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(list, back);
+        assert_eq!(back.version, JobList::VERSION);
+        // The reloaded list executes identically to the original.
+        let a = run_jobs_with(&list.jobs, &EngineConfig::serial());
+        let b = run_jobs_with(&back.jobs, &EngineConfig::serial());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unknown_plugin_surfaces_lowest_index_error() {
+        let mut jobs = job_list();
+        jobs.insert(
+            1,
+            job(
+                Application::Ocean,
+                PrefetcherSpec {
+                    plugin: "warp-drive".to_string(),
+                    params: serde_json::Value::Null,
+                },
+            ),
+        );
+        jobs.push(job(
+            Application::Ocean,
+            PrefetcherSpec {
+                plugin: "also-unknown".to_string(),
+                params: serde_json::Value::Null,
+            },
+        ));
+        for workers in [1, 4] {
+            let err = run_jobs_in(
+                &jobs,
+                &EngineConfig::with_workers(workers),
+                Registry::builtin(),
+            )
+            .expect_err("unknown plugin must fail");
+            match err {
+                EngineError::Plugin { job_index, .. } => assert_eq!(job_index, 1),
+                other => panic!("expected Plugin error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_trace_file_fails_the_job_instead_of_shortening_it() {
+        // A trace with a valid header but a truncated body: the job must
+        // fail loudly, not return a summary with fewer accesses.
+        let recorded: Vec<trace::MemAccess> = Application::Ocean
+            .stream(1, &GeneratorConfig::default().with_cpus(1))
+            .take(100)
+            .collect();
+        let mut bytes = Vec::new();
+        trace::io::write_binary(&mut bytes, &recorded).unwrap();
+        bytes.truncate(bytes.len() - 7);
+        let path = std::env::temp_dir().join(format!(
+            "sms-engine-corrupt-trace-{}.bin",
+            std::process::id()
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+
+        let jobs = vec![SimJob::new(memsim::SimJob {
+            source: trace::TraceSource::binary_file(path.to_string_lossy()),
+            cpus: 1,
+            hierarchy: HierarchyConfig::scaled(),
+            prefetcher: PrefetcherSpec::null(),
+            accesses: 1_000,
+        })];
+        let err = run_jobs_in(&jobs, &EngineConfig::serial(), Registry::builtin())
+            .expect_err("corrupt trace must fail the job");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, EngineError::Trace { job_index: 0, .. }));
+        assert!(err.to_string().contains("corrupt mid-stream"), "{err}");
+    }
+
+    #[test]
+    fn missing_trace_file_surfaces_as_engine_error() {
+        let jobs = vec![SimJob::new(memsim::SimJob {
+            source: trace::TraceSource::binary_file("/nonexistent/trace.bin"),
+            cpus: 1,
+            hierarchy: HierarchyConfig::scaled(),
+            prefetcher: PrefetcherSpec::null(),
+            accesses: 100,
+        })];
+        let err = run_jobs_in(&jobs, &EngineConfig::serial(), Registry::builtin())
+            .expect_err("missing file must fail");
+        assert!(matches!(err, EngineError::Trace { job_index: 0, .. }));
+        assert!(err.to_string().contains("trace source"), "{err}");
     }
 }

@@ -1,23 +1,93 @@
-//! Serializable prefetcher specifications and the prefetchers built from
-//! them.
+//! Serializable prefetcher specifications and the built-in plugins that
+//! realize them.
 //!
-//! A [`PrefetcherSpec`] names everything the evaluation attaches to the
-//! simulated memory system — the SMS and GHB prefetchers, the alternative
-//! training structures, and the passive measurement probes (density and
-//! oracle observers) — as plain data.  Jobs carry specs rather than live
-//! prefetchers so they can be shipped to any worker thread; the engine calls
-//! [`PrefetcherFactory::build`] on the executing thread and, after the run,
-//! extracts a [`ProbeReport`] of whatever post-run state the spec's
-//! prefetcher exposes.
+//! A [`PrefetcherSpec`] is plain data: the stable name of a registered
+//! [`PrefetcherPlugin`](crate::plugin::PrefetcherPlugin) plus a
+//! plugin-specific JSON parameter tree.  Jobs carry specs rather than live
+//! prefetchers so they can be shipped to any worker thread (and to and from
+//! job files on disk); the engine resolves the spec through a
+//! [`Registry`](crate::plugin::Registry) on the executing thread and, after
+//! the run, extracts a [`ProbeReport`](crate::plugin::ProbeReport) from the
+//! built prefetcher.
+//!
+//! This module also houses the six built-in plugins the registry ships
+//! with — `null`, `sms`, `ghb`, `training`, `density-probe` and
+//! `oracle-probe` — and typed constructors for their specs.
 
+use crate::plugin::{
+    decode_params, BuiltPrefetcher, DensityReport, OracleReport, PluginError, PrefetcherPlugin,
+    Probe, ProbeReport, TrainingReport,
+};
 use ghb::{GhbConfig, GhbPrefetcher};
-use memsim::{NullPrefetcher, PrefetchRequest, Prefetcher, PrefetcherFactory, SystemOutcome};
+use memsim::{NullPrefetcher, PrefetchRequest, Prefetcher, SystemOutcome};
 use serde::{Deserialize, Serialize};
 use sms::{
-    DensityHistogram, DensityObserver, IndexScheme, OracleObserver, PhtCapacity, PredictorStats,
-    RegionConfig, SmsConfig, SmsPrefetcher, TrainerKind, TrainingPrefetcher,
+    DensityObserver, IndexScheme, OracleObserver, PhtCapacity, RegionConfig, SmsConfig,
+    SmsPrefetcher, TrainerKind, TrainingPrefetcher,
 };
+use std::sync::Arc;
 use trace::MemAccess;
+
+/// A serializable description of the prefetcher (or passive probe) attached
+/// to a simulation job: a registered plugin name plus that plugin's
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefetcherSpec {
+    /// Stable name of the plugin that builds this prefetcher.
+    pub plugin: String,
+    /// Plugin-specific configuration.
+    pub params: serde_json::Value,
+}
+
+impl PrefetcherSpec {
+    /// A spec for an arbitrary (possibly custom) plugin with serialized
+    /// parameters.
+    pub fn custom<T: Serialize + ?Sized>(plugin: &str, params: &T) -> Self {
+        Self {
+            plugin: plugin.to_string(),
+            params: serde_json::to_value(params).expect("value-tree serialization cannot fail"),
+        }
+    }
+
+    /// No prefetching (baseline runs).
+    pub fn null() -> Self {
+        Self {
+            plugin: "null".to_string(),
+            params: serde_json::Value::Null,
+        }
+    }
+
+    /// Spatial Memory Streaming with the given configuration.
+    pub fn sms(config: &SmsConfig) -> Self {
+        Self::custom("sms", config)
+    }
+
+    /// The practical SMS configuration evaluated in Figure 11.
+    pub fn sms_paper_default() -> Self {
+        Self::sms(&SmsConfig::paper_default())
+    }
+
+    /// The GHB PC/DC baseline prefetcher.
+    pub fn ghb(config: &GhbConfig) -> Self {
+        Self::custom("ghb", config)
+    }
+
+    /// An alternative training structure feeding the SMS PHT.
+    pub fn training(spec: &TrainingSpec) -> Self {
+        Self::custom("training", spec)
+    }
+
+    /// Passive access-density measurement (Figure 5).
+    pub fn density_probe(region: &RegionConfig) -> Self {
+        Self::custom("density-probe", region)
+    }
+
+    /// Passive oracle-opportunity measurement at several region sizes
+    /// (Figure 4).
+    pub fn oracle_probe(spec: &OracleProbeSpec) -> Self {
+        Self::custom("oracle-probe", spec)
+    }
+}
 
 /// Configuration of a [`TrainingPrefetcher`] (Figures 8 and 9).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -44,32 +114,6 @@ pub struct OracleProbeSpec {
     pub read_only: bool,
 }
 
-/// A serializable description of the prefetcher (or passive probe) attached
-/// to a simulation job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum PrefetcherSpec {
-    /// No prefetching (baseline runs).
-    Null,
-    /// Spatial Memory Streaming with the given configuration.
-    Sms(SmsConfig),
-    /// The GHB PC/DC baseline prefetcher.
-    Ghb(GhbConfig),
-    /// An alternative training structure feeding the SMS PHT.
-    Training(TrainingSpec),
-    /// Passive access-density measurement (Figure 5).
-    DensityProbe(RegionConfig),
-    /// Passive oracle-opportunity measurement at several region sizes
-    /// (Figure 4).
-    OracleProbe(OracleProbeSpec),
-}
-
-impl PrefetcherSpec {
-    /// The practical SMS configuration evaluated in Figure 11.
-    pub fn sms_paper_default() -> Self {
-        PrefetcherSpec::Sms(SmsConfig::paper_default())
-    }
-}
-
 /// A bank of independent [`OracleObserver`]s fed by one baseline run, so a
 /// single simulation yields the opportunity curve for every region size.
 #[derive(Debug)]
@@ -91,239 +135,382 @@ impl Prefetcher for MultiOracle {
     }
 }
 
-/// A live prefetcher instantiated from a [`PrefetcherSpec`].
-#[derive(Debug)]
-pub enum BuiltPrefetcher {
-    /// Built from [`PrefetcherSpec::Null`].
-    Null(NullPrefetcher),
-    /// Built from [`PrefetcherSpec::Sms`].
-    Sms(SmsPrefetcher),
-    /// Built from [`PrefetcherSpec::Ghb`].
-    Ghb(GhbPrefetcher),
-    /// Built from [`PrefetcherSpec::Training`].
-    Training(Box<TrainingPrefetcher>),
-    /// Built from [`PrefetcherSpec::DensityProbe`].
-    Density(DensityObserver),
-    /// Built from [`PrefetcherSpec::OracleProbe`].
-    Oracle(MultiOracle),
+// ---------------------------------------------------------------------------
+// Probe implementations for the built-in prefetchers
+// ---------------------------------------------------------------------------
+
+impl Probe for NullPrefetcher {}
+
+impl Probe for GhbPrefetcher {}
+
+impl Probe for SmsPrefetcher {
+    fn into_report(self: Box<Self>) -> ProbeReport {
+        ProbeReport::new("sms", &self.total_stats())
+    }
 }
 
-impl BuiltPrefetcher {
-    /// Extracts the post-run measurement state this prefetcher exposes.
-    pub fn into_report(self) -> ProbeReport {
-        match self {
-            BuiltPrefetcher::Null(_) | BuiltPrefetcher::Ghb(_) => ProbeReport::None,
-            BuiltPrefetcher::Sms(sms) => ProbeReport::Sms(sms.total_stats()),
-            BuiltPrefetcher::Training(t) => ProbeReport::Training {
-                extra_misses: t.extra_misses(),
-                pht_len: t.pht_len() as u64,
+impl Probe for TrainingPrefetcher {
+    fn into_report(self: Box<Self>) -> ProbeReport {
+        ProbeReport::new(
+            "training",
+            &TrainingReport {
+                extra_misses: self.extra_misses(),
+                pht_len: self.pht_len() as u64,
             },
-            BuiltPrefetcher::Density(obs) => {
-                let (l1, l2) = obs.finish();
-                ProbeReport::Density { l1, l2 }
-            }
-            BuiltPrefetcher::Oracle(multi) => ProbeReport::Oracle {
-                l1_misses: multi
+        )
+    }
+}
+
+impl Probe for DensityObserver {
+    fn into_report(self: Box<Self>) -> ProbeReport {
+        let (l1, l2) = (*self).finish();
+        ProbeReport::new("density", &DensityReport { l1, l2 })
+    }
+}
+
+impl Probe for MultiOracle {
+    fn into_report(self: Box<Self>) -> ProbeReport {
+        ProbeReport::new(
+            "oracle",
+            &OracleReport {
+                l1_misses: self
                     .oracles
                     .iter()
                     .map(|o| o.l1().oracle_misses())
                     .collect(),
-                l2_misses: multi
+                l2_misses: self
                     .oracles
                     .iter()
                     .map(|o| o.l2().oracle_misses())
                     .collect(),
             },
-        }
+        )
     }
 }
 
-impl Prefetcher for BuiltPrefetcher {
-    fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
-        match self {
-            BuiltPrefetcher::Null(p) => p.on_access(access, outcome),
-            BuiltPrefetcher::Sms(p) => p.on_access(access, outcome),
-            BuiltPrefetcher::Ghb(p) => p.on_access(access, outcome),
-            BuiltPrefetcher::Training(p) => p.on_access(access, outcome),
-            BuiltPrefetcher::Density(p) => p.on_access(access, outcome),
-            BuiltPrefetcher::Oracle(p) => p.on_access(access, outcome),
-        }
-    }
+// ---------------------------------------------------------------------------
+// Built-in plugins
+// ---------------------------------------------------------------------------
 
-    fn on_stream_eviction(&mut self, cpu: u8, block_addr: u64) {
-        match self {
-            BuiltPrefetcher::Null(p) => p.on_stream_eviction(cpu, block_addr),
-            BuiltPrefetcher::Sms(p) => p.on_stream_eviction(cpu, block_addr),
-            BuiltPrefetcher::Ghb(p) => p.on_stream_eviction(cpu, block_addr),
-            BuiltPrefetcher::Training(p) => p.on_stream_eviction(cpu, block_addr),
-            BuiltPrefetcher::Density(p) => p.on_stream_eviction(cpu, block_addr),
-            BuiltPrefetcher::Oracle(p) => p.on_stream_eviction(cpu, block_addr),
-        }
-    }
+struct NullPlugin;
 
+impl PrefetcherPlugin for NullPlugin {
     fn name(&self) -> &str {
-        match self {
-            BuiltPrefetcher::Null(p) => p.name(),
-            BuiltPrefetcher::Sms(p) => p.name(),
-            BuiltPrefetcher::Ghb(p) => p.name(),
-            BuiltPrefetcher::Training(p) => p.name(),
-            BuiltPrefetcher::Density(p) => p.name(),
-            BuiltPrefetcher::Oracle(p) => p.name(),
-        }
+        "null"
+    }
+
+    fn description(&self) -> &str {
+        "no prefetching (baseline runs); parameters ignored"
+    }
+
+    fn build(
+        &self,
+        _params: &serde_json::Value,
+        _num_cpus: usize,
+    ) -> Result<BuiltPrefetcher, PluginError> {
+        Ok(BuiltPrefetcher::new(NullPrefetcher::new()))
     }
 }
 
-impl PrefetcherFactory for PrefetcherSpec {
-    type Output = BuiltPrefetcher;
+struct SmsPlugin;
 
-    fn build(&self, num_cpus: usize) -> BuiltPrefetcher {
-        match self {
-            PrefetcherSpec::Null => BuiltPrefetcher::Null(NullPrefetcher::new()),
-            PrefetcherSpec::Sms(config) => {
-                BuiltPrefetcher::Sms(SmsPrefetcher::new(num_cpus, config))
-            }
-            PrefetcherSpec::Ghb(config) => {
-                BuiltPrefetcher::Ghb(GhbPrefetcher::new(num_cpus, config))
-            }
-            PrefetcherSpec::Training(spec) => {
-                BuiltPrefetcher::Training(Box::new(TrainingPrefetcher::new(
-                    num_cpus,
-                    spec.trainer,
-                    spec.region,
-                    spec.index_scheme,
-                    spec.pht,
-                    spec.l1_capacity_bytes,
-                )))
-            }
-            PrefetcherSpec::DensityProbe(region) => {
-                BuiltPrefetcher::Density(DensityObserver::new(num_cpus, *region))
-            }
-            PrefetcherSpec::OracleProbe(spec) => BuiltPrefetcher::Oracle(MultiOracle {
-                oracles: spec
-                    .regions
-                    .iter()
-                    .map(|&region| OracleObserver::new(num_cpus, region, spec.read_only))
-                    .collect(),
-            }),
-        }
+impl PrefetcherPlugin for SmsPlugin {
+    fn name(&self) -> &str {
+        "sms"
+    }
+
+    fn description(&self) -> &str {
+        "Spatial Memory Streaming (params: SmsConfig)"
+    }
+
+    fn build(
+        &self,
+        params: &serde_json::Value,
+        num_cpus: usize,
+    ) -> Result<BuiltPrefetcher, PluginError> {
+        let config: SmsConfig = decode_params(self.name(), params)?;
+        Ok(BuiltPrefetcher::new(SmsPrefetcher::new(num_cpus, &config)))
     }
 }
 
-/// Post-run state extracted from a built prefetcher, in spec-specific form.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum ProbeReport {
-    /// The spec exposes no post-run state (null and GHB prefetchers — the
-    /// GHB's issued-prefetch count is already in the run summary).
-    None,
-    /// Summed per-processor SMS predictor counters.
-    Sms(PredictorStats),
-    /// Extra-miss and PHT-population counters of a training structure.
-    Training {
-        /// Misses added by the decoupled sectored cache's constrained
-        /// contents (zero for the other trainers).
-        extra_misses: u64,
-        /// Patterns resident in the PHT at the end of the run.
-        pht_len: u64,
-    },
-    /// Density histograms from a [`PrefetcherSpec::DensityProbe`] run.
-    Density {
-        /// L1 read-miss density histogram.
-        l1: DensityHistogram,
-        /// Off-chip read-miss density histogram.
-        l2: DensityHistogram,
-    },
-    /// Oracle misses from a [`PrefetcherSpec::OracleProbe`] run, one entry
-    /// per requested region geometry, in spec order.
-    Oracle {
-        /// L1 oracle misses per region geometry.
-        l1_misses: Vec<u64>,
-        /// Off-chip oracle misses per region geometry.
-        l2_misses: Vec<u64>,
-    },
+struct GhbPlugin;
+
+impl PrefetcherPlugin for GhbPlugin {
+    fn name(&self) -> &str {
+        "ghb"
+    }
+
+    fn description(&self) -> &str {
+        "GHB PC/DC delta-correlation prefetcher (params: GhbConfig)"
+    }
+
+    fn build(
+        &self,
+        params: &serde_json::Value,
+        num_cpus: usize,
+    ) -> Result<BuiltPrefetcher, PluginError> {
+        let config: GhbConfig = decode_params(self.name(), params)?;
+        Ok(BuiltPrefetcher::new(GhbPrefetcher::new(num_cpus, &config)))
+    }
 }
 
-impl ProbeReport {
-    /// The density histograms, if this report came from a density probe.
-    pub fn density(&self) -> Option<(&DensityHistogram, &DensityHistogram)> {
-        match self {
-            ProbeReport::Density { l1, l2 } => Some((l1, l2)),
-            _ => None,
-        }
+struct TrainingPlugin;
+
+impl PrefetcherPlugin for TrainingPlugin {
+    fn name(&self) -> &str {
+        "training"
     }
 
-    /// The training counters, if this report came from a training run.
-    pub fn training(&self) -> Option<(u64, u64)> {
-        match self {
-            ProbeReport::Training {
-                extra_misses,
-                pht_len,
-            } => Some((*extra_misses, *pht_len)),
-            _ => None,
-        }
+    fn description(&self) -> &str {
+        "SMS with an alternative training structure (params: TrainingSpec)"
     }
 
-    /// The per-region oracle misses, if this report came from an oracle
-    /// probe.
-    pub fn oracle(&self) -> Option<(&[u64], &[u64])> {
-        match self {
-            ProbeReport::Oracle {
-                l1_misses,
-                l2_misses,
-            } => Some((l1_misses, l2_misses)),
-            _ => None,
-        }
+    fn build(
+        &self,
+        params: &serde_json::Value,
+        num_cpus: usize,
+    ) -> Result<BuiltPrefetcher, PluginError> {
+        let spec: TrainingSpec = decode_params(self.name(), params)?;
+        Ok(BuiltPrefetcher::new(TrainingPrefetcher::new(
+            num_cpus,
+            spec.trainer,
+            spec.region,
+            spec.index_scheme,
+            spec.pht,
+            spec.l1_capacity_bytes,
+        )))
     }
+}
+
+struct DensityProbePlugin;
+
+impl PrefetcherPlugin for DensityProbePlugin {
+    fn name(&self) -> &str {
+        "density-probe"
+    }
+
+    fn description(&self) -> &str {
+        "passive access-density measurement (params: RegionConfig)"
+    }
+
+    fn build(
+        &self,
+        params: &serde_json::Value,
+        num_cpus: usize,
+    ) -> Result<BuiltPrefetcher, PluginError> {
+        let region: RegionConfig = decode_params(self.name(), params)?;
+        Ok(BuiltPrefetcher::new(DensityObserver::new(num_cpus, region)))
+    }
+}
+
+struct OracleProbePlugin;
+
+impl PrefetcherPlugin for OracleProbePlugin {
+    fn name(&self) -> &str {
+        "oracle-probe"
+    }
+
+    fn description(&self) -> &str {
+        "passive oracle-opportunity measurement (params: OracleProbeSpec)"
+    }
+
+    fn build(
+        &self,
+        params: &serde_json::Value,
+        num_cpus: usize,
+    ) -> Result<BuiltPrefetcher, PluginError> {
+        let spec: OracleProbeSpec = decode_params(self.name(), params)?;
+        Ok(BuiltPrefetcher::new(MultiOracle {
+            oracles: spec
+                .regions
+                .iter()
+                .map(|&region| OracleObserver::new(num_cpus, region, spec.read_only))
+                .collect(),
+        }))
+    }
+}
+
+/// The plugins every registry built with
+/// [`Registry::with_builtins`](crate::plugin::Registry::with_builtins)
+/// starts from.
+pub(crate) fn builtin_plugins() -> Vec<Arc<dyn PrefetcherPlugin>> {
+    vec![
+        Arc::new(NullPlugin),
+        Arc::new(SmsPlugin),
+        Arc::new(GhbPlugin),
+        Arc::new(TrainingPlugin),
+        Arc::new(DensityProbePlugin),
+        Arc::new(OracleProbePlugin),
+    ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plugin::Registry;
 
-    #[test]
-    fn specs_build_their_prefetchers() {
-        let cases = [
-            (PrefetcherSpec::Null, "baseline"),
+    fn example_training_spec() -> TrainingSpec {
+        TrainingSpec {
+            trainer: TrainerKind::LogicalSectored,
+            region: RegionConfig::paper_default(),
+            index_scheme: IndexScheme::PcOffset,
+            pht: PhtCapacity::paper_default(),
+            l1_capacity_bytes: 64 * 1024,
+        }
+    }
+
+    /// One example spec per built-in plugin, with the prefetcher name each
+    /// must build into.
+    fn example_specs() -> Vec<(PrefetcherSpec, &'static str)> {
+        vec![
+            (PrefetcherSpec::null(), "baseline"),
             (PrefetcherSpec::sms_paper_default(), "sms"),
-            (PrefetcherSpec::Ghb(GhbConfig::paper_small()), "ghb-pc/dc"),
+            (PrefetcherSpec::ghb(&GhbConfig::paper_small()), "ghb-pc/dc"),
+            (PrefetcherSpec::training(&example_training_spec()), "LS"),
             (
-                PrefetcherSpec::DensityProbe(RegionConfig::paper_default()),
+                PrefetcherSpec::density_probe(&RegionConfig::paper_default()),
                 "density-observer",
             ),
             (
-                PrefetcherSpec::OracleProbe(OracleProbeSpec {
+                PrefetcherSpec::oracle_probe(&OracleProbeSpec {
                     regions: vec![RegionConfig::paper_default()],
                     read_only: true,
                 }),
                 "multi-oracle",
             ),
-        ];
-        for (spec, name) in cases {
-            let built = spec.build(2);
+        ]
+    }
+
+    #[test]
+    fn specs_build_their_prefetchers() {
+        let registry = Registry::builtin();
+        for (spec, name) in example_specs() {
+            let built = registry.build(&spec, 2).expect("built-in spec");
             assert_eq!(built.name(), name, "{spec:?}");
         }
-        let training = PrefetcherSpec::Training(TrainingSpec {
+    }
+
+    #[test]
+    fn every_builtin_spec_round_trips_through_json_and_rebuilds() {
+        // The table covers the whole registry: every registered plugin must
+        // have an example spec here, and every example must survive
+        // serialize → deserialize → build.
+        let registry = Registry::builtin();
+        let examples = example_specs();
+        let covered: Vec<&str> = examples.iter().map(|(s, _)| s.plugin.as_str()).collect();
+        for name in registry.names() {
+            assert!(
+                covered.contains(&name),
+                "built-in plugin {name:?} has no round-trip example"
+            );
+        }
+        for (spec, prefetcher_name) in examples {
+            let json = serde_json::to_string(&spec).expect("serialize");
+            let back: PrefetcherSpec = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(spec, back, "spec must round-trip bit-identically");
+            let built = registry.build(&back, 2).expect("rebuilt from round-trip");
+            assert_eq!(built.name(), prefetcher_name);
+        }
+    }
+
+    #[test]
+    fn unknown_plugin_names_error_with_a_suggestion() {
+        let registry = Registry::builtin();
+        let spec = PrefetcherSpec {
+            plugin: "smss".to_string(),
+            params: serde_json::Value::Null,
+        };
+        let err = registry.build(&spec, 1).expect_err("unknown plugin");
+        match &err {
+            PluginError::UnknownPlugin { name, suggestion } => {
+                assert_eq!(name, "smss");
+                assert_eq!(suggestion.as_deref(), Some("sms"));
+            }
+            other => panic!("expected UnknownPlugin, got {other:?}"),
+        }
+        assert!(err.to_string().contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn bad_params_error_names_the_plugin() {
+        let registry = Registry::builtin();
+        let spec = PrefetcherSpec {
+            plugin: "sms".to_string(),
+            params: serde_json::Value::String("not a config".to_string()),
+        };
+        let err = registry.build(&spec, 1).expect_err("bad params");
+        assert!(matches!(&err, PluginError::BadParams { plugin, .. } if plugin == "sms"));
+    }
+
+    #[test]
+    fn training_prefetcher_reports_post_run_state() {
+        let spec = PrefetcherSpec::training(&TrainingSpec {
             trainer: TrainerKind::Agt,
             region: RegionConfig::paper_default(),
             index_scheme: IndexScheme::PcOffset,
             pht: PhtCapacity::Unbounded,
             l1_capacity_bytes: 64 * 1024,
         });
-        let built = training.build(1);
-        assert!(matches!(built, BuiltPrefetcher::Training(_)));
-        assert_eq!(built.into_report().training(), Some((0, 0)));
+        let built = Registry::builtin().build(&spec, 1).expect("training spec");
+        let report = built.into_report();
+        let training = report.training().expect("training report");
+        assert_eq!((training.extra_misses, training.pht_len), (0, 0));
     }
 
     #[test]
-    fn spec_round_trips_through_json() {
-        let spec = PrefetcherSpec::Training(TrainingSpec {
-            trainer: TrainerKind::LogicalSectored,
-            region: RegionConfig::paper_default(),
-            index_scheme: IndexScheme::PcOffset,
-            pht: PhtCapacity::paper_default(),
-            l1_capacity_bytes: 64 * 1024,
-        });
-        let json = serde_json::to_string(&spec).expect("serialize");
-        let back: PrefetcherSpec = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(spec, back);
+    fn custom_plugins_extend_the_registry() {
+        /// A trivial next-line prefetcher living entirely outside the
+        /// engine: the open API in one screen of code.
+        #[derive(Debug)]
+        struct NextLine {
+            issued: u64,
+        }
+        impl Prefetcher for NextLine {
+            fn on_access(
+                &mut self,
+                access: &MemAccess,
+                outcome: &SystemOutcome,
+            ) -> Vec<PrefetchRequest> {
+                if outcome.hierarchy.l1_miss() {
+                    self.issued += 1;
+                    vec![PrefetchRequest {
+                        cpu: access.cpu,
+                        addr: access.addr + 64,
+                        level: memsim::PrefetchLevel::L1,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn name(&self) -> &str {
+                "next-line"
+            }
+        }
+        impl Probe for NextLine {
+            fn into_report(self: Box<Self>) -> ProbeReport {
+                ProbeReport::new("next-line", &self.issued)
+            }
+        }
+        struct NextLinePlugin;
+        impl PrefetcherPlugin for NextLinePlugin {
+            fn name(&self) -> &str {
+                "next-line"
+            }
+            fn build(
+                &self,
+                _params: &serde_json::Value,
+                _num_cpus: usize,
+            ) -> Result<BuiltPrefetcher, PluginError> {
+                Ok(BuiltPrefetcher::new(NextLine { issued: 0 }))
+            }
+        }
+
+        let mut registry = Registry::with_builtins();
+        assert!(registry.get("next-line").is_none());
+        registry.register(Arc::new(NextLinePlugin));
+        let spec = PrefetcherSpec::custom("next-line", &serde_json::Value::Null);
+        let built = registry.build(&spec, 1).expect("custom plugin");
+        assert_eq!(built.name(), "next-line");
+        assert_eq!(built.into_report().decode::<u64>("next-line"), Some(0));
     }
 }

@@ -6,7 +6,7 @@
 
 use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
-use engine::{PrefetcherSpec, SimJob};
+use engine::{JobResult, PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
 use sms::{AgtConfig, CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig};
 use stats::mean;
@@ -67,7 +67,7 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
         }
         for &sizes in &AGT_SIZES {
             for &app in &apps {
-                jobs.push(config.job(app, PrefetcherSpec::Sms(sms_config(sizes))));
+                jobs.push(config.job(app, PrefetcherSpec::sms(&sms_config(sizes))));
             }
         }
     }
@@ -76,8 +76,18 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
 
 /// Runs the AGT sizing experiment.
 pub fn run(config: &ExperimentConfig, representative_only: bool) -> AgtSizeResult {
-    let classes = classes_with_applications(representative_only);
     let results = config.run_jobs(&jobs(config, representative_only));
+    from_results(config, representative_only, &results)
+}
+
+/// Post-processes the [`JobResult`]s of this experiment's [`jobs`] list (in
+/// submission order) into the result.
+pub fn from_results(
+    config: &ExperimentConfig,
+    representative_only: bool,
+    results: &[JobResult],
+) -> AgtSizeResult {
+    let classes = classes_with_applications(representative_only);
     let mut cursor = results.iter();
 
     let mut result = AgtSizeResult::default();

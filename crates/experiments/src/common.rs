@@ -96,20 +96,20 @@ impl ExperimentConfig {
         prefetcher: PrefetcherSpec,
         hierarchy: HierarchyConfig,
     ) -> SimJob {
-        SimJob::new(memsim::SimJob {
+        SimJob::new(memsim::SimJob::synthetic(
             app,
-            generator: self.generator(),
-            seed: self.seed,
-            cpus: self.cpus,
+            self.generator(),
+            self.seed,
+            self.cpus,
             hierarchy,
             prefetcher,
-            accesses: self.accesses,
-        })
+            self.accesses,
+        ))
     }
 
     /// A baseline (no prefetching) job for `app`.
     pub fn baseline_job(&self, app: Application) -> SimJob {
-        self.job(app, PrefetcherSpec::Null)
+        self.job(app, PrefetcherSpec::null())
     }
 
     /// A job evaluated through the timing model with `segments` paired
@@ -172,6 +172,16 @@ pub fn class_average(stats: &[CoverageStats]) -> ClassAverage {
     }
 }
 
+/// Resolves an application selection: an empty slice means the full suite
+/// (the convention of the per-application figures 5, 11, 12 and 13).
+pub fn apps_or_all(apps: &[Application]) -> Vec<Application> {
+    if apps.is_empty() {
+        Application::ALL.to_vec()
+    } else {
+        apps.to_vec()
+    }
+}
+
 /// The applications evaluated for a class in class-level figures.
 ///
 /// Quick-mode experiments evaluate one representative application per class to
@@ -212,7 +222,7 @@ mod tests {
             cfg.baseline_job(Application::Sparse),
             cfg.job(
                 Application::Sparse,
-                PrefetcherSpec::Sms(SmsConfig::default()),
+                PrefetcherSpec::sms(&SmsConfig::default()),
             ),
         ];
         let results = cfg.run_jobs(&jobs);

@@ -3,7 +3,7 @@
 
 use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
-use engine::{OracleProbeSpec, PrefetcherSpec, SimJob};
+use engine::{JobResult, OracleProbeSpec, PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
 use sms::RegionConfig;
 use trace::ApplicationClass;
@@ -50,7 +50,7 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
             jobs.push(
                 config.job(
                     app,
-                    PrefetcherSpec::OracleProbe(OracleProbeSpec {
+                    PrefetcherSpec::oracle_probe(&OracleProbeSpec {
                         regions: BLOCK_SIZES
                             .iter()
                             .map(|&bs| RegionConfig::new(bs.max(128), 64))
@@ -62,7 +62,7 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
             for &bs in BLOCK_SIZES.iter().filter(|&&bs| bs != 64) {
                 jobs.push(config.job_with_hierarchy(
                     app,
-                    PrefetcherSpec::Null,
+                    PrefetcherSpec::null(),
                     config.hierarchy.with_block_bytes(bs),
                 ));
             }
@@ -73,8 +73,14 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
 
 /// Runs the Figure 4 experiment.
 pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig4Result {
-    let classes = classes_with_applications(representative_only);
     let results = config.run_jobs(&jobs(config, representative_only));
+    from_results(representative_only, &results)
+}
+
+/// Post-processes the [`JobResult`]s of this figure's [`jobs`] list (in
+/// submission order) into the figure.
+pub fn from_results(representative_only: bool, results: &[JobResult]) -> Fig4Result {
+    let classes = classes_with_applications(representative_only);
     let mut cursor = results.iter();
 
     let mut result = Fig4Result::default();
@@ -84,7 +90,8 @@ pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig4Result {
         for _ in apps {
             // Baseline at 64B with oracles for each region size.
             let probe_run = cursor.next().expect("oracle probe result");
-            let (l1_opps, l2_opps) = probe_run.probe.oracle().expect("oracle probe job");
+            let oracle = probe_run.probe.oracle().expect("oracle probe job");
+            let (l1_opps, l2_opps) = (&oracle.l1_misses, &oracle.l2_misses);
             let base64 = &probe_run.summary;
             let l1_base = base64.l1.read_misses.max(1) as f64;
             let l2_base = base64.l2.read_misses.max(1) as f64;

@@ -1,9 +1,9 @@
 //! Figure 5: memory access density — the fraction of L1/L2 read misses that
 //! fall in spatial region generations of each density class (2 kB regions).
 
-use crate::common::ExperimentConfig;
+use crate::common::{apps_or_all, ExperimentConfig};
 use crate::report::Table;
-use engine::{PrefetcherSpec, SimJob};
+use engine::{JobResult, PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
 use sms::{DensityBin, DensityHistogram, RegionConfig};
 use trace::Application;
@@ -33,7 +33,7 @@ pub fn jobs(config: &ExperimentConfig, apps: &[Application]) -> Vec<SimJob> {
         .map(|&app| {
             config.job(
                 app,
-                PrefetcherSpec::DensityProbe(RegionConfig::paper_default()),
+                PrefetcherSpec::density_probe(&RegionConfig::paper_default()),
             )
         })
         .collect()
@@ -41,20 +41,22 @@ pub fn jobs(config: &ExperimentConfig, apps: &[Application]) -> Vec<SimJob> {
 
 /// Runs the Figure 5 experiment over `apps` (the full suite when empty).
 pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig5Result {
-    let apps: Vec<Application> = if apps.is_empty() {
-        Application::ALL.to_vec()
-    } else {
-        apps.to_vec()
-    };
+    let apps = apps_or_all(apps);
     let results = config.run_jobs(&jobs(config, &apps));
+    from_results(&apps, &results)
+}
+
+/// Post-processes the [`JobResult`]s of this figure's [`jobs`] list (in
+/// submission order) into the figure.
+pub fn from_results(apps: &[Application], results: &[JobResult]) -> Fig5Result {
     assert_eq!(results.len(), apps.len(), "one density result per app");
     let mut result = Fig5Result::default();
-    for (app, job) in apps.into_iter().zip(&results) {
-        let (l1, l2) = job.probe.density().expect("density probe job");
+    for (&app, job) in apps.iter().zip(results) {
+        let density = job.probe.density().expect("density probe job");
         result.per_app.push(DensityResult {
             app,
-            l1: l1.clone(),
-            l2: l2.clone(),
+            l1: density.l1,
+            l2: density.l2,
         });
     }
     result

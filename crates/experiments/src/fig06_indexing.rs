@@ -3,7 +3,7 @@
 
 use crate::common::{class_average, classes_with_applications, ClassAverage, ExperimentConfig};
 use crate::report::Table;
-use engine::{PrefetcherSpec, SimJob};
+use engine::{JobResult, PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
 use sms::{CoverageLevel, IndexScheme, RegionConfig, SmsConfig};
 use trace::ApplicationClass;
@@ -37,7 +37,7 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
         for scheme in IndexScheme::ALL {
             for &app in &apps {
                 let sms_config = SmsConfig::idealized(scheme, RegionConfig::paper_default());
-                jobs.push(config.job(app, PrefetcherSpec::Sms(sms_config)));
+                jobs.push(config.job(app, PrefetcherSpec::sms(&sms_config)));
             }
         }
     }
@@ -46,8 +46,18 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
 
 /// Runs the Figure 6 experiment.
 pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig6Result {
-    let classes = classes_with_applications(representative_only);
     let results = config.run_jobs(&jobs(config, representative_only));
+    from_results(config, representative_only, &results)
+}
+
+/// Post-processes the [`JobResult`]s of this figure's [`jobs`] list (in
+/// submission order) into the figure.
+pub fn from_results(
+    config: &ExperimentConfig,
+    representative_only: bool,
+    results: &[JobResult],
+) -> Fig6Result {
+    let classes = classes_with_applications(representative_only);
     let mut cursor = results.iter();
 
     let mut result = Fig6Result::default();

@@ -3,7 +3,7 @@
 
 use crate::common::{class_average, classes_with_applications, ExperimentConfig};
 use crate::report::Table;
-use engine::{PrefetcherSpec, SimJob};
+use engine::{JobResult, PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
 use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, SmsConfig};
 use trace::ApplicationClass;
@@ -67,7 +67,7 @@ pub fn jobs(
                 for &app in &apps {
                     let sms_config = SmsConfig::idealized(scheme, RegionConfig::paper_default())
                         .with_pht(capacity(entries));
-                    jobs.push(config.job(app, PrefetcherSpec::Sms(sms_config)));
+                    jobs.push(config.job(app, PrefetcherSpec::sms(&sms_config)));
                 }
             }
         }
@@ -82,8 +82,19 @@ pub fn run(
     representative_only: bool,
     schemes: &[IndexScheme],
 ) -> Fig7Result {
-    let classes = classes_with_applications(representative_only);
     let results = config.run_jobs(&jobs(config, representative_only, schemes));
+    from_results(config, representative_only, schemes, &results)
+}
+
+/// Post-processes the [`JobResult`]s of this figure's [`jobs`] list (in
+/// submission order) into the figure.
+pub fn from_results(
+    config: &ExperimentConfig,
+    representative_only: bool,
+    schemes: &[IndexScheme],
+    results: &[JobResult],
+) -> Fig7Result {
+    let classes = classes_with_applications(representative_only);
     let schemes = schemes_or_default(schemes);
     let mut cursor = results.iter();
 

@@ -3,7 +3,7 @@
 
 use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
-use engine::{PrefetcherSpec, SimJob, TrainingSpec};
+use engine::{JobResult, PrefetcherSpec, SimJob, TrainingSpec};
 use serde::{Deserialize, Serialize};
 use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, TrainerKind};
 use stats::mean;
@@ -61,7 +61,7 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool, pht: PhtCapaci
             for &app in &apps {
                 jobs.push(config.job(
                     app,
-                    PrefetcherSpec::Training(training_spec(config, trainer, pht)),
+                    PrefetcherSpec::training(&training_spec(config, trainer, pht)),
                 ));
             }
         }
@@ -72,8 +72,18 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool, pht: PhtCapaci
 /// Runs the Figure 8 experiment with the given PHT bound (the paper uses an
 /// unbounded PHT for this figure; Figure 9 sweeps the bound).
 pub fn run(config: &ExperimentConfig, representative_only: bool, pht: PhtCapacity) -> Fig8Result {
-    let classes = classes_with_applications(representative_only);
     let results = config.run_jobs(&jobs(config, representative_only, pht));
+    from_results(config, representative_only, &results)
+}
+
+/// Post-processes the [`JobResult`]s of this figure's [`jobs`] list (in
+/// submission order) into the figure.
+pub fn from_results(
+    config: &ExperimentConfig,
+    representative_only: bool,
+    results: &[JobResult],
+) -> Fig8Result {
+    let classes = classes_with_applications(representative_only);
     let mut cursor = results.iter();
 
     let mut result = Fig8Result::default();
@@ -89,7 +99,8 @@ pub fn run(config: &ExperimentConfig, representative_only: bool, pht: PhtCapacit
             let mut pht_entries = Vec::new();
             for baseline in &baselines {
                 let with = cursor.next().expect("training run");
-                let (extra_misses, pht_len) = with.probe.training().expect("training job");
+                let report = with.probe.training().expect("training job");
+                let (extra_misses, pht_len) = (report.extra_misses, report.pht_len);
                 let cov = config.coverage(&baseline.summary, &with.summary, CoverageLevel::L1);
                 let extra = extra_misses as f64 / cov.baseline_misses.max(1) as f64;
                 coverages.push((cov.coverage() - extra).max(-1.0));

@@ -3,7 +3,7 @@
 
 use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
-use engine::{PrefetcherSpec, SimJob, TrainingSpec};
+use engine::{JobResult, PrefetcherSpec, SimJob, TrainingSpec};
 use serde::{Deserialize, Serialize};
 use sms::{CoverageLevel, IndexScheme, PhtCapacity, RegionConfig, TrainerKind};
 use stats::mean;
@@ -59,7 +59,7 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
                 for &app in &apps {
                     jobs.push(config.job(
                         app,
-                        PrefetcherSpec::Training(TrainingSpec {
+                        PrefetcherSpec::training(&TrainingSpec {
                             trainer,
                             region: RegionConfig::paper_default(),
                             index_scheme: IndexScheme::PcOffset,
@@ -76,8 +76,18 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
 
 /// Runs the Figure 9 experiment.
 pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig9Result {
-    let classes = classes_with_applications(representative_only);
     let results = config.run_jobs(&jobs(config, representative_only));
+    from_results(config, representative_only, &results)
+}
+
+/// Post-processes the [`JobResult`]s of this figure's [`jobs`] list (in
+/// submission order) into the figure.
+pub fn from_results(
+    config: &ExperimentConfig,
+    representative_only: bool,
+    results: &[JobResult],
+) -> Fig9Result {
+    let classes = classes_with_applications(representative_only);
     let mut cursor = results.iter();
 
     let mut result = Fig9Result::default();

@@ -3,7 +3,7 @@
 
 use crate::common::{classes_with_applications, ExperimentConfig};
 use crate::report::Table;
-use engine::{PrefetcherSpec, SimJob};
+use engine::{JobResult, PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
 use sms::{CoverageLevel, IndexScheme, RegionConfig, SmsConfig};
 use stats::mean;
@@ -43,7 +43,7 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
             let region = RegionConfig::new(region_bytes, 64);
             for &app in &apps {
                 let sms_config = SmsConfig::idealized(IndexScheme::PcOffset, region);
-                jobs.push(config.job(app, PrefetcherSpec::Sms(sms_config)));
+                jobs.push(config.job(app, PrefetcherSpec::sms(&sms_config)));
             }
         }
     }
@@ -52,8 +52,18 @@ pub fn jobs(config: &ExperimentConfig, representative_only: bool) -> Vec<SimJob>
 
 /// Runs the Figure 10 experiment.
 pub fn run(config: &ExperimentConfig, representative_only: bool) -> Fig10Result {
-    let classes = classes_with_applications(representative_only);
     let results = config.run_jobs(&jobs(config, representative_only));
+    from_results(config, representative_only, &results)
+}
+
+/// Post-processes the [`JobResult`]s of this figure's [`jobs`] list (in
+/// submission order) into the figure.
+pub fn from_results(
+    config: &ExperimentConfig,
+    representative_only: bool,
+    results: &[JobResult],
+) -> Fig10Result {
+    let classes = classes_with_applications(representative_only);
     let mut cursor = results.iter();
 
     let mut result = Fig10Result::default();

@@ -2,9 +2,9 @@
 //! Buffer (GHB PC/DC) at 256 and 16 k entries — off-chip (L2) read-miss
 //! coverage per application.
 
-use crate::common::ExperimentConfig;
+use crate::common::{apps_or_all, ExperimentConfig};
 use crate::report::Table;
-use engine::{PrefetcherSpec, SimJob};
+use engine::{JobResult, PrefetcherSpec, SimJob};
 use ghb::GhbConfig;
 use serde::{Deserialize, Serialize};
 use sms::{CoverageLevel, CoverageStats, SmsConfig};
@@ -42,9 +42,9 @@ impl Fig11Prefetcher {
     /// The engine spec for this configuration.
     pub fn spec(self) -> PrefetcherSpec {
         match self {
-            Fig11Prefetcher::Ghb256 => PrefetcherSpec::Ghb(GhbConfig::paper_small()),
-            Fig11Prefetcher::Ghb16k => PrefetcherSpec::Ghb(GhbConfig::paper_large()),
-            Fig11Prefetcher::Sms => PrefetcherSpec::Sms(SmsConfig::paper_default()),
+            Fig11Prefetcher::Ghb256 => PrefetcherSpec::ghb(&GhbConfig::paper_small()),
+            Fig11Prefetcher::Ghb16k => PrefetcherSpec::ghb(&GhbConfig::paper_large()),
+            Fig11Prefetcher::Sms => PrefetcherSpec::sms(&SmsConfig::paper_default()),
         }
     }
 }
@@ -82,16 +82,22 @@ pub fn jobs(config: &ExperimentConfig, apps: &[Application]) -> Vec<SimJob> {
 
 /// Runs the Figure 11 experiment over `apps` (the full suite when empty).
 pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig11Result {
-    let apps: Vec<Application> = if apps.is_empty() {
-        Application::ALL.to_vec()
-    } else {
-        apps.to_vec()
-    };
+    let apps = apps_or_all(apps);
     let results = config.run_jobs(&jobs(config, &apps));
+    from_results(config, &apps, &results)
+}
+
+/// Post-processes the [`JobResult`]s of this figure's [`jobs`] list (in
+/// submission order) into the figure.
+pub fn from_results(
+    config: &ExperimentConfig,
+    apps: &[Application],
+    results: &[JobResult],
+) -> Fig11Result {
     let mut cursor = results.iter();
 
     let mut result = Fig11Result::default();
-    for app in apps {
+    for &app in apps {
         let baseline = cursor.next().expect("baseline");
         for prefetcher in Fig11Prefetcher::ALL {
             let with = cursor.next().expect("prefetcher run");

@@ -1,9 +1,9 @@
 //! Figure 12: speedup of SMS over the baseline system with 95 % confidence
 //! intervals, per application, plus the geometric mean.
 
-use crate::common::ExperimentConfig;
+use crate::common::{apps_or_all, ExperimentConfig};
 use crate::report::Table;
-use engine::{PrefetcherSpec, SimJob};
+use engine::{JobResult, PrefetcherSpec, SimJob};
 use serde::{Deserialize, Serialize};
 use sms::SmsConfig;
 use stats::{geometric_mean, ConfidenceInterval};
@@ -50,10 +50,10 @@ pub fn timing_jobs(config: &ExperimentConfig, app: Application) -> [SimJob; 2] {
     let timing =
         TimingConfig::table1().with_system_busy_fraction(system_busy_fraction(app.class()));
     [
-        config.timing_job(app, PrefetcherSpec::Null, timing, SEGMENTS),
+        config.timing_job(app, PrefetcherSpec::null(), timing, SEGMENTS),
         config.timing_job(
             app,
-            PrefetcherSpec::Sms(SmsConfig::paper_default()),
+            PrefetcherSpec::sms(&SmsConfig::paper_default()),
             timing,
             SEGMENTS,
         ),
@@ -74,8 +74,13 @@ pub fn evaluate_apps(
     config: &ExperimentConfig,
     apps: &[Application],
 ) -> Vec<(TimingResult, TimingResult)> {
-    config
-        .run_jobs(&jobs(config, apps))
+    evaluations_from_results(&config.run_jobs(&jobs(config, apps)))
+}
+
+/// Extracts the per-application (baseline, SMS) timing pairs from the
+/// [`JobResult`]s of this figure's [`jobs`] list, in submission order.
+pub fn evaluations_from_results(results: &[JobResult]) -> Vec<(TimingResult, TimingResult)> {
+    results
         .chunks_exact(2)
         .map(|pair| {
             let base = pair[0].timing.clone().expect("baseline timing job");
@@ -110,11 +115,7 @@ pub fn from_evaluations(
 
 /// Runs the Figure 12 experiment over `apps` (the full suite when empty).
 pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig12Result {
-    let apps: Vec<Application> = if apps.is_empty() {
-        Application::ALL.to_vec()
-    } else {
-        apps.to_vec()
-    };
+    let apps = apps_or_all(apps);
     from_evaluations(&apps, &evaluate_apps(config, &apps))
 }
 

@@ -47,11 +47,7 @@ pub fn from_evaluations(
 
 /// Runs the Figure 13 experiment over `apps` (the full suite when empty).
 pub fn run(config: &ExperimentConfig, apps: &[Application]) -> Fig13Result {
-    let apps: Vec<Application> = if apps.is_empty() {
-        Application::ALL.to_vec()
-    } else {
-        apps.to_vec()
-    };
+    let apps = crate::common::apps_or_all(apps);
     from_evaluations(&apps, &evaluate_apps(config, &apps))
 }
 

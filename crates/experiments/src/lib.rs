@@ -6,15 +6,21 @@
 //! paper reports (coverage, uncovered and overprediction fractions, miss-rate
 //! curves, speedups with confidence intervals, execution-time breakdowns).
 //! Every module *declares* its simulations as an [`engine::SimJob`] list
-//! (see each module's `jobs` function) and post-processes the
-//! [`engine::JobResult`]s; the engine executes the list across worker
-//! threads with results bit-identical to a serial run.  The
-//! `sms-experiments` binary exposes the figures on the command line:
+//! (its `jobs` function — plain serializable data, registry-resolved
+//! prefetcher specs included) and post-processes the
+//! [`engine::JobResult`]s (its `from_results` function); the engine
+//! executes the list across worker threads with results bit-identical to a
+//! serial run.  Because declaration and post-processing are split, the
+//! `sms-experiments` binary can also write any figure's job list to a JSON
+//! spec file and execute arbitrary spec files:
 //!
 //! ```text
-//! sms-experiments all            # regenerate everything (slow)
-//! sms-experiments fig6 --quick   # one figure, reduced trace length
-//! sms-experiments --figure fig05 --jobs 2 --json out.json
+//! sms-experiments all                  # regenerate everything (slow)
+//! sms-experiments fig6 --quick         # one figure, reduced trace length
+//! sms-experiments --figure fig05 --jobs 2 --json out.json --out raw.json
+//! sms-experiments fig5 --emit-spec jobs.json   # declare, don't run
+//! sms-experiments run --spec jobs.json --out raw.json
+//! sms-experiments list                 # experiments + prefetcher plugins
 //! ```
 //!
 //! Absolute numbers differ from the paper — the substrate is a trace-driven

@@ -1,21 +1,32 @@
 //! `sms-experiments`: regenerate the tables and figures of
-//! *Spatial Memory Streaming* (ISCA 2006).
+//! *Spatial Memory Streaming* (ISCA 2006), and run arbitrary serialized job
+//! lists through the engine.
 //!
 //! Usage:
 //!
 //! ```text
 //! sms-experiments <experiment> [--quick] [--jobs N] [--json <path>]
-//! sms-experiments --figure <experiment> [--quick] [--jobs N] [--json <path>]
+//!                 [--out <path>] [--emit-spec <path>]
+//! sms-experiments --figure <experiment> [same flags]
+//! sms-experiments run --spec <jobs.json> [--jobs N] [--out <path>]
+//! sms-experiments list
 //!
 //! experiments: all, table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
 //!              agt-size, fig11, fig12, fig13 (leading zeros accepted: fig05)
+//! list           print the experiments and the registered prefetcher plugins
+//! run --spec P   execute a serialized engine job list (see --emit-spec)
 //! --figure NAME  name the experiment as a flag instead of positionally
 //! --quick        use shorter traces and representative applications per class
 //! --jobs N       engine worker threads (default: all hardware threads;
 //!                1 forces the serial path)
-//! --json PATH    additionally dump the raw results as JSON
+//! --json PATH    additionally dump the figure-level results as JSON
+//! --out PATH     dump the raw engine JobResults as JSON (byte-identical to
+//!                what `run --spec` produces for the same jobs)
+//! --emit-spec P  write the exact engine jobs the experiment would run as a
+//!                JSON spec file instead of running them
 //! ```
 
+use engine::{EngineConfig, JobList, JobResult, Registry};
 use experiments::common::ExperimentConfig;
 use experiments::{
     agt_size, fig04_block_size, fig05_density, fig06_indexing, fig07_pht_size, fig08_training,
@@ -27,6 +38,12 @@ use sms::PhtCapacity;
 use std::process::ExitCode;
 use timing::TimingConfig;
 use trace::Application;
+
+/// Every experiment name the CLI accepts, in run order.
+const EXPERIMENTS: [&str; 13] = [
+    "all", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "agt-size", "fig11",
+    "fig12", "fig13",
+];
 
 #[derive(Debug, Default, Serialize)]
 struct JsonDump {
@@ -45,7 +62,10 @@ struct JsonDump {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> [--quick] [--jobs N] [--json PATH]"
+        "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> \
+         [--quick] [--jobs N] [--json PATH] [--out PATH] [--emit-spec PATH]\n\
+       \x20      sms-experiments run --spec JOBS.json [--jobs N] [--out PATH]\n\
+       \x20      sms-experiments list"
     );
     ExitCode::from(2)
 }
@@ -60,6 +80,128 @@ fn normalize_experiment(name: &str) -> String {
     }
 }
 
+/// Prints the experiments and the plugins of the built-in registry.
+fn list() {
+    println!("experiments:");
+    for name in EXPERIMENTS {
+        println!("  {name}");
+    }
+    println!("\nprefetcher plugins (built-in registry):");
+    let registry = Registry::builtin();
+    for name in registry.names() {
+        let description = registry.get(name).map(|p| p.description()).unwrap_or("");
+        if description.is_empty() {
+            println!("  {name}");
+        } else {
+            println!("  {name:<14} {description}");
+        }
+    }
+}
+
+/// Executes a serialized job list (`run --spec`), printing a per-job summary
+/// table and optionally dumping the raw results.
+fn run_spec(spec_path: &str, workers: usize, out: Option<&str>) -> ExitCode {
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("failed to read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let list: JobList = match serde_json::from_str(&text) {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("failed to parse {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if list.version != JobList::VERSION {
+        eprintln!(
+            "{spec_path}: spec version {} (this build reads version {})",
+            list.version,
+            JobList::VERSION
+        );
+        return ExitCode::FAILURE;
+    }
+    let results = match engine::run_jobs_in(
+        &list.jobs,
+        &EngineConfig::with_workers(workers),
+        Registry::builtin(),
+    ) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("job  prefetcher     source                accesses  L1 MPKI  L2 MPKI  prefetches");
+    for (job, result) in list.jobs.iter().zip(&results) {
+        println!(
+            "{:<4} {:<14} {:<21} {:>8}  {:>7.2}  {:>7.2}  {:>10}",
+            result.job_index,
+            job.sim.prefetcher.plugin,
+            job.sim.source.describe(),
+            result.summary.accesses,
+            result.summary.l1_read_mpki(),
+            result.summary.l2_read_mpki(),
+            result.summary.prefetch_requests,
+        );
+    }
+    if let Some(path) = out {
+        if let Err(code) = write_results(path, &results) {
+            return code;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes raw engine results as pretty JSON (the `--out` format, shared by
+/// `run --spec` and direct figure runs so the two are byte-comparable).
+fn write_results(path: &str, results: &[JobResult]) -> Result<(), ExitCode> {
+    let json = serde_json::to_string_pretty(results).expect("results serialize");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("failed to write {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    println!("\nraw engine results written to {path}");
+    Ok(())
+}
+
+/// The engine jobs one experiment declares — the single source of job
+/// construction shared by `--emit-spec` and the direct run path, so the two
+/// can never drift apart.  `None` for experiments with no engine jobs
+/// (table1) and for the umbrella `all`.  Figures 12 and 13 share one job
+/// list and both map to it here.
+fn figure_jobs(
+    name: &str,
+    config: &ExperimentConfig,
+    representative_only: bool,
+) -> Option<Vec<engine::SimJob>> {
+    match name {
+        "fig4" => Some(fig04_block_size::jobs(config, representative_only)),
+        "fig5" => Some(fig05_density::jobs(
+            config,
+            &experiments::common::apps_or_all(&[]),
+        )),
+        "fig6" => Some(fig06_indexing::jobs(config, representative_only)),
+        "fig7" => Some(fig07_pht_size::jobs(config, representative_only, &[])),
+        "fig8" => Some(fig08_training::jobs(
+            config,
+            representative_only,
+            PhtCapacity::Unbounded,
+        )),
+        "fig9" => Some(fig09_pht_training::jobs(config, representative_only)),
+        "fig10" => Some(fig10_region_size::jobs(config, representative_only)),
+        "agt-size" => Some(agt_size::jobs(config, representative_only)),
+        "fig11" => Some(fig11_ghb_comparison::jobs(
+            config,
+            &experiments::common::apps_or_all(&[]),
+        )),
+        "fig12" | "fig13" => Some(fig12_speedup::jobs(config, &Application::ALL)),
+        _ => None,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag_value = |flag: &str| {
@@ -68,7 +210,7 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1))
             .cloned()
     };
-    // The experiment is named positionally or via --figure.
+    // The experiment (or subcommand) is named positionally or via --figure.
     let experiment = match flag_value("--figure") {
         Some(name) => name,
         None => match args.first() {
@@ -79,6 +221,8 @@ fn main() -> ExitCode {
     let experiment = normalize_experiment(&experiment);
     let quick = args.iter().any(|a| a == "--quick");
     let json_path = flag_value("--json");
+    let out_path = flag_value("--out");
+    let emit_spec_path = flag_value("--emit-spec");
     let workers = match flag_value("--jobs") {
         Some(n) => match n.parse::<usize>() {
             Ok(n) => n,
@@ -90,6 +234,29 @@ fn main() -> ExitCode {
         None => 0,
     };
 
+    if experiment == "list" {
+        list();
+        return ExitCode::SUCCESS;
+    }
+    if experiment == "run" {
+        let Some(spec_path) = flag_value("--spec") else {
+            eprintln!("run requires --spec JOBS.json");
+            return usage();
+        };
+        return run_spec(&spec_path, workers, out_path.as_deref());
+    }
+    if !EXPERIMENTS.contains(&experiment.as_str()) {
+        match engine::closest_match(&experiment, EXPERIMENTS.into_iter()) {
+            Some(suggestion) => {
+                eprintln!("unknown experiment {experiment:?} (did you mean {suggestion:?}?)")
+            }
+            None => eprintln!(
+                "unknown experiment {experiment:?}; `sms-experiments list` shows the choices"
+            ),
+        }
+        return ExitCode::from(2);
+    }
+
     let config = if quick {
         ExperimentConfig::quick()
     } else {
@@ -99,16 +266,60 @@ fn main() -> ExitCode {
     // Quick runs restrict class-level experiments to representative
     // applications; full runs use the whole suite.
     let representative_only = quick;
-    let mut dump = JsonDump::default();
-
-    let known = [
-        "all", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "agt-size",
-        "fig11", "fig12", "fig13",
-    ];
-    if !known.contains(&experiment.as_str()) {
-        return usage();
-    }
     let want = |name: &str| experiment == "all" || experiment == name;
+
+    // With --emit-spec, collect the exact jobs the selected experiment would
+    // run and write them as a spec file instead of executing anything.
+    if let Some(path) = emit_spec_path {
+        let mut jobs = Vec::new();
+        let mut fig12_emitted = false;
+        for name in EXPERIMENTS {
+            if !want(name) {
+                continue;
+            }
+            // Figures 12 and 13 share one job list; emit it once.
+            if name == "fig12" || name == "fig13" {
+                if fig12_emitted {
+                    continue;
+                }
+                fig12_emitted = true;
+            }
+            if let Some(figure_jobs) = figure_jobs(name, &config, representative_only) {
+                jobs.extend(figure_jobs);
+            }
+        }
+        if jobs.is_empty() {
+            eprintln!("{experiment}: declares no engine jobs (nothing to emit)");
+            return ExitCode::FAILURE;
+        }
+        let json = serde_json::to_string_pretty(&JobList::new(jobs)).expect("jobs serialize");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("engine job spec written to {path}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut dump = JsonDump::default();
+    let mut raw_results: Vec<JobResult> = Vec::new();
+    // Runs one experiment's job list through the engine and, with --out,
+    // accumulates the raw results.  Accumulated job indices are shifted to
+    // continue across experiments, so a multi-figure --out dump is
+    // byte-identical to `run --spec` over the same figures' emitted spec
+    // (which concatenates the job lists into one continuously-indexed run).
+    let mut run_figure = |name: &str| -> Vec<JobResult> {
+        let jobs = figure_jobs(name, &config, representative_only).expect("experiment with jobs");
+        let results = config.run_jobs(&jobs);
+        if out_path.is_some() {
+            let offset = raw_results.len();
+            raw_results.extend(results.iter().cloned().map(|mut r| {
+                r.job_index += offset;
+                r
+            }));
+        }
+        results
+    };
 
     if want("table1") {
         println!(
@@ -118,47 +329,58 @@ fn main() -> ExitCode {
         println!("{}", table1::application_table());
     }
     if want("fig4") {
-        let r = fig04_block_size::run(&config, representative_only);
+        let results = run_figure("fig4");
+        let r = fig04_block_size::from_results(representative_only, &results);
         println!("{}", fig04_block_size::table(&r));
         dump.fig4 = Some(r);
     }
     if want("fig5") {
-        let r = fig05_density::run(&config, &[]);
+        let apps = experiments::common::apps_or_all(&[]);
+        let results = run_figure("fig5");
+        let r = fig05_density::from_results(&apps, &results);
         println!("{}", fig05_density::table(&r));
         dump.fig5 = Some(r);
     }
     if want("fig6") {
-        let r = fig06_indexing::run(&config, representative_only);
+        let results = run_figure("fig6");
+        let r = fig06_indexing::from_results(&config, representative_only, &results);
         println!("{}", fig06_indexing::table(&r));
         dump.fig6 = Some(r);
     }
     if want("fig7") {
-        let r = fig07_pht_size::run(&config, representative_only, &[]);
+        let results = run_figure("fig7");
+        let r = fig07_pht_size::from_results(&config, representative_only, &[], &results);
         println!("{}", fig07_pht_size::table(&r));
         dump.fig7 = Some(r);
     }
     if want("fig8") {
-        let r = fig08_training::run(&config, representative_only, PhtCapacity::Unbounded);
+        let results = run_figure("fig8");
+        let r = fig08_training::from_results(&config, representative_only, &results);
         println!("{}", fig08_training::table(&r));
         dump.fig8 = Some(r);
     }
     if want("fig9") {
-        let r = fig09_pht_training::run(&config, representative_only);
+        let results = run_figure("fig9");
+        let r = fig09_pht_training::from_results(&config, representative_only, &results);
         println!("{}", fig09_pht_training::table(&r));
         dump.fig9 = Some(r);
     }
     if want("fig10") {
-        let r = fig10_region_size::run(&config, representative_only);
+        let results = run_figure("fig10");
+        let r = fig10_region_size::from_results(&config, representative_only, &results);
         println!("{}", fig10_region_size::table(&r));
         dump.fig10 = Some(r);
     }
     if want("agt-size") {
-        let r = agt_size::run(&config, representative_only);
+        let results = run_figure("agt-size");
+        let r = agt_size::from_results(&config, representative_only, &results);
         println!("{}", agt_size::table(&r));
         dump.agt_size = Some(r);
     }
     if want("fig11") {
-        let r = fig11_ghb_comparison::run(&config, &[]);
+        let apps = experiments::common::apps_or_all(&[]);
+        let results = run_figure("fig11");
+        let r = fig11_ghb_comparison::from_results(&config, &apps, &results);
         println!("{}", fig11_ghb_comparison::table(&r));
         dump.fig11 = Some(r);
     }
@@ -166,7 +388,8 @@ fn main() -> ExitCode {
         // Figures 12 and 13 post-process the same (baseline, SMS) timing
         // evaluations, so an `all` run executes the job list only once.
         let apps = Application::ALL;
-        let evaluations = fig12_speedup::evaluate_apps(&config, &apps);
+        let results = run_figure("fig12");
+        let evaluations = fig12_speedup::evaluations_from_results(&results);
         if want("fig12") {
             let r = fig12_speedup::from_evaluations(&apps, &evaluations);
             println!("{}", fig12_speedup::table(&r));
@@ -179,6 +402,11 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = out_path {
+        if let Err(code) = write_results(&path, &raw_results) {
+            return code;
+        }
+    }
     if let Some(path) = json_path {
         match serde_json::to_string_pretty(&dump) {
             Ok(json) => {

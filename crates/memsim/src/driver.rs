@@ -4,18 +4,20 @@
 //! [`Prefetcher`] react to every outcome, applies the requested fills, and
 //! accumulates a [`RunSummary`] of per-level statistics and miss breakdowns.
 //!
-//! [`run_job`] is the self-contained variant used by the `engine` crate: a
-//! [`SimJob`] fully describes one run (trace, system, prefetcher spec, access
-//! budget and seed) so that jobs can be executed on any thread and always
-//! reproduce bit-identical summaries.
+//! [`run_job`] is the self-contained variant: a [`SimJob`] fully describes
+//! one run (trace source, system, prefetcher spec, access budget) so that
+//! jobs can be executed on any thread and always reproduce bit-identical
+//! summaries.  The `engine` crate wraps the same job type with a plugin
+//! registry and an optional timing-model evaluation.
 
 use crate::classify::MissBreakdown;
 use crate::config::HierarchyConfig;
 use crate::prefetch::{NullPrefetcher, PrefetchLevel, Prefetcher};
 use crate::stats::CacheStats;
 use crate::system::MultiCpuSystem;
-use serde::{Deserialize, Serialize};
-use trace::{Application, GeneratorConfig, MemAccess};
+use serde::{Deserialize, Serialize, Value};
+use std::io;
+use trace::{MemAccess, TraceSource};
 
 /// Aggregate results of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -91,21 +93,20 @@ impl PrefetcherFactory for NullPrefetcher {
     }
 }
 
-/// A complete, self-contained description of one simulation run: which trace
-/// to generate, what system to build, which prefetcher to attach, and how
-/// many accesses to simulate.
+/// A complete, self-contained description of one simulation run: where the
+/// trace comes from, what system to build, which prefetcher to attach, and
+/// how many accesses to simulate.
 ///
-/// Jobs own no live state — the stream generator and the prefetcher are both
+/// Jobs own no live state — the access stream and the prefetcher are both
 /// constructed from the job when it runs — so the same job always produces a
 /// bit-identical [`RunSummary`], regardless of which thread executes it.
-#[derive(Debug, Clone)]
+/// The [`TraceSource`] names either a synthetic generator (application,
+/// parameters, seed) or a trace file replayed through the streaming readers
+/// in `trace::io`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimJob<F> {
-    /// Workload whose synthetic trace feeds the run.
-    pub app: Application,
-    /// Trace-generator parameters (CPU count, data-set size, sharing).
-    pub generator: GeneratorConfig,
-    /// Seed for the deterministic trace generator.
-    pub seed: u64,
+    /// Where the run's accesses come from (synthetic generator or file).
+    pub source: TraceSource,
     /// Number of simulated processors.
     pub cpus: usize,
     /// Cache hierarchy configuration.
@@ -116,18 +117,73 @@ pub struct SimJob<F> {
     pub accesses: usize,
 }
 
+impl<F> SimJob<F> {
+    /// A job over the synthetic generator for `app` (the usual path).
+    pub fn synthetic(
+        app: trace::Application,
+        generator: trace::GeneratorConfig,
+        seed: u64,
+        cpus: usize,
+        hierarchy: HierarchyConfig,
+        prefetcher: F,
+        accesses: usize,
+    ) -> Self {
+        Self {
+            source: TraceSource::synthetic(app, generator, seed),
+            cpus,
+            hierarchy,
+            prefetcher,
+            accesses,
+        }
+    }
+}
+
+// The vendored serde derive does not handle generic types, so the job's
+// (de)serialization over the value tree is written out by hand.  The field
+// layout matches what a non-generic derive would produce.
+impl<F: Serialize> Serialize for SimJob<F> {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("source".to_string(), self.source.to_value()),
+            ("cpus".to_string(), self.cpus.to_value()),
+            ("hierarchy".to_string(), self.hierarchy.to_value()),
+            ("prefetcher".to_string(), self.prefetcher.to_value()),
+            ("accesses".to_string(), self.accesses.to_value()),
+        ])
+    }
+}
+
+impl<F: Deserialize> Deserialize for SimJob<F> {
+    fn from_value(v: &Value) -> Result<Self, serde::de::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::de::Error::custom("expected object for struct SimJob"))?;
+        Ok(SimJob {
+            source: Deserialize::from_value(serde::field(obj, "source"))?,
+            cpus: Deserialize::from_value(serde::field(obj, "cpus"))?,
+            hierarchy: Deserialize::from_value(serde::field(obj, "hierarchy"))?,
+            prefetcher: Deserialize::from_value(serde::field(obj, "prefetcher"))?,
+            accesses: Deserialize::from_value(serde::field(obj, "accesses"))?,
+        })
+    }
+}
+
 /// Runs one [`SimJob`] from scratch: builds the system, instantiates the
-/// prefetcher from its spec, generates the trace from the job's seed, and
-/// drives [`run`].
+/// prefetcher from its spec, opens the trace source, and drives [`run`].
 ///
 /// The built prefetcher is returned alongside the summary so callers can
 /// extract post-run state (predictor counters, observer histograms).
-pub fn run_job<F: PrefetcherFactory>(job: &SimJob<F>) -> (RunSummary, F::Output) {
+///
+/// # Errors
+///
+/// Any I/O error from opening a file-backed trace source; synthetic sources
+/// cannot fail.
+pub fn run_job<F: PrefetcherFactory>(job: &SimJob<F>) -> io::Result<(RunSummary, F::Output)> {
     let mut system = MultiCpuSystem::new(job.cpus, &job.hierarchy);
     let mut prefetcher = job.prefetcher.build(job.cpus);
-    let mut stream = job.app.stream(job.seed, &job.generator);
+    let mut stream = job.source.open()?;
     let summary = run(&mut system, &mut prefetcher, &mut stream, job.accesses);
-    (summary, prefetcher)
+    Ok((summary, prefetcher))
 }
 
 /// Runs `num_accesses` accesses from `stream` through `system` with
@@ -263,17 +319,17 @@ mod tests {
 
     #[test]
     fn run_job_is_reproducible_and_skips_nothing() {
-        let job = SimJob {
-            app: Application::OltpDb2,
-            generator: GeneratorConfig::default().with_cpus(2),
-            seed: 7,
-            cpus: 2,
-            hierarchy: HierarchyConfig::scaled(),
-            prefetcher: NullPrefetcher::new(),
-            accesses: 5_000,
-        };
-        let (first, _) = run_job(&job);
-        let (second, _) = run_job(&job);
+        let job = SimJob::synthetic(
+            trace::Application::OltpDb2,
+            trace::GeneratorConfig::default().with_cpus(2),
+            7,
+            2,
+            HierarchyConfig::scaled(),
+            NullPrefetcher::new(),
+            5_000,
+        );
+        let (first, _) = run_job(&job).expect("synthetic source");
+        let (second, _) = run_job(&job).expect("synthetic source");
         assert_eq!(first, second, "same job must give bit-identical summaries");
         assert_eq!(first.accesses, 5_000);
         // A well-formed job pairs generator and system CPU counts, so nothing
@@ -285,17 +341,45 @@ mod tests {
     fn mismatched_generator_reports_skips() {
         // Generator emits accesses for 4 CPUs but the system only has 2:
         // roughly half the stream must be counted as skipped.
-        let job = SimJob {
-            app: Application::Ocean,
-            generator: GeneratorConfig::default().with_cpus(4),
-            seed: 7,
-            cpus: 2,
-            hierarchy: HierarchyConfig::scaled(),
-            prefetcher: NullPrefetcher::new(),
-            accesses: 4_000,
-        };
-        let (summary, _) = run_job(&job);
+        let job = SimJob::synthetic(
+            trace::Application::Ocean,
+            trace::GeneratorConfig::default().with_cpus(4),
+            7,
+            2,
+            HierarchyConfig::scaled(),
+            NullPrefetcher::new(),
+            4_000,
+        );
+        let (summary, _) = run_job(&job).expect("synthetic source");
         assert!(summary.skipped_accesses > 0, "mismatch must be visible");
         assert_eq!(summary.accesses + summary.skipped_accesses, 4_000);
+    }
+
+    #[test]
+    fn sim_job_serializes_and_deserializes_by_hand_written_impls() {
+        // `Option<u32>` stands in for any serializable prefetcher spec (the
+        // engine uses its own spec type here).
+        let job: SimJob<Option<u32>> = SimJob {
+            source: TraceSource::text_file("traces/t.txt"),
+            cpus: 3,
+            hierarchy: HierarchyConfig::scaled(),
+            prefetcher: Some(7),
+            accesses: 1234,
+        };
+        let value = job.to_value();
+        let back: SimJob<Option<u32>> = Deserialize::from_value(&value).expect("round trip");
+        assert_eq!(job, back);
+    }
+
+    #[test]
+    fn job_with_missing_trace_file_fails_cleanly() {
+        let job = SimJob {
+            source: TraceSource::binary_file("/nonexistent/trace.bin"),
+            cpus: 1,
+            hierarchy: HierarchyConfig::scaled(),
+            prefetcher: NullPrefetcher::new(),
+            accesses: 100,
+        };
+        assert!(run_job(&job).is_err());
     }
 }

@@ -38,6 +38,7 @@ pub mod config;
 pub mod interleave;
 pub mod io;
 pub mod rng;
+pub mod source;
 pub mod stream;
 pub mod suite;
 pub mod workloads;
@@ -45,5 +46,6 @@ pub mod workloads;
 pub use access::{AccessKind, Addr, MemAccess, Pc};
 pub use config::GeneratorConfig;
 pub use interleave::Interleaver;
+pub use source::{ReplayStream, TraceSource};
 pub use stream::{AccessStream, BoxedStream};
 pub use suite::{Application, ApplicationClass};

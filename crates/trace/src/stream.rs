@@ -11,6 +11,15 @@ use crate::access::MemAccess;
 pub trait AccessStream: Iterator<Item = MemAccess> {
     /// A short, human-readable name for this stream (used in reports).
     fn name(&self) -> &str;
+
+    /// The error that ended the stream early, if any.
+    ///
+    /// Synthetic generators never fail; file-backed replay streams end at
+    /// the first corrupt record and report it here, so drivers can
+    /// distinguish "trace exhausted" from "trace corrupt".
+    fn take_error(&mut self) -> Option<std::io::Error> {
+        None
+    }
 }
 
 /// A boxed, dynamically-dispatched access stream.

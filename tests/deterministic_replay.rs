@@ -6,16 +6,26 @@
 //! in which generators consume random draws) is caught immediately, and the
 //! parallel engine must reproduce the serial path bit for bit.
 
-use engine::{EngineConfig, PrefetcherSpec, SimJob};
+use engine::{EngineConfig, PrefetcherSpec, Registry, SimJob};
 use ghb::GhbConfig;
 use memsim::{HierarchyConfig, MultiCpuSystem, NullPrefetcher, RunSummary};
 use sms::SmsConfig;
 use timing::TimingConfig;
-use trace::{AccessKind, Application, GeneratorConfig};
+use trace::{AccessKind, Application, GeneratorConfig, TraceSource};
 
 const CPUS: usize = 2;
 const SEED: u64 = 2006;
 const ACCESSES: usize = 10_000;
+
+/// FNV-1a over a byte string (used to pin serialized results).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 fn run_baseline(app: Application) -> RunSummary {
     let generator = GeneratorConfig::default().with_cpus(CPUS);
@@ -80,27 +90,27 @@ fn engine_job_list() -> Vec<SimJob> {
     .into_iter()
     .enumerate()
     {
-        let base = memsim::SimJob {
+        let base = memsim::SimJob::synthetic(
             app,
-            generator: GeneratorConfig::default().with_cpus(CPUS),
-            seed: SEED + i as u64,
-            cpus: CPUS,
-            hierarchy: HierarchyConfig::scaled(),
-            prefetcher: PrefetcherSpec::Null,
-            accesses: ACCESSES,
-        };
+            GeneratorConfig::default().with_cpus(CPUS),
+            SEED + i as u64,
+            CPUS,
+            HierarchyConfig::scaled(),
+            PrefetcherSpec::null(),
+            ACCESSES,
+        );
         jobs.push(SimJob::new(base.clone()));
         jobs.push(SimJob::new(memsim::SimJob {
-            prefetcher: PrefetcherSpec::Sms(SmsConfig::paper_default()),
+            prefetcher: PrefetcherSpec::sms(&SmsConfig::paper_default()),
             ..base.clone()
         }));
         jobs.push(SimJob::new(memsim::SimJob {
-            prefetcher: PrefetcherSpec::Ghb(GhbConfig::paper_small()),
+            prefetcher: PrefetcherSpec::ghb(&GhbConfig::paper_small()),
             ..base.clone()
         }));
         jobs.push(
             SimJob::new(memsim::SimJob {
-                prefetcher: PrefetcherSpec::Sms(SmsConfig::paper_default()),
+                prefetcher: PrefetcherSpec::sms(&SmsConfig::paper_default()),
                 ..base
             })
             .with_timing(TimingConfig::table1(), 8),
@@ -173,4 +183,105 @@ fn generator_rng_behavior_is_pinned() {
             "{app}: stream hash drifted (got {got:#018x})"
         );
     }
+}
+
+/// The SMS job every registry path must reproduce exactly: OLTP/DB2 at seed
+/// 2006, two CPUs, the paper-default practical configuration.
+fn pinned_sms_job() -> SimJob {
+    SimJob::new(memsim::SimJob::synthetic(
+        Application::OltpDb2,
+        GeneratorConfig::default().with_cpus(CPUS),
+        SEED,
+        CPUS,
+        HierarchyConfig::scaled(),
+        PrefetcherSpec::sms_paper_default(),
+        ACCESSES,
+    ))
+}
+
+#[test]
+fn registry_built_sms_run_is_pinned() {
+    // Golden hash of the serialized run summary of `pinned_sms_job`.  This
+    // pins the registry → plugin → SmsPrefetcher build path to the exact
+    // simulation behavior of the pre-registry engine (PR 2): if it fails,
+    // either the simulator, the generator RNG, or the plugin construction
+    // changed behavior.  Regenerate (print `fnv1a` of the summary JSON) only
+    // for an intentional, documented change.
+    const GOLDEN_SUMMARY_HASH: u64 = 0x2c60632b11e41c1c;
+
+    let results = engine::run_jobs_with(&[pinned_sms_job()], &EngineConfig::serial());
+    let json = serde_json::to_string(&results[0].summary).expect("serialize summary");
+    let got = fnv1a(json.as_bytes());
+    assert_eq!(
+        got, GOLDEN_SUMMARY_HASH,
+        "registry-built SMS summary drifted (got {got:#018x}; summary {json})"
+    );
+
+    // A registry whose "sms" entry was replaced by an externally-registered
+    // plugin must reproduce the same bits — plugin identity is behavioral,
+    // not nominal.
+    let mut registry = Registry::with_builtins();
+    let _ = registry.register(std::sync::Arc::new(DelegatingSmsPlugin));
+    let custom = engine::run_jobs_in(&[pinned_sms_job()], &EngineConfig::serial(), &registry)
+        .expect("custom-registered sms plugin");
+    assert_eq!(
+        results, custom,
+        "a custom-registered SMS plugin must reproduce the built-in bit for bit"
+    );
+}
+
+/// An externally-registered plugin that builds the same SMS prefetcher the
+/// built-in does: exercises the open registration seam end to end.
+struct DelegatingSmsPlugin;
+
+impl engine::PrefetcherPlugin for DelegatingSmsPlugin {
+    fn name(&self) -> &str {
+        "sms"
+    }
+
+    fn build(
+        &self,
+        params: &serde_json::Value,
+        num_cpus: usize,
+    ) -> Result<engine::BuiltPrefetcher, engine::PluginError> {
+        Registry::builtin()
+            .get("sms")
+            .expect("built-in sms plugin")
+            .build(params, num_cpus)
+    }
+}
+
+#[test]
+fn file_backed_trace_source_replays_bit_identically() {
+    // Record the exact stream a synthetic job consumes, replay it from a
+    // binary trace file through the streaming reader, and require the
+    // bit-identical summary and probe report.
+    let generator = GeneratorConfig::default().with_cpus(CPUS);
+    let recorded: Vec<_> = Application::OltpDb2
+        .stream(SEED, &generator)
+        .take(ACCESSES)
+        .collect();
+    let path = std::env::temp_dir().join(format!(
+        "sms-deterministic-replay-{}.trace",
+        std::process::id()
+    ));
+    trace::io::write_binary(std::fs::File::create(&path).expect("temp file"), &recorded)
+        .expect("write trace");
+
+    let synthetic = pinned_sms_job();
+    let mut replayed = pinned_sms_job();
+    replayed.sim.source = TraceSource::binary_file(path.to_string_lossy());
+
+    let a = engine::run_jobs_with(&[synthetic], &EngineConfig::serial());
+    let b = engine::run_jobs_in(&[replayed], &EngineConfig::serial(), Registry::builtin())
+        .expect("file-backed job");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(a[0].summary.accesses, ACCESSES as u64);
+    let a_json = serde_json::to_string(&a).expect("serialize");
+    let b_json = serde_json::to_string(&b).expect("serialize");
+    assert_eq!(
+        a_json, b_json,
+        "file replay must be byte-identical to the synthetic path"
+    );
 }
