@@ -125,6 +125,16 @@ impl SmsPredictor {
     /// Observes one demand L1 access and returns the block addresses SMS
     /// wants to stream into the primary cache.
     pub fn on_access(&mut self, addr: u64, pc: Pc) -> Vec<u64> {
+        let mut requests = Vec::new();
+        self.on_access_into(addr, pc, &mut requests);
+        requests
+    }
+
+    /// Allocation-free variant of [`on_access`](Self::on_access): appends
+    /// the block addresses to stream to `out` (in the same order) instead of
+    /// returning a fresh vector.  This is the path the driver's batched hot
+    /// loop takes through [`SmsPrefetcher`](crate::SmsPrefetcher).
+    pub fn on_access_into(&mut self, addr: u64, pc: Pc, out: &mut Vec<u64>) {
         let outcome = self.agt.record_access(addr, pc);
         if let Some(spilled) = outcome.spilled {
             self.train(spilled);
@@ -140,9 +150,9 @@ impl SmsPredictor {
                     .allocate(self.config.region.region_base(addr), pattern);
             }
         }
-        let requests = self.registers.drain();
-        self.stats.stream_requests += requests.len() as u64;
-        requests
+        let issued_before = out.len();
+        self.registers.drain_default_into(out);
+        self.stats.stream_requests += (out.len() - issued_before) as u64;
     }
 
     /// Observes the eviction or invalidation of `block_addr` from the primary

@@ -14,6 +14,11 @@ use trace::MemAccess;
 #[derive(Debug, Clone)]
 pub struct SmsPrefetcher {
     predictors: Vec<SmsPredictor>,
+    /// Reusable scratch for the predictor's streamed block addresses, so the
+    /// batched driver path allocates nothing per access.  Always drained
+    /// before `on_access_into` returns — never carries state between
+    /// accesses.
+    blocks: Vec<u64>,
 }
 
 impl SmsPrefetcher {
@@ -26,6 +31,7 @@ impl SmsPrefetcher {
         assert!(num_cpus > 0, "need at least one cpu");
         Self {
             predictors: (0..num_cpus).map(|_| SmsPredictor::new(config)).collect(),
+            blocks: Vec::new(),
         }
     }
 
@@ -54,12 +60,25 @@ impl SmsPrefetcher {
 
 impl Prefetcher for SmsPrefetcher {
     fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        self.on_access_into(access, outcome, &mut out);
+        out
+    }
+
+    fn on_access_into(
+        &mut self,
+        access: &MemAccess,
+        outcome: &SystemOutcome,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let cpu = access.cpu as usize;
         if cpu >= self.predictors.len() {
-            return Vec::new();
+            return;
         }
-        // The AGT observes every L1 access (hit or miss).
-        let stream_blocks = self.predictors[cpu].on_access(access.addr, access.pc);
+        // The AGT observes every L1 access (hit or miss).  The reusable
+        // scratch buffer keeps this path allocation-free.
+        self.blocks.clear();
+        self.predictors[cpu].on_access_into(access.addr, access.pc, &mut self.blocks);
 
         // The demand fill may have displaced an L1 line: that eviction ends
         // the victim region's generation.
@@ -73,14 +92,11 @@ impl Prefetcher for SmsPrefetcher {
             }
         }
 
-        stream_blocks
-            .into_iter()
-            .map(|addr| PrefetchRequest {
-                cpu: access.cpu,
-                addr,
-                level: PrefetchLevel::L1,
-            })
-            .collect()
+        out.extend(self.blocks.drain(..).map(|addr| PrefetchRequest {
+            cpu: access.cpu,
+            addr,
+            level: PrefetchLevel::L1,
+        }));
     }
 
     fn on_stream_eviction(&mut self, cpu: u8, block_addr: u64) {

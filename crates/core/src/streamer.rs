@@ -134,12 +134,28 @@ impl PredictionRegisterFile {
     /// Issues up to `max_requests` stream requests.
     pub fn drain_up_to(&mut self, max_requests: usize) -> Vec<u64> {
         let mut out = Vec::new();
+        self.drain_into(max_requests, &mut out);
+        out
+    }
+
+    /// Issues up to `config.requests_per_access` stream requests into `out`
+    /// (appending), the allocation-free path of the driver's batched hot
+    /// loop.
+    pub fn drain_default_into(&mut self, out: &mut Vec<u64>) {
+        self.drain_into(self.config.requests_per_access, out);
+    }
+
+    /// Issues up to `max_requests` stream requests, appending the block
+    /// addresses to `out` in the same round-robin order
+    /// [`drain_up_to`](Self::drain_up_to) returns them.
+    pub fn drain_into(&mut self, max_requests: usize, out: &mut Vec<u64>) {
         if self.registers.iter().all(|r| r.is_none()) {
-            return out;
+            return;
         }
+        let issued_before = out.len();
         let n = self.registers.len();
         let mut scanned_without_progress = 0;
-        while out.len() < max_requests && scanned_without_progress < n {
+        while out.len() - issued_before < max_requests && scanned_without_progress < n {
             let idx = self.cursor;
             self.cursor = (self.cursor + 1) % n;
             let next_offset = match self.registers[idx].as_ref() {
@@ -167,7 +183,6 @@ impl PredictionRegisterFile {
                 }
             }
         }
-        out
     }
 
     /// Number of registers currently holding un-issued predictions.

@@ -62,13 +62,15 @@
 pub mod plugin;
 pub mod runner;
 pub mod spec;
+pub mod telemetry;
 
 pub use plugin::{
     closest_match, decode_params, BuiltPrefetcher, DensityReport, OracleReport, PluginError,
     PrefetcherPlugin, Probe, ProbeReport, Registry, TrainingReport,
 };
 pub use runner::{
-    run_job, run_jobs, run_jobs_in, run_jobs_with, EngineConfig, EngineError, JobList, JobResult,
-    SimJob, TimingSpec,
+    run_job, run_job_metered, run_jobs, run_jobs_in, run_jobs_metered, run_jobs_with, EngineConfig,
+    EngineError, JobList, JobResult, JobWarning, SimJob, SpecError, TimingSpec,
 };
 pub use spec::{MultiOracle, OracleProbeSpec, PrefetcherSpec, TrainingSpec};
+pub use telemetry::{EngineMetrics, JobMetrics, WorkerMetrics};

@@ -84,6 +84,17 @@ impl Prefetcher for BuiltPrefetcher {
         self.inner.on_access(access, outcome)
     }
 
+    fn on_access_into(
+        &mut self,
+        access: &trace::MemAccess,
+        outcome: &memsim::SystemOutcome,
+        out: &mut Vec<memsim::PrefetchRequest>,
+    ) {
+        // Forward explicitly so the inner probe's batched override is used
+        // (the trait default would route through the allocating `on_access`).
+        self.inner.on_access_into(access, outcome, out);
+    }
+
     fn on_stream_eviction(&mut self, cpu: u8, block_addr: u64) {
         self.inner.on_stream_eviction(cpu, block_addr);
     }

@@ -13,7 +13,9 @@
 
 use crate::plugin::{PluginError, ProbeReport, Registry};
 use crate::spec::PrefetcherSpec;
+use crate::telemetry::{EngineMetrics, JobMetrics, WorkerMetrics};
 use memsim::{MultiCpuSystem, RunSummary};
+use metrics::{MetricsConfig, Stopwatch};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -81,6 +83,93 @@ impl JobList {
             jobs,
         }
     }
+
+    /// Parses a spec file's JSON text, checking the format version *before*
+    /// decoding the jobs — a future-versioned spec whose job shape this
+    /// build cannot read still gets the actionable version error rather than
+    /// a field-level parse failure.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnsupportedVersion`] when the spec's version is not
+    /// [`JobList::VERSION`], [`SpecError::Parse`] for anything that is not a
+    /// well-formed version-1 job list.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let value: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))?;
+        let version_value = match value.get("version") {
+            Some(v) => v,
+            None => {
+                return Err(SpecError::Parse(
+                    "missing \"version\" field (is this a job spec file?)".to_string(),
+                ))
+            }
+        };
+        let version: u32 = Deserialize::from_value(version_value)
+            .map_err(|e| SpecError::Parse(format!("\"version\" field: {e}")))?;
+        if version != Self::VERSION {
+            return Err(SpecError::UnsupportedVersion {
+                found: version,
+                supported: Self::VERSION,
+            });
+        }
+        Deserialize::from_value(&value).map_err(|e| SpecError::Parse(e.to_string()))
+    }
+}
+
+/// An error raised while loading a [`JobList`] spec file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The text is not a well-formed job list of the supported version.
+    Parse(String),
+    /// The spec declares a format version this build does not read.
+    UnsupportedVersion {
+        /// Version the spec file declares.
+        found: u32,
+        /// The only version this build reads.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Parse(message) => write!(f, "invalid job spec: {message}"),
+            SpecError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported job-spec version {found}: this build reads version {supported}; \
+                 regenerate the spec with `sms-experiments <experiment> --emit-spec`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A non-fatal condition observed while executing a job, carried in the
+/// [`JobResult`] so it is visible in `--out` dumps and spec-run output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobWarning {
+    /// Stable tag naming the condition (e.g. [`JobWarning::SHORT_TRACE`]).
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JobWarning {
+    /// Kind tag of the short-trace warning: the job's trace source ran dry
+    /// before the requested access budget was reached.
+    pub const SHORT_TRACE: &'static str = "short_trace";
+
+    /// The warning for a trace that delivered fewer accesses than requested.
+    pub fn short_trace(source: &str, delivered: u64, requested: usize) -> Self {
+        Self {
+            kind: Self::SHORT_TRACE.to_string(),
+            message: format!(
+                "trace source {source} delivered {delivered} of {requested} requested accesses"
+            ),
+        }
+    }
 }
 
 /// The result of one [`SimJob`], tagged with the job's position in the input
@@ -96,6 +185,11 @@ pub struct JobResult {
     /// Timing-model result, present iff the job carried a
     /// [`SimJob::timing`] spec.
     pub timing: Option<TimingResult>,
+    /// Non-fatal conditions observed during the run (e.g. a file-backed
+    /// trace shorter than the access budget).  Deterministic — never
+    /// timing- or telemetry-dependent — so results stay bit-identical
+    /// across workers and metrics settings.
+    pub warnings: Vec<JobWarning>,
 }
 
 /// An error raised while preparing a job for execution (resolving its
@@ -193,6 +287,26 @@ impl Default for EngineConfig {
 /// turns out to be corrupt mid-stream (a corrupt record must fail the job
 /// loudly rather than silently shorten the run).
 pub fn run_job(index: usize, job: &SimJob, registry: &Registry) -> Result<JobResult, EngineError> {
+    run_job_metered(index, job, registry, &MetricsConfig::disabled()).map(|(result, _)| result)
+}
+
+/// [`run_job`] with telemetry: additionally collects the job's
+/// [`JobMetrics`] (wall-clock time, accesses/second, cache-op and
+/// prefetch-issue counts) when `metrics.enabled`.
+///
+/// The [`JobResult`] is bit-identical regardless of the metrics setting —
+/// telemetry observes the run on a separate channel and never enters the
+/// serialized results.
+///
+/// # Errors
+///
+/// As [`run_job`].
+pub fn run_job_metered(
+    index: usize,
+    job: &SimJob,
+    registry: &Registry,
+    metrics: &MetricsConfig,
+) -> Result<(JobResult, JobMetrics), EngineError> {
     let sim = &job.sim;
     let trace_error = |message: String| EngineError::Trace {
         job_index: index,
@@ -207,33 +321,69 @@ pub fn run_job(index: usize, job: &SimJob, registry: &Registry) -> Result<JobRes
                 error,
             })?;
     let mut stream = sim.source.open().map_err(|e| trace_error(e.to_string()))?;
-    let result = match &job.timing {
+    let (mut result, job_metrics) = match &job.timing {
         Some(spec) => {
             let model = TimingModel::new(sim.hierarchy, sim.cpus, spec.config);
+            let watch = Stopwatch::start_if(metrics.enabled);
             let (timing, summary) =
                 model.evaluate(&mut prefetcher, &mut stream, sim.accesses, spec.segments);
-            JobResult {
-                job_index: index,
-                summary,
-                probe: prefetcher.into_report(),
-                timing: Some(timing),
-            }
+            let job_metrics = if metrics.enabled {
+                JobMetrics::from_summary(index, &summary, watch.elapsed_seconds())
+            } else {
+                JobMetrics {
+                    job_index: index,
+                    ..JobMetrics::default()
+                }
+            };
+            (
+                JobResult {
+                    job_index: index,
+                    summary,
+                    probe: prefetcher.into_report(),
+                    timing: Some(timing),
+                    warnings: Vec::new(),
+                },
+                job_metrics,
+            )
         }
         None => {
             let mut system = MultiCpuSystem::new(sim.cpus, &sim.hierarchy);
-            let summary = memsim::run(&mut system, &mut prefetcher, &mut stream, sim.accesses);
-            JobResult {
-                job_index: index,
-                summary,
-                probe: prefetcher.into_report(),
-                timing: None,
-            }
+            let (summary, driver) = memsim::run_metered(
+                &mut system,
+                &mut prefetcher,
+                &mut stream,
+                sim.accesses,
+                metrics,
+            );
+            let job_metrics = JobMetrics::from_driver(index, &driver);
+            (
+                JobResult {
+                    job_index: index,
+                    summary,
+                    probe: prefetcher.into_report(),
+                    timing: None,
+                    warnings: Vec::new(),
+                },
+                job_metrics,
+            )
         }
     };
     if let Some(e) = stream.take_error() {
         return Err(trace_error(format!("corrupt mid-stream: {e}")));
     }
-    Ok(result)
+    // A well-formed stream that simply ran dry is not an error (replaying a
+    // recorded trace shorter than the budget is legitimate), but it must be
+    // visible: every downstream number is per-delivered-access, not
+    // per-requested-access.
+    let delivered = result.summary.accesses + result.summary.skipped_accesses;
+    if delivered < sim.accesses as u64 {
+        result.warnings.push(JobWarning::short_trace(
+            &sim.source.describe(),
+            delivered,
+            sim.accesses,
+        ));
+    }
+    Ok((result, job_metrics))
 }
 
 /// Runs every job against the built-in plugin registry with the default
@@ -277,30 +427,82 @@ pub fn run_jobs_in(
     config: &EngineConfig,
     registry: &Registry,
 ) -> Result<Vec<JobResult>, EngineError> {
+    run_jobs_metered(jobs, config, registry, &MetricsConfig::disabled()).map(|(results, _)| results)
+}
+
+/// One executed job tagged with its submission index, or the error that
+/// stopped its worker.
+type TaggedOutcome = (usize, Result<(JobResult, JobMetrics), EngineError>);
+
+/// One worker's output: its timing plus the tagged job outcomes it ran.
+type WorkerShard = (WorkerMetrics, Vec<TaggedOutcome>);
+
+/// [`run_jobs_in`] with telemetry: additionally collects an
+/// [`EngineMetrics`] — per-job throughput, per-worker simulate vs.
+/// queue-wait time, and the whole-run timing including the deterministic
+/// merge — when `metrics.enabled` (all timings zero otherwise).
+///
+/// Results are bit-identical to [`run_jobs_in`] for every metrics setting
+/// and worker count: telemetry is collected on a separate channel and never
+/// serialized into the [`JobResult`]s.
+///
+/// # Errors
+///
+/// As [`run_jobs_in`]: the first (lowest-job-index) preparation failure.
+/// Metrics collected before the failure are discarded with the results.
+pub fn run_jobs_metered(
+    jobs: &[SimJob],
+    config: &EngineConfig,
+    registry: &Registry,
+    metrics: &MetricsConfig,
+) -> Result<(Vec<JobResult>, EngineMetrics), EngineError> {
+    let run_watch = Stopwatch::start_if(metrics.enabled);
     let workers = config.effective_workers(jobs.len());
     if workers <= 1 {
-        return jobs
-            .iter()
-            .enumerate()
-            .map(|(index, job)| run_job(index, job, registry))
-            .collect();
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut engine_metrics = EngineMetrics::default();
+        let mut simulate_seconds = 0.0;
+        for (index, job) in jobs.iter().enumerate() {
+            let (result, job_metrics) = run_job_metered(index, job, registry, metrics)?;
+            simulate_seconds += job_metrics.elapsed_seconds;
+            results.push(result);
+            engine_metrics.jobs.push(job_metrics);
+        }
+        let total_seconds = run_watch.elapsed_seconds();
+        engine_metrics.workers.push(WorkerMetrics {
+            worker: 0,
+            jobs_run: jobs.len() as u64,
+            simulate_seconds,
+            queue_wait_seconds: (total_seconds - simulate_seconds).max(0.0),
+            total_seconds,
+        });
+        engine_metrics.finish(0.0, total_seconds);
+        return Ok((results, engine_metrics));
     }
 
     // Work-stealing by atomic cursor: each worker claims the next unclaimed
     // job, so long jobs do not serialize behind a static partition.
     let next = AtomicUsize::new(0);
-    let shards: Vec<Vec<(usize, Result<JobResult, EngineError>)>> = std::thread::scope(|scope| {
+    let shards: Vec<WorkerShard> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                // `move` is for the worker index; the shared state is
+                // captured by reference.
+                let next = &next;
+                scope.spawn(move || {
+                    let worker_watch = Stopwatch::start_if(metrics.enabled);
+                    let mut simulate_seconds = 0.0;
                     let mut shard = Vec::new();
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         if index >= jobs.len() {
                             break;
                         }
-                        let result = run_job(index, &jobs[index], registry);
+                        let result = run_job_metered(index, &jobs[index], registry, metrics);
                         let failed = result.is_err();
+                        if let Ok((_, job_metrics)) = &result {
+                            simulate_seconds += job_metrics.elapsed_seconds;
+                        }
                         shard.push((index, result));
                         if failed {
                             // No point burning the queue down after a
@@ -309,7 +511,15 @@ pub fn run_jobs_in(
                             break;
                         }
                     }
-                    shard
+                    let total_seconds = worker_watch.elapsed_seconds();
+                    let worker_metrics = WorkerMetrics {
+                        worker,
+                        jobs_run: shard.len() as u64,
+                        simulate_seconds,
+                        queue_wait_seconds: (total_seconds - simulate_seconds).max(0.0),
+                        total_seconds,
+                    };
+                    (worker_metrics, shard)
                 })
             })
             .collect();
@@ -322,15 +532,23 @@ pub fn run_jobs_in(
     // Deterministic merge: the tagged index recovers submission order
     // regardless of which worker ran which job, and the lowest-index error
     // wins regardless of scheduling.
-    let mut tagged: Vec<(usize, Result<JobResult, EngineError>)> =
-        shards.into_iter().flatten().collect();
+    let merge_watch = Stopwatch::start_if(metrics.enabled);
+    let mut engine_metrics = EngineMetrics::default();
+    let mut tagged: Vec<TaggedOutcome> = Vec::new();
+    for (worker_metrics, shard) in shards {
+        engine_metrics.workers.push(worker_metrics);
+        tagged.extend(shard);
+    }
     tagged.sort_by_key(|(index, _)| *index);
-    let results: Vec<JobResult> = tagged
-        .into_iter()
-        .map(|(_, result)| result)
-        .collect::<Result<_, _>>()?;
+    let mut results = Vec::with_capacity(tagged.len());
+    for (_, outcome) in tagged {
+        let (result, job_metrics) = outcome?;
+        results.push(result);
+        engine_metrics.jobs.push(job_metrics);
+    }
     debug_assert!(results.iter().enumerate().all(|(i, r)| r.job_index == i));
-    Ok(results)
+    engine_metrics.finish(merge_watch.elapsed_seconds(), run_watch.elapsed_seconds());
+    Ok((results, engine_metrics))
 }
 
 #[cfg(test)]
@@ -454,6 +672,120 @@ mod tests {
                 other => panic!("expected Plugin error, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn spec_version_mismatch_is_a_dedicated_actionable_error() {
+        // A future-versioned spec — even one whose job shape this build
+        // could not parse — must produce the version error, not a field
+        // error.
+        let text = r#"{"version": 3, "jobs": [{"unknown_future_shape": true}]}"#;
+        let err = JobList::from_json(text).expect_err("version 3 must be rejected");
+        assert_eq!(
+            err,
+            SpecError::UnsupportedVersion {
+                found: 3,
+                supported: 1
+            }
+        );
+        // The message is part of the CLI contract: it names both versions
+        // and says how to regenerate.
+        assert_eq!(
+            err.to_string(),
+            "unsupported job-spec version 3: this build reads version 1; \
+             regenerate the spec with `sms-experiments <experiment> --emit-spec`"
+        );
+    }
+
+    #[test]
+    fn spec_parse_errors_name_the_problem() {
+        let err = JobList::from_json("{not json").expect_err("not JSON");
+        assert!(matches!(err, SpecError::Parse(_)), "{err}");
+
+        let err = JobList::from_json(r#"{"jobs": []}"#).expect_err("no version");
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // A well-formed current-version list parses.
+        let json = serde_json::to_string(&JobList::new(job_list())).unwrap();
+        let list = JobList::from_json(&json).expect("current version parses");
+        assert_eq!(list.version, JobList::VERSION);
+        assert_eq!(list.jobs.len(), job_list().len());
+    }
+
+    #[test]
+    fn short_trace_is_warned_not_failed() {
+        // 100 recorded accesses against a 1000-access budget: the job
+        // succeeds with a visible short_trace warning.
+        let recorded: Vec<trace::MemAccess> = Application::Ocean
+            .stream(5, &GeneratorConfig::default().with_cpus(1))
+            .take(100)
+            .collect();
+        let path =
+            std::env::temp_dir().join(format!("sms-engine-short-trace-{}.bin", std::process::id()));
+        trace::io::write_binary(std::fs::File::create(&path).unwrap(), &recorded).unwrap();
+
+        let jobs = vec![SimJob::new(memsim::SimJob {
+            source: trace::TraceSource::binary_file(path.to_string_lossy()),
+            cpus: 1,
+            hierarchy: HierarchyConfig::scaled(),
+            prefetcher: PrefetcherSpec::null(),
+            accesses: 1_000,
+        })];
+        let results = run_jobs_in(&jobs, &EngineConfig::serial(), Registry::builtin())
+            .expect("short trace is not an error");
+        std::fs::remove_file(&path).ok();
+
+        let result = &results[0];
+        assert_eq!(result.summary.accesses, 100);
+        assert_eq!(result.warnings.len(), 1);
+        assert_eq!(result.warnings[0].kind, JobWarning::SHORT_TRACE);
+        assert!(
+            result.warnings[0].message.contains("100 of 1000"),
+            "{}",
+            result.warnings[0].message
+        );
+        // The warning is part of the serialized result, so `--out` dumps and
+        // spec runs surface it.
+        let json = serde_json::to_string(result).unwrap();
+        assert!(json.contains("short_trace"), "{json}");
+    }
+
+    #[test]
+    fn full_length_jobs_carry_no_warnings() {
+        let results = run_jobs(&job_list());
+        assert!(results.iter().all(|r| r.warnings.is_empty()));
+    }
+
+    #[test]
+    fn metered_results_are_bit_identical_and_metrics_cover_the_run() {
+        let jobs = job_list();
+        let plain = run_jobs_with(&jobs, &EngineConfig::with_workers(2));
+        let (metered, engine_metrics) = run_jobs_metered(
+            &jobs,
+            &EngineConfig::with_workers(2),
+            Registry::builtin(),
+            &metrics::MetricsConfig::enabled(),
+        )
+        .expect("jobs prepare");
+        assert_eq!(plain, metered, "telemetry must not perturb results");
+
+        assert_eq!(engine_metrics.jobs.len(), jobs.len());
+        assert_eq!(engine_metrics.workers.len(), 2);
+        assert!(engine_metrics
+            .jobs
+            .iter()
+            .enumerate()
+            .all(|(i, j)| j.job_index == i));
+        let worker_jobs: u64 = engine_metrics.workers.iter().map(|w| w.jobs_run).sum();
+        assert_eq!(worker_jobs, jobs.len() as u64);
+        assert!(engine_metrics.total_seconds > 0.0);
+        assert!(engine_metrics.accesses_per_sec > 0.0);
+        assert_eq!(
+            engine_metrics.total_accesses,
+            metered.iter().map(|r| r.summary.accesses).sum::<u64>()
+        );
+        let report = engine_metrics.report();
+        assert!(report.validate().is_ok());
     }
 
     #[test]

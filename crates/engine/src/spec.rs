@@ -124,10 +124,19 @@ pub struct MultiOracle {
 
 impl Prefetcher for MultiOracle {
     fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
+        self.on_access_into(access, outcome, &mut Vec::new());
+        Vec::new()
+    }
+
+    fn on_access_into(
+        &mut self,
+        access: &MemAccess,
+        outcome: &SystemOutcome,
+        _out: &mut Vec<PrefetchRequest>,
+    ) {
         for oracle in &mut self.oracles {
             let _ = oracle.on_access(access, outcome);
         }
-        Vec::new()
     }
 
     fn name(&self) -> &str {

@@ -1,0 +1,561 @@
+//! The bench pipeline: `sms-experiments bench`.
+//!
+//! Runs the job-bearing experiments at a reduced scale through the engine at
+//! worker counts `{1, N}`, measures per-figure throughput and parallel
+//! speedup with the engine's own telemetry, measures the batched
+//! stream-request hot path against the kept pre-batching driver loop, and
+//! emits everything as a schema-versioned `BENCH_<name>.json` — the perf
+//! trajectory the ROADMAP's scaling work measures itself against.
+//!
+//! The report is wrapped in the shared [`MetricsReport`] envelope
+//! (`kind: "bench"`) and validates its own schema ([`BenchReport::validate`]);
+//! CI fails the bench job when validation fails.
+
+use crate::catalog::{figure_jobs, job_bearing_experiments};
+use crate::common::ExperimentConfig;
+use engine::{run_jobs_metered, EngineConfig, PrefetcherSpec, Registry};
+use memsim::MultiCpuSystem;
+use metrics::{per_sec, MetricsConfig, MetricsReport, Stopwatch};
+use serde::{Deserialize, Serialize};
+use trace::{Application, TraceSource};
+
+/// The [`MetricsReport`] kind tag of a serialized bench report.
+pub const REPORT_KIND: &str = "bench";
+
+/// How `sms-experiments bench` was invoked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Report name (lands in the report and the default output filename).
+    pub name: String,
+    /// Parallel worker count to compare against serial (`0` = one per
+    /// available hardware thread).
+    pub workers: usize,
+    /// Reduced scale: tiny traces and representative applications per class
+    /// (the CI configuration).
+    pub quick: bool,
+    /// Restrict the measured experiments (empty = every job-bearing
+    /// experiment).  Used by tests; the CLI always measures the full suite.
+    pub figures: Vec<String>,
+}
+
+impl BenchOptions {
+    /// The default invocation: full job-bearing suite, auto worker count.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            workers: 0,
+            quick: false,
+            figures: Vec::new(),
+        }
+    }
+}
+
+/// The experiment scale a bench report was measured at.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchScale {
+    /// Simulated processors per job.
+    pub cpus: usize,
+    /// Demand accesses per job.
+    pub accesses: usize,
+    /// Whether class-level figures used representative applications only.
+    pub representative_only: bool,
+}
+
+/// Throughput and speedup of one experiment's job list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureBench {
+    /// Experiment name.
+    pub figure: String,
+    /// Jobs in the experiment's list.
+    pub jobs: usize,
+    /// Demand accesses simulated across the list (serial run).
+    pub accesses: u64,
+    /// Wall-clock seconds of the 1-worker run.
+    pub serial_seconds: f64,
+    /// Wall-clock seconds of the N-worker run.
+    pub parallel_seconds: f64,
+    /// Accesses/second of the 1-worker run.
+    pub serial_accesses_per_sec: f64,
+    /// Accesses/second of the N-worker run.
+    pub parallel_accesses_per_sec: f64,
+    /// `serial_seconds / parallel_seconds`.
+    pub speedup: f64,
+    /// Whether the N-worker results were bit-identical to the serial run
+    /// (must always be `true`; recorded so the report proves it).
+    pub deterministic: bool,
+}
+
+/// The measured batched-vs-unbatched driver hot-path comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HotPathBench {
+    /// Stable name of the optimization being measured.
+    pub optimization: String,
+    /// Workload driven through both loops.
+    pub workload: String,
+    /// Demand accesses per measured pass.
+    pub accesses: u64,
+    /// Best-of-N wall-clock seconds of the pre-batching loop.
+    pub before_seconds: f64,
+    /// Best-of-N wall-clock seconds of the batched loop.
+    pub after_seconds: f64,
+    /// Accesses/second of the pre-batching loop.
+    pub before_accesses_per_sec: f64,
+    /// Accesses/second of the batched loop.
+    pub after_accesses_per_sec: f64,
+    /// `after_accesses_per_sec / before_accesses_per_sec`.
+    pub speedup: f64,
+    /// Whether both loops produced bit-identical summaries (must be `true`).
+    pub identical_results: bool,
+}
+
+/// Whole-suite aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchTotals {
+    /// Jobs across all measured experiments.
+    pub jobs: u64,
+    /// Demand accesses across all measured experiments (serial run).
+    pub accesses: u64,
+    /// Total 1-worker wall-clock seconds.
+    pub serial_seconds: f64,
+    /// Total N-worker wall-clock seconds.
+    pub parallel_seconds: f64,
+    /// Whole-suite parallel speedup.
+    pub speedup: f64,
+    /// Whole-suite N-worker throughput in accesses/second.
+    pub parallel_accesses_per_sec: f64,
+}
+
+/// The payload of a `BENCH_<name>.json` file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report name (from `--name` / the default).
+    pub name: String,
+    /// Parallel worker count measured against serial.
+    pub workers: usize,
+    /// Scale the suite ran at.
+    pub scale: BenchScale,
+    /// Per-experiment throughput and speedup, in catalog order.
+    pub figures: Vec<FigureBench>,
+    /// Whole-suite aggregates.
+    pub totals: BenchTotals,
+    /// The batched stream-request hot-path comparison.
+    pub hot_path: HotPathBench,
+}
+
+impl BenchReport {
+    /// Wraps the report in the shared schema-versioned envelope
+    /// (`kind: "bench"`).
+    pub fn into_envelope(&self) -> MetricsReport {
+        MetricsReport::new(REPORT_KIND, self)
+    }
+
+    /// Decodes and validates a report from its envelope.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant: a bad envelope, a
+    /// kind other than `"bench"`, an undecodable payload, or a payload that
+    /// fails [`BenchReport::validate`].
+    pub fn from_envelope(envelope: &MetricsReport) -> Result<Self, String> {
+        envelope.validate()?;
+        let report: BenchReport = envelope.decode(REPORT_KIND)?.ok_or_else(|| {
+            format!(
+                "expected report kind {REPORT_KIND:?}, got {:?}",
+                envelope.kind
+            )
+        })?;
+        report.validate()?;
+        Ok(report)
+    }
+
+    /// Validates the payload schema: the structural invariants external
+    /// tooling (and CI) may rely on.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("bench report has no name".to_string());
+        }
+        if self.workers == 0 {
+            return Err("bench report must record a resolved worker count".to_string());
+        }
+        if self.figures.is_empty() {
+            return Err("bench report measured no experiments".to_string());
+        }
+        for figure in &self.figures {
+            let f = &figure.figure;
+            if figure.jobs == 0 || figure.accesses == 0 {
+                return Err(format!("{f}: empty measurement"));
+            }
+            if !(figure.serial_seconds > 0.0 && figure.parallel_seconds > 0.0) {
+                return Err(format!("{f}: missing wall-clock timings"));
+            }
+            if !(figure.serial_accesses_per_sec > 0.0 && figure.parallel_accesses_per_sec > 0.0) {
+                return Err(format!("{f}: missing throughput"));
+            }
+            if !figure.speedup.is_finite() || figure.speedup <= 0.0 {
+                return Err(format!("{f}: bad speedup {}", figure.speedup));
+            }
+            if !figure.deterministic {
+                return Err(format!(
+                    "{f}: parallel results diverged from the serial run"
+                ));
+            }
+        }
+        let jobs: u64 = self.figures.iter().map(|f| f.jobs as u64).sum();
+        let accesses: u64 = self.figures.iter().map(|f| f.accesses).sum();
+        if self.totals.jobs != jobs || self.totals.accesses != accesses {
+            return Err("bench totals do not match the per-figure rows".to_string());
+        }
+        if !(self.totals.speedup.is_finite() && self.totals.speedup > 0.0) {
+            return Err("bench totals have no speedup".to_string());
+        }
+        let hot = &self.hot_path;
+        if !(hot.before_accesses_per_sec > 0.0 && hot.after_accesses_per_sec > 0.0) {
+            return Err("hot-path comparison has no throughput".to_string());
+        }
+        if !hot.identical_results {
+            return Err("hot-path comparison changed simulated results".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Runs the bench suite and builds the report.
+///
+/// # Errors
+///
+/// The engine's message for a job that failed to prepare (cannot happen for
+/// catalog-declared jobs unless the build is broken — surfaced rather than
+/// panicking so the CLI exits cleanly).
+pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
+    let (config, representative_only) = if options.quick {
+        (ExperimentConfig::tiny(), true)
+    } else {
+        (ExperimentConfig::quick(), false)
+    };
+    let workers = resolve_workers(options.workers);
+    let figures: Vec<String> = if options.figures.is_empty() {
+        job_bearing_experiments()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    } else {
+        options.figures.clone()
+    };
+
+    let registry = Registry::builtin();
+    let collect = MetricsConfig::enabled();
+    let mut rows = Vec::with_capacity(figures.len());
+    for name in &figures {
+        let jobs = figure_jobs(name, &config, representative_only)
+            .ok_or_else(|| format!("{name}: not a job-bearing experiment"))?;
+        let (serial_results, serial) =
+            run_jobs_metered(&jobs, &EngineConfig::serial(), registry, &collect)
+                .map_err(|e| e.to_string())?;
+        let (parallel_results, parallel) = run_jobs_metered(
+            &jobs,
+            &EngineConfig::with_workers(workers),
+            registry,
+            &collect,
+        )
+        .map_err(|e| e.to_string())?;
+        rows.push(FigureBench {
+            figure: name.clone(),
+            jobs: jobs.len(),
+            accesses: serial.total_accesses,
+            serial_seconds: serial.total_seconds,
+            parallel_seconds: parallel.total_seconds,
+            serial_accesses_per_sec: serial.accesses_per_sec,
+            parallel_accesses_per_sec: parallel.accesses_per_sec,
+            speedup: ratio(serial.total_seconds, parallel.total_seconds),
+            deterministic: serial_results == parallel_results,
+        });
+    }
+
+    let totals = BenchTotals {
+        jobs: rows.iter().map(|f| f.jobs as u64).sum(),
+        accesses: rows.iter().map(|f| f.accesses).sum(),
+        serial_seconds: rows.iter().map(|f| f.serial_seconds).sum(),
+        parallel_seconds: rows.iter().map(|f| f.parallel_seconds).sum(),
+        speedup: ratio(
+            rows.iter().map(|f| f.serial_seconds).sum(),
+            rows.iter().map(|f| f.parallel_seconds).sum(),
+        ),
+        parallel_accesses_per_sec: per_sec(
+            rows.iter().map(|f| f.accesses).sum(),
+            rows.iter().map(|f| f.parallel_seconds).sum(),
+        ),
+    };
+
+    Ok(BenchReport {
+        name: options.name.clone(),
+        workers,
+        scale: BenchScale {
+            cpus: config.cpus,
+            accesses: config.accesses,
+            representative_only,
+        },
+        figures: rows,
+        totals,
+        hot_path: measure_hot_path(&config),
+    })
+}
+
+/// Measures the batched driver loop against the kept pre-batching loop on an
+/// SMS run over a scan-heavy workload (many stream requests, so the
+/// per-access allocation the batching removed is actually on the path).
+///
+/// Best-of-`PASSES` (currently 5) wall-clock per side; both sides must
+/// produce bit-identical summaries, recorded in
+/// [`identical_results`](HotPathBench::identical_results).
+fn measure_hot_path(config: &ExperimentConfig) -> HotPathBench {
+    const PASSES: usize = 5;
+    // Dense scientific generations stream many blocks per trigger, so the
+    // per-access request handling being measured is actually on the path.
+    // The access floor keeps the wall-clock interval long enough to measure
+    // even at the reduced CI scale.
+    let app = Application::Ocean;
+    let accesses = config.accesses.max(100_000);
+    let spec = PrefetcherSpec::sms_paper_default();
+    let source = TraceSource::synthetic(app, config.generator(), config.seed);
+    let registry = Registry::builtin();
+
+    let measure = |batched: bool| -> (f64, memsim::RunSummary) {
+        let mut best = f64::INFINITY;
+        let mut summary = None;
+        for _ in 0..PASSES {
+            let mut prefetcher = registry
+                .build(&spec, config.cpus)
+                .expect("built-in sms plugin");
+            let mut system = MultiCpuSystem::new(config.cpus, &config.hierarchy);
+            let mut stream = source.open().expect("synthetic sources cannot fail");
+            let watch = Stopwatch::started();
+            let s = if batched {
+                memsim::run(&mut system, &mut prefetcher, &mut stream, accesses)
+            } else {
+                memsim::run_unbatched(&mut system, &mut prefetcher, &mut stream, accesses)
+            };
+            best = best.min(watch.elapsed_seconds());
+            summary = Some(s);
+        }
+        (best, summary.expect("at least one pass"))
+    };
+
+    let (before_seconds, before_summary) = measure(false);
+    let (after_seconds, after_summary) = measure(true);
+    let accesses = after_summary.accesses;
+    let before_accesses_per_sec = per_sec(accesses, before_seconds);
+    let after_accesses_per_sec = per_sec(accesses, after_seconds);
+    HotPathBench {
+        optimization: "batched-stream-requests".to_string(),
+        workload: format!("sms/{app}"),
+        accesses,
+        before_seconds,
+        after_seconds,
+        before_accesses_per_sec,
+        after_accesses_per_sec,
+        speedup: ratio(before_seconds, after_seconds),
+        identical_results: before_summary == after_summary,
+    }
+}
+
+/// `0` means one worker per available hardware thread (min 2, so the
+/// speedup comparison is never against itself on a single-core runner).
+fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(2)
+        .max(2)
+}
+
+fn ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator > 0.0 {
+        numerator / denominator
+    } else {
+        0.0
+    }
+}
+
+/// Renders the report as the human-readable summary the CLI prints.
+pub fn render(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench {:?}: {} jobs, {} accesses, workers 1 vs {} (scale: {} cpus x {} accesses{})",
+        report.name,
+        report.totals.jobs,
+        report.totals.accesses,
+        report.workers,
+        report.scale.cpus,
+        report.scale.accesses,
+        if report.scale.representative_only {
+            ", representative apps"
+        } else {
+            ""
+        },
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>10} {:>14} {:>14} {:>8}",
+        "figure", "jobs", "accesses", "serial acc/s", "par acc/s", "speedup"
+    );
+    for f in &report.figures {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>10} {:>14.0} {:>14.0} {:>7.2}x",
+            f.figure,
+            f.jobs,
+            f.accesses,
+            f.serial_accesses_per_sec,
+            f.parallel_accesses_per_sec,
+            f.speedup
+        );
+    }
+    let t = &report.totals;
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>10} {:>14} {:>14.0} {:>7.2}x",
+        "total", t.jobs, t.accesses, "", t.parallel_accesses_per_sec, t.speedup
+    );
+    let h = &report.hot_path;
+    let _ = writeln!(
+        out,
+        "hot path {} on {}: {:.0} -> {:.0} accesses/sec ({:.2}x, identical results: {})",
+        h.optimization,
+        h.workload,
+        h.before_accesses_per_sec,
+        h.after_accesses_per_sec,
+        h.speedup,
+        h.identical_results,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> BenchOptions {
+        BenchOptions {
+            name: "test".to_string(),
+            workers: 2,
+            quick: true,
+            figures: vec!["fig5".to_string(), "fig11".to_string()],
+        }
+    }
+
+    #[test]
+    fn bench_runs_validates_and_round_trips() {
+        let report = run_bench(&quick_options()).expect("bench runs");
+        report.validate().expect("fresh report validates");
+        assert_eq!(report.figures.len(), 2);
+        assert_eq!(report.workers, 2);
+        assert!(report.figures.iter().all(|f| f.deterministic));
+        assert!(report.hot_path.identical_results);
+        assert!(report.hot_path.before_accesses_per_sec > 0.0);
+        assert!(report.hot_path.after_accesses_per_sec > 0.0);
+
+        // Envelope round trip, as the CLI writes and `--check` reads it.
+        let envelope = report.into_envelope();
+        let json = serde_json::to_string_pretty(&envelope).unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        let decoded = BenchReport::from_envelope(&back).expect("valid envelope");
+        assert_eq!(decoded, report);
+
+        let human = render(&report);
+        assert!(human.contains("fig5"));
+        assert!(human.contains("batched-stream-requests"));
+    }
+
+    /// A hand-built, schema-valid report (no simulation needed), so the
+    /// validation tests stay fast.
+    fn fixture() -> BenchReport {
+        let figure = FigureBench {
+            figure: "fig5".to_string(),
+            jobs: 4,
+            accesses: 80_000,
+            serial_seconds: 2.0,
+            parallel_seconds: 1.0,
+            serial_accesses_per_sec: 40_000.0,
+            parallel_accesses_per_sec: 80_000.0,
+            speedup: 2.0,
+            deterministic: true,
+        };
+        BenchReport {
+            name: "fixture".to_string(),
+            workers: 2,
+            scale: BenchScale {
+                cpus: 2,
+                accesses: 20_000,
+                representative_only: true,
+            },
+            totals: BenchTotals {
+                jobs: 4,
+                accesses: 80_000,
+                serial_seconds: 2.0,
+                parallel_seconds: 1.0,
+                speedup: 2.0,
+                parallel_accesses_per_sec: 80_000.0,
+            },
+            figures: vec![figure],
+            hot_path: HotPathBench {
+                optimization: "batched-stream-requests".to_string(),
+                workload: "sms/dss-qry1".to_string(),
+                accesses: 20_000,
+                before_seconds: 0.2,
+                after_seconds: 0.1,
+                before_accesses_per_sec: 100_000.0,
+                after_accesses_per_sec: 200_000.0,
+                speedup: 2.0,
+                identical_results: true,
+            },
+        }
+    }
+
+    #[test]
+    fn validation_rejects_broken_reports() {
+        let report = fixture();
+        report.validate().expect("fixture is valid");
+
+        let mut broken = report.clone();
+        broken.figures[0].deterministic = false;
+        assert!(broken.validate().unwrap_err().contains("diverged"));
+
+        let mut broken = report.clone();
+        broken.hot_path.identical_results = false;
+        assert!(broken.validate().unwrap_err().contains("hot-path"));
+
+        let mut broken = report.clone();
+        broken.totals.jobs += 1;
+        assert!(broken.validate().unwrap_err().contains("totals"));
+
+        let mut broken = report.clone();
+        broken.figures[0].serial_seconds = 0.0;
+        assert!(broken.validate().unwrap_err().contains("wall-clock"));
+
+        let mut broken = report;
+        broken.figures.clear();
+        assert!(broken.validate().unwrap_err().contains("no experiments"));
+    }
+
+    #[test]
+    fn envelope_kind_is_checked() {
+        let report = fixture();
+        let mut envelope = report.into_envelope();
+        envelope.kind = "not-bench".to_string();
+        let err = BenchReport::from_envelope(&envelope).unwrap_err();
+        assert!(err.contains("bench"), "{err}");
+
+        let mut envelope = report.into_envelope();
+        envelope.schema_version = 99;
+        let err = BenchReport::from_envelope(&envelope).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+}

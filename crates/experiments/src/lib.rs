@@ -21,6 +21,8 @@
 //! sms-experiments fig5 --emit-spec jobs.json   # declare, don't run
 //! sms-experiments run --spec jobs.json --out raw.json
 //! sms-experiments list                 # experiments + prefetcher plugins
+//! sms-experiments list --json          # machine-readable catalog
+//! sms-experiments bench --out BENCH_x.json   # perf telemetry report
 //! ```
 //!
 //! Absolute numbers differ from the paper — the substrate is a trace-driven
@@ -33,6 +35,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod agt_size;
+pub mod bench;
+pub mod catalog;
 pub mod common;
 pub mod fig04_block_size;
 pub mod fig05_density;

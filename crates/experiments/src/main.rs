@@ -9,12 +9,18 @@
 //!                 [--out <path>] [--emit-spec <path>]
 //! sms-experiments --figure <experiment> [same flags]
 //! sms-experiments run --spec <jobs.json> [--jobs N] [--out <path>]
-//! sms-experiments list
+//! sms-experiments list [--json]
+//! sms-experiments bench [--quick] [--jobs N] [--name NAME] [--out <path>]
+//! sms-experiments bench --check <path>
 //!
 //! experiments: all, table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
 //!              agt-size, fig11, fig12, fig13 (leading zeros accepted: fig05)
 //! list           print the experiments and the registered prefetcher plugins
+//!                (--json: the machine-readable catalog)
 //! run --spec P   execute a serialized engine job list (see --emit-spec)
+//! bench          measure throughput/speedup of the experiment suite and the
+//!                batched hot path; write a schema-versioned BENCH_<name>.json
+//! bench --check  validate an existing bench report against its schema
 //! --figure NAME  name the experiment as a flag instead of positionally
 //! --quick        use shorter traces and representative applications per class
 //! --jobs N       engine worker threads (default: all hardware threads;
@@ -27,23 +33,17 @@
 //! ```
 
 use engine::{EngineConfig, JobList, JobResult, Registry};
+use experiments::catalog::{catalog, figure_jobs, EXPERIMENTS};
 use experiments::common::ExperimentConfig;
 use experiments::{
-    agt_size, fig04_block_size, fig05_density, fig06_indexing, fig07_pht_size, fig08_training,
-    fig09_pht_training, fig10_region_size, fig11_ghb_comparison, fig12_speedup, fig13_breakdown,
-    table1,
+    agt_size, bench, fig04_block_size, fig05_density, fig06_indexing, fig07_pht_size,
+    fig08_training, fig09_pht_training, fig10_region_size, fig11_ghb_comparison, fig12_speedup,
+    fig13_breakdown, table1,
 };
 use serde::Serialize;
-use sms::PhtCapacity;
 use std::process::ExitCode;
 use timing::TimingConfig;
 use trace::Application;
-
-/// Every experiment name the CLI accepts, in run order.
-const EXPERIMENTS: [&str; 13] = [
-    "all", "table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "agt-size", "fig11",
-    "fig12", "fig13",
-];
 
 #[derive(Debug, Default, Serialize)]
 struct JsonDump {
@@ -65,7 +65,9 @@ fn usage() -> ExitCode {
         "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> \
          [--quick] [--jobs N] [--json PATH] [--out PATH] [--emit-spec PATH]\n\
        \x20      sms-experiments run --spec JOBS.json [--jobs N] [--out PATH]\n\
-       \x20      sms-experiments list"
+       \x20      sms-experiments list [--json]\n\
+       \x20      sms-experiments bench [--quick] [--jobs N] [--name NAME] [--out PATH]\n\
+       \x20      sms-experiments bench --check PATH"
     );
     ExitCode::from(2)
 }
@@ -80,8 +82,16 @@ fn normalize_experiment(name: &str) -> String {
     }
 }
 
-/// Prints the experiments and the plugins of the built-in registry.
-fn list() {
+/// Prints the experiments and the plugins of the built-in registry —
+/// human-readable by default, the machine-readable catalog with `--json`.
+fn list(json: bool) -> ExitCode {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&catalog()).expect("catalog serializes")
+        );
+        return ExitCode::SUCCESS;
+    }
     println!("experiments:");
     for name in EXPERIMENTS {
         println!("  {name}");
@@ -96,6 +106,75 @@ fn list() {
             println!("  {name:<14} {description}");
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Runs the bench pipeline (`bench`) or validates an existing report
+/// (`bench --check PATH`).
+fn run_bench_command(
+    check: Option<&str>,
+    quick: bool,
+    workers: usize,
+    name: Option<&str>,
+    out: Option<&str>,
+) -> ExitCode {
+    if let Some(path) = check {
+        return match read_bench_report(path) {
+            Ok(report) => {
+                println!(
+                    "{path}: valid bench report {:?} ({} figures, {} jobs)",
+                    report.name,
+                    report.figures.len(),
+                    report.totals.jobs
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let name = name.unwrap_or("bench").to_string();
+    let default_out = format!("BENCH_{name}.json");
+    let out = out.unwrap_or(&default_out);
+    let report = match bench::run_bench(&bench::BenchOptions {
+        name,
+        workers,
+        quick,
+        figures: Vec::new(),
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", bench::render(&report));
+    // The report validates its own schema before it is written; a report
+    // that cannot satisfy its contract (e.g. nondeterministic parallel
+    // results) must fail the run, not be uploaded.
+    if let Err(e) = report.validate() {
+        eprintln!("bench report failed schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    let json =
+        serde_json::to_string_pretty(&report.into_envelope()).expect("bench report serializes");
+    if let Err(e) = std::fs::write(out, json) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("bench report written to {out}");
+    ExitCode::SUCCESS
+}
+
+/// Loads and fully validates a bench report file (envelope + payload).
+fn read_bench_report(path: &str) -> Result<bench::BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let envelope: metrics::MetricsReport =
+        serde_json::from_str(&text).map_err(|e| format!("not a metrics report: {e}"))?;
+    bench::BenchReport::from_envelope(&envelope)
 }
 
 /// Executes a serialized job list (`run --spec`), printing a per-job summary
@@ -108,21 +187,16 @@ fn run_spec(spec_path: &str, workers: usize, out: Option<&str>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let list: JobList = match serde_json::from_str(&text) {
+    // `from_json` checks the spec version before decoding jobs, so a
+    // future-versioned spec gets the actionable version error rather than a
+    // confusing field-level parse failure.
+    let list = match JobList::from_json(&text) {
         Ok(list) => list,
         Err(e) => {
-            eprintln!("failed to parse {spec_path}: {e}");
+            eprintln!("{spec_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if list.version != JobList::VERSION {
-        eprintln!(
-            "{spec_path}: spec version {} (this build reads version {})",
-            list.version,
-            JobList::VERSION
-        );
-        return ExitCode::FAILURE;
-    }
     let results = match engine::run_jobs_in(
         &list.jobs,
         &EngineConfig::with_workers(workers),
@@ -147,6 +221,14 @@ fn run_spec(spec_path: &str, workers: usize, out: Option<&str>) -> ExitCode {
             result.summary.prefetch_requests,
         );
     }
+    for result in &results {
+        for warning in &result.warnings {
+            eprintln!(
+                "warning: job {} [{}]: {}",
+                result.job_index, warning.kind, warning.message
+            );
+        }
+    }
     if let Some(path) = out {
         if let Err(code) = write_results(path, &results) {
             return code;
@@ -165,41 +247,6 @@ fn write_results(path: &str, results: &[JobResult]) -> Result<(), ExitCode> {
     }
     println!("\nraw engine results written to {path}");
     Ok(())
-}
-
-/// The engine jobs one experiment declares — the single source of job
-/// construction shared by `--emit-spec` and the direct run path, so the two
-/// can never drift apart.  `None` for experiments with no engine jobs
-/// (table1) and for the umbrella `all`.  Figures 12 and 13 share one job
-/// list and both map to it here.
-fn figure_jobs(
-    name: &str,
-    config: &ExperimentConfig,
-    representative_only: bool,
-) -> Option<Vec<engine::SimJob>> {
-    match name {
-        "fig4" => Some(fig04_block_size::jobs(config, representative_only)),
-        "fig5" => Some(fig05_density::jobs(
-            config,
-            &experiments::common::apps_or_all(&[]),
-        )),
-        "fig6" => Some(fig06_indexing::jobs(config, representative_only)),
-        "fig7" => Some(fig07_pht_size::jobs(config, representative_only, &[])),
-        "fig8" => Some(fig08_training::jobs(
-            config,
-            representative_only,
-            PhtCapacity::Unbounded,
-        )),
-        "fig9" => Some(fig09_pht_training::jobs(config, representative_only)),
-        "fig10" => Some(fig10_region_size::jobs(config, representative_only)),
-        "agt-size" => Some(agt_size::jobs(config, representative_only)),
-        "fig11" => Some(fig11_ghb_comparison::jobs(
-            config,
-            &experiments::common::apps_or_all(&[]),
-        )),
-        "fig12" | "fig13" => Some(fig12_speedup::jobs(config, &Application::ALL)),
-        _ => None,
-    }
 }
 
 fn main() -> ExitCode {
@@ -235,8 +282,7 @@ fn main() -> ExitCode {
     };
 
     if experiment == "list" {
-        list();
-        return ExitCode::SUCCESS;
+        return list(args.iter().any(|a| a == "--json"));
     }
     if experiment == "run" {
         let Some(spec_path) = flag_value("--spec") else {
@@ -244,6 +290,22 @@ fn main() -> ExitCode {
             return usage();
         };
         return run_spec(&spec_path, workers, out_path.as_deref());
+    }
+    if experiment == "bench" {
+        let check = flag_value("--check");
+        // A bare `--check` (path forgotten) must error, not fall through to
+        // a full bench run that would overwrite the previous report.
+        if check.is_none() && args.iter().any(|a| a == "--check") {
+            eprintln!("bench --check requires the report path to validate");
+            return usage();
+        }
+        return run_bench_command(
+            check.as_deref(),
+            quick,
+            workers,
+            flag_value("--name").as_deref(),
+            out_path.as_deref(),
+        );
     }
     if !EXPERIMENTS.contains(&experiment.as_str()) {
         match engine::closest_match(&experiment, EXPERIMENTS.into_iter()) {

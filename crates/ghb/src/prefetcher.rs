@@ -41,23 +41,35 @@ impl GhbPrefetcher {
 
 impl Prefetcher for GhbPrefetcher {
     fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        self.on_access_into(access, outcome, &mut out);
+        out
+    }
+
+    fn on_access_into(
+        &mut self,
+        access: &MemAccess,
+        outcome: &SystemOutcome,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
         let cpu = access.cpu as usize;
         if cpu >= self.predictors.len() {
-            return Vec::new();
+            return;
         }
         // GHB observes the L2 access stream, i.e. L1 misses.
         if !outcome.hierarchy.l1_miss() || access.kind.is_write() {
-            return Vec::new();
+            return;
         }
-        self.predictors[cpu]
-            .on_miss(access.pc, access.addr)
-            .into_iter()
-            .map(|addr| PrefetchRequest {
-                cpu: access.cpu,
-                addr,
-                level: PrefetchLevel::L2,
-            })
-            .collect()
+        out.extend(
+            self.predictors[cpu]
+                .on_miss(access.pc, access.addr)
+                .into_iter()
+                .map(|addr| PrefetchRequest {
+                    cpu: access.cpu,
+                    addr,
+                    level: PrefetchLevel::L2,
+                }),
+        );
     }
 
     fn name(&self) -> &str {

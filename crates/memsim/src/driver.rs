@@ -3,18 +3,32 @@
 //! [`run`] pushes accesses from a stream through a [`MultiCpuSystem`], lets a
 //! [`Prefetcher`] react to every outcome, applies the requested fills, and
 //! accumulates a [`RunSummary`] of per-level statistics and miss breakdowns.
+//! The loop is **batched**: one reusable request buffer collects every
+//! access's stream requests ([`Prefetcher::on_access_into`]), so issuing
+//! prefetchers stop paying one vector allocation per triggering access.  The
+//! pre-batching loop survives as [`run_unbatched`], the measured "before"
+//! side of the bench pipeline's hot-path comparison; both loops apply
+//! requests in the same order and produce bit-identical summaries.
 //!
 //! [`run_job`] is the self-contained variant: a [`SimJob`] fully describes
 //! one run (trace source, system, prefetcher spec, access budget) so that
 //! jobs can be executed on any thread and always reproduce bit-identical
 //! summaries.  The `engine` crate wraps the same job type with a plugin
 //! registry and an optional timing-model evaluation.
+//!
+//! Telemetry follows the zero-cost-when-disabled pattern from the `metrics`
+//! crate: the loop is generic over a [`DriverMeter`], the no-op meter `()`
+//! compiles the instrumentation away entirely, and the metered entry points
+//! ([`run_metered`], [`run_job_metered`]) collect a [`DriverMetrics`] —
+//! wall-clock time, accesses/second, cache-operation and prefetch-issue
+//! counts — without ever feeding anything back into the simulation.
 
 use crate::classify::MissBreakdown;
 use crate::config::HierarchyConfig;
-use crate::prefetch::{NullPrefetcher, PrefetchLevel, Prefetcher};
+use crate::prefetch::{NullPrefetcher, PrefetchLevel, PrefetchRequest, Prefetcher};
 use crate::stats::CacheStats;
 use crate::system::MultiCpuSystem;
+use metrics::{per_sec, MetricsConfig, Stopwatch};
 use serde::{Deserialize, Serialize, Value};
 use std::io;
 use trace::{MemAccess, TraceSource};
@@ -58,6 +72,78 @@ impl RunSummary {
         } else {
             1000.0 * self.l2.read_misses as f64 / self.accesses as f64
         }
+    }
+}
+
+/// Hot-path telemetry of one driver run, collected by [`run_metered`] /
+/// [`run_job_metered`] with no effect on simulated results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriverMetrics {
+    /// Wall-clock seconds spent inside the simulation loop.
+    pub elapsed_seconds: f64,
+    /// Demand accesses simulated per wall-clock second.
+    pub accesses_per_sec: f64,
+    /// Cache operations performed: demand accesses applied plus prefetch
+    /// fills applied.
+    pub cache_ops: u64,
+    /// Prefetch fills actually applied to a cache (stream fills into the L1
+    /// plus conventional fills into the L2).
+    pub prefetch_issues: u64,
+    /// Non-empty request batches drained from the shared request buffer.
+    pub request_batches: u64,
+    /// Largest single batch of requests one access produced.
+    pub max_batch_len: u64,
+}
+
+impl DriverMetrics {
+    /// Stamps wall-clock-derived fields from `accesses` demand accesses over
+    /// `seconds` of loop time.
+    fn finish(&mut self, accesses: u64, seconds: f64) {
+        self.elapsed_seconds = seconds;
+        self.accesses_per_sec = per_sec(accesses, seconds);
+    }
+}
+
+/// Events the simulation loop reports to its (possibly no-op) meter.
+///
+/// The loop is generic over this trait so that the unmetered entry points
+/// monomorphize with the `()` implementation below and compile every
+/// callback away — disabled telemetry costs literally nothing.
+pub trait DriverMeter {
+    /// A demand access was applied to the system.
+    fn demand_access(&mut self);
+    /// A prefetch fill was applied to a cache.
+    fn prefetch_issue(&mut self);
+    /// One access's request batch was drained (`len > 0`).
+    fn batch(&mut self, len: usize);
+}
+
+/// The no-op meter: all callbacks are empty and inline to nothing.
+impl DriverMeter for () {
+    #[inline(always)]
+    fn demand_access(&mut self) {}
+    #[inline(always)]
+    fn prefetch_issue(&mut self) {}
+    #[inline(always)]
+    fn batch(&mut self, _len: usize) {}
+}
+
+impl DriverMeter for DriverMetrics {
+    #[inline]
+    fn demand_access(&mut self) {
+        self.cache_ops += 1;
+    }
+
+    #[inline]
+    fn prefetch_issue(&mut self) {
+        self.cache_ops += 1;
+        self.prefetch_issues += 1;
+    }
+
+    #[inline]
+    fn batch(&mut self, len: usize) {
+        self.request_batches += 1;
+        self.max_batch_len = self.max_batch_len.max(len as u64);
     }
 }
 
@@ -186,6 +272,34 @@ pub fn run_job<F: PrefetcherFactory>(job: &SimJob<F>) -> io::Result<(RunSummary,
     Ok((summary, prefetcher))
 }
 
+/// [`run_job`] with telemetry: additionally collects the [`DriverMetrics`]
+/// of the run (wall-clock time, accesses/second, cache-op and prefetch-issue
+/// counts) when `metrics.enabled`.
+///
+/// The summary is bit-identical to [`run_job`]'s regardless of the metrics
+/// setting — telemetry observes the run, it never influences it.
+///
+/// # Errors
+///
+/// Any I/O error from opening a file-backed trace source; synthetic sources
+/// cannot fail.
+pub fn run_job_metered<F: PrefetcherFactory>(
+    job: &SimJob<F>,
+    metrics: &MetricsConfig,
+) -> io::Result<(RunSummary, F::Output, DriverMetrics)> {
+    let mut system = MultiCpuSystem::new(job.cpus, &job.hierarchy);
+    let mut prefetcher = job.prefetcher.build(job.cpus);
+    let mut stream = job.source.open()?;
+    let (summary, driver) = run_metered(
+        &mut system,
+        &mut prefetcher,
+        &mut stream,
+        job.accesses,
+        metrics,
+    );
+    Ok((summary, prefetcher, driver))
+}
+
 /// Runs `num_accesses` accesses from `stream` through `system` with
 /// `prefetcher` attached.
 ///
@@ -194,6 +308,108 @@ pub fn run_job<F: PrefetcherFactory>(job: &SimJob<F>) -> io::Result<(RunSummary,
 /// with the same CPU count as the system, so this is a defensive measure,
 /// not an expected path).
 pub fn run<S>(
+    system: &mut MultiCpuSystem,
+    prefetcher: &mut dyn Prefetcher,
+    stream: &mut S,
+    num_accesses: usize,
+) -> RunSummary
+where
+    S: Iterator<Item = MemAccess> + ?Sized,
+{
+    // The `()` meter monomorphizes to the bare loop: no telemetry cost.
+    run_with_meter(system, prefetcher, stream, num_accesses, &mut ())
+}
+
+/// [`run`] with telemetry: additionally collects a [`DriverMetrics`] when
+/// `metrics.enabled` (all fields zero otherwise).  The summary is
+/// bit-identical either way.
+pub fn run_metered<S>(
+    system: &mut MultiCpuSystem,
+    prefetcher: &mut dyn Prefetcher,
+    stream: &mut S,
+    num_accesses: usize,
+    metrics: &MetricsConfig,
+) -> (RunSummary, DriverMetrics)
+where
+    S: Iterator<Item = MemAccess> + ?Sized,
+{
+    if !metrics.enabled {
+        return (
+            run(system, prefetcher, stream, num_accesses),
+            DriverMetrics::default(),
+        );
+    }
+    let mut driver = DriverMetrics::default();
+    let watch = Stopwatch::started();
+    let summary = run_with_meter(system, prefetcher, stream, num_accesses, &mut driver);
+    driver.finish(summary.accesses, watch.elapsed_seconds());
+    (summary, driver)
+}
+
+/// The batched simulation loop, generic over the telemetry meter.
+///
+/// One request buffer lives across the whole run: every access's requests
+/// are appended by [`Prefetcher::on_access_into`] and drained immediately,
+/// in order, so no per-access vector is ever allocated and the applied
+/// request sequence is exactly what the unbatched loop produces.
+fn run_with_meter<S, M>(
+    system: &mut MultiCpuSystem,
+    prefetcher: &mut dyn Prefetcher,
+    stream: &mut S,
+    num_accesses: usize,
+    meter: &mut M,
+) -> RunSummary
+where
+    S: Iterator<Item = MemAccess> + ?Sized,
+    M: DriverMeter,
+{
+    let mut summary = RunSummary::default();
+    let mut batch: Vec<PrefetchRequest> = Vec::new();
+    for access in stream.take(num_accesses) {
+        if (access.cpu as usize) >= system.num_cpus() {
+            summary.skipped_accesses += 1;
+            continue;
+        }
+        let outcome = system.access(&access);
+        summary.accesses += 1;
+        meter.demand_access();
+        prefetcher.on_access_into(&access, &outcome, &mut batch);
+        summary.prefetch_requests += batch.len() as u64;
+        if !batch.is_empty() {
+            meter.batch(batch.len());
+        }
+        for req in batch.drain(..) {
+            if (req.cpu as usize) >= system.num_cpus() {
+                continue;
+            }
+            meter.prefetch_issue();
+            match req.level {
+                PrefetchLevel::L1 => {
+                    if let Some(victim) = system.cpu_mut(req.cpu).stream_fill(req.addr) {
+                        prefetcher.on_stream_eviction(req.cpu, victim.block_addr);
+                    }
+                }
+                PrefetchLevel::L2 => {
+                    system.cpu_mut(req.cpu).l2_prefetch_fill(req.addr);
+                }
+            }
+        }
+    }
+    summary.l1 = system.l1_stats_total();
+    summary.l2 = system.l2_stats_total();
+    summary.l1_breakdown = *system.l1_breakdown();
+    summary.l2_breakdown = *system.l2_breakdown();
+    summary
+}
+
+/// The pre-batching simulation loop: one vector allocated per issuing access
+/// via [`Prefetcher::on_access`].
+///
+/// Kept (not as a deprecated fossil, but deliberately) as the measured
+/// **before** side of the bench pipeline's hot-path comparison; it must stay
+/// bit-identical to [`run`] in simulated results, which the telemetry tests
+/// assert.  New code should call [`run`].
+pub fn run_unbatched<S>(
     system: &mut MultiCpuSystem,
     prefetcher: &mut dyn Prefetcher,
     stream: &mut S,
@@ -369,6 +585,87 @@ mod tests {
         let value = job.to_value();
         let back: SimJob<Option<u32>> = Deserialize::from_value(&value).expect("round trip");
         assert_eq!(job, back);
+    }
+
+    #[test]
+    fn batched_and_unbatched_loops_agree_bit_for_bit() {
+        // NextLine issues a request on every L1 miss, so both the batching
+        // seam and the eviction-callback ordering are exercised.
+        let accesses: Vec<MemAccess> = (0..400)
+            .map(|i| MemAccess::read(0, 0x400, (i % 97) * 64))
+            .collect();
+
+        let mut sys_a = MultiCpuSystem::new(1, &tiny_config());
+        let mut a_pref = NextLine;
+        let batched = run(
+            &mut sys_a,
+            &mut a_pref,
+            &mut accesses.clone().into_iter(),
+            400,
+        );
+
+        let mut sys_b = MultiCpuSystem::new(1, &tiny_config());
+        let mut b_pref = NextLine;
+        let unbatched = run_unbatched(&mut sys_b, &mut b_pref, &mut accesses.into_iter(), 400);
+
+        assert_eq!(batched, unbatched);
+        assert!(batched.prefetch_requests > 0);
+    }
+
+    #[test]
+    fn metered_run_counts_ops_without_changing_results() {
+        let job = SimJob::synthetic(
+            trace::Application::Sparse,
+            trace::GeneratorConfig::default().with_cpus(2),
+            11,
+            2,
+            HierarchyConfig::scaled(),
+            NullPrefetcher::new(),
+            5_000,
+        );
+        let (plain, _) = run_job(&job).expect("synthetic source");
+        let (metered, _, driver) =
+            run_job_metered(&job, &metrics::MetricsConfig::enabled()).expect("synthetic source");
+        assert_eq!(plain, metered, "telemetry must not perturb the simulation");
+        assert_eq!(driver.cache_ops, 5_000, "null prefetcher: demand ops only");
+        assert_eq!(driver.prefetch_issues, 0);
+        assert_eq!(driver.request_batches, 0);
+        assert!(driver.elapsed_seconds > 0.0);
+        assert!(driver.accesses_per_sec > 0.0);
+
+        // Disabled collection reports all-zero metrics and the same summary.
+        let (disabled, _, zeros) =
+            run_job_metered(&job, &metrics::MetricsConfig::disabled()).expect("synthetic source");
+        assert_eq!(plain, disabled);
+        assert_eq!(zeros, DriverMetrics::default());
+    }
+
+    #[test]
+    fn meter_counts_prefetch_issues_and_batches() {
+        let mut sys = MultiCpuSystem::new(1, &tiny_config());
+        let mut p = NextLine;
+        let accesses: Vec<MemAccess> = (0..100)
+            .map(|i| MemAccess::read(0, 0x400, i * 64))
+            .collect();
+        let (summary, driver) = run_metered(
+            &mut sys,
+            &mut p,
+            &mut accesses.into_iter(),
+            100,
+            &metrics::MetricsConfig::enabled(),
+        );
+        assert!(summary.prefetch_requests > 0);
+        assert_eq!(driver.prefetch_issues, summary.prefetch_requests);
+        assert_eq!(
+            driver.cache_ops,
+            summary.accesses + driver.prefetch_issues,
+            "cache ops = demand accesses + applied fills"
+        );
+        assert_eq!(driver.request_batches, summary.prefetch_requests);
+        assert_eq!(
+            driver.max_batch_len, 1,
+            "NextLine issues one request at a time"
+        );
     }
 
     #[test]

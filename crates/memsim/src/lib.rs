@@ -50,7 +50,10 @@ pub mod system;
 pub use cache::{AccessOutcome, CacheLineState, EvictedLine, SetAssocCache};
 pub use classify::{MissBreakdown, MissClassifier, MissKind};
 pub use config::{CacheConfig, HierarchyConfig};
-pub use driver::{run, run_job, PrefetcherFactory, RunSummary, SimJob};
+pub use driver::{
+    run, run_job, run_job_metered, run_metered, run_unbatched, DriverMeter, DriverMetrics,
+    PrefetcherFactory, RunSummary, SimJob,
+};
 pub use hierarchy::{CpuHierarchy, HierarchyOutcome};
 pub use mshr::MshrFile;
 pub use prefetch::{NullPrefetcher, PrefetchLevel, PrefetchRequest, Prefetcher};

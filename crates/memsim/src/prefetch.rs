@@ -39,6 +39,24 @@ pub trait Prefetcher {
     /// Observes a demand access and its outcome; returns blocks to fetch.
     fn on_access(&mut self, access: &MemAccess, outcome: &SystemOutcome) -> Vec<PrefetchRequest>;
 
+    /// Batched variant of [`on_access`](Prefetcher::on_access): appends this
+    /// access's requests to `out` instead of allocating a fresh vector.
+    ///
+    /// The driver's hot loop owns one request buffer, drains it after every
+    /// access, and hands it back here, so issuing prefetchers stop paying one
+    /// allocation per triggering access.  Requests must be appended in the
+    /// same order `on_access` would return them — the driver applies them in
+    /// order, and simulation results must not depend on which entry point ran.
+    /// The default forwards to `on_access`; hot prefetchers override it.
+    fn on_access_into(
+        &mut self,
+        access: &MemAccess,
+        outcome: &SystemOutcome,
+        out: &mut Vec<PrefetchRequest>,
+    ) {
+        out.extend(self.on_access(access, outcome));
+    }
+
     /// Notifies the prefetcher that applying one of its own fills displaced
     /// `block_addr` from `cpu`'s primary cache.
     fn on_stream_eviction(&mut self, _cpu: u8, _block_addr: u64) {}
@@ -61,6 +79,14 @@ impl NullPrefetcher {
 impl Prefetcher for NullPrefetcher {
     fn on_access(&mut self, _access: &MemAccess, _outcome: &SystemOutcome) -> Vec<PrefetchRequest> {
         Vec::new()
+    }
+
+    fn on_access_into(
+        &mut self,
+        _access: &MemAccess,
+        _outcome: &SystemOutcome,
+        _out: &mut Vec<PrefetchRequest>,
+    ) {
     }
 
     fn name(&self) -> &str {

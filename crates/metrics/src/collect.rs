@@ -1,0 +1,230 @@
+//! Collection primitives: counters, wall-clock stopwatches and throughput
+//! meters.
+//!
+//! Everything here is built around one rule: **disabled collection must cost
+//! nothing**.  A [`Stopwatch`] constructed disabled never calls
+//! `Instant::now`, and code instrumenting a hot loop should follow the
+//! monomorphized-meter pattern — define a small meter trait for the loop's
+//! events, implement it for `()` with empty bodies, and make the loop generic
+//! over the meter — so the disabled variant compiles to exactly the
+//! uninstrumented loop (this is what `memsim`'s driver does).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Whether telemetry is collected at all.
+///
+/// Carried explicitly (rather than read from a global) so tests can prove
+/// that enabled and disabled runs produce byte-identical simulation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsConfig {
+    /// Collect timings and counters when `true`; skip all clock reads when
+    /// `false`.
+    pub enabled: bool,
+}
+
+impl MetricsConfig {
+    /// Collection on.
+    pub fn enabled() -> Self {
+        Self { enabled: true }
+    }
+
+    /// Collection off: timers read as zero and never touch the clock.
+    pub fn disabled() -> Self {
+        Self { enabled: false }
+    }
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// A wall-clock timer that is free when disabled.
+///
+/// A disabled stopwatch holds no start instant, reports zero elapsed time and
+/// never calls `Instant::now` — constructing and querying it is a couple of
+/// register moves.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Starts a running stopwatch.
+    pub fn started() -> Self {
+        Self {
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// A stopwatch that never reads the clock and always reports zero.
+    pub fn disabled() -> Self {
+        Self { start: None }
+    }
+
+    /// Starts a stopwatch iff `enabled` (the usual constructor, fed from
+    /// [`MetricsConfig::enabled`]).
+    pub fn start_if(enabled: bool) -> Self {
+        if enabled {
+            Self::started()
+        } else {
+            Self::disabled()
+        }
+    }
+
+    /// Whether this stopwatch is actually timing.
+    pub fn is_enabled(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Seconds elapsed since the start; `0.0` for a disabled stopwatch.
+    pub fn elapsed_seconds(&self) -> f64 {
+        match self.start {
+            Some(start) => start.elapsed().as_secs_f64(),
+            None => 0.0,
+        }
+    }
+}
+
+/// An event rate: how many events happened over how much wall-clock time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Throughput {
+    /// Number of events observed.
+    pub count: u64,
+    /// Wall-clock seconds over which they were observed.
+    pub seconds: f64,
+    /// Events per second (`0.0` when no time was observed).
+    pub per_sec: f64,
+}
+
+/// Events per second, `0.0` when `seconds` is not a positive measurement
+/// (disabled stopwatches report zero elapsed time).
+pub fn per_sec(count: u64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        count as f64 / seconds
+    } else {
+        0.0
+    }
+}
+
+/// A counter paired with a stopwatch: record events while the work runs, then
+/// [`finish`](ThroughputMeter::finish) into a [`Throughput`].
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputMeter {
+    count: Counter,
+    watch: Stopwatch,
+}
+
+impl ThroughputMeter {
+    /// Starts a meter; disabled meters never read the clock and finish with
+    /// zero throughput.
+    pub fn start_if(enabled: bool) -> Self {
+        Self {
+            count: Counter::new(),
+            watch: Stopwatch::start_if(enabled),
+        }
+    }
+
+    /// Records `n` events.
+    #[inline]
+    pub fn record(&mut self, n: u64) {
+        self.count.add(n);
+    }
+
+    /// Stops the clock and computes the rate.
+    pub fn finish(self) -> Throughput {
+        let seconds = self.watch.elapsed_seconds();
+        Throughput {
+            count: self.count.get(),
+            seconds,
+            per_sec: per_sec(self.count.get(), seconds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn disabled_stopwatch_reads_zero() {
+        let w = Stopwatch::disabled();
+        assert!(!w.is_enabled());
+        assert_eq!(w.elapsed_seconds(), 0.0);
+        assert!(!Stopwatch::start_if(false).is_enabled());
+    }
+
+    #[test]
+    fn enabled_stopwatch_advances() {
+        let w = Stopwatch::start_if(true);
+        assert!(w.is_enabled());
+        assert!(w.elapsed_seconds() >= 0.0);
+        // Monotonic: a later reading is never smaller.
+        let first = w.elapsed_seconds();
+        assert!(w.elapsed_seconds() >= first);
+    }
+
+    #[test]
+    fn per_sec_handles_zero_time() {
+        assert_eq!(per_sec(100, 0.0), 0.0);
+        assert_eq!(per_sec(100, -1.0), 0.0);
+        assert!((per_sec(100, 2.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_meter_finishes_at_zero_rate() {
+        let mut m = ThroughputMeter::start_if(false);
+        m.record(1_000);
+        let t = m.finish();
+        assert_eq!(t.count, 1_000);
+        assert_eq!(t.seconds, 0.0);
+        assert_eq!(t.per_sec, 0.0);
+    }
+
+    #[test]
+    fn config_defaults_to_disabled() {
+        assert!(!MetricsConfig::default().enabled);
+        assert!(MetricsConfig::enabled().enabled);
+        assert!(!MetricsConfig::disabled().enabled);
+    }
+}

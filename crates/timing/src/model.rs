@@ -117,6 +117,9 @@ impl TimingModel {
         let mut accesses_done: u64 = 0;
         let mut skipped_accesses: u64 = 0;
         let mut prefetch_requests: u64 = 0;
+        // One request buffer for the whole walk (same batched hot path as
+        // `memsim::run`): drained in order after every access.
+        let mut batch = Vec::new();
 
         for access in stream.take(num_accesses) {
             if (access.cpu as usize) >= self.num_cpus {
@@ -124,9 +127,9 @@ impl TimingModel {
                 continue;
             }
             let outcome = system.access(&access);
-            let requests = prefetcher.on_access(&access, &outcome);
-            prefetch_requests += requests.len() as u64;
-            for req in requests {
+            prefetcher.on_access_into(&access, &outcome, &mut batch);
+            prefetch_requests += batch.len() as u64;
+            for req in batch.drain(..) {
                 if (req.cpu as usize) >= self.num_cpus {
                     continue;
                 }

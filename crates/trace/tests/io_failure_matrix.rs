@@ -1,0 +1,244 @@
+//! Failure-path matrix for the trace readers: short files and mid-file
+//! corruption, exercised at every reader granularity — the whole-`Vec`
+//! convenience wrappers, the streaming iterators, and the
+//! [`TraceSource`]→[`AccessStream`] adapter the engine consumes — for both
+//! the binary and the text format.
+//!
+//! The contract under test: a *short* trace (well-formed, just fewer records
+//! than a consumer wants) streams cleanly and ends early with no error,
+//! while *truncation* and *corruption* surface as `InvalidData` errors at
+//! the exact granularity the caller reads at, after which the reader fuses.
+
+use std::io;
+use trace::io::{
+    read_binary, read_binary_iter, read_text, read_text_iter, write_binary, write_text,
+};
+use trace::{Application, GeneratorConfig, MemAccess, TraceSource};
+
+fn recorded(n: usize) -> Vec<MemAccess> {
+    Application::Sparse
+        .stream(7, &GeneratorConfig::default().with_cpus(2))
+        .take(n)
+        .collect()
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "sms-io-failure-matrix-{tag}-{}",
+        std::process::id()
+    ))
+}
+
+/// Drains an opened trace source, returning the yielded accesses and the
+/// recorded stream error, if any.
+fn drain_source(source: &TraceSource) -> (Vec<MemAccess>, Option<io::Error>) {
+    let mut stream = source.open().expect("source opens");
+    let got: Vec<MemAccess> = (&mut *stream).collect();
+    (got, stream.take_error())
+}
+
+// ---------------------------------------------------------------------------
+// Binary: short (well-formed, fewer records than wanted)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn binary_short_file_streams_cleanly_at_every_granularity() {
+    let trace = recorded(25);
+    let mut bytes = Vec::new();
+    write_binary(&mut bytes, &trace).unwrap();
+
+    // Whole-vec: all records come back.
+    assert_eq!(read_binary(bytes.as_slice()).unwrap(), trace);
+
+    // Streaming iterator: 25 Ok items, then clean end.
+    let iter = read_binary_iter(bytes.as_slice()).unwrap();
+    let got: Vec<MemAccess> = iter.map(|r| r.expect("intact record")).collect();
+    assert_eq!(got, trace);
+
+    // Source adapter: ends early with NO recorded error — "short" is a
+    // legitimate end of trace (the engine records a short_trace warning when
+    // a job wanted more, but the stream itself is clean).
+    let path = temp_path("bin-short");
+    std::fs::write(&path, &bytes).unwrap();
+    let (got, error) = drain_source(&TraceSource::binary_file(path.to_string_lossy()));
+    std::fs::remove_file(&path).ok();
+    assert_eq!(got, trace);
+    assert!(error.is_none(), "a short trace is not an error");
+}
+
+// ---------------------------------------------------------------------------
+// Binary: truncation mid-record
+// ---------------------------------------------------------------------------
+
+#[test]
+fn binary_truncation_errors_at_every_granularity() {
+    let trace = recorded(25);
+    let mut bytes = Vec::new();
+    write_binary(&mut bytes, &trace).unwrap();
+    bytes.truncate(bytes.len() - 9); // slice the final record in half
+
+    // Whole-vec: the read fails outright.
+    let err = read_binary(bytes.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+    // Streaming iterator: 24 intact records, then the error, then fused.
+    let mut iter = read_binary_iter(bytes.as_slice()).unwrap();
+    for expected in &trace[..24] {
+        assert_eq!(&iter.next().unwrap().unwrap(), expected);
+    }
+    let err = iter.next().unwrap().unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("truncated"), "{err}");
+    assert!(iter.next().is_none(), "reader must fuse after the error");
+
+    // Source adapter: the intact prefix streams, the error is recorded.
+    let path = temp_path("bin-truncated");
+    std::fs::write(&path, &bytes).unwrap();
+    let (got, error) = drain_source(&TraceSource::binary_file(path.to_string_lossy()));
+    std::fs::remove_file(&path).ok();
+    assert_eq!(got, trace[..24]);
+    let error = error.expect("truncation must be recorded");
+    assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn binary_header_overcount_errors_like_truncation() {
+    // A header promising more records than the body holds: the "file is
+    // shorter than it claims" corruption, distinct from a clean short trace.
+    let trace = recorded(10);
+    let mut bytes = Vec::new();
+    write_binary(&mut bytes, &trace).unwrap();
+    bytes[5] = 11; // little-endian record count: one more than present
+
+    let err = read_binary(bytes.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+    let mut iter = read_binary_iter(bytes.as_slice()).unwrap();
+    assert_eq!(iter.remaining(), 11);
+    for expected in &trace {
+        assert_eq!(&iter.next().unwrap().unwrap(), expected);
+    }
+    assert!(iter.next().unwrap().is_err());
+    assert!(iter.next().is_none());
+
+    let path = temp_path("bin-overcount");
+    std::fs::write(&path, &bytes).unwrap();
+    let (got, error) = drain_source(&TraceSource::binary_file(path.to_string_lossy()));
+    std::fs::remove_file(&path).ok();
+    assert_eq!(got, trace);
+    assert!(error.is_some(), "overcount must surface as a stream error");
+}
+
+// ---------------------------------------------------------------------------
+// Text: short and truncated-final-record
+// ---------------------------------------------------------------------------
+
+#[test]
+fn text_short_file_streams_cleanly_at_every_granularity() {
+    let trace = recorded(25);
+    let mut bytes = Vec::new();
+    write_text(&mut bytes, &trace).unwrap();
+
+    assert_eq!(read_text(bytes.as_slice()).unwrap(), trace);
+
+    let got: Vec<MemAccess> = read_text_iter(bytes.as_slice())
+        .map(|r| r.expect("intact record"))
+        .collect();
+    assert_eq!(got, trace);
+
+    let path = temp_path("text-short");
+    std::fs::write(&path, &bytes).unwrap();
+    let (got, error) = drain_source(&TraceSource::text_file(path.to_string_lossy()));
+    std::fs::remove_file(&path).ok();
+    assert_eq!(got, trace);
+    assert!(error.is_none(), "a short trace is not an error");
+}
+
+#[test]
+fn text_truncated_final_record_errors_at_every_granularity() {
+    // The text analog of mid-record truncation: the last line lost its
+    // trailing fields.
+    let trace = recorded(10);
+    let mut bytes = Vec::new();
+    write_text(&mut bytes, &trace).unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+    let cut = text.trim_end().rsplit_once(' ').unwrap().0.to_string();
+
+    let err = read_text(cut.as_bytes()).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("line 10"), "{err}");
+
+    let mut iter = read_text_iter(cut.as_bytes());
+    for expected in &trace[..9] {
+        assert_eq!(&iter.next().unwrap().unwrap(), expected);
+    }
+    assert!(iter.next().unwrap().is_err());
+    assert!(iter.next().is_none(), "reader must fuse after the error");
+
+    let path = temp_path("text-truncated");
+    std::fs::write(&path, &cut).unwrap();
+    let (got, error) = drain_source(&TraceSource::text_file(path.to_string_lossy()));
+    std::fs::remove_file(&path).ok();
+    assert_eq!(got, trace[..9]);
+    assert!(error.is_some(), "truncated record must be recorded");
+}
+
+// ---------------------------------------------------------------------------
+// Text: corruption mid-file
+// ---------------------------------------------------------------------------
+
+#[test]
+fn text_midfile_corruption_errors_at_every_granularity() {
+    let trace = recorded(20);
+    let mut bytes = Vec::new();
+    write_text(&mut bytes, &trace).unwrap();
+    let mut lines: Vec<String> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect();
+    lines[10] = "0 Q not-a-number 0x40".to_string(); // corrupt record 11
+    let corrupt = lines.join("\n");
+
+    let err = read_text(corrupt.as_bytes()).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("line 11"), "{err}");
+
+    let mut iter = read_text_iter(corrupt.as_bytes());
+    for expected in &trace[..10] {
+        assert_eq!(&iter.next().unwrap().unwrap(), expected);
+    }
+    let err = iter.next().unwrap().unwrap_err();
+    assert!(err.to_string().contains("line 11"), "{err}");
+    assert!(iter.next().is_none(), "reader must fuse after the error");
+
+    let path = temp_path("text-corrupt");
+    std::fs::write(&path, &corrupt).unwrap();
+    let (got, error) = drain_source(&TraceSource::text_file(path.to_string_lossy()));
+    std::fs::remove_file(&path).ok();
+    assert_eq!(got, trace[..10]);
+    let error = error.expect("corruption must be recorded");
+    assert_eq!(error.kind(), io::ErrorKind::InvalidData);
+}
+
+// ---------------------------------------------------------------------------
+// Binary: corruption that is *not* detectable (flipped payload byte) must
+// still decode as data, not crash — documents the format's trust model.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn binary_payload_bitflips_decode_as_different_data() {
+    let trace = recorded(10);
+    let mut bytes = Vec::new();
+    write_binary(&mut bytes, &trace).unwrap();
+    // Flip a byte inside record 5's address field (header is 13 bytes,
+    // records 18 each; addr occupies the last 8 bytes of the record).
+    let offset = 13 + 5 * 18 + 12;
+    bytes[offset] ^= 0xff;
+
+    let back = read_binary(bytes.as_slice()).unwrap();
+    assert_eq!(back.len(), trace.len());
+    assert_ne!(back[5], trace[5], "the flipped record decodes differently");
+    assert_eq!(back[..5], trace[..5]);
+    assert_eq!(back[6..], trace[6..]);
+}

@@ -1,0 +1,164 @@
+//! Telemetry must observe, never perturb: metrics collection (disabled vs.
+//! enabled) and the batched vs. pre-batching driver loops must all produce
+//! byte-identical simulation results, and the collected metrics must be
+//! consistent with the results they describe.
+
+use engine::{EngineConfig, PrefetcherSpec, Registry, SimJob};
+use ghb::GhbConfig;
+use memsim::{HierarchyConfig, MultiCpuSystem};
+use metrics::MetricsConfig;
+use sms::SmsConfig;
+use timing::TimingConfig;
+use trace::{Application, GeneratorConfig, TraceSource};
+
+const CPUS: usize = 2;
+const SEED: u64 = 2006;
+const ACCESSES: usize = 10_000;
+
+/// A job list covering every execution path: baseline, SMS, GHB, timing.
+fn job_list() -> Vec<SimJob> {
+    let base = memsim::SimJob::synthetic(
+        Application::OltpDb2,
+        GeneratorConfig::default().with_cpus(CPUS),
+        SEED,
+        CPUS,
+        HierarchyConfig::scaled(),
+        PrefetcherSpec::null(),
+        ACCESSES,
+    );
+    vec![
+        SimJob::new(base.clone()),
+        SimJob::new(memsim::SimJob {
+            prefetcher: PrefetcherSpec::sms(&SmsConfig::paper_default()),
+            ..base.clone()
+        }),
+        SimJob::new(memsim::SimJob {
+            source: TraceSource::synthetic(
+                Application::Ocean,
+                GeneratorConfig::default().with_cpus(CPUS),
+                SEED,
+            ),
+            prefetcher: PrefetcherSpec::ghb(&GhbConfig::paper_small()),
+            ..base.clone()
+        }),
+        SimJob::new(memsim::SimJob {
+            prefetcher: PrefetcherSpec::sms(&SmsConfig::paper_default()),
+            ..base
+        })
+        .with_timing(TimingConfig::table1(), 4),
+    ]
+}
+
+#[test]
+fn metrics_collection_disabled_vs_enabled_is_byte_identical() {
+    let jobs = job_list();
+    for workers in [1, 3] {
+        let config = EngineConfig::with_workers(workers);
+        let (disabled, _) = engine::run_jobs_metered(
+            &jobs,
+            &config,
+            Registry::builtin(),
+            &MetricsConfig::disabled(),
+        )
+        .expect("jobs prepare");
+        let (enabled, collected) = engine::run_jobs_metered(
+            &jobs,
+            &config,
+            Registry::builtin(),
+            &MetricsConfig::enabled(),
+        )
+        .expect("jobs prepare");
+
+        // Byte-identical, not merely `==`: serialize both result lists.
+        let a = serde_json::to_string(&disabled).expect("serialize");
+        let b = serde_json::to_string(&enabled).expect("serialize");
+        assert_eq!(
+            a, b,
+            "{workers} workers: collecting metrics must not alter a single result byte"
+        );
+
+        // And the plain (unmetered) entry point agrees too.
+        let plain = engine::run_jobs_with(&jobs, &config);
+        assert_eq!(
+            serde_json::to_string(&plain).expect("serialize"),
+            a,
+            "{workers} workers: run_jobs_with must match the metered paths"
+        );
+
+        // The collected telemetry describes the run it observed.
+        assert_eq!(collected.jobs.len(), jobs.len());
+        assert_eq!(collected.workers.len(), workers);
+        assert_eq!(
+            collected.total_accesses,
+            enabled.iter().map(|r| r.summary.accesses).sum::<u64>()
+        );
+        for (result, job) in enabled.iter().zip(&collected.jobs) {
+            assert_eq!(job.job_index, result.job_index);
+            assert_eq!(job.accesses, result.summary.accesses);
+            assert!(job.elapsed_seconds > 0.0);
+            assert!(job.accesses_per_sec > 0.0);
+        }
+        assert!(collected.total_seconds > 0.0);
+        assert!(collected.report().validate().is_ok());
+    }
+}
+
+#[test]
+fn batched_and_unbatched_drivers_agree_for_every_builtin_prefetcher() {
+    for spec in [
+        PrefetcherSpec::null(),
+        PrefetcherSpec::sms(&SmsConfig::paper_default()),
+        PrefetcherSpec::ghb(&GhbConfig::paper_small()),
+    ] {
+        for app in [Application::Ocean, Application::DssQry1] {
+            let generator = GeneratorConfig::default().with_cpus(CPUS);
+            let registry = Registry::builtin();
+
+            let mut batched_system = MultiCpuSystem::new(CPUS, &HierarchyConfig::scaled());
+            let mut batched_prefetcher = registry.build(&spec, CPUS).expect("built-in plugin");
+            let mut stream = app.stream(SEED, &generator);
+            let batched = memsim::run(
+                &mut batched_system,
+                &mut batched_prefetcher,
+                &mut stream,
+                ACCESSES,
+            );
+
+            let mut unbatched_system = MultiCpuSystem::new(CPUS, &HierarchyConfig::scaled());
+            let mut unbatched_prefetcher = registry.build(&spec, CPUS).expect("built-in plugin");
+            let mut stream = app.stream(SEED, &generator);
+            let unbatched = memsim::run_unbatched(
+                &mut unbatched_system,
+                &mut unbatched_prefetcher,
+                &mut stream,
+                ACCESSES,
+            );
+
+            assert_eq!(
+                serde_json::to_string(&batched).expect("serialize"),
+                serde_json::to_string(&unbatched).expect("serialize"),
+                "{}/{app}: batched loop must not alter a single summary byte",
+                spec.plugin
+            );
+        }
+    }
+}
+
+#[test]
+fn driver_metrics_reconcile_with_the_summary() {
+    let job = memsim::SimJob::synthetic(
+        Application::Sparse,
+        GeneratorConfig::default().with_cpus(CPUS),
+        SEED,
+        CPUS,
+        HierarchyConfig::scaled(),
+        memsim::NullPrefetcher::new(),
+        ACCESSES,
+    );
+    let (summary, _, driver) =
+        memsim::run_job_metered(&job, &MetricsConfig::enabled()).expect("synthetic source");
+    assert_eq!(summary.accesses, ACCESSES as u64);
+    assert_eq!(driver.cache_ops, summary.accesses + driver.prefetch_issues);
+    assert!(driver.elapsed_seconds > 0.0);
+    assert!(driver.accesses_per_sec > 0.0);
+}
