@@ -20,8 +20,8 @@
 
 use crate::pattern::SpatialPattern;
 use crate::region::RegionConfig;
+use memsim::FastMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use trace::Pc;
 
 /// Capacities of the two AGT tables.  `None` models an unbounded table for
@@ -102,8 +102,12 @@ struct AccumulationEntry {
 pub struct ActiveGenerationTable {
     region: RegionConfig,
     config: AgtConfig,
-    filter: HashMap<u64, FilterEntry>,
-    accumulation: HashMap<u64, AccumulationEntry>,
+    // Fast deterministic hashing: region-base keyed, looked up on every
+    // access.  The capacity-victim scans below stay deterministic despite
+    // map iteration order because LRU ticks are unique (the minimum is
+    // unambiguous).
+    filter: FastMap<u64, FilterEntry>,
+    accumulation: FastMap<u64, AccumulationEntry>,
     tick: u64,
 }
 
@@ -113,8 +117,8 @@ impl ActiveGenerationTable {
         Self {
             region,
             config,
-            filter: HashMap::new(),
-            accumulation: HashMap::new(),
+            filter: FastMap::default(),
+            accumulation: FastMap::default(),
             tick: 0,
         }
     }

@@ -5,10 +5,18 @@
 //! the practical configuration in the paper is 16 k entries, 16-way
 //! set-associative — about the same storage as a 64 kB L1 data array.  An
 //! unbounded variant supports the paper's limit studies (Figures 6, 8, 10).
+//!
+//! Storage is hot-path tuned: the bounded table is one flat, open-addressed
+//! slot array (a set is a fixed run of ways, scanned linearly — no per-set
+//! vector indirection or insert-time allocation), and the unbounded map uses
+//! the simulator's fast deterministic hasher.  Both changes are strictly
+//! representational: lookup, LRU refresh and LRU eviction behave exactly as
+//! before (ticks are unique, so the LRU victim is unambiguous), which the
+//! eviction-order tests below and the workspace golden hashes pin.
 
 use crate::pattern::SpatialPattern;
+use memsim::FastMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Storage capacity of the PHT.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,20 +49,43 @@ impl Default for PhtCapacity {
     }
 }
 
-#[derive(Debug, Clone)]
-struct BoundedEntry {
+/// One way of the flat bounded table.  `lru == 0` marks a free slot (live
+/// entries always carry a tick of at least 1).
+#[derive(Debug, Clone, Copy)]
+struct BoundedSlot {
     key: u64,
     pattern: SpatialPattern,
     lru: u64,
 }
 
+impl BoundedSlot {
+    const FREE: u64 = 0;
+
+    fn empty() -> Self {
+        Self {
+            key: 0,
+            pattern: SpatialPattern::new(1),
+            lru: Self::FREE,
+        }
+    }
+
+    fn is_occupied(&self) -> bool {
+        self.lru != Self::FREE
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Storage {
-    Unbounded(HashMap<u64, SpatialPattern>),
+    Unbounded(FastMap<u64, SpatialPattern>),
     Bounded {
-        sets: Vec<Vec<BoundedEntry>>,
+        /// `num_sets * associativity` slots; set `s` owns the contiguous run
+        /// `s*associativity .. (s+1)*associativity`.
+        slots: Vec<BoundedSlot>,
+        num_sets: usize,
         associativity: usize,
         tick: u64,
+        /// Occupied slots, maintained so [`PatternHistoryTable::len`] is O(1).
+        occupied: usize,
     },
 }
 
@@ -74,7 +105,7 @@ impl PatternHistoryTable {
     /// an entry count not divisible by the associativity.
     pub fn new(capacity: PhtCapacity) -> Self {
         let storage = match capacity {
-            PhtCapacity::Unbounded => Storage::Unbounded(HashMap::new()),
+            PhtCapacity::Unbounded => Storage::Unbounded(FastMap::default()),
             PhtCapacity::Bounded {
                 entries,
                 associativity,
@@ -89,9 +120,11 @@ impl PatternHistoryTable {
                 );
                 let num_sets = (entries / associativity).max(1);
                 Storage::Bounded {
-                    sets: vec![Vec::new(); num_sets],
+                    slots: vec![BoundedSlot::empty(); num_sets * associativity],
+                    num_sets,
                     associativity,
                     tick: 0,
+                    occupied: 0,
                 }
             }
         };
@@ -109,34 +142,41 @@ impl PatternHistoryTable {
                 map.insert(key, pattern);
             }
             Storage::Bounded {
-                sets,
+                slots,
+                num_sets,
                 associativity,
                 tick,
+                occupied,
             } => {
                 *tick += 1;
-                let set_index = (key as usize) % sets.len();
-                let set = &mut sets[set_index];
-                if let Some(entry) = set.iter_mut().find(|e| e.key == key) {
-                    entry.pattern = pattern;
-                    entry.lru = *tick;
-                    return;
-                }
-                if set.len() >= *associativity {
-                    // Evict the LRU way.
-                    if let Some(pos) = set
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, e)| e.lru)
-                        .map(|(i, _)| i)
-                    {
-                        set.swap_remove(pos);
+                let start = ((key as usize) % *num_sets) * *associativity;
+                let ways = &mut slots[start..start + *associativity];
+                // One linear scan resolves the whole insert: a key match wins
+                // outright; otherwise the first free way is preferred, and the
+                // LRU way (ticks are unique, so the minimum is unambiguous)
+                // is the fallback victim.
+                let mut victim = 0;
+                let mut victim_lru = u64::MAX;
+                let mut matched = false;
+                for (i, slot) in ways.iter().enumerate() {
+                    if slot.is_occupied() && slot.key == key {
+                        victim = i;
+                        matched = true;
+                        break;
+                    }
+                    if slot.lru < victim_lru {
+                        victim_lru = slot.lru;
+                        victim = i;
                     }
                 }
-                set.push(BoundedEntry {
+                if !matched && !ways[victim].is_occupied() {
+                    *occupied += 1;
+                }
+                ways[victim] = BoundedSlot {
                     key,
                     pattern,
                     lru: *tick,
-                });
+                };
             }
         }
     }
@@ -145,13 +185,21 @@ impl PatternHistoryTable {
     pub fn lookup(&mut self, key: u64) -> Option<SpatialPattern> {
         match &mut self.storage {
             Storage::Unbounded(map) => map.get(&key).copied(),
-            Storage::Bounded { sets, tick, .. } => {
+            Storage::Bounded {
+                slots,
+                num_sets,
+                associativity,
+                tick,
+                ..
+            } => {
                 *tick += 1;
-                let set_index = (key as usize) % sets.len();
-                let set = &mut sets[set_index];
-                let entry = set.iter_mut().find(|e| e.key == key)?;
-                entry.lru = *tick;
-                Some(entry.pattern)
+                let start = ((key as usize) % *num_sets) * *associativity;
+                let ways = &mut slots[start..start + *associativity];
+                let slot = ways
+                    .iter_mut()
+                    .find(|slot| slot.is_occupied() && slot.key == key)?;
+                slot.lru = *tick;
+                Some(slot.pattern)
             }
         }
     }
@@ -160,7 +208,7 @@ impl PatternHistoryTable {
     pub fn len(&self) -> usize {
         match &self.storage {
             Storage::Unbounded(map) => map.len(),
-            Storage::Bounded { sets, .. } => sets.iter().map(|s| s.len()).sum(),
+            Storage::Bounded { occupied, .. } => *occupied,
         }
     }
 

@@ -61,6 +61,7 @@
 
 pub mod plugin;
 pub mod runner;
+pub mod segment;
 pub mod spec;
 pub mod telemetry;
 
@@ -72,5 +73,6 @@ pub use runner::{
     run_job, run_job_metered, run_jobs, run_jobs_in, run_jobs_metered, run_jobs_with, EngineConfig,
     EngineError, JobList, JobResult, JobWarning, SimJob, SpecError, TimingSpec,
 };
+pub use segment::{run_job_segmented, SegmentPlan};
 pub use spec::{MultiOracle, OracleProbeSpec, PrefetcherSpec, TrainingSpec};
 pub use telemetry::{EngineMetrics, JobMetrics, WorkerMetrics};

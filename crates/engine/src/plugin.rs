@@ -37,6 +37,24 @@ pub trait Probe: Prefetcher + Send {
     fn into_report(self: Box<Self>) -> ProbeReport {
         ProbeReport::none()
     }
+
+    /// Whether this probe reads the *miss-kind classifications*
+    /// (`SystemOutcome::l1_miss_kind` / `l2_miss_kind`) in `on_access`.
+    ///
+    /// Segment-parallel execution defers miss classification off the
+    /// simulation thread, so those two fields arrive as `None` there.  The
+    /// engine therefore refuses to segment a job whose probe returns `true`
+    /// here and falls back to the serial execution path — results stay
+    /// correct either way, segmentation is simply not applied.
+    ///
+    /// The default is `false`, which is accurate for every built-in
+    /// prefetcher and probe (they consume hit/miss outcomes, evictions and
+    /// invalidations, never the classification).  Override this to return
+    /// `true` if your custom probe's behavior or report depends on the miss
+    /// kinds.
+    fn wants_miss_kinds(&self) -> bool {
+        false
+    }
 }
 
 /// A live prefetcher instantiated from a [`PrefetcherSpec`] by a plugin.
@@ -64,6 +82,13 @@ impl BuiltPrefetcher {
     /// Consumes the prefetcher and extracts its post-run report.
     pub fn into_report(self) -> ProbeReport {
         self.inner.into_report()
+    }
+
+    /// Whether the wrapped probe reads miss-kind classifications (see
+    /// [`Probe::wants_miss_kinds`]); such jobs are excluded from
+    /// segment-parallel execution.
+    pub fn wants_miss_kinds(&self) -> bool {
+        self.inner.wants_miss_kinds()
     }
 }
 

@@ -12,6 +12,7 @@
 //! `Vec<JobResult>` is the JSON the engine writes back out.
 
 use crate::plugin::{PluginError, ProbeReport, Registry};
+use crate::segment::{run_job_segmented, SegmentPlan};
 use crate::spec::PrefetcherSpec;
 use crate::telemetry::{EngineMetrics, JobMetrics, WorkerMetrics};
 use memsim::{MultiCpuSystem, RunSummary};
@@ -240,34 +241,86 @@ pub struct EngineConfig {
     /// Number of worker threads; `0` means one per available hardware
     /// thread, `1` forces the serial path.
     pub workers: usize,
+    /// When set (> 0), every eligible job runs through the intra-job
+    /// segment pipeline with this many accesses per segment (see
+    /// [`run_job_segmented`](crate::segment::run_job_segmented)).  The
+    /// thread budget named by `workers` is then split between job-level
+    /// parallelism and the up-to-three pipeline stages of each running job.
+    /// `None` (the default) keeps the pre-segmentation behavior exactly.
+    pub segment_size: Option<usize>,
 }
 
 impl EngineConfig {
     /// One worker per available hardware thread.
     pub fn auto() -> Self {
-        Self { workers: 0 }
+        Self {
+            workers: 0,
+            segment_size: None,
+        }
     }
 
     /// The serial fallback: run every job on the calling thread.
     pub fn serial() -> Self {
-        Self { workers: 1 }
+        Self {
+            workers: 1,
+            segment_size: None,
+        }
     }
 
     /// An explicit worker count (`0` = auto).
     pub fn with_workers(workers: usize) -> Self {
-        Self { workers }
+        Self {
+            workers,
+            segment_size: None,
+        }
     }
 
-    /// The worker count actually used for `jobs` queued jobs.
-    pub fn effective_workers(&self, jobs: usize) -> usize {
-        let requested = if self.workers == 0 {
+    /// Returns a copy with intra-job segmentation enabled at the given
+    /// segment size (`0` disables it again).
+    pub fn with_segment_size(mut self, segment_size: usize) -> Self {
+        self.segment_size = if segment_size > 0 {
+            Some(segment_size)
+        } else {
+            None
+        };
+        self
+    }
+
+    /// The requested thread budget with `0` resolved to the hardware
+    /// parallelism.
+    fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         } else {
             self.workers
-        };
-        requested.min(jobs).max(1)
+        }
+    }
+
+    /// The worker count actually used for `jobs` queued jobs.
+    pub fn effective_workers(&self, jobs: usize) -> usize {
+        self.resolved_workers().min(jobs).max(1)
+    }
+
+    /// How each job should be segmented under this configuration, if at
+    /// all: the per-job [`SegmentPlan`] grants each running job up to three
+    /// pipeline threads out of the total budget.
+    pub fn segment_plan(&self) -> Option<SegmentPlan> {
+        let segment_size = self.segment_size.filter(|&s| s > 0)?;
+        Some(SegmentPlan {
+            segment_size,
+            threads: self.resolved_workers().clamp(1, 3),
+        })
+    }
+
+    /// Job-level worker count when segmentation is active: the thread
+    /// budget is consumed `plan.threads` at a time by each running job's
+    /// pipeline.
+    fn segmented_job_workers(&self, jobs: usize, plan: &SegmentPlan) -> usize {
+        (self.resolved_workers() / plan.threads.max(1))
+            .max(1)
+            .min(jobs.max(1))
     }
 }
 
@@ -457,13 +510,24 @@ pub fn run_jobs_metered(
     metrics: &MetricsConfig,
 ) -> Result<(Vec<JobResult>, EngineMetrics), EngineError> {
     let run_watch = Stopwatch::start_if(metrics.enabled);
-    let workers = config.effective_workers(jobs.len());
+    // With segmentation active the thread budget is spent inside jobs (up
+    // to three pipeline threads each), so fewer jobs run concurrently; the
+    // execution of each job is bit-identical either way.
+    let plan = config.segment_plan();
+    let workers = match &plan {
+        Some(p) => config.segmented_job_workers(jobs.len(), p),
+        None => config.effective_workers(jobs.len()),
+    };
+    let exec = |index: usize, job: &SimJob| match plan {
+        Some(p) => run_job_segmented(index, job, registry, metrics, p),
+        None => run_job_metered(index, job, registry, metrics),
+    };
     if workers <= 1 {
         let mut results = Vec::with_capacity(jobs.len());
         let mut engine_metrics = EngineMetrics::default();
         let mut simulate_seconds = 0.0;
         for (index, job) in jobs.iter().enumerate() {
-            let (result, job_metrics) = run_job_metered(index, job, registry, metrics)?;
+            let (result, job_metrics) = exec(index, job)?;
             simulate_seconds += job_metrics.elapsed_seconds;
             results.push(result);
             engine_metrics.jobs.push(job_metrics);
@@ -484,6 +548,7 @@ pub fn run_jobs_metered(
     // job, so long jobs do not serialize behind a static partition.
     let next = AtomicUsize::new(0);
     let shards: Vec<WorkerShard> = std::thread::scope(|scope| {
+        let exec = &exec;
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 // `move` is for the worker index; the shared state is
@@ -498,7 +563,7 @@ pub fn run_jobs_metered(
                         if index >= jobs.len() {
                             break;
                         }
-                        let result = run_job_metered(index, &jobs[index], registry, metrics);
+                        let result = exec(index, &jobs[index]);
                         let failed = result.is_err();
                         if let Ok((_, job_metrics)) = &result {
                             simulate_seconds += job_metrics.elapsed_seconds;

@@ -38,6 +38,14 @@ pub struct JobMetrics {
     pub prefetch_issues: u64,
     /// Non-empty prefetch-request batches drained by the driver.
     pub request_batches: u64,
+    /// Segments the job was split into (zero for unsegmented execution).
+    pub segments: u64,
+    /// Busy seconds the segment pipeline's pull stage spent reading the
+    /// trace (zero for unsegmented execution).
+    pub pull_seconds: f64,
+    /// Busy seconds the segment pipeline's account stage spent replaying
+    /// outcome tapes (zero for unsegmented execution).
+    pub account_seconds: f64,
 }
 
 impl JobMetrics {
@@ -52,6 +60,9 @@ impl JobMetrics {
             cache_ops: driver.cache_ops,
             prefetch_issues: driver.prefetch_issues,
             request_batches: driver.request_batches,
+            segments: 0,
+            pull_seconds: 0.0,
+            account_seconds: 0.0,
         }
     }
 
@@ -72,6 +83,9 @@ impl JobMetrics {
             cache_ops: summary.accesses + prefetch_issues,
             prefetch_issues,
             request_batches: 0,
+            segments: 0,
+            pull_seconds: 0.0,
+            account_seconds: 0.0,
         }
     }
 }

@@ -1,15 +1,24 @@
 //! The bench pipeline: `sms-experiments bench`.
 //!
-//! Runs the job-bearing experiments at a reduced scale through the engine at
-//! worker counts `{1, N}`, measures per-figure throughput and parallel
-//! speedup with the engine's own telemetry, measures the batched
-//! stream-request hot path against the kept pre-batching driver loop, and
-//! emits everything as a schema-versioned `BENCH_<name>.json` — the perf
-//! trajectory the ROADMAP's scaling work measures itself against.
+//! Runs the job-bearing experiments at a reduced scale through the engine
+//! three ways — serial, job-parallel at `N` workers, and **segment-parallel**
+//! (same `N` workers with the intra-job segment pipeline) — measures
+//! per-figure throughput and speedup with the engine's own telemetry,
+//! measures the batched stream-request hot path against the kept
+//! pre-batching driver loop, and emits everything as a schema-versioned
+//! `BENCH_<name>.json` — the perf trajectory the ROADMAP's scaling work
+//! measures itself against.
+//!
+//! Each figure's measurement starts with an unmeasured **warm-up** pass, so
+//! cold-start costs (page faults, allocator growth, file cache) no longer
+//! land entirely on whichever configuration happens to run first.
 //!
 //! The report is wrapped in the shared [`MetricsReport`] envelope
 //! (`kind: "bench"`) and validates its own schema ([`BenchReport::validate`]);
-//! CI fails the bench job when validation fails.
+//! CI fails the bench job when validation fails.  [`diff_reports`] compares
+//! a fresh report against a previously recorded one (`bench --against`) and
+//! flags per-figure throughput regressions, tolerating older report schemas
+//! by reading only the fields it needs.
 
 use crate::catalog::{figure_jobs, job_bearing_experiments};
 use crate::common::ExperimentConfig;
@@ -36,6 +45,9 @@ pub struct BenchOptions {
     /// Restrict the measured experiments (empty = every job-bearing
     /// experiment).  Used by tests; the CLI always measures the full suite.
     pub figures: Vec<String>,
+    /// Accesses per segment for the segment-parallel measurement (`None` =
+    /// a scale-derived default).
+    pub segment_size: Option<usize>,
 }
 
 impl BenchOptions {
@@ -46,6 +58,7 @@ impl BenchOptions {
             workers: 0,
             quick: false,
             figures: Vec::new(),
+            segment_size: None,
         }
     }
 }
@@ -59,6 +72,8 @@ pub struct BenchScale {
     pub accesses: usize,
     /// Whether class-level figures used representative applications only.
     pub representative_only: bool,
+    /// Accesses per segment used by the segment-parallel measurement.
+    pub segment_size: usize,
 }
 
 /// Throughput and speedup of one experiment's job list.
@@ -83,6 +98,20 @@ pub struct FigureBench {
     /// Whether the N-worker results were bit-identical to the serial run
     /// (must always be `true`; recorded so the report proves it).
     pub deterministic: bool,
+    /// Wall-clock seconds of the unmeasured warm-up pass that precedes the
+    /// measured runs (the ordering-bias fix: cold-start cost lands here,
+    /// not on whichever measured configuration runs first).
+    pub warmup_seconds: f64,
+    /// Wall-clock seconds of the N-worker segment-parallel run.
+    pub segmented_seconds: f64,
+    /// Accesses/second of the segment-parallel run.
+    pub segmented_accesses_per_sec: f64,
+    /// `serial_seconds / segmented_seconds` — the intra-job pipeline's
+    /// speedup over the serial run.
+    pub segmented_speedup: f64,
+    /// Whether the segment-parallel results were bit-identical to the
+    /// serial run (must always be `true`).
+    pub segmented_deterministic: bool,
 }
 
 /// The measured batched-vs-unbatched driver hot-path comparison.
@@ -123,6 +152,10 @@ pub struct BenchTotals {
     pub speedup: f64,
     /// Whole-suite N-worker throughput in accesses/second.
     pub parallel_accesses_per_sec: f64,
+    /// Total segment-parallel wall-clock seconds.
+    pub segmented_seconds: f64,
+    /// Whole-suite segment-parallel speedup over serial.
+    pub segmented_speedup: f64,
 }
 
 /// The payload of a `BENCH_<name>.json` file.
@@ -132,6 +165,11 @@ pub struct BenchReport {
     pub name: String,
     /// Parallel worker count measured against serial.
     pub workers: usize,
+    /// Hardware threads available on the measuring host — context for the
+    /// recorded speedups (a 1-core container cannot show thread-level
+    /// parallelism; segment-parallel gains there come from the pipeline's
+    /// phase-batched cache locality alone).
+    pub host_threads: usize,
     /// Scale the suite ran at.
     pub scale: BenchScale,
     /// Per-experiment throughput and speedup, in catalog order.
@@ -189,18 +227,35 @@ impl BenchReport {
             if figure.jobs == 0 || figure.accesses == 0 {
                 return Err(format!("{f}: empty measurement"));
             }
-            if !(figure.serial_seconds > 0.0 && figure.parallel_seconds > 0.0) {
+            if !(figure.serial_seconds > 0.0
+                && figure.parallel_seconds > 0.0
+                && figure.segmented_seconds > 0.0)
+            {
                 return Err(format!("{f}: missing wall-clock timings"));
             }
-            if !(figure.serial_accesses_per_sec > 0.0 && figure.parallel_accesses_per_sec > 0.0) {
+            if !(figure.serial_accesses_per_sec > 0.0
+                && figure.parallel_accesses_per_sec > 0.0
+                && figure.segmented_accesses_per_sec > 0.0)
+            {
                 return Err(format!("{f}: missing throughput"));
             }
             if !figure.speedup.is_finite() || figure.speedup <= 0.0 {
                 return Err(format!("{f}: bad speedup {}", figure.speedup));
             }
+            if !figure.segmented_speedup.is_finite() || figure.segmented_speedup <= 0.0 {
+                return Err(format!(
+                    "{f}: bad segmented speedup {}",
+                    figure.segmented_speedup
+                ));
+            }
             if !figure.deterministic {
                 return Err(format!(
                     "{f}: parallel results diverged from the serial run"
+                ));
+            }
+            if !figure.segmented_deterministic {
+                return Err(format!(
+                    "{f}: segment-parallel results diverged from the serial run"
                 ));
             }
         }
@@ -246,18 +301,42 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
         options.figures.clone()
     };
 
+    let segment_size = options
+        .segment_size
+        .filter(|&s| s > 0)
+        .unwrap_or_else(|| (config.accesses / 6).max(10_000));
     let registry = Registry::builtin();
     let collect = MetricsConfig::enabled();
     let mut rows = Vec::with_capacity(figures.len());
     for name in &figures {
         let jobs = figure_jobs(name, &config, representative_only)
             .ok_or_else(|| format!("{name}: not a job-bearing experiment"))?;
+        // Unmeasured warm-up at the parallel configuration: pages, the
+        // allocator and thread stacks are hot before any measured pass, so
+        // measurement order stops biasing the serial-vs-parallel ratio.
+        let warmup_watch = Stopwatch::started();
+        let _ = run_jobs_metered(
+            &jobs,
+            &EngineConfig::with_workers(workers),
+            registry,
+            &MetricsConfig::disabled(),
+        )
+        .map_err(|e| e.to_string())?;
+        let warmup_seconds = warmup_watch.elapsed_seconds();
+
         let (serial_results, serial) =
             run_jobs_metered(&jobs, &EngineConfig::serial(), registry, &collect)
                 .map_err(|e| e.to_string())?;
         let (parallel_results, parallel) = run_jobs_metered(
             &jobs,
             &EngineConfig::with_workers(workers),
+            registry,
+            &collect,
+        )
+        .map_err(|e| e.to_string())?;
+        let (segmented_results, segmented) = run_jobs_metered(
+            &jobs,
+            &EngineConfig::with_workers(workers).with_segment_size(segment_size),
             registry,
             &collect,
         )
@@ -272,6 +351,11 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             parallel_accesses_per_sec: parallel.accesses_per_sec,
             speedup: ratio(serial.total_seconds, parallel.total_seconds),
             deterministic: serial_results == parallel_results,
+            warmup_seconds,
+            segmented_seconds: segmented.total_seconds,
+            segmented_accesses_per_sec: segmented.accesses_per_sec,
+            segmented_speedup: ratio(serial.total_seconds, segmented.total_seconds),
+            segmented_deterministic: serial_results == segmented_results,
         });
     }
 
@@ -288,20 +372,216 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             rows.iter().map(|f| f.accesses).sum(),
             rows.iter().map(|f| f.parallel_seconds).sum(),
         ),
+        segmented_seconds: rows.iter().map(|f| f.segmented_seconds).sum(),
+        segmented_speedup: ratio(
+            rows.iter().map(|f| f.serial_seconds).sum(),
+            rows.iter().map(|f| f.segmented_seconds).sum(),
+        ),
     };
 
     Ok(BenchReport {
         name: options.name.clone(),
         workers,
+        host_threads: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
         scale: BenchScale {
             cpus: config.cpus,
             accesses: config.accesses,
             representative_only,
+            segment_size,
         },
         figures: rows,
         totals,
         hot_path: measure_hot_path(&config),
     })
+}
+
+/// One figure's entry in a [`BenchDiff`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureDiff {
+    /// Experiment name.
+    pub figure: String,
+    /// Parallel accesses/second in the old report.
+    pub old_accesses_per_sec: f64,
+    /// Parallel accesses/second in the new report.
+    pub new_accesses_per_sec: f64,
+    /// `new / old` — below 1.0 means the figure got slower.
+    pub ratio: f64,
+    /// Whether the ratio fell below the regression threshold.
+    pub regressed: bool,
+}
+
+/// The result of comparing a fresh bench report against a recorded one
+/// (`bench --against OLD.json`): per-figure throughput ratios and the
+/// regression verdict.  Serialized (kind `"bench-diff"`) as the CI diff
+/// artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchDiff {
+    /// Name of the new report.
+    pub name: String,
+    /// Name recorded in the old report.
+    pub against: String,
+    /// Minimum acceptable `new / old` throughput ratio.
+    pub threshold: f64,
+    /// Figures present in both reports, in new-report order.
+    pub figures: Vec<FigureDiff>,
+    /// Figures only in the new report (not compared).
+    pub added: Vec<String>,
+    /// Figures only in the old report (not compared).
+    pub removed: Vec<String>,
+    /// Whether any compared figure regressed below the threshold.
+    pub regressed: bool,
+}
+
+/// The [`MetricsReport`] kind tag of a serialized bench diff.
+pub const DIFF_REPORT_KIND: &str = "bench-diff";
+
+impl BenchDiff {
+    /// Wraps the diff in the shared schema-versioned envelope.
+    pub fn into_envelope(&self) -> MetricsReport {
+        MetricsReport::new(DIFF_REPORT_KIND, self)
+    }
+}
+
+/// Compares a fresh report against the JSON text of a previously recorded
+/// `BENCH_*.json`.
+///
+/// The old file is read *leniently* — only the envelope shape and each
+/// figure's `figure` + `parallel_accesses_per_sec` are required — so reports
+/// recorded by older builds (before the segment-parallel columns existed)
+/// remain comparable.  A figure regresses when its new parallel throughput
+/// falls below `threshold * old`; absolute throughput is machine-dependent,
+/// so compare reports recorded on comparable hosts (CI against CI).
+///
+/// # Errors
+///
+/// A description of why the old file cannot be compared: not a metrics
+/// envelope, wrong report kind, or no comparable figures.
+pub fn diff_reports(
+    new: &BenchReport,
+    old_json: &str,
+    threshold: f64,
+) -> Result<BenchDiff, String> {
+    if !(threshold.is_finite() && threshold > 0.0) {
+        return Err(format!(
+            "threshold must be a positive number, got {threshold}"
+        ));
+    }
+    let envelope: serde_json::Value =
+        serde_json::from_str(old_json).map_err(|e| format!("not JSON: {e}"))?;
+    let kind = envelope
+        .get("kind")
+        .and_then(|k| k.as_str())
+        .ok_or_else(|| "not a metrics report envelope (no \"kind\")".to_string())?;
+    if kind != REPORT_KIND {
+        return Err(format!("expected a {REPORT_KIND:?} report, got {kind:?}"));
+    }
+    let data = envelope
+        .get("data")
+        .ok_or_else(|| "envelope has no payload".to_string())?;
+    let old_name = data
+        .get("name")
+        .and_then(|n| n.as_str())
+        .unwrap_or("<unnamed>")
+        .to_string();
+    let old_figures = data
+        .get("figures")
+        .and_then(|f| f.as_array())
+        .ok_or_else(|| "old report has no figures".to_string())?;
+    let mut old_throughput: Vec<(String, f64)> = Vec::new();
+    for figure in old_figures {
+        let name = figure
+            .get("figure")
+            .and_then(|n| n.as_str())
+            .ok_or_else(|| "old report figure without a name".to_string())?;
+        let throughput = figure
+            .get("parallel_accesses_per_sec")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("old report figure {name}: no parallel throughput"))?;
+        old_throughput.push((name.to_string(), throughput));
+    }
+
+    let mut figures = Vec::new();
+    let mut added = Vec::new();
+    for figure in &new.figures {
+        match old_throughput
+            .iter()
+            .find(|(name, _)| *name == figure.figure)
+        {
+            Some((_, old_per_sec)) if *old_per_sec > 0.0 => {
+                let ratio = figure.parallel_accesses_per_sec / old_per_sec;
+                figures.push(FigureDiff {
+                    figure: figure.figure.clone(),
+                    old_accesses_per_sec: *old_per_sec,
+                    new_accesses_per_sec: figure.parallel_accesses_per_sec,
+                    ratio,
+                    regressed: ratio < threshold,
+                });
+            }
+            // A present-but-unusable baseline must fail loudly, not be
+            // silently skipped as if the figure were new.
+            Some((_, old_per_sec)) => {
+                return Err(format!(
+                    "old report figure {}: non-positive parallel throughput {old_per_sec}",
+                    figure.figure
+                ));
+            }
+            None => added.push(figure.figure.clone()),
+        }
+    }
+    let removed: Vec<String> = old_throughput
+        .iter()
+        .filter(|(name, _)| !new.figures.iter().any(|f| f.figure == *name))
+        .map(|(name, _)| name.clone())
+        .collect();
+    if figures.is_empty() {
+        return Err("no figures in common between the two reports".to_string());
+    }
+    let regressed = figures.iter().any(|f| f.regressed);
+    Ok(BenchDiff {
+        name: new.name.clone(),
+        against: old_name,
+        threshold,
+        figures,
+        added,
+        removed,
+        regressed,
+    })
+}
+
+/// Renders a [`BenchDiff`] as the human-readable table the CLI prints.
+pub fn render_diff(diff: &BenchDiff) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench {:?} vs {:?} (regression threshold {:.2}x):",
+        diff.name, diff.against, diff.threshold
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>7}",
+        "figure", "old acc/s", "new acc/s", "ratio"
+    );
+    for f in &diff.figures {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14.0} {:>14.0} {:>6.2}x{}",
+            f.figure,
+            f.old_accesses_per_sec,
+            f.new_accesses_per_sec,
+            f.ratio,
+            if f.regressed { "  <-- REGRESSED" } else { "" }
+        );
+    }
+    for name in &diff.added {
+        let _ = writeln!(out, "{name:<10} (new figure, not compared)");
+    }
+    for name in &diff.removed {
+        let _ = writeln!(out, "{name:<10} (dropped figure, not compared)");
+    }
+    out
 }
 
 /// Measures the batched driver loop against the kept pre-batching loop on an
@@ -388,11 +668,13 @@ pub fn render(report: &BenchReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "bench {:?}: {} jobs, {} accesses, workers 1 vs {} (scale: {} cpus x {} accesses{})",
+        "bench {:?}: {} jobs, {} accesses, workers 1 vs {}, segments of {} \
+         (scale: {} cpus x {} accesses{}; host threads: {})",
         report.name,
         report.totals.jobs,
         report.totals.accesses,
         report.workers,
+        report.scale.segment_size,
         report.scale.cpus,
         report.scale.accesses,
         if report.scale.representative_only {
@@ -400,29 +682,39 @@ pub fn render(report: &BenchReport) -> String {
         } else {
             ""
         },
+        report.host_threads,
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>5} {:>10} {:>14} {:>14} {:>8}",
-        "figure", "jobs", "accesses", "serial acc/s", "par acc/s", "speedup"
+        "{:<10} {:>5} {:>10} {:>14} {:>14} {:>8} {:>14} {:>8}",
+        "figure", "jobs", "accesses", "serial acc/s", "par acc/s", "par", "seg acc/s", "seg"
     );
     for f in &report.figures {
         let _ = writeln!(
             out,
-            "{:<10} {:>5} {:>10} {:>14.0} {:>14.0} {:>7.2}x",
+            "{:<10} {:>5} {:>10} {:>14.0} {:>14.0} {:>7.2}x {:>14.0} {:>7.2}x",
             f.figure,
             f.jobs,
             f.accesses,
             f.serial_accesses_per_sec,
             f.parallel_accesses_per_sec,
-            f.speedup
+            f.speedup,
+            f.segmented_accesses_per_sec,
+            f.segmented_speedup,
         );
     }
     let t = &report.totals;
     let _ = writeln!(
         out,
-        "{:<10} {:>5} {:>10} {:>14} {:>14.0} {:>7.2}x",
-        "total", t.jobs, t.accesses, "", t.parallel_accesses_per_sec, t.speedup
+        "{:<10} {:>5} {:>10} {:>14} {:>14.0} {:>7.2}x {:>14} {:>7.2}x",
+        "total",
+        t.jobs,
+        t.accesses,
+        "",
+        t.parallel_accesses_per_sec,
+        t.speedup,
+        "",
+        t.segmented_speedup,
     );
     let h = &report.hot_path;
     let _ = writeln!(
@@ -448,6 +740,7 @@ mod tests {
             workers: 2,
             quick: true,
             figures: vec!["fig5".to_string(), "fig11".to_string()],
+            segment_size: None,
         }
     }
 
@@ -458,6 +751,13 @@ mod tests {
         assert_eq!(report.figures.len(), 2);
         assert_eq!(report.workers, 2);
         assert!(report.figures.iter().all(|f| f.deterministic));
+        assert!(
+            report.figures.iter().all(|f| f.segmented_deterministic),
+            "segment-parallel results must be bit-identical"
+        );
+        assert!(report.figures.iter().all(|f| f.warmup_seconds > 0.0));
+        assert!(report.scale.segment_size > 0);
+        assert!(report.host_threads >= 1);
         assert!(report.hot_path.identical_results);
         assert!(report.hot_path.before_accesses_per_sec > 0.0);
         assert!(report.hot_path.after_accesses_per_sec > 0.0);
@@ -472,6 +772,12 @@ mod tests {
         let human = render(&report);
         assert!(human.contains("fig5"));
         assert!(human.contains("batched-stream-requests"));
+
+        // A report diffed against itself never regresses.
+        let diff = diff_reports(&report, &json, 0.5).expect("self-diff");
+        assert!(!diff.regressed);
+        assert_eq!(diff.figures.len(), report.figures.len());
+        assert!(diff.added.is_empty() && diff.removed.is_empty());
     }
 
     /// A hand-built, schema-valid report (no simulation needed), so the
@@ -487,14 +793,21 @@ mod tests {
             parallel_accesses_per_sec: 80_000.0,
             speedup: 2.0,
             deterministic: true,
+            warmup_seconds: 1.1,
+            segmented_seconds: 1.25,
+            segmented_accesses_per_sec: 64_000.0,
+            segmented_speedup: 1.6,
+            segmented_deterministic: true,
         };
         BenchReport {
             name: "fixture".to_string(),
             workers: 2,
+            host_threads: 4,
             scale: BenchScale {
                 cpus: 2,
                 accesses: 20_000,
                 representative_only: true,
+                segment_size: 10_000,
             },
             totals: BenchTotals {
                 jobs: 4,
@@ -503,6 +816,8 @@ mod tests {
                 parallel_seconds: 1.0,
                 speedup: 2.0,
                 parallel_accesses_per_sec: 80_000.0,
+                segmented_seconds: 1.25,
+                segmented_speedup: 1.6,
             },
             figures: vec![figure],
             hot_path: HotPathBench {
@@ -543,6 +858,90 @@ mod tests {
         let mut broken = report;
         broken.figures.clear();
         assert!(broken.validate().unwrap_err().contains("no experiments"));
+    }
+
+    #[test]
+    fn validation_rejects_segmented_divergence() {
+        let mut broken = fixture();
+        broken.figures[0].segmented_deterministic = false;
+        assert!(broken
+            .validate()
+            .unwrap_err()
+            .contains("segment-parallel results diverged"));
+
+        let mut broken = fixture();
+        broken.figures[0].segmented_seconds = 0.0;
+        assert!(broken.validate().unwrap_err().contains("wall-clock"));
+    }
+
+    #[test]
+    fn diff_detects_regressions_against_an_old_report() {
+        let new = fixture();
+        // Old report with twice the throughput on fig5: the new one sits at
+        // ratio 0.5, regressed under a 0.8 threshold but fine under 0.4.
+        let mut old = fixture();
+        old.name = "older".to_string();
+        old.figures[0].parallel_accesses_per_sec = 160_000.0;
+        let old_json = serde_json::to_string(&old.into_envelope()).unwrap();
+
+        let diff = diff_reports(&new, &old_json, 0.8).expect("comparable");
+        assert!(diff.regressed);
+        assert_eq!(diff.against, "older");
+        assert_eq!(diff.figures[0].ratio, 0.5);
+        assert!(diff.figures[0].regressed);
+        let rendered = render_diff(&diff);
+        assert!(rendered.contains("REGRESSED"), "{rendered}");
+
+        let diff = diff_reports(&new, &old_json, 0.4).expect("comparable");
+        assert!(!diff.regressed, "generous threshold tolerates the gap");
+
+        // The diff envelope round-trips like any metrics report.
+        let envelope = diff.into_envelope();
+        assert_eq!(envelope.kind, DIFF_REPORT_KIND);
+        assert!(envelope.validate().is_ok());
+    }
+
+    #[test]
+    fn diff_reads_old_schema_reports_leniently() {
+        // A pre-segmentation report: no segmented_* columns, no
+        // host_threads — only the figure names and parallel throughput
+        // matter.  (This is the BENCH_pr4.json shape.)
+        let old_json = r#"{
+            "schema_version": 1,
+            "kind": "bench",
+            "data": {
+                "name": "pr4",
+                "workers": 2,
+                "figures": [
+                    {"figure": "fig5", "jobs": 4, "parallel_accesses_per_sec": 40000.0},
+                    {"figure": "gone", "jobs": 1, "parallel_accesses_per_sec": 1.0}
+                ]
+            }
+        }"#;
+        let diff = diff_reports(&fixture(), old_json, 0.5).expect("old schema comparable");
+        assert_eq!(diff.figures.len(), 1);
+        assert_eq!(diff.figures[0].ratio, 2.0, "fig5 doubled");
+        assert!(!diff.regressed);
+        assert_eq!(diff.removed, vec!["gone".to_string()]);
+
+        let err = diff_reports(&fixture(), "{not json", 0.5).unwrap_err();
+        assert!(err.contains("not JSON"), "{err}");
+        // A figure that exists in the old report but with an unusable
+        // baseline throughput is an error, never a silent skip.
+        let zero_json = r#"{
+            "schema_version": 1,
+            "kind": "bench",
+            "data": {"name": "z", "figures": [
+                {"figure": "fig5", "parallel_accesses_per_sec": 0.0}
+            ]}
+        }"#;
+        let err = diff_reports(&fixture(), zero_json, 0.5).unwrap_err();
+        assert!(err.contains("non-positive"), "{err}");
+        let err =
+            diff_reports(&fixture(), r#"{"kind": "engine-run", "data": {}}"#, 0.5).unwrap_err();
+        assert!(err.contains("bench"), "{err}");
+        let err = diff_reports(&fixture(), old_json, 0.0).unwrap_err();
+        assert!(err.contains("threshold"), "{err}");
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct ExperimentConfig {
     /// Engine worker threads used to execute job lists (`0` = one per
     /// available hardware thread, `1` = serial).
     pub workers: usize,
+    /// Accesses per intra-job segment (`None` = no segmentation).  When
+    /// set, each job runs through the engine's segment pipeline — results
+    /// are bit-identical, long jobs just stop pinning one worker.
+    pub segment_size: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -42,6 +46,7 @@ impl ExperimentConfig {
             seed: 2006,
             hierarchy: HierarchyConfig::scaled(),
             workers: 0,
+            segment_size: None,
         }
     }
 
@@ -53,6 +58,7 @@ impl ExperimentConfig {
             seed: 2006,
             hierarchy: HierarchyConfig::scaled(),
             workers: 0,
+            segment_size: None,
         }
     }
 
@@ -64,12 +70,24 @@ impl ExperimentConfig {
             seed: 2006,
             hierarchy: HierarchyConfig::scaled(),
             workers: 0,
+            segment_size: None,
         }
     }
 
     /// Returns a copy with an explicit engine worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Returns a copy with intra-job segmentation enabled at the given
+    /// segment size (`0` disables it).
+    pub fn with_segment_size(mut self, segment_size: usize) -> Self {
+        self.segment_size = if segment_size > 0 {
+            Some(segment_size)
+        } else {
+            None
+        };
         self
     }
 
@@ -80,7 +98,7 @@ impl ExperimentConfig {
 
     /// The engine configuration implied by this experiment configuration.
     pub fn engine(&self) -> EngineConfig {
-        EngineConfig::with_workers(self.workers)
+        EngineConfig::with_workers(self.workers).with_segment_size(self.segment_size.unwrap_or(0))
     }
 
     /// A job running `app` with `prefetcher` on this configuration's

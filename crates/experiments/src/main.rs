@@ -5,12 +5,15 @@
 //! Usage:
 //!
 //! ```text
-//! sms-experiments <experiment> [--quick] [--jobs N] [--json <path>]
-//!                 [--out <path>] [--emit-spec <path>]
+//! sms-experiments <experiment> [--quick] [--jobs N] [--segment-size N]
+//!                 [--json <path>] [--out <path>] [--emit-spec <path>]
 //! sms-experiments --figure <experiment> [same flags]
-//! sms-experiments run --spec <jobs.json> [--jobs N] [--out <path>]
+//! sms-experiments run --spec <jobs.json> [--jobs N] [--segment-size N]
+//!                 [--out <path>]
 //! sms-experiments list [--json]
-//! sms-experiments bench [--quick] [--jobs N] [--name NAME] [--out <path>]
+//! sms-experiments bench [--quick] [--jobs N] [--segment-size N]
+//!                 [--name NAME] [--out <path>]
+//!                 [--against OLD.json [--threshold F] [--diff-out <path>]]
 //! sms-experiments bench --check <path>
 //!
 //! experiments: all, table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
@@ -18,13 +21,23 @@
 //! list           print the experiments and the registered prefetcher plugins
 //!                (--json: the machine-readable catalog)
 //! run --spec P   execute a serialized engine job list (see --emit-spec)
-//! bench          measure throughput/speedup of the experiment suite and the
-//!                batched hot path; write a schema-versioned BENCH_<name>.json
+//! bench          measure serial / job-parallel / segment-parallel throughput
+//!                of the experiment suite and the batched hot path; write a
+//!                schema-versioned BENCH_<name>.json
 //! bench --check  validate an existing bench report against its schema
+//! bench --against OLD.json
+//!                additionally diff per-figure throughput against a previous
+//!                report; exit non-zero when any figure drops below
+//!                --threshold (default 0.8) of its old throughput, and write
+//!                the diff next to the report (or to --diff-out PATH)
 //! --figure NAME  name the experiment as a flag instead of positionally
 //! --quick        use shorter traces and representative applications per class
 //! --jobs N       engine worker threads (default: all hardware threads;
 //!                1 forces the serial path)
+//! --segment-size N
+//!                run every job through the intra-job segment pipeline with
+//!                N accesses per segment (results are bit-identical; long
+//!                jobs stop pinning one worker)
 //! --json PATH    additionally dump the figure-level results as JSON
 //! --out PATH     dump the raw engine JobResults as JSON (byte-identical to
 //!                what `run --spec` produces for the same jobs)
@@ -63,10 +76,11 @@ struct JsonDump {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> \
-         [--quick] [--jobs N] [--json PATH] [--out PATH] [--emit-spec PATH]\n\
-       \x20      sms-experiments run --spec JOBS.json [--jobs N] [--out PATH]\n\
+         [--quick] [--jobs N] [--segment-size N] [--json PATH] [--out PATH] [--emit-spec PATH]\n\
+       \x20      sms-experiments run --spec JOBS.json [--jobs N] [--segment-size N] [--out PATH]\n\
        \x20      sms-experiments list [--json]\n\
-       \x20      sms-experiments bench [--quick] [--jobs N] [--name NAME] [--out PATH]\n\
+       \x20      sms-experiments bench [--quick] [--jobs N] [--segment-size N] [--name NAME] [--out PATH]\n\
+       \x20                            [--against OLD.json [--threshold F] [--diff-out PATH]]\n\
        \x20      sms-experiments bench --check PATH"
     );
     ExitCode::from(2)
@@ -109,16 +123,22 @@ fn list(json: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Runs the bench pipeline (`bench`) or validates an existing report
-/// (`bench --check PATH`).
-fn run_bench_command(
-    check: Option<&str>,
-    quick: bool,
-    workers: usize,
-    name: Option<&str>,
-    out: Option<&str>,
-) -> ExitCode {
-    if let Some(path) = check {
+/// Flags of the `bench` subcommand beyond the shared ones.
+struct BenchFlags<'a> {
+    check: Option<&'a str>,
+    name: Option<&'a str>,
+    out: Option<&'a str>,
+    segment_size: Option<usize>,
+    against: Option<&'a str>,
+    threshold: f64,
+    diff_out: Option<&'a str>,
+}
+
+/// Runs the bench pipeline (`bench`), validates an existing report
+/// (`bench --check PATH`), and optionally diffs against a previous report
+/// (`bench --against OLD.json`).
+fn run_bench_command(flags: &BenchFlags<'_>, quick: bool, workers: usize) -> ExitCode {
+    if let Some(path) = flags.check {
         return match read_bench_report(path) {
             Ok(report) => {
                 println!(
@@ -136,14 +156,15 @@ fn run_bench_command(
         };
     }
 
-    let name = name.unwrap_or("bench").to_string();
+    let name = flags.name.unwrap_or("bench").to_string();
     let default_out = format!("BENCH_{name}.json");
-    let out = out.unwrap_or(&default_out);
+    let out = flags.out.unwrap_or(&default_out);
     let report = match bench::run_bench(&bench::BenchOptions {
         name,
         workers,
         quick,
         figures: Vec::new(),
+        segment_size: flags.segment_size,
     }) {
         Ok(report) => report,
         Err(e) => {
@@ -166,6 +187,42 @@ fn run_bench_command(
         return ExitCode::FAILURE;
     }
     println!("bench report written to {out}");
+
+    // Regression gate: diff per-figure throughput against the old report,
+    // write the diff artifact either way, and only then fail on regression.
+    if let Some(against_path) = flags.against {
+        let old_json = match std::fs::read_to_string(against_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("failed to read {against_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let diff = match bench::diff_reports(&report, &old_json, flags.threshold) {
+            Ok(diff) => diff,
+            Err(e) => {
+                eprintln!("{against_path}: cannot compare: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", bench::render_diff(&diff));
+        let default_diff_out = format!("{out}.diff.json");
+        let diff_out = flags.diff_out.unwrap_or(&default_diff_out);
+        let diff_json =
+            serde_json::to_string_pretty(&diff.into_envelope()).expect("bench diff serializes");
+        if let Err(e) = std::fs::write(diff_out, diff_json) {
+            eprintln!("failed to write {diff_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bench diff written to {diff_out}");
+        if diff.regressed {
+            eprintln!(
+                "bench regression: at least one figure fell below {:.2}x of {:?}",
+                diff.threshold, diff.against
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -179,7 +236,7 @@ fn read_bench_report(path: &str) -> Result<bench::BenchReport, String> {
 
 /// Executes a serialized job list (`run --spec`), printing a per-job summary
 /// table and optionally dumping the raw results.
-fn run_spec(spec_path: &str, workers: usize, out: Option<&str>) -> ExitCode {
+fn run_spec(spec_path: &str, workers: usize, segment_size: usize, out: Option<&str>) -> ExitCode {
     let text = match std::fs::read_to_string(spec_path) {
         Ok(text) => text,
         Err(e) => {
@@ -199,7 +256,7 @@ fn run_spec(spec_path: &str, workers: usize, out: Option<&str>) -> ExitCode {
     };
     let results = match engine::run_jobs_in(
         &list.jobs,
-        &EngineConfig::with_workers(workers),
+        &EngineConfig::with_workers(workers).with_segment_size(segment_size),
         Registry::builtin(),
     ) {
         Ok(results) => results,
@@ -280,6 +337,16 @@ fn main() -> ExitCode {
         },
         None => 0,
     };
+    let segment_size = match flag_value("--segment-size") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--segment-size expects a number of accesses, got {n:?}");
+                return usage();
+            }
+        },
+        None => 0,
+    };
 
     if experiment == "list" {
         return list(args.iter().any(|a| a == "--json"));
@@ -289,7 +356,7 @@ fn main() -> ExitCode {
             eprintln!("run requires --spec JOBS.json");
             return usage();
         };
-        return run_spec(&spec_path, workers, out_path.as_deref());
+        return run_spec(&spec_path, workers, segment_size, out_path.as_deref());
     }
     if experiment == "bench" {
         let check = flag_value("--check");
@@ -299,12 +366,39 @@ fn main() -> ExitCode {
             eprintln!("bench --check requires the report path to validate");
             return usage();
         }
+        let against = flag_value("--against");
+        if against.is_none() && args.iter().any(|a| a == "--against") {
+            eprintln!("bench --against requires the previous report path");
+            return usage();
+        }
+        let threshold = match flag_value("--threshold") {
+            Some(t) => match t.parse::<f64>() {
+                Ok(t) if t > 0.0 && t.is_finite() => t,
+                _ => {
+                    eprintln!("--threshold expects a positive number, got {t:?}");
+                    return usage();
+                }
+            },
+            None => 0.8,
+        };
+        let name = flag_value("--name");
+        let diff_out = flag_value("--diff-out");
         return run_bench_command(
-            check.as_deref(),
+            &BenchFlags {
+                check: check.as_deref(),
+                name: name.as_deref(),
+                out: out_path.as_deref(),
+                segment_size: if segment_size > 0 {
+                    Some(segment_size)
+                } else {
+                    None
+                },
+                against: against.as_deref(),
+                threshold,
+                diff_out: diff_out.as_deref(),
+            },
             quick,
             workers,
-            flag_value("--name").as_deref(),
-            out_path.as_deref(),
         );
     }
     if !EXPERIMENTS.contains(&experiment.as_str()) {
@@ -324,7 +418,8 @@ fn main() -> ExitCode {
     } else {
         ExperimentConfig::full()
     }
-    .with_workers(workers);
+    .with_workers(workers)
+    .with_segment_size(segment_size);
     // Quick runs restrict class-level experiments to representative
     // applications; full runs use the whole suite.
     let representative_only = quick;

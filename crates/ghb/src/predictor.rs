@@ -1,7 +1,7 @@
 //! The per-processor GHB PC/DC predictor.
 
+use memsim::FastMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use trace::Pc;
 
 /// Configuration of one GHB predictor.
@@ -70,7 +70,7 @@ pub struct GhbPredictor {
     /// Next absolute sequence number.
     next_seq: u64,
     /// PC -> absolute sequence number of that PC's most recent entry.
-    index: HashMap<Pc, u64>,
+    index: FastMap<Pc, u64>,
     /// Insertion order of index-table entries for capacity eviction.
     index_fifo: std::collections::VecDeque<Pc>,
     misses_observed: u64,
@@ -91,7 +91,7 @@ impl GhbPredictor {
             config: *config,
             buffer: vec![None; config.history_entries],
             next_seq: 0,
-            index: HashMap::new(),
+            index: FastMap::default(),
             index_fifo: std::collections::VecDeque::new(),
             misses_observed: 0,
             prefetches_issued: 0,

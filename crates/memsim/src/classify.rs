@@ -8,9 +8,21 @@
 //! writer touched; if this processor's next miss to that block is to a
 //! different chunk, the miss is counted as false sharing, otherwise as true
 //! sharing.
+//!
+//! Classification is pure *accounting*: its results feed the summary's
+//! [`MissBreakdown`]s and nothing else — no cache, coherence or prefetcher
+//! decision ever depends on a [`MissKind`].  That independence is what the
+//! segment pipeline exploits: [`MultiCpuSystem::access_deferred`]
+//! (crate::system::MultiCpuSystem::access_deferred) records the per-access
+//! facts the classifier needs in an [`OutcomeTape`], and a [`MissAccounting`]
+//! replays the tape later (typically on another thread) with bit-identical
+//! results, because [`MissAccounting::replay`] applies exactly the updates the
+//! inline path applies, in exactly the same order.
 
+use crate::config::HierarchyConfig;
+use crate::fasthash::{FastMap, FastSet};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use trace::MemAccess;
 
 /// The cause assigned to a demand miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,10 +44,10 @@ pub enum MissKind {
 pub struct MissClassifier {
     block_bytes: u64,
     /// Per-CPU set of blocks that have been cached at some point.
-    seen: Vec<HashSet<u64>>,
+    seen: Vec<FastSet<u64>>,
     /// Per-CPU map from invalidated block to the 64 B chunk address the
     /// remote writer touched.
-    invalidated: Vec<HashMap<u64, u64>>,
+    invalidated: Vec<FastMap<u64, u64>>,
 }
 
 impl MissClassifier {
@@ -53,8 +65,8 @@ impl MissClassifier {
         );
         Self {
             block_bytes,
-            seen: vec![HashSet::new(); cpus],
-            invalidated: vec![HashMap::new(); cpus],
+            seen: vec![FastSet::default(); cpus],
+            invalidated: vec![FastMap::default(); cpus],
         }
     }
 
@@ -140,6 +152,217 @@ impl MissBreakdown {
     }
 }
 
+/// Per-access facts recorded by the deferred-classification simulation path:
+/// everything the accounting side (miss classifiers and, for timing jobs, the
+/// cycle model) needs, and nothing it can recompute from the access buffer
+/// itself.
+///
+/// The tape holds one flags byte per pulled access plus a sparse list of
+/// coherence-invalidation events, so a segment's tape costs about one byte
+/// per access.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutcomeTape {
+    flags: Vec<u8>,
+    /// `(access index within this tape, invalidated cpu)`, in the exact
+    /// order the inline path would call
+    /// [`MissClassifier::record_invalidation`].
+    invalidations: Vec<(u32, u8)>,
+}
+
+/// Decoded per-access tape flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessFlags {
+    /// The access named a CPU outside the system and touched nothing.
+    pub skipped: bool,
+    /// The access missed in the L1.
+    pub l1_miss: bool,
+    /// The access went off-chip (missed both levels).
+    pub offchip: bool,
+}
+
+impl OutcomeTape {
+    const SKIPPED: u8 = 1;
+    const L1_MISS: u8 = 2;
+    const OFFCHIP: u8 = 4;
+
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the tape for reuse (keeps allocations).
+    pub fn clear(&mut self) {
+        self.flags.clear();
+        self.invalidations.clear();
+    }
+
+    /// Number of accesses recorded.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the tape records no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Records an access that was dropped for naming an unknown CPU.
+    pub fn push_skipped(&mut self) {
+        self.flags.push(Self::SKIPPED);
+    }
+
+    /// Records a simulated access's outcome bits.
+    pub fn push_outcome(&mut self, l1_miss: bool, offchip: bool) {
+        let mut flags = 0;
+        if l1_miss {
+            flags |= Self::L1_MISS;
+        }
+        if offchip {
+            flags |= Self::OFFCHIP;
+        }
+        self.flags.push(flags);
+    }
+
+    /// Records that the most recently pushed access invalidated `cpu`'s copy
+    /// of its block (had it in L1 or L2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no access has been pushed yet.
+    pub fn push_invalidation(&mut self, cpu: u8) {
+        let index = self.flags.len().checked_sub(1).expect("no access on tape") as u32;
+        self.invalidations.push((index, cpu));
+    }
+
+    /// Decodes the flags of access `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn flags_at(&self, index: usize) -> AccessFlags {
+        let flags = self.flags[index];
+        AccessFlags {
+            skipped: flags & Self::SKIPPED != 0,
+            l1_miss: flags & Self::L1_MISS != 0,
+            offchip: flags & Self::OFFCHIP != 0,
+        }
+    }
+}
+
+/// The accounting half of a [`MultiCpuSystem`](crate::system::MultiCpuSystem):
+/// both levels' miss classifiers and the breakdowns they feed.
+///
+/// The system drives an embedded instance inline on the ordinary
+/// [`access`](crate::system::MultiCpuSystem::access) path; the segment
+/// pipeline builds a standalone instance and [`replay`](Self::replay)s each
+/// segment's [`OutcomeTape`] into it on the accounting stage.  Both paths
+/// perform identical updates in identical order, so the resulting
+/// [`MissBreakdown`]s are bit-identical.
+#[derive(Debug, Clone)]
+pub struct MissAccounting {
+    l1: MissClassifier,
+    l2: MissClassifier,
+    l1_breakdown: MissBreakdown,
+    l2_breakdown: MissBreakdown,
+}
+
+impl MissAccounting {
+    /// Creates accounting state for a `cpus`-processor system with the given
+    /// hierarchy's block sizes.
+    pub fn new(cpus: usize, config: &HierarchyConfig) -> Self {
+        Self {
+            l1: MissClassifier::new(cpus, config.l1.block_bytes),
+            l2: MissClassifier::new(cpus, config.l2.block_bytes),
+            l1_breakdown: MissBreakdown::default(),
+            l2_breakdown: MissBreakdown::default(),
+        }
+    }
+
+    /// Classification of L1 read misses accumulated so far.
+    pub fn l1_breakdown(&self) -> &MissBreakdown {
+        &self.l1_breakdown
+    }
+
+    /// Classification of off-chip read misses accumulated so far.
+    pub fn l2_breakdown(&self) -> &MissBreakdown {
+        &self.l2_breakdown
+    }
+
+    /// Accounts one demand access, given its outcome bits.  Returns the
+    /// `(l1, l2)` miss kinds for classified read misses (what
+    /// [`SystemOutcome`](crate::system::SystemOutcome) reports inline).
+    pub fn on_access(
+        &mut self,
+        access: &MemAccess,
+        l1_miss: bool,
+        offchip: bool,
+    ) -> (Option<MissKind>, Option<MissKind>) {
+        let l1_kind = if l1_miss && access.kind.is_read() {
+            let kind = self.l1.classify_miss(access.cpu, access.addr);
+            self.l1_breakdown.record(kind);
+            Some(kind)
+        } else if l1_miss {
+            // Track residency for write misses without counting them in the
+            // read-miss breakdown the figures report.
+            self.l1.note_fill(access.cpu, access.addr);
+            None
+        } else {
+            None
+        };
+        let l2_kind = if offchip && access.kind.is_read() {
+            let kind = self.l2.classify_miss(access.cpu, access.addr);
+            self.l2_breakdown.record(kind);
+            Some(kind)
+        } else if offchip {
+            self.l2.note_fill(access.cpu, access.addr);
+            None
+        } else {
+            None
+        };
+        (l1_kind, l2_kind)
+    }
+
+    /// Accounts a coherence invalidation of `cpu`'s copy of the block
+    /// containing `written_addr` (the remote writer's address).
+    pub fn on_invalidation(&mut self, cpu: u8, written_addr: u64) {
+        self.l1.record_invalidation(cpu, written_addr, written_addr);
+        self.l2.record_invalidation(cpu, written_addr, written_addr);
+    }
+
+    /// Replays one segment's tape against its access buffer, applying
+    /// exactly the updates the inline path applies, in the same order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape does not cover `accesses` (they must come from the
+    /// same deferred segment run).
+    pub fn replay(&mut self, accesses: &[MemAccess], tape: &OutcomeTape) {
+        assert_eq!(
+            accesses.len(),
+            tape.len(),
+            "tape and access buffer are from different segments"
+        );
+        let mut invalidations = tape.invalidations.iter().peekable();
+        for (index, access) in accesses.iter().enumerate() {
+            let flags = tape.flags_at(index);
+            if !flags.skipped {
+                let _ = self.on_access(access, flags.l1_miss, flags.offchip);
+            }
+            while let Some(&&(event_index, cpu)) = invalidations.peek() {
+                if event_index as usize != index {
+                    break;
+                }
+                self.on_invalidation(cpu, access.addr);
+                invalidations.next();
+            }
+        }
+        assert!(
+            invalidations.next().is_none(),
+            "tape records invalidations past the access buffer"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +412,62 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_block_size_rejected() {
         let _ = MissClassifier::new(1, 100);
+    }
+
+    #[test]
+    fn replayed_tape_matches_inline_accounting() {
+        use crate::config::HierarchyConfig;
+        use trace::MemAccess;
+
+        let config = HierarchyConfig::scaled();
+        let accesses = vec![
+            MemAccess::read(0, 0x400, 0x1000),  // L1+L2 miss
+            MemAccess::write(1, 0x404, 0x1000), // write miss, invalidates cpu 0
+            MemAccess::read(0, 0x408, 0x1010),  // sharing miss
+            MemAccess::read(7, 0x40c, 0x2000),  // skipped (unknown cpu)
+            MemAccess::read(0, 0x410, 0x1000),  // hit-ish: no miss bits
+        ];
+
+        let mut inline = MissAccounting::new(2, &config);
+        let mut tape = OutcomeTape::new();
+        // Access 0: read miss both levels.
+        let _ = inline.on_access(&accesses[0], true, true);
+        tape.push_outcome(true, true);
+        // Access 1: write miss both levels, invalidating cpu 0.
+        let _ = inline.on_access(&accesses[1], true, true);
+        inline.on_invalidation(0, accesses[1].addr);
+        tape.push_outcome(true, true);
+        tape.push_invalidation(0);
+        // Access 2: read miss in L1 only.
+        let _ = inline.on_access(&accesses[2], true, false);
+        tape.push_outcome(true, false);
+        // Access 3: skipped.
+        tape.push_skipped();
+        // Access 4: hit.
+        let _ = inline.on_access(&accesses[4], false, false);
+        tape.push_outcome(false, false);
+
+        let mut replayed = MissAccounting::new(2, &config);
+        replayed.replay(&accesses, &tape);
+        assert_eq!(replayed.l1_breakdown(), inline.l1_breakdown());
+        assert_eq!(replayed.l2_breakdown(), inline.l2_breakdown());
+        assert!(inline.l1_breakdown().true_sharing + inline.l1_breakdown().false_sharing > 0);
+    }
+
+    #[test]
+    fn tape_flags_round_trip() {
+        let mut tape = OutcomeTape::new();
+        tape.push_outcome(true, false);
+        tape.push_skipped();
+        tape.push_outcome(false, false);
+        tape.push_outcome(true, true);
+        tape.push_invalidation(1);
+        assert_eq!(tape.len(), 4);
+        assert!(tape.flags_at(0).l1_miss && !tape.flags_at(0).offchip);
+        assert!(tape.flags_at(1).skipped);
+        assert!(!tape.flags_at(2).l1_miss);
+        assert!(tape.flags_at(3).offchip);
+        tape.clear();
+        assert!(tape.is_empty());
     }
 }

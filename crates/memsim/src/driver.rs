@@ -402,6 +402,91 @@ where
     summary
 }
 
+/// Driver-side counters of a segmented run, accumulated across segments by
+/// the simulate stage (the summary fields the cache statistics do not cover).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentCounts {
+    /// Demand accesses simulated so far.
+    pub accesses: u64,
+    /// Accesses dropped for naming CPUs outside the system.
+    pub skipped_accesses: u64,
+    /// Prefetch requests issued by the attached prefetcher.
+    pub prefetch_requests: u64,
+}
+
+/// Runs one buffered segment through the system with classification
+/// deferred onto `tape`: the cache, coherence and prefetcher updates are
+/// exactly those of [`run`] over the same accesses, but the miss classifiers
+/// are not touched — a standalone [`MissAccounting`](crate::classify::MissAccounting)
+/// replays the tape later (typically on another thread).
+///
+/// `batch` is the caller's reusable request buffer and `counts` accumulates
+/// across segments; both belong to the simulate stage's hand-off state.  The
+/// tape is appended to, one entry per access in `accesses`.
+pub fn run_segment_deferred<M: DriverMeter>(
+    system: &mut MultiCpuSystem,
+    prefetcher: &mut dyn Prefetcher,
+    accesses: &[MemAccess],
+    batch: &mut Vec<PrefetchRequest>,
+    tape: &mut crate::classify::OutcomeTape,
+    counts: &mut SegmentCounts,
+    meter: &mut M,
+) {
+    for access in accesses {
+        if (access.cpu as usize) >= system.num_cpus() {
+            counts.skipped_accesses += 1;
+            tape.push_skipped();
+            continue;
+        }
+        let outcome = system.access_deferred(access, tape);
+        counts.accesses += 1;
+        meter.demand_access();
+        prefetcher.on_access_into(access, &outcome, batch);
+        counts.prefetch_requests += batch.len() as u64;
+        if !batch.is_empty() {
+            meter.batch(batch.len());
+        }
+        for req in batch.drain(..) {
+            if (req.cpu as usize) >= system.num_cpus() {
+                continue;
+            }
+            meter.prefetch_issue();
+            match req.level {
+                PrefetchLevel::L1 => {
+                    if let Some(victim) = system.cpu_mut(req.cpu).stream_fill(req.addr) {
+                        prefetcher.on_stream_eviction(req.cpu, victim.block_addr);
+                    }
+                }
+                PrefetchLevel::L2 => {
+                    system.cpu_mut(req.cpu).l2_prefetch_fill(req.addr);
+                }
+            }
+        }
+    }
+}
+
+/// Assembles the final [`RunSummary`] of a segmented run from its three
+/// state holders: the simulate stage's system (cache statistics) and counts,
+/// and the accounting stage's replayed breakdowns.
+///
+/// The result is field-for-field what the serial [`run`] builds at the end of
+/// its loop, because each holder performed the identical updates.
+pub fn summarize_segmented(
+    system: &MultiCpuSystem,
+    accounting: &crate::classify::MissAccounting,
+    counts: &SegmentCounts,
+) -> RunSummary {
+    RunSummary {
+        accesses: counts.accesses,
+        skipped_accesses: counts.skipped_accesses,
+        l1: system.l1_stats_total(),
+        l2: system.l2_stats_total(),
+        l1_breakdown: *accounting.l1_breakdown(),
+        l2_breakdown: *accounting.l2_breakdown(),
+        prefetch_requests: counts.prefetch_requests,
+    }
+}
+
 /// The pre-batching simulation loop: one vector allocated per issuing access
 /// via [`Prefetcher::on_access`].
 ///

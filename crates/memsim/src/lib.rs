@@ -40,6 +40,7 @@ pub mod cache;
 pub mod classify;
 pub mod config;
 pub mod driver;
+pub mod fasthash;
 pub mod hierarchy;
 pub mod mshr;
 pub mod prefetch;
@@ -48,12 +49,16 @@ pub mod stats;
 pub mod system;
 
 pub use cache::{AccessOutcome, CacheLineState, EvictedLine, SetAssocCache};
-pub use classify::{MissBreakdown, MissClassifier, MissKind};
+pub use classify::{
+    AccessFlags, MissAccounting, MissBreakdown, MissClassifier, MissKind, OutcomeTape,
+};
 pub use config::{CacheConfig, HierarchyConfig};
 pub use driver::{
-    run, run_job, run_job_metered, run_metered, run_unbatched, DriverMeter, DriverMetrics,
-    PrefetcherFactory, RunSummary, SimJob,
+    run, run_job, run_job_metered, run_metered, run_segment_deferred, run_unbatched,
+    summarize_segmented, DriverMeter, DriverMetrics, PrefetcherFactory, RunSummary, SegmentCounts,
+    SimJob,
 };
+pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use hierarchy::{CpuHierarchy, HierarchyOutcome};
 pub use mshr::MshrFile;
 pub use prefetch::{NullPrefetcher, PrefetchLevel, PrefetchRequest, Prefetcher};

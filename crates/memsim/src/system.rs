@@ -7,7 +7,7 @@
 //! replacement, true-sharing and false-sharing misses — the categories
 //! Figure 4 of the paper reports.
 
-use crate::classify::{MissBreakdown, MissClassifier, MissKind};
+use crate::classify::{MissAccounting, MissBreakdown, MissKind, OutcomeTape};
 use crate::config::HierarchyConfig;
 use crate::hierarchy::{CpuHierarchy, HierarchyOutcome};
 use crate::stats::CacheStats;
@@ -28,13 +28,14 @@ pub struct SystemOutcome {
 }
 
 /// A shared-memory multiprocessor built from private per-CPU hierarchies.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the complete simulation state — caches, statistics and
+/// miss-accounting — so a run can be checkpointed at a segment boundary and
+/// resumed bit-identically (the hand-off the segment pipeline relies on).
+#[derive(Debug, Clone)]
 pub struct MultiCpuSystem {
     cpus: Vec<CpuHierarchy>,
-    l1_classifier: MissClassifier,
-    l2_classifier: MissClassifier,
-    l1_breakdown: MissBreakdown,
-    l2_breakdown: MissBreakdown,
+    accounting: MissAccounting,
     config: HierarchyConfig,
 }
 
@@ -51,10 +52,7 @@ impl MultiCpuSystem {
             .collect();
         Self {
             cpus,
-            l1_classifier: MissClassifier::new(num_cpus, config.l1.block_bytes),
-            l2_classifier: MissClassifier::new(num_cpus, config.l2.block_bytes),
-            l1_breakdown: MissBreakdown::default(),
-            l2_breakdown: MissBreakdown::default(),
+            accounting: MissAccounting::new(num_cpus, config),
             config: *config,
         }
     }
@@ -90,12 +88,12 @@ impl MultiCpuSystem {
 
     /// Classification of L1 misses accumulated so far.
     pub fn l1_breakdown(&self) -> &MissBreakdown {
-        &self.l1_breakdown
+        self.accounting.l1_breakdown()
     }
 
     /// Classification of off-chip (L2) misses accumulated so far.
     pub fn l2_breakdown(&self) -> &MissBreakdown {
-        &self.l2_breakdown
+        self.accounting.l2_breakdown()
     }
 
     /// Aggregated L1 statistics over all processors.
@@ -119,32 +117,43 @@ impl MultiCpuSystem {
     /// Pushes one access through the issuing processor's hierarchy and
     /// applies coherence actions to the other processors.
     pub fn access(&mut self, access: &MemAccess) -> SystemOutcome {
+        self.access_with(access, &mut ClassifySink::Inline)
+    }
+
+    /// [`access`](Self::access) with classification deferred: performs the
+    /// identical cache and coherence state updates but records the
+    /// classifier-relevant facts on `tape` instead of updating the embedded
+    /// [`MissAccounting`], so a standalone accounting instance can
+    /// [`replay`](MissAccounting::replay) them later — on another thread —
+    /// with bit-identical breakdowns.
+    ///
+    /// The returned outcome reports `None` for both miss kinds (they have not
+    /// been computed yet); everything a prefetcher is allowed to consume
+    /// (hierarchy outcome, remote invalidations) is identical to the inline
+    /// path.  (The engine only routes a job through this path when its probe
+    /// declares, via `Probe::wants_miss_kinds`, that it never reads the miss
+    /// kinds — true of every built-in prefetcher and probe.)
+    pub fn access_deferred(&mut self, access: &MemAccess, tape: &mut OutcomeTape) -> SystemOutcome {
+        self.access_with(access, &mut ClassifySink::Tape(tape))
+    }
+
+    /// The one cache + coherence body behind both access paths; only where
+    /// the classification facts go differs.  Keeping a single copy is what
+    /// guarantees the deferred path cannot drift from the inline path.
+    fn access_with(&mut self, access: &MemAccess, sink: &mut ClassifySink<'_>) -> SystemOutcome {
         let cpu_idx = access.cpu as usize;
         assert!(cpu_idx < self.cpus.len(), "access names an unknown cpu");
 
         let hierarchy = self.cpus[cpu_idx].access(access);
-
-        let l1_miss_kind = if hierarchy.l1_miss() && access.kind.is_read() {
-            let kind = self.l1_classifier.classify_miss(access.cpu, access.addr);
-            self.l1_breakdown.record(kind);
-            Some(kind)
-        } else if hierarchy.l1_miss() {
-            // Track residency for write misses without counting them in the
-            // read-miss breakdown the figures report.
-            self.l1_classifier.note_fill(access.cpu, access.addr);
-            None
-        } else {
-            None
-        };
-        let l2_miss_kind = if hierarchy.offchip && access.kind.is_read() {
-            let kind = self.l2_classifier.classify_miss(access.cpu, access.addr);
-            self.l2_breakdown.record(kind);
-            Some(kind)
-        } else if hierarchy.offchip {
-            self.l2_classifier.note_fill(access.cpu, access.addr);
-            None
-        } else {
-            None
+        let (l1_miss_kind, l2_miss_kind) = match sink {
+            ClassifySink::Inline => {
+                self.accounting
+                    .on_access(access, hierarchy.l1_miss(), hierarchy.offchip)
+            }
+            ClassifySink::Tape(tape) => {
+                tape.push_outcome(hierarchy.l1_miss(), hierarchy.offchip);
+                (None, None)
+            }
         };
 
         // Write-invalidate coherence: remove remote copies.
@@ -159,10 +168,12 @@ impl MultiCpuSystem {
                 let had_l2 = self.cpus[other].l2().contains(access.addr);
                 if had_l1 || had_l2 {
                     self.cpus[other].invalidate(access.addr);
-                    self.l1_classifier
-                        .record_invalidation(other_cpu, access.addr, access.addr);
-                    self.l2_classifier
-                        .record_invalidation(other_cpu, access.addr, access.addr);
+                    match sink {
+                        ClassifySink::Inline => {
+                            self.accounting.on_invalidation(other_cpu, access.addr)
+                        }
+                        ClassifySink::Tape(tape) => tape.push_invalidation(other_cpu),
+                    }
                     if had_l1 {
                         let block = self.config.l1.block_addr(access.addr);
                         remote_invalidations.push((other_cpu, block));
@@ -178,6 +189,14 @@ impl MultiCpuSystem {
             remote_invalidations,
         }
     }
+}
+
+/// Where [`MultiCpuSystem::access_with`] sends classification facts: into
+/// the embedded accounting (ordinary path) or onto a segment's tape
+/// (deferred path).
+enum ClassifySink<'a> {
+    Inline,
+    Tape(&'a mut OutcomeTape),
 }
 
 #[cfg(test)]
@@ -246,14 +265,14 @@ mod tests {
         let mut sys = tiny_system(1);
         sys.access(&MemAccess::write(0, 0x400, 0x3000));
         assert_eq!(sys.l1_breakdown().total(), 0);
-        // But a later read to the same block is not cold (it was filled).
+        // But a later read to the same block is not cold (it was filled):
+        // after enough conflicting fills to guarantee eviction, re-reading
+        // the written block classifies as a replacement miss.
         for i in 1..=16u64 {
             sys.access(&MemAccess::read(0, 0x400, 0x3000 + i * 1024));
         }
-        let kinds: Vec<_> = (0..1)
-            .map(|_| sys.l1_classifier.classify_miss(0, 0x3000))
-            .collect();
-        assert_eq!(kinds[0], MissKind::Replacement);
+        let out = sys.access(&MemAccess::read(0, 0x400, 0x3000));
+        assert_eq!(out.l1_miss_kind, Some(MissKind::Replacement));
     }
 
     #[test]
@@ -271,5 +290,75 @@ mod tests {
     fn access_with_bad_cpu_panics() {
         let mut sys = tiny_system(1);
         sys.access(&MemAccess::read(5, 0x400, 0x1000));
+    }
+
+    #[test]
+    fn deferred_path_matches_inline_path_bit_for_bit() {
+        use crate::classify::MissAccounting;
+
+        // A write-heavy two-CPU mix so sharing invalidations are exercised.
+        let accesses: Vec<MemAccess> = (0..400u64)
+            .map(|i| {
+                let cpu = (i % 2) as u8;
+                let addr = (i % 37) * 64 + (i % 5) * 4096;
+                if i % 3 == 0 {
+                    MemAccess::write(cpu, 0x400 + i, addr)
+                } else {
+                    MemAccess::read(cpu, 0x400 + i, addr)
+                }
+            })
+            .collect();
+
+        let config = HierarchyConfig {
+            l1: CacheConfig::new(1024, 2, 64),
+            l2: CacheConfig::new(8192, 4, 64),
+        };
+        let mut inline_sys = MultiCpuSystem::new(2, &config);
+        let mut deferred_sys = MultiCpuSystem::new(2, &config);
+        let mut accounting = MissAccounting::new(2, &config);
+        let mut tape = crate::classify::OutcomeTape::new();
+
+        for access in &accesses {
+            let inline_out = inline_sys.access(access);
+            let deferred_out = deferred_sys.access_deferred(access, &mut tape);
+            // Everything a prefetcher may consume must be identical.
+            assert_eq!(inline_out.hierarchy, deferred_out.hierarchy);
+            assert_eq!(
+                inline_out.remote_invalidations,
+                deferred_out.remote_invalidations
+            );
+            assert!(deferred_out.l1_miss_kind.is_none());
+        }
+        accounting.replay(&accesses, &tape);
+
+        assert_eq!(inline_sys.l1_stats_total(), deferred_sys.l1_stats_total());
+        assert_eq!(inline_sys.l2_stats_total(), deferred_sys.l2_stats_total());
+        assert_eq!(inline_sys.l1_breakdown(), accounting.l1_breakdown());
+        assert_eq!(inline_sys.l2_breakdown(), accounting.l2_breakdown());
+        assert!(inline_sys.l1_breakdown().total() > 0);
+    }
+
+    #[test]
+    fn cloned_system_resumes_bit_identically() {
+        // Snapshot-by-clone at an arbitrary boundary: the original and the
+        // clone must agree access for access afterwards (the hand-off
+        // guarantee segmented execution rests on).
+        let mut sys = tiny_system(2);
+        for i in 0..100u64 {
+            sys.access(&MemAccess::read((i % 2) as u8, 0x400, (i % 23) * 64));
+        }
+        let mut snapshot = sys.clone();
+        for i in 0..100u64 {
+            let access = if i % 4 == 0 {
+                MemAccess::write((i % 2) as u8, 0x500, (i % 19) * 64)
+            } else {
+                MemAccess::read((i % 2) as u8, 0x500, (i % 19) * 64)
+            };
+            let a = sys.access(&access);
+            let b = snapshot.access(&access);
+            assert_eq!(a, b);
+        }
+        assert_eq!(sys.l1_stats_total(), snapshot.l1_stats_total());
+        assert_eq!(sys.l1_breakdown(), snapshot.l1_breakdown());
     }
 }

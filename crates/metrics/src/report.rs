@@ -22,7 +22,15 @@ pub struct MetricsReport {
 
 impl MetricsReport {
     /// Current envelope schema version.
-    pub const SCHEMA_VERSION: u32 = 1;
+    ///
+    /// History: **1** — PR 4 (first envelopes: `engine-run`, `bench`);
+    /// **2** — PR 5 (bench payloads gained required segment-parallel and
+    /// warm-up fields, and the `bench-diff` kind was added).  A version-1
+    /// `BENCH_*.json` no longer decodes as the current payload shape, so
+    /// validation must fail it with this version error rather than a
+    /// confusing field-level decode error; `bench --against` still *reads*
+    /// old reports leniently for throughput comparison.
+    pub const SCHEMA_VERSION: u32 = 2;
 
     /// A report of the given kind carrying `payload` serialized as JSON.
     pub fn new<T: Serialize + ?Sized>(kind: &str, payload: &T) -> Self {

@@ -51,5 +51,5 @@ pub mod speedup;
 
 pub use breakdown::TimeBreakdown;
 pub use config::TimingConfig;
-pub use model::{TimingModel, TimingResult};
+pub use model::{TimingAccounting, TimingModel, TimingResult};
 pub use speedup::{speedup_with_ci, BreakdownComparison};

@@ -57,6 +57,130 @@ impl CpuTimingState {
     }
 }
 
+/// The per-access cycle accounting of the timing model, separated from the
+/// cache simulation it observes.
+///
+/// [`TimingModel::evaluate`] drives an instance inline; the engine's segment
+/// pipeline drives one on the accounting stage from each segment's outcome
+/// tape.  Both paths call [`observe`](Self::observe) with identical inputs in
+/// identical order, and every floating-point operation lives here, so the
+/// accumulated cycles are bit-identical regardless of which path ran.
+#[derive(Debug, Clone)]
+pub struct TimingAccounting {
+    config: TimingConfig,
+    cpu_state: Vec<CpuTimingState>,
+    breakdown: TimeBreakdown,
+    segment_cycles: Vec<f64>,
+    segment_len: usize,
+    accesses_done: u64,
+}
+
+impl TimingAccounting {
+    /// Creates accounting state for `num_cpus` processors over a planned run
+    /// of `num_accesses` accesses split into `segments` paired-sampling
+    /// segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn new(
+        num_cpus: usize,
+        config: TimingConfig,
+        num_accesses: usize,
+        segments: usize,
+    ) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        Self {
+            config,
+            cpu_state: (0..num_cpus).map(|_| CpuTimingState::new()).collect(),
+            breakdown: TimeBreakdown::new(),
+            segment_cycles: vec![0.0; segments],
+            segment_len: (num_accesses / segments).max(1),
+            accesses_done: 0,
+        }
+    }
+
+    /// Demand accesses accounted so far.
+    pub fn accesses_done(&self) -> u64 {
+        self.accesses_done
+    }
+
+    /// Accounts one (non-skipped) demand access, given the outcome bits the
+    /// cache simulation produced for it.
+    pub fn observe(&mut self, access: &MemAccess, l1_miss: bool, offchip: bool) {
+        let cfg = &self.config;
+        let state = &mut self.cpu_state[access.cpu as usize];
+        state.accesses += 1;
+        let mut cycles_this_access = cfg.busy_cycles_per_access + cfg.other_stall_per_access;
+        self.breakdown.user_busy += cfg.busy_cycles_per_access * (1.0 - cfg.system_busy_fraction);
+        self.breakdown.system_busy += cfg.busy_cycles_per_access * cfg.system_busy_fraction;
+        self.breakdown.other += cfg.other_stall_per_access;
+
+        if access.kind.is_read() {
+            if l1_miss {
+                // Estimate the MLP available to overlap this miss: the
+                // number of read misses (including this one) issued by
+                // this CPU within the out-of-order window.
+                let window_start = state
+                    .accesses
+                    .saturating_sub(cfg.overlap_window_accesses as u64);
+                while state
+                    .recent_misses
+                    .front()
+                    .is_some_and(|&idx| idx < window_start)
+                {
+                    state.recent_misses.pop_front();
+                }
+                state.recent_misses.push_back(state.accesses);
+                let mlp = state.recent_misses.len().clamp(1, cfg.max_mlp) as f64;
+                let (latency, category) = if offchip {
+                    (cfg.memory_cycles, StallKind::OffChip)
+                } else {
+                    (cfg.l2_hit_cycles, StallKind::OnChip)
+                };
+                let stall = latency / mlp;
+                cycles_this_access += stall;
+                match category {
+                    StallKind::OffChip => self.breakdown.offchip_read += stall,
+                    StallKind::OnChip => self.breakdown.onchip_read += stall,
+                }
+            }
+        } else {
+            // Stores retire into the store buffer; those that miss must
+            // eventually drain to the memory system.
+            if l1_miss {
+                state.store_backlog += cfg.store_drain_cycles / cfg.store_mlp as f64;
+            }
+        }
+
+        // The store buffer drains while the CPU makes forward progress.
+        state.store_backlog = (state.store_backlog - cycles_this_access).max(0.0);
+        let capacity_cycles =
+            cfg.store_buffer_entries as f64 * cfg.store_drain_cycles / cfg.store_mlp as f64;
+        if state.store_backlog > capacity_cycles {
+            let stall = state.store_backlog - capacity_cycles;
+            self.breakdown.store_buffer += stall;
+            cycles_this_access += stall;
+            state.store_backlog = capacity_cycles;
+        }
+
+        let segment =
+            ((self.accesses_done as usize) / self.segment_len).min(self.segment_cycles.len() - 1);
+        self.segment_cycles[segment] += cycles_this_access;
+        self.accesses_done += 1;
+    }
+
+    /// Consumes the accounting into the run's [`TimingResult`].
+    pub fn finish(self) -> TimingResult {
+        TimingResult {
+            total_cycles: self.breakdown.total(),
+            breakdown: self.breakdown,
+            segment_cycles: self.segment_cycles,
+            accesses: self.accesses_done,
+        }
+    }
+}
+
 /// A reusable description of the system to evaluate (hierarchy + timing
 /// parameters); each call to [`evaluate`](TimingModel::evaluate) builds a
 /// fresh cache simulation so runs are independent.
@@ -106,15 +230,9 @@ impl TimingModel {
     where
         S: Iterator<Item = MemAccess> + ?Sized,
     {
-        assert!(segments > 0, "need at least one segment");
-        let cfg = &self.config;
         let mut system = MultiCpuSystem::new(self.num_cpus, &self.hierarchy);
-        let mut cpu_state: Vec<CpuTimingState> =
-            (0..self.num_cpus).map(|_| CpuTimingState::new()).collect();
-        let mut breakdown = TimeBreakdown::new();
-        let mut segment_cycles = vec![0.0; segments];
-        let segment_len = (num_accesses / segments).max(1);
-        let mut accesses_done: u64 = 0;
+        let mut accounting =
+            TimingAccounting::new(self.num_cpus, self.config, num_accesses, segments);
         let mut skipped_accesses: u64 = 0;
         let mut prefetch_requests: u64 = 0;
         // One request buffer for the whole walk (same batched hot path as
@@ -144,70 +262,15 @@ impl TimingModel {
                     }
                 }
             }
-
-            // --- timing accounting -------------------------------------
-            let state = &mut cpu_state[access.cpu as usize];
-            state.accesses += 1;
-            let mut cycles_this_access = cfg.busy_cycles_per_access + cfg.other_stall_per_access;
-            breakdown.user_busy += cfg.busy_cycles_per_access * (1.0 - cfg.system_busy_fraction);
-            breakdown.system_busy += cfg.busy_cycles_per_access * cfg.system_busy_fraction;
-            breakdown.other += cfg.other_stall_per_access;
-
-            if access.kind.is_read() {
-                if outcome.hierarchy.l1_miss() {
-                    // Estimate the MLP available to overlap this miss: the
-                    // number of read misses (including this one) issued by
-                    // this CPU within the out-of-order window.
-                    let window_start = state
-                        .accesses
-                        .saturating_sub(cfg.overlap_window_accesses as u64);
-                    while state
-                        .recent_misses
-                        .front()
-                        .is_some_and(|&idx| idx < window_start)
-                    {
-                        state.recent_misses.pop_front();
-                    }
-                    state.recent_misses.push_back(state.accesses);
-                    let mlp = state.recent_misses.len().clamp(1, cfg.max_mlp) as f64;
-                    let (latency, category) = if outcome.hierarchy.offchip {
-                        (cfg.memory_cycles, StallKind::OffChip)
-                    } else {
-                        (cfg.l2_hit_cycles, StallKind::OnChip)
-                    };
-                    let stall = latency / mlp;
-                    cycles_this_access += stall;
-                    match category {
-                        StallKind::OffChip => breakdown.offchip_read += stall,
-                        StallKind::OnChip => breakdown.onchip_read += stall,
-                    }
-                }
-            } else {
-                // Stores retire into the store buffer; those that miss must
-                // eventually drain to the memory system.
-                if outcome.hierarchy.l1_miss() {
-                    state.store_backlog += cfg.store_drain_cycles / cfg.store_mlp as f64;
-                }
-            }
-
-            // The store buffer drains while the CPU makes forward progress.
-            state.store_backlog = (state.store_backlog - cycles_this_access).max(0.0);
-            let capacity_cycles =
-                cfg.store_buffer_entries as f64 * cfg.store_drain_cycles / cfg.store_mlp as f64;
-            if state.store_backlog > capacity_cycles {
-                let stall = state.store_backlog - capacity_cycles;
-                breakdown.store_buffer += stall;
-                cycles_this_access += stall;
-                state.store_backlog = capacity_cycles;
-            }
-
-            let segment = ((accesses_done as usize) / segment_len).min(segments - 1);
-            segment_cycles[segment] += cycles_this_access;
-            accesses_done += 1;
+            accounting.observe(
+                &access,
+                outcome.hierarchy.l1_miss(),
+                outcome.hierarchy.offchip,
+            );
         }
 
         let summary = RunSummary {
-            accesses: accesses_done,
+            accesses: accounting.accesses_done(),
             skipped_accesses,
             l1: system.l1_stats_total(),
             l2: system.l2_stats_total(),
@@ -215,15 +278,7 @@ impl TimingModel {
             l2_breakdown: *system.l2_breakdown(),
             prefetch_requests,
         };
-        (
-            TimingResult {
-                total_cycles: breakdown.total(),
-                breakdown,
-                segment_cycles,
-                accesses: accesses_done,
-            },
-            summary,
-        )
+        (accounting.finish(), summary)
     }
 }
 

@@ -47,5 +47,5 @@ pub use access::{AccessKind, Addr, MemAccess, Pc};
 pub use config::GeneratorConfig;
 pub use interleave::Interleaver;
 pub use source::{ReplayStream, TraceSource};
-pub use stream::{AccessStream, BoxedStream};
+pub use stream::{fill_segment, AccessStream, BoxedStream};
 pub use suite::{Application, ApplicationClass};

@@ -63,13 +63,31 @@ impl AccessStream for VecStream {
 /// stream usable afterwards.
 pub fn collect_n<S: AccessStream + ?Sized>(stream: &mut S, n: usize) -> Vec<MemAccess> {
     let mut out = Vec::with_capacity(n);
+    fill_segment(stream, &mut out, n);
+    out
+}
+
+/// Refills `out` with the next (up to) `n` accesses from the stream,
+/// returning how many were delivered.
+///
+/// This is the segment-pipeline's pull primitive: the buffer is cleared and
+/// reused across segments, so a steady-state segmented run allocates nothing
+/// per segment.  A return value below `n` means the stream ran dry — by
+/// exhaustion or by a recorded error; check
+/// [`AccessStream::take_error`] to tell the two apart.
+pub fn fill_segment<S: AccessStream + ?Sized>(
+    stream: &mut S,
+    out: &mut Vec<MemAccess>,
+    n: usize,
+) -> usize {
+    out.clear();
     for _ in 0..n {
         match stream.next() {
             Some(a) => out.push(a),
             None => break,
         }
     }
-    out
+    out.len()
 }
 
 #[cfg(test)]

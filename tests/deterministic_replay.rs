@@ -145,6 +145,53 @@ fn parallel_engine_matches_serial_bit_for_bit() {
 }
 
 #[test]
+fn segment_parallel_engine_matches_serial_bit_for_bit() {
+    // The segment pipeline (intra-job sharding with deferred classification
+    // and per-segment state hand-off) must reproduce the serial bits over
+    // the full mixed job list — baselines, SMS, GHB and timing jobs — for
+    // every pipeline shape: inline (1 thread), shared pull+account helper
+    // (2), full three-stage (3+), and with an odd segment size that leaves a
+    // partial final segment.
+    let jobs = engine_job_list();
+    let serial = engine::run_jobs_with(&jobs, &EngineConfig::serial());
+    let serial_json = serde_json::to_string(&serial).expect("serialize serial");
+    for (workers, segment_size) in [(1, 1_000), (2, 1_000), (4, 1_000), (4, 777), (4, 50_000)] {
+        let segmented = engine::run_jobs_with(
+            &jobs,
+            &EngineConfig::with_workers(workers).with_segment_size(segment_size),
+        );
+        let segmented_json = serde_json::to_string(&segmented).expect("serialize segmented");
+        assert_eq!(
+            serial_json, segmented_json,
+            "workers={workers} segment_size={segment_size}: segmented engine \
+             results must be byte-identical to the serial path"
+        );
+    }
+}
+
+#[test]
+fn segmented_sms_run_reproduces_the_pinned_golden_hash() {
+    // The same golden summary hash `registry_built_sms_run_is_pinned` pins
+    // for the serial registry path must come out of the segment pipeline:
+    // segmentation is an execution strategy, never a behavior change.
+    const GOLDEN_SUMMARY_HASH: u64 = 0x2c60632b11e41c1c;
+
+    for (workers, segment_size) in [(1, 2_048), (3, 2_048), (2, 3_333)] {
+        let results = engine::run_jobs_with(
+            &[pinned_sms_job()],
+            &EngineConfig::with_workers(workers).with_segment_size(segment_size),
+        );
+        let json = serde_json::to_string(&results[0].summary).expect("serialize summary");
+        let got = fnv1a(json.as_bytes());
+        assert_eq!(
+            got, GOLDEN_SUMMARY_HASH,
+            "workers={workers} segment_size={segment_size}: segmented SMS summary \
+             drifted from the pinned serial hash (got {got:#018x}; summary {json})"
+        );
+    }
+}
+
+#[test]
 fn different_seeds_give_different_streams() {
     for app in Application::ALL {
         assert_ne!(

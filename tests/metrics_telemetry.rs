@@ -104,6 +104,58 @@ fn metrics_collection_disabled_vs_enabled_is_byte_identical() {
 }
 
 #[test]
+fn segmented_metrics_collection_is_byte_identical_and_counts_segments() {
+    // Telemetry neutrality holds through the segment pipeline too: metrics
+    // on/off must not change a byte, and the per-job metrics must report the
+    // segment count and stage timings the pipeline actually ran.
+    let jobs = job_list();
+    for workers in [1, 2, 3] {
+        let config = EngineConfig::with_workers(workers).with_segment_size(1_000);
+        let (disabled, _) = engine::run_jobs_metered(
+            &jobs,
+            &config,
+            Registry::builtin(),
+            &MetricsConfig::disabled(),
+        )
+        .expect("jobs prepare");
+        let (enabled, collected) = engine::run_jobs_metered(
+            &jobs,
+            &config,
+            Registry::builtin(),
+            &MetricsConfig::enabled(),
+        )
+        .expect("jobs prepare");
+        let a = serde_json::to_string(&disabled).expect("serialize");
+        let b = serde_json::to_string(&enabled).expect("serialize");
+        assert_eq!(
+            a, b,
+            "{workers} workers segmented: metrics must not alter a result byte"
+        );
+        // The serial unsegmented path produces the same bytes again.
+        let serial = engine::run_jobs_with(&jobs, &EngineConfig::serial());
+        assert_eq!(serde_json::to_string(&serial).expect("serialize"), a);
+
+        for job in &collected.jobs {
+            assert_eq!(
+                job.segments,
+                (ACCESSES as u64).div_ceil(1_000),
+                "every 10k-access job splits into 10 segments of 1000"
+            );
+            assert!(job.elapsed_seconds > 0.0);
+            assert!(
+                job.pull_seconds > 0.0,
+                "the pull stage reads the whole trace"
+            );
+            assert!(
+                job.account_seconds > 0.0,
+                "the account stage replays every tape"
+            );
+        }
+        assert!(collected.report().validate().is_ok());
+    }
+}
+
+#[test]
 fn batched_and_unbatched_drivers_agree_for_every_builtin_prefetcher() {
     for spec in [
         PrefetcherSpec::null(),

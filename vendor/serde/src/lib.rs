@@ -59,6 +59,24 @@ impl Value {
         self.as_object()
             .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
+
+    /// Returns the string slice if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is any JSON number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
 }
 
 /// Looks up `key` in an object's entry list, yielding `Null` when absent.
