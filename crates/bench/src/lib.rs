@@ -31,6 +31,7 @@ pub fn bench_config() -> ExperimentConfig {
         hierarchy: HierarchyConfig::scaled(),
         workers: 1,
         segment_size: None,
+        speculate: 0,
     }
 }
 

@@ -63,11 +63,12 @@ pub mod plugin;
 pub mod runner;
 pub mod segment;
 pub mod spec;
+pub mod speculate;
 pub mod telemetry;
 
 pub use plugin::{
-    closest_match, decode_params, BuiltPrefetcher, DensityReport, OracleReport, PluginError,
-    PrefetcherPlugin, Probe, ProbeReport, Registry, TrainingReport,
+    closest_match, decode_params, BuiltPrefetcher, DensityReport, KindSink, OracleReport,
+    PluginError, PrefetcherPlugin, Probe, ProbeReport, Registry, TrainingReport,
 };
 pub use runner::{
     run_job, run_job_metered, run_jobs, run_jobs_in, run_jobs_metered, run_jobs_with, EngineConfig,

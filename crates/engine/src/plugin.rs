@@ -38,57 +38,168 @@ pub trait Probe: Prefetcher + Send {
         ProbeReport::none()
     }
 
-    /// Whether this probe reads the *miss-kind classifications*
-    /// (`SystemOutcome::l1_miss_kind` / `l2_miss_kind`) in `on_access`.
+    /// Whether this probe consumes the *miss-kind classifications*
+    /// (`SystemOutcome::l1_miss_kind` / `l2_miss_kind`).
     ///
     /// Segment-parallel execution defers miss classification off the
-    /// simulation thread, so those two fields arrive as `None` there.  The
-    /// engine therefore refuses to segment a job whose probe returns `true`
-    /// here and falls back to the serial execution path — results stay
-    /// correct either way, segmentation is simply not applied.
+    /// simulation thread, so those two fields arrive as `None` there.  A
+    /// probe that needs the kinds must therefore keep all kind-consuming
+    /// state in a detachable [`KindSink`], return `true` here, and hand the
+    /// sink over via [`take_kind_sink`](Self::take_kind_sink).  The engine
+    /// feeds the sink itself: inline with each outcome on serial runs,
+    /// or from the accounting stage's bit-identical
+    /// [`MissAccounting::replay_with_kinds`](memsim::MissAccounting::replay_with_kinds)
+    /// pass on segmented and speculative runs.  The probe's own `on_access`
+    /// must **not** read the two kind fields — they are `None` whenever
+    /// classification is deferred.
     ///
     /// The default is `false`, which is accurate for every built-in
     /// prefetcher and probe (they consume hit/miss outcomes, evictions and
-    /// invalidations, never the classification).  Override this to return
-    /// `true` if your custom probe's behavior or report depends on the miss
-    /// kinds.
+    /// invalidations, never the classification).
     fn wants_miss_kinds(&self) -> bool {
         false
     }
+
+    /// Detaches this probe's kind-consuming state so the engine can feed it
+    /// (see [`wants_miss_kinds`](Self::wants_miss_kinds)).  Called once at
+    /// construction; a probe returning `true` from `wants_miss_kinds` **must**
+    /// return `Some` here or the engine panics — the contract has no silent
+    /// fallback.
+    fn take_kind_sink(&mut self) -> Option<Box<dyn KindSink>> {
+        None
+    }
+
+    /// Reattaches the sink taken by [`take_kind_sink`](Self::take_kind_sink)
+    /// so [`into_report`](Self::into_report) sees its accumulated state.
+    /// Called exactly once, just before the report is extracted.
+    fn restore_kind_sink(&mut self, _sink: Box<dyn KindSink>) {}
+
+    /// Clones this probe's live state for a speculative rollback snapshot,
+    /// if the probe supports it.
+    ///
+    /// The speculative executor pairs a forked probe with a cloned
+    /// `MultiCpuSystem` so a mispredicted segment can be re-simulated from
+    /// the snapshot.  `None` (the default) means the probe's state cannot be
+    /// cheaply duplicated; speculation still runs, but the fault-injection
+    /// test knob skips jobs with unforkable probes.
+    fn fork(&self) -> Option<Box<dyn Probe>> {
+        None
+    }
+}
+
+/// The detachable kind-consuming component of a probe that declares
+/// [`Probe::wants_miss_kinds`].
+///
+/// The engine owns the sink for the duration of a run and feeds it one call
+/// per simulated (non-skipped) access, in stream order, with exactly the
+/// `(l1, l2)` miss kinds the serial inline path reports: `Some` for
+/// classified read misses, `None` for hits and write misses.  On serial runs
+/// the feed happens inline; on segmented and speculative runs it happens on
+/// the accounting stage, where the kinds are recomputed bit-identically from
+/// the outcome tape.
+pub trait KindSink: Send {
+    /// Consumes one access's miss-kind classifications.
+    fn on_kinds(
+        &mut self,
+        access: &trace::MemAccess,
+        l1: Option<memsim::MissKind>,
+        l2: Option<memsim::MissKind>,
+    );
+
+    /// Recovers the concrete sink so
+    /// [`Probe::restore_kind_sink`] can downcast it back into the probe.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
 }
 
 /// A live prefetcher instantiated from a [`PrefetcherSpec`] by a plugin.
 ///
-/// This is a thin owning wrapper around a boxed [`Probe`] so the engine can
-/// pass it to the drivers as a plain [`Prefetcher`] and still extract the
-/// report afterwards.
+/// This is an owning wrapper around a boxed [`Probe`] so the engine can pass
+/// it to the drivers as a plain [`Prefetcher`] and still extract the report
+/// afterwards.  For probes that declare [`Probe::wants_miss_kinds`], the
+/// wrapper also holds the detached [`KindSink`]: while attached, the sink is
+/// fed inline from each access's outcome; the segment pipeline
+/// [`take_kind_sink`](Self::take_kind_sink)s it and feeds it from the
+/// accounting stage instead.
 pub struct BuiltPrefetcher {
     inner: Box<dyn Probe>,
+    sink: Option<Box<dyn KindSink>>,
 }
 
 impl BuiltPrefetcher {
     /// Wraps a concrete probe.
+    ///
+    /// # Panics
+    ///
+    /// If the probe declares [`Probe::wants_miss_kinds`] but provides no
+    /// [`KindSink`] — the contract has no fallback path.
     pub fn new(probe: impl Probe + 'static) -> Self {
-        Self {
-            inner: Box::new(probe),
-        }
+        Self::from_box(Box::new(probe))
     }
 
     /// Wraps an already-boxed probe.
-    pub fn from_box(inner: Box<dyn Probe>) -> Self {
-        Self { inner }
+    ///
+    /// # Panics
+    ///
+    /// If the probe declares [`Probe::wants_miss_kinds`] but provides no
+    /// [`KindSink`].
+    pub fn from_box(mut inner: Box<dyn Probe>) -> Self {
+        let sink = if inner.wants_miss_kinds() {
+            let sink = inner.take_kind_sink();
+            assert!(
+                sink.is_some(),
+                "probe {:?} declares wants_miss_kinds but take_kind_sink returned None; \
+                 kind-consuming probes must hand their sink to the engine so segmented \
+                 execution can feed it from the accounting stage",
+                inner.name()
+            );
+            sink
+        } else {
+            None
+        };
+        Self { inner, sink }
     }
 
-    /// Consumes the prefetcher and extracts its post-run report.
-    pub fn into_report(self) -> ProbeReport {
+    /// Consumes the prefetcher and extracts its post-run report, first
+    /// reattaching the kind sink (if any) so the report sees the kind-derived
+    /// state.
+    pub fn into_report(mut self) -> ProbeReport {
+        if let Some(sink) = self.sink.take() {
+            self.inner.restore_kind_sink(sink);
+        }
         self.inner.into_report()
     }
 
-    /// Whether the wrapped probe reads miss-kind classifications (see
-    /// [`Probe::wants_miss_kinds`]); such jobs are excluded from
-    /// segment-parallel execution.
+    /// Whether the wrapped probe consumes miss-kind classifications (see
+    /// [`Probe::wants_miss_kinds`]); the segment pipeline detaches such
+    /// probes' sinks and feeds them from the accounting stage.
     pub fn wants_miss_kinds(&self) -> bool {
         self.inner.wants_miss_kinds()
+    }
+
+    /// Detaches the kind sink for deferred feeding (the segment pipeline's
+    /// accounting stage).  While detached, [`Prefetcher::on_access_into`] no
+    /// longer feeds kinds inline — exactly right, because deferred outcomes
+    /// carry `None` kinds.  Returns `None` for probes without a sink.
+    pub fn take_kind_sink(&mut self) -> Option<Box<dyn KindSink>> {
+        self.sink.take()
+    }
+
+    /// Reattaches a sink detached by [`take_kind_sink`](Self::take_kind_sink).
+    pub fn restore_kind_sink(&mut self, sink: Box<dyn KindSink>) {
+        debug_assert!(self.sink.is_none(), "restoring over an attached sink");
+        self.sink = Some(sink);
+    }
+
+    /// Clones the live probe state for a speculative rollback snapshot, if
+    /// the inner probe supports [`Probe::fork`].
+    ///
+    /// The forked copy carries no kind sink: forks are only taken while the
+    /// pipeline holds the sink detached (deferred classification), so the
+    /// snapshot's sink state lives with the accounting stage, not here.
+    pub fn fork(&self) -> Option<BuiltPrefetcher> {
+        self.inner
+            .fork()
+            .map(|inner| BuiltPrefetcher { inner, sink: None })
     }
 }
 
@@ -106,6 +217,9 @@ impl Prefetcher for BuiltPrefetcher {
         access: &trace::MemAccess,
         outcome: &memsim::SystemOutcome,
     ) -> Vec<memsim::PrefetchRequest> {
+        if let Some(sink) = &mut self.sink {
+            sink.on_kinds(access, outcome.l1_miss_kind, outcome.l2_miss_kind);
+        }
         self.inner.on_access(access, outcome)
     }
 
@@ -115,6 +229,12 @@ impl Prefetcher for BuiltPrefetcher {
         outcome: &memsim::SystemOutcome,
         out: &mut Vec<memsim::PrefetchRequest>,
     ) {
+        // An attached sink means classification is inline and the outcome
+        // carries real kinds; the pipeline detaches the sink before running
+        // deferred, where both kind fields are `None`.
+        if let Some(sink) = &mut self.sink {
+            sink.on_kinds(access, outcome.l1_miss_kind, outcome.l2_miss_kind);
+        }
         // Forward explicitly so the inner probe's batched override is used
         // (the trait default would route through the allocating `on_access`).
         self.inner.on_access_into(access, outcome, out);

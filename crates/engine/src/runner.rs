@@ -248,14 +248,28 @@ pub struct EngineConfig {
     /// parallelism and the up-to-three pipeline stages of each running job.
     /// `None` (the default) keeps the pre-segmentation behavior exactly.
     pub segment_size: Option<usize>,
+    /// Speculative run-ahead depth for segmented jobs: how many segments
+    /// the simulate stage may run ahead of the verified commit frontier
+    /// (see [`crate::speculate`]).  `0` (the default) disables speculation.
+    /// A depth > 0 implies segmentation: when no explicit `segment_size` is
+    /// set, jobs are segmented at
+    /// [`DEFAULT_SPECULATIVE_SEGMENT`](EngineConfig::DEFAULT_SPECULATIVE_SEGMENT)
+    /// accesses.  Speculation still requires at least two threads in the
+    /// per-job budget; below that the plan degrades to the inline pipeline.
+    pub speculate: usize,
 }
 
 impl EngineConfig {
+    /// Accesses per segment when speculation is requested without an
+    /// explicit segment size.
+    pub const DEFAULT_SPECULATIVE_SEGMENT: usize = 10_000;
+
     /// One worker per available hardware thread.
     pub fn auto() -> Self {
         Self {
             workers: 0,
             segment_size: None,
+            speculate: 0,
         }
     }
 
@@ -264,6 +278,7 @@ impl EngineConfig {
         Self {
             workers: 1,
             segment_size: None,
+            speculate: 0,
         }
     }
 
@@ -272,6 +287,7 @@ impl EngineConfig {
         Self {
             workers,
             segment_size: None,
+            speculate: 0,
         }
     }
 
@@ -283,6 +299,15 @@ impl EngineConfig {
         } else {
             None
         };
+        self
+    }
+
+    /// Returns a copy with speculative run-ahead at the given depth (`0`
+    /// disables it).  A depth > 0 with no explicit segment size segments
+    /// jobs at [`DEFAULT_SPECULATIVE_SEGMENT`](EngineConfig::DEFAULT_SPECULATIVE_SEGMENT)
+    /// accesses.
+    pub fn with_speculation(mut self, depth: usize) -> Self {
+        self.speculate = depth;
         self
     }
 
@@ -307,11 +332,20 @@ impl EngineConfig {
     /// all: the per-job [`SegmentPlan`] grants each running job up to three
     /// pipeline threads out of the total budget.
     pub fn segment_plan(&self) -> Option<SegmentPlan> {
-        let segment_size = self.segment_size.filter(|&s| s > 0)?;
-        Some(SegmentPlan {
-            segment_size,
-            threads: self.resolved_workers().clamp(1, 3),
-        })
+        let segment_size = match self.segment_size.filter(|&s| s > 0) {
+            Some(size) => size,
+            // Speculation implies segmentation: a bare `--speculate N` gets
+            // the default segment size rather than silently doing nothing.
+            None if self.speculate > 0 => Self::DEFAULT_SPECULATIVE_SEGMENT,
+            None => return None,
+        };
+        // Speculation dedicates a fourth thread to the run-ahead simulate
+        // worker when the budget allows.
+        let max_threads = if self.speculate > 0 { 4 } else { 3 };
+        Some(
+            SegmentPlan::new(segment_size, self.resolved_workers().clamp(1, max_threads))
+                .with_speculation(self.speculate),
+        )
     }
 
     /// Job-level worker count when segmentation is active: the thread
@@ -682,6 +716,29 @@ mod tests {
         assert_eq!(EngineConfig::with_workers(8).effective_workers(3), 3);
         assert_eq!(EngineConfig::with_workers(2).effective_workers(0), 1);
         assert!(EngineConfig::auto().effective_workers(64) >= 1);
+    }
+
+    #[test]
+    fn speculation_implies_a_segment_plan() {
+        // No segmentation, no speculation: no plan.
+        assert!(EngineConfig::with_workers(4).segment_plan().is_none());
+        // A bare speculation request must segment at the default size
+        // instead of silently running unsegmented (and unspeculated).
+        let plan = EngineConfig::with_workers(4)
+            .with_speculation(4)
+            .segment_plan()
+            .expect("speculation implies segmentation");
+        assert_eq!(plan.segment_size, EngineConfig::DEFAULT_SPECULATIVE_SEGMENT);
+        assert_eq!(plan.threads, 4);
+        assert_eq!(plan.speculation, 4);
+        // An explicit segment size wins over the implied default.
+        let plan = EngineConfig::with_workers(2)
+            .with_segment_size(1_234)
+            .with_speculation(2)
+            .segment_plan()
+            .expect("explicit segmentation");
+        assert_eq!(plan.segment_size, 1_234);
+        assert_eq!(plan.threads, 2);
     }
 
     #[test]

@@ -35,12 +35,25 @@
 //! The pipeline degrades gracefully: with one thread the three stages run
 //! in-line per segment (same code, same hand-off, no concurrency); with two
 //! threads the pull and account stages share one helper, which the stage
-//! cost profile above makes the natural split.  A probe that declares
-//! [`wants_miss_kinds`](crate::plugin::Probe::wants_miss_kinds) cannot run
-//! with deferred classification; the runner keeps such jobs on the serial
-//! path.
+//! cost profile above makes the natural split.
+//!
+//! With [`SegmentPlan::with_speculation`] the simulate stage additionally
+//! runs **speculatively ahead** of the commit frontier on a dedicated worker
+//! thread: each segment's result is committed only after its start
+//! fingerprint is verified against the committed state, and a failed
+//! verification discards the speculative work and replays the segment from
+//! the authoritative state (see [`crate::speculate`]).  Committed results
+//! are bit-identical to the serial run by the same hand-off argument.
+//!
+//! A probe that declares
+//! [`wants_miss_kinds`](crate::plugin::Probe::wants_miss_kinds) hands its
+//! [`KindSink`](crate::plugin::KindSink) to the engine; on segmented runs
+//! the **account stage** feeds that sink the authoritative miss kinds while
+//! replaying each tape (via `MissAccounting::replay_with_kinds`), so
+//! kind-consuming probes segment — and speculate — like any other probe with
+//! no serial fallback.
 
-use crate::plugin::{BuiltPrefetcher, Registry};
+use crate::plugin::{BuiltPrefetcher, KindSink, Registry};
 use crate::runner::{EngineError, JobResult, JobWarning, SimJob};
 use crate::telemetry::JobMetrics;
 use memsim::{
@@ -64,16 +77,59 @@ pub struct SegmentPlan {
     /// Accesses per segment (the last segment of a trace may be shorter).
     pub segment_size: usize,
     /// Threads the pipeline may use, *including* the calling thread
-    /// (clamped to `1..=3`; the pipeline has three stages).
+    /// (clamped to `1..=3` without speculation — the pipeline has three
+    /// stages — and `1..=4` with it, the fourth thread being the
+    /// speculative simulate worker).
     pub threads: usize,
+    /// Speculative run-ahead depth: how many segments the simulate worker
+    /// may run ahead of the verified commit frontier.  `0` disables
+    /// speculation; any depth needs at least two threads (it is ignored on
+    /// an inline pipeline).
+    pub speculation: usize,
+    /// Test-only fault injection: when nonzero, every `mispredict_every`-th
+    /// speculatively simulated segment is started from a deliberately
+    /// perturbed state so its verification fails and the replay path runs.
+    /// Has no effect on committed results — that is the point.
+    #[doc(hidden)]
+    pub mispredict_every: u64,
+}
+
+impl SegmentPlan {
+    /// A plan with no speculation.
+    pub fn new(segment_size: usize, threads: usize) -> Self {
+        Self {
+            segment_size,
+            threads,
+            speculation: 0,
+            mispredict_every: 0,
+        }
+    }
+
+    /// Returns a copy with speculative run-ahead at the given depth
+    /// (`0` disables it).
+    pub fn with_speculation(mut self, depth: usize) -> Self {
+        self.speculation = depth;
+        self
+    }
+
+    /// Returns a copy with test-only mispredict fault injection (`0`
+    /// disables it).
+    #[doc(hidden)]
+    pub fn with_mispredict_every(mut self, every: u64) -> Self {
+        self.mispredict_every = every;
+        self
+    }
 }
 
 /// Per-job stage telemetry of a segmented run (merged into [`JobMetrics`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-struct SegmentTelemetry {
-    segments: u64,
-    pull_seconds: f64,
-    account_seconds: f64,
+pub(crate) struct SegmentTelemetry {
+    pub(crate) segments: u64,
+    pub(crate) pull_seconds: f64,
+    pub(crate) account_seconds: f64,
+    pub(crate) spec_commits: u64,
+    pub(crate) spec_mispredicts: u64,
+    pub(crate) spec_replayed_accesses: u64,
 }
 
 /// Runs one job through the segment pipeline, resolving its prefetcher spec
@@ -81,13 +137,14 @@ struct SegmentTelemetry {
 ///
 /// The result — summary, probe report, timing result, warnings — is
 /// bit-identical to [`run_job_metered`](crate::runner::run_job_metered) for
-/// every thread count and segment size, including a segment boundary exactly
-/// at the trace end and segments larger than the whole trace.
+/// every thread count, segment size and speculation depth, including a
+/// segment boundary exactly at the trace end and segments larger than the
+/// whole trace.
 ///
 /// A job whose probe [`wants_miss_kinds`](crate::plugin::Probe::wants_miss_kinds)
-/// cannot run with deferred classification; it transparently falls back to
-/// the serial execution path (still bit-identical — segmentation is simply
-/// not applied).
+/// runs segmented like any other: its [`KindSink`] is detached from the
+/// probe, shipped to the account stage, fed the authoritative kinds during
+/// tape replay, and restored into the probe before the report is taken.
 ///
 /// # Errors
 ///
@@ -108,19 +165,17 @@ pub fn run_job_segmented(
         source: sim.source.describe(),
         message,
     };
-    let prefetcher =
+    let mut prefetcher =
         registry
             .build(&sim.prefetcher, sim.cpus)
             .map_err(|error| EngineError::Plugin {
                 job_index: index,
                 error,
             })?;
-    if prefetcher.wants_miss_kinds() {
-        // Deferred classification would hand this probe `None` miss kinds;
-        // run it serially instead (the rebuilt prefetcher is empty state —
-        // construction is deterministic and cheap).
-        return crate::runner::run_job_metered(index, job, registry, metrics);
-    }
+    // Deferred classification delivers `None` kinds during simulation, so a
+    // kind-consuming probe's sink travels with the *account* stage, which
+    // replays the authoritative kinds into it segment by segment.
+    let sink = prefetcher.take_kind_sink();
     let stream = sim.source.open().map_err(|e| trace_error(e.to_string()))?;
 
     let pipeline = Pipeline {
@@ -128,11 +183,13 @@ pub fn run_job_segmented(
         prefetcher,
         stream,
         budget: sim.accesses,
-        accounting: MissAccounting::new(sim.cpus, &sim.hierarchy),
-        timing: job
-            .timing
-            .as_ref()
-            .map(|spec| TimingAccounting::new(sim.cpus, spec.config, sim.accesses, spec.segments)),
+        account: AccountState {
+            accounting: MissAccounting::new(sim.cpus, &sim.hierarchy),
+            timing: job.timing.as_ref().map(|spec| {
+                TimingAccounting::new(sim.cpus, spec.config, sim.accesses, spec.segments)
+            }),
+            sink,
+        },
         plan,
     };
 
@@ -150,12 +207,16 @@ pub fn run_job_segmented(
         return Err(trace_error(format!("corrupt mid-stream: {e}")));
     }
 
-    let summary = memsim::summarize_segmented(&end.system, &end.accounting, &end.counts);
+    let summary = memsim::summarize_segmented(&end.system, &end.account.accounting, &end.counts);
+    let mut prefetcher = end.prefetcher;
+    if let Some(sink) = end.account.sink {
+        prefetcher.restore_kind_sink(sink);
+    }
     let mut result = JobResult {
         job_index: index,
         summary,
-        probe: end.prefetcher.into_report(),
-        timing: end.timing.map(TimingAccounting::finish),
+        probe: prefetcher.into_report(),
+        timing: end.account.timing.map(TimingAccounting::finish),
         warnings: Vec::new(),
     };
     let delivered = result.summary.accesses + result.summary.skipped_accesses;
@@ -182,6 +243,9 @@ pub fn run_job_segmented(
         }
     };
     job_metrics.segments = telemetry.segments;
+    job_metrics.spec_commits = telemetry.spec_commits;
+    job_metrics.spec_mispredicts = telemetry.spec_mispredicts;
+    job_metrics.spec_replayed_accesses = telemetry.spec_replayed_accesses;
     Ok((result, job_metrics))
 }
 
@@ -194,14 +258,48 @@ enum Task {
     Account(Vec<MemAccess>, OutcomeTape),
 }
 
+/// The account stage's owned state: classifiers, the optional timing model,
+/// and (for kind-consuming probes) the probe's detached [`KindSink`].
+pub(crate) struct AccountState {
+    pub(crate) accounting: MissAccounting,
+    pub(crate) timing: Option<TimingAccounting>,
+    pub(crate) sink: Option<Box<dyn KindSink>>,
+}
+
+impl AccountState {
+    /// Replays one segment into the accounting state — classifiers, the
+    /// probe's kind sink, and the timing model when present.
+    pub(crate) fn replay_segment(&mut self, accesses: &[MemAccess], tape: &OutcomeTape) {
+        let Self {
+            accounting,
+            timing,
+            sink,
+        } = self;
+        match sink {
+            Some(sink) => accounting.replay_with_kinds(accesses, tape, |access, l1, l2| {
+                sink.on_kinds(access, l1, l2)
+            }),
+            None => accounting.replay(accesses, tape),
+        }
+        if let Some(timing) = timing {
+            for (index, access) in accesses.iter().enumerate() {
+                let flags = tape.flags_at(index);
+                if !flags.skipped {
+                    timing.observe(access, flags.l1_miss, flags.offchip);
+                }
+            }
+        }
+    }
+}
+
 /// The owned state a helper needs for the stages it serves.  With three
 /// threads each helper holds one half; with two threads the single helper
 /// holds both.
 struct HelperState {
     /// Pull stage: the live stream and its un-pulled access budget.
     stream: Option<(BoxedStream, usize)>,
-    /// Account stage: the classifier state and the optional timing model.
-    accounting: Option<(MissAccounting, Option<TimingAccounting>)>,
+    /// Account stage state, when this helper serves it.
+    account: Option<AccountState>,
     /// Busy (non-idle) seconds spent pulling / accounting.
     pull_seconds: f64,
     account_seconds: f64,
@@ -235,11 +333,11 @@ impl HelperState {
                 }
                 Task::Account(buffer, tape) => {
                     let watch = Stopwatch::started();
-                    let (accounting, timing) = self
-                        .accounting
+                    let account = self
+                        .account
                         .as_mut()
                         .expect("helper serves the account stage");
-                    account_segment(accounting, timing, &buffer, &tape);
+                    account.replay_segment(&buffer, &tape);
                     self.account_seconds += watch.elapsed_seconds();
                     // Recycling is best-effort; the owner may be done.
                     let _ = recycle_tx.send((buffer, tape));
@@ -249,53 +347,41 @@ impl HelperState {
     }
 }
 
-/// Replays one segment into the accounting state (classifiers, and the
-/// timing model when present) — the account stage's body.
-fn account_segment(
-    accounting: &mut MissAccounting,
-    timing: &mut Option<TimingAccounting>,
-    accesses: &[MemAccess],
-    tape: &OutcomeTape,
-) {
-    accounting.replay(accesses, tape);
-    if let Some(timing) = timing {
-        for (index, access) in accesses.iter().enumerate() {
-            let flags = tape.flags_at(index);
-            if !flags.skipped {
-                timing.observe(access, flags.l1_miss, flags.offchip);
-            }
-        }
-    }
-}
-
 /// Everything the pipeline hands back to be merged into the job result.
-struct PipelineEnd {
-    system: MultiCpuSystem,
-    prefetcher: BuiltPrefetcher,
-    counts: SegmentCounts,
-    accounting: MissAccounting,
-    timing: Option<TimingAccounting>,
-    stream_error: Option<io::Error>,
+pub(crate) struct PipelineEnd {
+    pub(crate) system: MultiCpuSystem,
+    pub(crate) prefetcher: BuiltPrefetcher,
+    pub(crate) counts: SegmentCounts,
+    pub(crate) account: AccountState,
+    pub(crate) stream_error: Option<io::Error>,
 }
 
 /// One job's pipeline, owning all three stages' states before they are
 /// distributed across threads.
-struct Pipeline {
-    system: MultiCpuSystem,
-    prefetcher: BuiltPrefetcher,
-    stream: BoxedStream,
-    budget: usize,
-    accounting: MissAccounting,
-    timing: Option<TimingAccounting>,
-    plan: SegmentPlan,
+pub(crate) struct Pipeline {
+    pub(crate) system: MultiCpuSystem,
+    pub(crate) prefetcher: BuiltPrefetcher,
+    pub(crate) stream: BoxedStream,
+    pub(crate) budget: usize,
+    pub(crate) account: AccountState,
+    pub(crate) plan: SegmentPlan,
 }
 
 impl Pipeline {
     /// Executes pull → simulate → account over the whole stream.  The
     /// calling thread always runs the simulate stage (it owns the
     /// heavyweight simulator state); helpers take the other stages
-    /// according to `plan.threads`.
-    fn run<M: DriverMeter>(self, meter: &mut M) -> (PipelineEnd, SegmentTelemetry) {
+    /// according to `plan.threads`.  With speculation enabled and at least
+    /// two threads, the simulate stage instead runs ahead on a dedicated
+    /// worker under the verify-commit-replay protocol of
+    /// [`crate::speculate`].
+    pub(crate) fn run<M: DriverMeter>(self, meter: &mut M) -> (PipelineEnd, SegmentTelemetry) {
+        if self.plan.speculation > 0 {
+            let threads = self.plan.threads.clamp(1, 4);
+            if threads >= 2 {
+                return crate::speculate::run_speculative(self, meter, threads);
+            }
+        }
         match self.plan.threads.clamp(1, 3) {
             1 => self.run_inline(meter),
             threads => self.run_threaded(meter, threads),
@@ -333,7 +419,7 @@ impl Pipeline {
                 meter,
             );
             let watch = Stopwatch::started();
-            account_segment(&mut self.accounting, &mut self.timing, &buffer, &tape);
+            self.account.replay_segment(&buffer, &tape);
             telemetry.account_seconds += watch.elapsed_seconds();
             telemetry.segments += 1;
             if got < want {
@@ -346,8 +432,7 @@ impl Pipeline {
                 system: self.system,
                 prefetcher: self.prefetcher,
                 counts,
-                accounting: self.accounting,
-                timing: self.timing,
+                account: self.account,
                 stream_error,
             },
             telemetry,
@@ -385,13 +470,13 @@ impl Pipeline {
 
         let mut pull_state = HelperState {
             stream: Some((self.stream, self.budget)),
-            accounting: None,
+            account: None,
             pull_seconds: 0.0,
             account_seconds: 0.0,
         };
         let mut account_state = HelperState {
             stream: None,
-            accounting: Some((self.accounting, self.timing)),
+            account: Some(self.account),
             pull_seconds: 0.0,
             account_seconds: 0.0,
         };
@@ -418,7 +503,7 @@ impl Pipeline {
                 if threads == 2 {
                     // Single helper: move the account stage in with the
                     // pull stage.
-                    state.accounting = account_state.accounting.take();
+                    state.account = account_state.account.take();
                 }
                 handles.push(scope.spawn(move || {
                     state.serve(segment_size, pull_task_rx, pulled_tx, recycle_tx);
@@ -513,18 +598,17 @@ impl Pipeline {
         telemetry.account_seconds = pull_state.account_seconds + account_state.account_seconds;
         let (mut stream, _) = pull_state.stream.take().expect("stream returns to owner");
         let stream_error = stream.take_error();
-        let (accounting, timing) = pull_state
-            .accounting
+        let account = pull_state
+            .account
             .take()
-            .or_else(|| account_state.accounting.take())
+            .or_else(|| account_state.account.take())
             .expect("accounting returns to owner");
         (
             PipelineEnd {
                 system,
                 prefetcher,
                 counts,
-                accounting,
-                timing,
+                account,
                 stream_error,
             },
             telemetry,
@@ -535,11 +619,11 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{run_jobs_in, run_jobs_with, EngineConfig};
-    use crate::spec::PrefetcherSpec;
+    use crate::runner::{run_jobs_in, run_jobs_metered, run_jobs_with, EngineConfig};
+    use crate::spec::{OracleProbeSpec, PrefetcherSpec};
     use ghb::GhbConfig;
     use memsim::HierarchyConfig;
-    use sms::SmsConfig;
+    use sms::{RegionConfig, SmsConfig};
     use timing::TimingConfig;
     use trace::{Application, GeneratorConfig, TraceSource};
 
@@ -598,11 +682,114 @@ mod tests {
     }
 
     #[test]
+    fn speculative_results_are_bit_identical_and_commit() {
+        let jobs = job_list();
+        let serial = run_jobs_with(&jobs, &EngineConfig::serial());
+        // Thread budgets hit the owner-does-everything (2), account-helper
+        // (3) and fully split (4+) speculative topologies.
+        for depth in [1, 3] {
+            for workers in [2, 3, 4, 8] {
+                let config = EngineConfig::with_workers(workers)
+                    .with_segment_size(1_000)
+                    .with_speculation(depth);
+                let (speculative, metrics) = run_jobs_metered(
+                    &jobs,
+                    &config,
+                    Registry::builtin(),
+                    &metrics::MetricsConfig::enabled(),
+                )
+                .expect("jobs prepare");
+                assert_eq!(
+                    serial, speculative,
+                    "depth={depth} workers={workers} diverged from serial"
+                );
+                let a = serde_json::to_string(&serial).expect("serialize");
+                let b = serde_json::to_string(&speculative).expect("serialize");
+                assert_eq!(a, b, "byte-level divergence at depth={depth}/{workers}");
+                for m in &metrics.jobs {
+                    assert!(
+                        m.spec_commits > 0,
+                        "depth={depth} workers={workers} job={} committed nothing",
+                        m.job_index
+                    );
+                    assert_eq!(m.spec_commits, m.segments);
+                    assert_eq!(
+                        m.spec_mispredicts, 0,
+                        "chained speculation never mispredicts without fault injection"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_mispredicts_replay_and_stay_bit_identical() {
+        let jobs = job_list();
+        let serial = run_jobs_with(&jobs, &EngineConfig::serial());
+        // `mispredict_every = 1` faults every speculatively dispatched
+        // segment (maximal wrong-path work); 3 faults periodically with
+        // clean commits in between.
+        for every in [1, 3] {
+            for (index, job) in jobs.iter().enumerate() {
+                let plan = SegmentPlan::new(500, 4)
+                    .with_speculation(3)
+                    .with_mispredict_every(every);
+                let (result, m) = run_job_segmented(
+                    index,
+                    job,
+                    Registry::builtin(),
+                    &MetricsConfig::enabled(),
+                    plan,
+                )
+                .expect("job runs");
+                assert_eq!(serial[index], result, "every={every} job={index}");
+                assert!(m.spec_mispredicts > 0, "fault injection must fire");
+                assert!(m.spec_replayed_accesses > 0);
+                assert_eq!(m.spec_commits, m.segments, "every segment still commits");
+            }
+        }
+    }
+
+    #[test]
+    fn unforkable_probes_skip_fault_injection_but_still_speculate() {
+        // The training prefetcher deliberately has no `fork` (sectored tag
+        // arrays are not cheaply cloneable), so the fault-injection knob is
+        // a no-op for it — clean-path speculation needs no snapshots and
+        // still runs and commits.
+        let jobs = vec![job(
+            Application::Ocean,
+            PrefetcherSpec::training(&crate::spec::TrainingSpec {
+                trainer: sms::TrainerKind::LogicalSectored,
+                region: RegionConfig::paper_default(),
+                index_scheme: sms::IndexScheme::PcOffset,
+                pht: sms::PhtCapacity::paper_default(),
+                l1_capacity_bytes: 64 * 1024,
+            }),
+        )];
+        let serial = run_jobs_with(&jobs, &EngineConfig::serial());
+        let plan = SegmentPlan::new(1_000, 4)
+            .with_speculation(2)
+            .with_mispredict_every(1);
+        let (result, m) = run_job_segmented(
+            0,
+            &jobs[0],
+            Registry::builtin(),
+            &MetricsConfig::enabled(),
+            plan,
+        )
+        .expect("job runs");
+        assert_eq!(serial[0], result);
+        assert_eq!(m.spec_mispredicts, 0, "no fork, no injected faults");
+        assert!(m.spec_commits > 0);
+    }
+
+    #[test]
     fn segment_plan_splits_the_thread_budget() {
         let config = EngineConfig::with_workers(6).with_segment_size(1_000);
         let plan = config.segment_plan().expect("segmentation on");
         assert_eq!(plan.threads, 3);
         assert_eq!(plan.segment_size, 1_000);
+        assert_eq!(plan.speculation, 0);
         assert!(EngineConfig::with_workers(6).segment_plan().is_none());
         assert!(EngineConfig::with_workers(6)
             .with_segment_size(0)
@@ -616,6 +803,16 @@ mod tests {
             serial_plan.threads, 1,
             "one worker means an inline pipeline"
         );
+        // Speculation grants the pipeline a fourth thread (the speculative
+        // simulate worker) when the budget allows.
+        let spec_plan = EngineConfig::with_workers(6)
+            .with_segment_size(1_000)
+            .with_speculation(4)
+            .segment_plan()
+            .expect("segmentation on");
+        assert_eq!(spec_plan.threads, 4);
+        assert_eq!(spec_plan.speculation, 4);
+        assert_eq!(spec_plan.mispredict_every, 0);
     }
 
     fn temp_file(tag: &str) -> std::path::PathBuf {
@@ -658,6 +855,13 @@ mod tests {
             assert_eq!(serial, segmented, "workers={workers}");
             assert!(segmented[0].warnings.is_empty(), "no short-trace warning");
         }
+        let speculative = run_jobs_with(
+            &jobs,
+            &EngineConfig::with_workers(4)
+                .with_segment_size(1_000)
+                .with_speculation(2),
+        );
+        assert_eq!(serial, speculative, "speculative boundary run");
         std::fs::remove_file(&path).ok();
     }
 
@@ -683,6 +887,13 @@ mod tests {
             );
             assert_eq!(serial, segmented, "workers={workers}");
         }
+        let speculative = run_jobs_with(
+            &jobs,
+            &EngineConfig::with_workers(4)
+                .with_segment_size(10_000)
+                .with_speculation(3),
+        );
+        assert_eq!(serial, speculative, "speculative oversize run");
         std::fs::remove_file(&path).ok();
     }
 
@@ -711,14 +922,49 @@ mod tests {
             assert_eq!(serial_err, err, "workers={workers}");
             assert!(err.to_string().contains("corrupt mid-stream"), "{err}");
         }
+        let err = run_jobs_in(
+            &jobs,
+            &EngineConfig::with_workers(4)
+                .with_segment_size(1_000)
+                .with_speculation(2),
+            Registry::builtin(),
+        )
+        .expect_err("corrupt trace must fail speculatively");
+        assert_eq!(serial_err, err, "speculative corrupt-late run");
         std::fs::remove_file(&path).ok();
     }
 
-    /// A probe that inspects miss kinds: must be excluded from deferred
-    /// classification and still see inline kinds via the serial fallback.
+    /// The engine-owned half of the kind-counting probe: the [`KindSink`]
+    /// that receives inline miss kinds from whichever stage classifies —
+    /// the simulator itself on the serial path, the account stage's tape
+    /// replay on segmented and speculative paths.
+    struct KindCounter {
+        classified: u64,
+    }
+
+    impl KindSink for KindCounter {
+        fn on_kinds(
+            &mut self,
+            _access: &trace::MemAccess,
+            l1: Option<memsim::MissKind>,
+            _l2: Option<memsim::MissKind>,
+        ) {
+            if l1.is_some() {
+                self.classified += 1;
+            }
+        }
+
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    /// A probe that consumes miss kinds through the [`KindSink`] seam.  Its
+    /// own `on_access` never reads the outcome's kind fields — that is the
+    /// contract that lets it run with deferred classification.
     struct KindCountingProbe {
         inner: memsim::NullPrefetcher,
-        classified: u64,
+        counter: Option<Box<KindCounter>>,
     }
 
     impl memsim::Prefetcher for KindCountingProbe {
@@ -727,9 +973,6 @@ mod tests {
             access: &trace::MemAccess,
             outcome: &memsim::SystemOutcome,
         ) -> Vec<memsim::PrefetchRequest> {
-            if outcome.l1_miss_kind.is_some() {
-                self.classified += 1;
-            }
             self.inner.on_access(access, outcome)
         }
 
@@ -743,8 +986,21 @@ mod tests {
             true
         }
 
+        fn take_kind_sink(&mut self) -> Option<Box<dyn KindSink>> {
+            self.counter.take().map(|c| c as Box<dyn KindSink>)
+        }
+
+        fn restore_kind_sink(&mut self, sink: Box<dyn KindSink>) {
+            self.counter = Some(
+                sink.into_any()
+                    .downcast()
+                    .expect("kind-counter sink round-trips"),
+            );
+        }
+
         fn into_report(self: Box<Self>) -> crate::plugin::ProbeReport {
-            crate::plugin::ProbeReport::new("kind-counter", &self.classified)
+            let classified = self.counter.as_ref().map_or(0, |c| c.classified);
+            crate::plugin::ProbeReport::new("kind-counter", &classified)
         }
     }
 
@@ -762,13 +1018,13 @@ mod tests {
         ) -> Result<BuiltPrefetcher, crate::plugin::PluginError> {
             Ok(BuiltPrefetcher::new(KindCountingProbe {
                 inner: memsim::NullPrefetcher::new(),
-                classified: 0,
+                counter: Some(Box::new(KindCounter { classified: 0 })),
             }))
         }
     }
 
     #[test]
-    fn miss_kind_probes_fall_back_to_serial_and_still_see_kinds() {
+    fn miss_kind_probes_segment_and_speculate_with_identical_kinds() {
         let mut registry = Registry::with_builtins();
         registry.register(std::sync::Arc::new(KindCountingPlugin));
         let jobs = vec![job(
@@ -779,20 +1035,52 @@ mod tests {
             },
         )];
         let serial = run_jobs_in(&jobs, &EngineConfig::serial(), &registry).expect("runs");
-        let segmented = run_jobs_in(
-            &jobs,
-            &EngineConfig::with_workers(3).with_segment_size(1_000),
-            &registry,
-        )
-        .expect("runs via fallback");
-        assert_eq!(serial, segmented);
         let classified: u64 = serial[0]
             .probe
             .decode("kind-counter")
             .expect("kind-counter report");
-        assert!(
-            classified > 0,
-            "the fallback path must still deliver inline miss kinds"
-        );
+        assert!(classified > 0, "the serial path delivers inline kinds");
+        for (workers, speculate) in [(3, 0), (2, 2), (4, 3)] {
+            let config = EngineConfig::with_workers(workers)
+                .with_segment_size(1_000)
+                .with_speculation(speculate);
+            let segmented = run_jobs_in(&jobs, &config, &registry).expect("runs segmented");
+            assert_eq!(
+                serial, segmented,
+                "workers={workers} speculate={speculate}: the account stage \
+                 must feed the sink exactly the inline kinds"
+            );
+        }
+    }
+
+    #[test]
+    fn density_and_oracle_probes_segment_equivalently() {
+        // Passive measurement probes (Figures 4 and 5) exercise the probe
+        // report path through the segment pipeline and the speculative
+        // worker's state hand-off.
+        let jobs = vec![
+            job(
+                Application::OltpDb2,
+                PrefetcherSpec::density_probe(&RegionConfig::paper_default()),
+            ),
+            job(
+                Application::Ocean,
+                PrefetcherSpec::oracle_probe(&OracleProbeSpec {
+                    regions: vec![RegionConfig::new(512, 64), RegionConfig::new(1024, 64)],
+                    read_only: true,
+                }),
+            ),
+        ];
+        let serial = run_jobs_with(&jobs, &EngineConfig::serial());
+        for (workers, speculate) in [(1, 0), (3, 0), (4, 2)] {
+            let config = EngineConfig::with_workers(workers)
+                .with_segment_size(777)
+                .with_speculation(speculate);
+            let segmented = run_jobs_with(&jobs, &config);
+            assert_eq!(
+                serial, segmented,
+                "workers={workers} speculate={speculate} diverged"
+            );
+        }
     }
 }

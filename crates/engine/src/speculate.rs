@@ -1,0 +1,544 @@
+//! Speculative (run-ahead) segment execution with fingerprint-verified
+//! commits.
+//!
+//! The segment pipeline in [`crate::segment`] overlaps the pull and account
+//! stages with simulation, but the simulate stage itself still advances one
+//! segment at a time on the calling thread.  This module moves simulation to
+//! a dedicated **speculative worker** that chains ahead of the owner: after
+//! finishing segment `k` it immediately starts `k+1` from its own end state,
+//! without waiting for the owner to verify and commit `k`.  The owner
+//! becomes a **commit frontier**:
+//!
+//! ```text
+//!   owner --Segment(seq, buffer, tape)--> worker   (speculate ahead)
+//!   worker --SpecResult{seq, start_fp, end_fp, tape, ...}--> owner
+//!   owner: start_fp == committed_fp ?  commit : discard + Replay(seq, ...)
+//! ```
+//!
+//! Every result carries the [`StateFingerprint`] of the state the worker
+//! *started* the segment from.  The owner commits a result only when it is
+//! the next segment in order **and** its start fingerprint equals the
+//! fingerprint of the last committed state — i.e. the speculation provably
+//! continued the authoritative history.  On a match the segment's outcome
+//! tape is handed to the account stage and the frontier advances; on a
+//! mismatch the speculative outcome is discarded and the raw segment is sent
+//! back as a [`WorkerMsg::Replay`], which restores the worker's rollback
+//! snapshot (or continues from its now-authoritative state) and re-simulates
+//! the segment for real.  Committed results are therefore **bit-identical to
+//! the serial run by construction**: nothing reaches the accounting state
+//! without passing verification, and a replay that fails verification again
+//! panics rather than committing.
+//!
+//! Because the worker chains its own states, clean-path speculation always
+//! verifies — a mispredict requires the start state to *diverge* from the
+//! committed history, which only the test-only fault injection
+//! ([`SegmentPlan::with_mispredict_every`](crate::SegmentPlan::with_mispredict_every))
+//! does deliberately: it snapshots the clean state (system clone + probe
+//! [`fork`](crate::plugin::Probe::fork)), perturbs the live state with one
+//! off-stream access, and lets verification catch the divergence.  That
+//! keeps the mispredict/replay machinery honest and permanently exercised
+//! without ever risking a wrong result.
+//!
+//! Thread topology (`threads` is the plan's budget, clamped to `2..=4`):
+//!
+//! * 2 — owner pulls, verifies and accounts; worker simulates;
+//! * 3 — owner pulls and verifies; a helper accounts; worker simulates;
+//! * 4 — owner verifies; helpers pull and account; worker simulates.
+
+use crate::plugin::BuiltPrefetcher;
+use crate::segment::{AccountState, Pipeline, PipelineEnd, SegmentTelemetry};
+use memsim::{
+    DriverMeter, DriverMetrics, MultiCpuSystem, OutcomeTape, PrefetchRequest, SegmentCounts,
+    StateFingerprint,
+};
+use metrics::Stopwatch;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::mpsc;
+use trace::{fill_segment, BoxedStream, MemAccess};
+
+/// A message from the owner to the speculative worker.
+enum WorkerMsg {
+    /// Simulate this pulled segment from the worker's chained state.
+    Segment(u64, Vec<MemAccess>, OutcomeTape),
+    /// Verification failed: restore the rollback snapshot if one is
+    /// pending, then re-simulate this segment from the (authoritative)
+    /// current state.
+    Replay(u64, Vec<MemAccess>, OutcomeTape),
+}
+
+/// One speculatively simulated segment, reported back for verification.
+struct SpecResult {
+    seq: u64,
+    /// Fingerprint of the state the worker started this segment from.
+    start_fp: StateFingerprint,
+    /// Fingerprint of the state after simulating the segment.
+    end_fp: StateFingerprint,
+    /// The raw segment, returned so a failed verification can replay it.
+    accesses: Vec<MemAccess>,
+    tape: OutcomeTape,
+    /// This segment's contribution to the pipeline counts.
+    counts: SegmentCounts,
+    /// This segment's contribution to the driver telemetry (absorbed into
+    /// the job meter only on commit, so discarded speculation never skews
+    /// the counters).
+    meter: DriverMetrics,
+}
+
+/// Everything that can wake the owner: a pulled segment, a recycled
+/// buffer/tape pair, or a speculative result to verify.  Merging all three
+/// onto one channel lets the owner block on a single receiver.
+enum OwnerEvent {
+    Pulled(Vec<MemAccess>),
+    Recycled(Vec<MemAccess>, OutcomeTape),
+    Result(SpecResult),
+}
+
+/// Where segment pulls happen: on the owner (2–3 threads) or a helper (4).
+enum PullStage {
+    Inline {
+        stream: BoxedStream,
+        remaining: usize,
+        seconds: f64,
+    },
+    Helper {
+        tasks: mpsc::Sender<Vec<MemAccess>>,
+    },
+}
+
+/// Where tape replay happens: on the owner (2 threads) or a helper (3–4).
+enum AccountStage {
+    Inline {
+        // Boxed so the variant stays comparable in size to `Helper`.
+        state: Box<AccountState>,
+        seconds: f64,
+    },
+    Helper {
+        tasks: mpsc::Sender<(Vec<MemAccess>, OutcomeTape)>,
+    },
+}
+
+/// The speculative worker's loop: simulate every incoming segment from the
+/// current chained state and report a fingerprint-bracketed result.  The
+/// final (system, prefetcher) pair — the committed end state, once the owner
+/// has verified everything — is returned to the owner at join.
+fn worker_loop(
+    mut system: MultiCpuSystem,
+    mut prefetcher: BuiltPrefetcher,
+    msgs: mpsc::Receiver<WorkerMsg>,
+    events: mpsc::Sender<OwnerEvent>,
+    mispredict_every: u64,
+) -> (MultiCpuSystem, BuiltPrefetcher) {
+    let mut chain_fp = system.fingerprint();
+    let mut batch: Vec<PrefetchRequest> = Vec::new();
+    // Fault injection keeps exactly one clean snapshot: `faulted` blocks
+    // re-injection until a replay has restored it, so the rollback is never
+    // overwritten by wrong-path state.
+    let mut rollback: Option<(MultiCpuSystem, BuiltPrefetcher)> = None;
+    let mut faulted = false;
+    while let Ok(msg) = msgs.recv() {
+        let (seq, buffer, mut tape, replay) = match msg {
+            WorkerMsg::Segment(seq, buffer, tape) => (seq, buffer, tape, false),
+            WorkerMsg::Replay(seq, buffer, tape) => (seq, buffer, tape, true),
+        };
+        if replay {
+            if let Some((clean_system, clean_prefetcher)) = rollback.take() {
+                system = clean_system;
+                prefetcher = clean_prefetcher;
+                chain_fp = system.fingerprint();
+            }
+            // Without a pending rollback the current state is already
+            // authoritative: it is the end state of the previous committed
+            // (or replayed) segment.
+            faulted = false;
+        } else if mispredict_every > 0 && !faulted && seq % mispredict_every == mispredict_every - 1
+        {
+            if let Some(clean_prefetcher) = prefetcher.fork() {
+                rollback = Some((system.clone(), clean_prefetcher));
+                faulted = true;
+                // Perturb the live state with one off-stream access so this
+                // segment's start no longer matches the commit frontier.
+                let mut scratch_tape = OutcomeTape::new();
+                let mut scratch_counts = SegmentCounts::default();
+                memsim::run_segment_deferred(
+                    &mut system,
+                    &mut prefetcher,
+                    &[MemAccess::read(0, 0, 0)],
+                    &mut batch,
+                    &mut scratch_tape,
+                    &mut scratch_counts,
+                    &mut (),
+                );
+                chain_fp = system.fingerprint();
+            }
+        }
+        let start_fp = chain_fp;
+        tape.clear();
+        let mut counts = SegmentCounts::default();
+        let mut meter = DriverMetrics::default();
+        memsim::run_segment_deferred(
+            &mut system,
+            &mut prefetcher,
+            &buffer,
+            &mut batch,
+            &mut tape,
+            &mut counts,
+            &mut meter,
+        );
+        chain_fp = system.fingerprint();
+        let result = SpecResult {
+            seq,
+            start_fp,
+            end_fp: chain_fp,
+            accesses: buffer,
+            tape,
+            counts,
+            meter,
+        };
+        if events.send(OwnerEvent::Result(result)).is_err() {
+            break;
+        }
+    }
+    (system, prefetcher)
+}
+
+/// Runs the pipeline with a speculative simulate worker.  See the module
+/// docs for the protocol; the committed result is bit-identical to
+/// [`Pipeline::run`] without speculation.
+pub(crate) fn run_speculative<M: DriverMeter>(
+    pipeline: Pipeline,
+    meter: &mut M,
+    threads: usize,
+) -> (PipelineEnd, SegmentTelemetry) {
+    let Pipeline {
+        system,
+        prefetcher,
+        stream,
+        budget,
+        account,
+        plan,
+    } = pipeline;
+    let segment_size = plan.segment_size.max(1);
+    let depth = plan.speculation.max(1);
+
+    std::thread::scope(|scope| {
+        let mut telemetry = SegmentTelemetry::default();
+        let mut counts = SegmentCounts::default();
+        // The frontier: fingerprint of the last committed state.  The
+        // initial system state is committed by definition.
+        let mut committed_fp = system.fingerprint();
+
+        let (event_tx, event_rx) = mpsc::channel::<OwnerEvent>();
+        let (worker_tx, worker_rx) = mpsc::channel::<WorkerMsg>();
+        let worker_events = event_tx.clone();
+        let mispredict_every = plan.mispredict_every;
+        let worker = scope.spawn(move || {
+            worker_loop(
+                system,
+                prefetcher,
+                worker_rx,
+                worker_events,
+                mispredict_every,
+            )
+        });
+
+        let mut pull_handle = None;
+        let mut pull_stage = if threads >= 4 {
+            let (task_tx, task_rx) = mpsc::channel::<Vec<MemAccess>>();
+            let events = event_tx.clone();
+            let mut stream = stream;
+            let mut remaining = budget;
+            pull_handle = Some(scope.spawn(move || {
+                let mut seconds = 0.0;
+                while let Ok(mut buffer) = task_rx.recv() {
+                    let watch = Stopwatch::started();
+                    let want = segment_size.min(remaining);
+                    let got = fill_segment(&mut *stream, &mut buffer, want);
+                    remaining -= got;
+                    seconds += watch.elapsed_seconds();
+                    // Always respond, even empty: the owner counts
+                    // outstanding pulls and reads emptiness as
+                    // end-of-stream.
+                    if events.send(OwnerEvent::Pulled(buffer)).is_err() {
+                        break;
+                    }
+                }
+                (stream, seconds)
+            }));
+            PullStage::Helper { tasks: task_tx }
+        } else {
+            PullStage::Inline {
+                stream,
+                remaining: budget,
+                seconds: 0.0,
+            }
+        };
+
+        let mut account_handle = None;
+        let mut account_stage = if threads >= 3 {
+            let (task_tx, task_rx) = mpsc::channel::<(Vec<MemAccess>, OutcomeTape)>();
+            let events = event_tx.clone();
+            let mut state = account;
+            account_handle = Some(scope.spawn(move || {
+                let mut seconds = 0.0;
+                while let Ok((buffer, tape)) = task_rx.recv() {
+                    let watch = Stopwatch::started();
+                    state.replay_segment(&buffer, &tape);
+                    seconds += watch.elapsed_seconds();
+                    // Recycling is best-effort; the owner may be done.
+                    let _ = events.send(OwnerEvent::Recycled(buffer, tape));
+                }
+                (state, seconds)
+            }));
+            AccountStage::Helper { tasks: task_tx }
+        } else {
+            AccountStage::Inline {
+                state: Box::new(account),
+                seconds: 0.0,
+            }
+        };
+        drop(event_tx);
+
+        // Owner bookkeeping.  `in_flight` counts worker messages not yet
+        // answered; `stale` holds raw segments whose speculative results
+        // were produced from a wrong-path chain and await ordered replay;
+        // `replayed` guards against a replay failing verification again.
+        let mut next_seq = 0u64;
+        let mut commit_seq = 0u64;
+        let mut in_flight = 0usize;
+        let mut pulls_outstanding = 0usize;
+        let mut stream_done = false;
+        let mut recovering = false;
+        let mut stale: BTreeMap<u64, (Vec<MemAccess>, OutcomeTape)> = BTreeMap::new();
+        let mut replayed: BTreeSet<u64> = BTreeSet::new();
+        let mut pulled_ready: VecDeque<Vec<MemAccess>> = VecDeque::new();
+        let mut tapes: Vec<OutcomeTape> = Vec::new();
+        let mut spare_buffers: Vec<Vec<MemAccess>> = Vec::new();
+
+        // Prime the pull helper: keep one request beyond the speculation
+        // depth in flight so the worker never starves on trace IO.
+        if let PullStage::Helper { tasks } = &pull_stage {
+            for _ in 0..depth + 1 {
+                if tasks.send(Vec::new()).is_ok() {
+                    pulls_outstanding += 1;
+                }
+            }
+        }
+
+        loop {
+            // Feed the worker up to the speculation depth.  During recovery
+            // nothing new is dispatched: a fresh segment would speculate
+            // from a chain known to be wrong-path, so the owner first
+            // replays the discarded segments in order.
+            while !recovering && in_flight < depth {
+                let buffer = if let Some(buffer) = pulled_ready.pop_front() {
+                    Some(buffer)
+                } else if stream_done {
+                    None
+                } else {
+                    match &mut pull_stage {
+                        PullStage::Inline {
+                            stream,
+                            remaining,
+                            seconds,
+                        } => {
+                            let mut buffer = spare_buffers.pop().unwrap_or_default();
+                            let watch = Stopwatch::started();
+                            let want = segment_size.min(*remaining);
+                            let got = fill_segment(&mut **stream, &mut buffer, want);
+                            *remaining -= got;
+                            *seconds += watch.elapsed_seconds();
+                            if got < segment_size {
+                                stream_done = true;
+                            }
+                            if buffer.is_empty() {
+                                spare_buffers.push(buffer);
+                                None
+                            } else {
+                                Some(buffer)
+                            }
+                        }
+                        // Helper pulls arrive as events; nothing ready yet.
+                        PullStage::Helper { .. } => None,
+                    }
+                };
+                match buffer {
+                    Some(buffer) => {
+                        let tape = tapes.pop().unwrap_or_default();
+                        worker_tx
+                            .send(WorkerMsg::Segment(next_seq, buffer, tape))
+                            .expect("speculative worker alive");
+                        next_seq += 1;
+                        in_flight += 1;
+                    }
+                    None => break,
+                }
+            }
+
+            // Done once every pulled access is committed and nothing is
+            // pending anywhere in the pipeline.
+            if in_flight == 0
+                && stale.is_empty()
+                && pulled_ready.is_empty()
+                && stream_done
+                && pulls_outstanding == 0
+            {
+                break;
+            }
+
+            match event_rx.recv().expect("a pipeline stage hung up early") {
+                OwnerEvent::Pulled(buffer) => {
+                    pulls_outstanding -= 1;
+                    if buffer.len() < segment_size {
+                        stream_done = true;
+                    }
+                    if buffer.is_empty() {
+                        spare_buffers.push(buffer);
+                    } else {
+                        pulled_ready.push_back(buffer);
+                    }
+                }
+                OwnerEvent::Recycled(buffer, tape) => {
+                    tapes.push(tape);
+                    match &pull_stage {
+                        PullStage::Helper { tasks } if !stream_done => {
+                            if tasks.send(buffer).is_ok() {
+                                pulls_outstanding += 1;
+                            }
+                        }
+                        _ => spare_buffers.push(buffer),
+                    }
+                }
+                OwnerEvent::Result(result) => {
+                    in_flight -= 1;
+                    if result.seq == commit_seq && result.start_fp == committed_fp {
+                        // Verified: the segment was simulated from exactly
+                        // the committed state.  Commit it.
+                        replayed.remove(&result.seq);
+                        committed_fp = result.end_fp;
+                        commit_seq += 1;
+                        telemetry.segments += 1;
+                        telemetry.spec_commits += 1;
+                        counts.accesses += result.counts.accesses;
+                        counts.skipped_accesses += result.counts.skipped_accesses;
+                        counts.prefetch_requests += result.counts.prefetch_requests;
+                        meter.absorb(&result.meter);
+                        match &mut account_stage {
+                            AccountStage::Inline { state, seconds } => {
+                                let watch = Stopwatch::started();
+                                state.replay_segment(&result.accesses, &result.tape);
+                                *seconds += watch.elapsed_seconds();
+                                tapes.push(result.tape);
+                                spare_buffers.push(result.accesses);
+                            }
+                            AccountStage::Helper { tasks } => {
+                                tasks
+                                    .send((result.accesses, result.tape))
+                                    .expect("account helper alive");
+                            }
+                        }
+                        if recovering {
+                            if let Some((buffer, tape)) = stale.remove(&commit_seq) {
+                                // The next discarded segment replays from
+                                // the now-authoritative state.
+                                telemetry.spec_replayed_accesses += buffer.len() as u64;
+                                replayed.insert(commit_seq);
+                                worker_tx
+                                    .send(WorkerMsg::Replay(commit_seq, buffer, tape))
+                                    .expect("speculative worker alive");
+                                in_flight += 1;
+                            } else if stale.is_empty() && in_flight == 0 {
+                                // Every wrong-path segment has been replayed
+                                // and committed; resume dispatching.
+                                recovering = false;
+                            }
+                        }
+                    } else if result.seq == commit_seq {
+                        // Frontier mispredict: the speculation chain
+                        // diverged from the committed history.  A replay
+                        // must never land here again — that would mean the
+                        // simulator itself is nondeterministic, and
+                        // committing anyway could silently corrupt results.
+                        assert!(
+                            !replayed.contains(&result.seq),
+                            "segment {} diverged again when replayed from the \
+                             authoritative state (started from {}, committed \
+                             frontier {}): simulation is nondeterministic",
+                            result.seq,
+                            result.start_fp,
+                            committed_fp,
+                        );
+                        recovering = true;
+                        telemetry.spec_mispredicts += 1;
+                        telemetry.spec_replayed_accesses += result.accesses.len() as u64;
+                        replayed.insert(result.seq);
+                        worker_tx
+                            .send(WorkerMsg::Replay(result.seq, result.accesses, result.tape))
+                            .expect("speculative worker alive");
+                        in_flight += 1;
+                    } else {
+                        // A result past a stalled frontier: its chain input
+                        // was wrong-path by construction.  Discard the
+                        // outcome, hold the raw segment for ordered replay.
+                        assert!(
+                            recovering && result.seq > commit_seq,
+                            "out-of-order result {} at frontier {}",
+                            result.seq,
+                            commit_seq,
+                        );
+                        telemetry.spec_mispredicts += 1;
+                        stale.insert(result.seq, (result.accesses, result.tape));
+                    }
+                }
+            }
+        }
+
+        drop(worker_tx);
+        let (system, prefetcher) = worker.join().expect("speculative worker panicked");
+        // The worker's final state is the last committed state — anything
+        // else would mean an unverified segment leaked through.
+        assert_eq!(
+            system.fingerprint(),
+            committed_fp,
+            "speculative end state diverged from the commit frontier"
+        );
+
+        let (mut stream, pull_seconds) = match pull_stage {
+            PullStage::Inline {
+                stream, seconds, ..
+            } => (stream, seconds),
+            PullStage::Helper { tasks } => {
+                drop(tasks);
+                pull_handle
+                    .take()
+                    .expect("pull helper spawned")
+                    .join()
+                    .expect("pull helper panicked")
+            }
+        };
+        let (account, account_seconds) = match account_stage {
+            AccountStage::Inline { state, seconds } => (*state, seconds),
+            AccountStage::Helper { tasks } => {
+                drop(tasks);
+                account_handle
+                    .take()
+                    .expect("account helper spawned")
+                    .join()
+                    .expect("account helper panicked")
+            }
+        };
+        telemetry.pull_seconds = pull_seconds;
+        telemetry.account_seconds = account_seconds;
+        let stream_error = stream.take_error();
+
+        (
+            PipelineEnd {
+                system,
+                prefetcher,
+                counts,
+                account,
+                stream_error,
+            },
+            telemetry,
+        )
+    })
+}

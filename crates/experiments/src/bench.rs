@@ -1,9 +1,12 @@
 //! The bench pipeline: `sms-experiments bench`.
 //!
 //! Runs the job-bearing experiments at a reduced scale through the engine
-//! three ways — serial, job-parallel at `N` workers, and **segment-parallel**
-//! (same `N` workers with the intra-job segment pipeline) — measures
-//! per-figure throughput and speedup with the engine's own telemetry,
+//! four ways — serial, job-parallel at `N` workers, **segment-parallel**
+//! (same `N` workers with the intra-job segment pipeline), and
+//! **speculative** (the segment pipeline with run-ahead speculation, every
+//! segment verified against the authoritative state before commit) —
+//! measures per-figure throughput and speedup with the engine's own
+//! telemetry,
 //! measures the batched stream-request hot path against the kept
 //! pre-batching driver loop, and emits everything as a schema-versioned
 //! `BENCH_<name>.json` — the perf trajectory the ROADMAP's scaling work
@@ -48,6 +51,9 @@ pub struct BenchOptions {
     /// Accesses per segment for the segment-parallel measurement (`None` =
     /// a scale-derived default).
     pub segment_size: Option<usize>,
+    /// Speculation depth for the speculative measurement (`None` = the
+    /// default depth of 4 segments ahead of the commit frontier).
+    pub speculate: Option<usize>,
 }
 
 impl BenchOptions {
@@ -59,6 +65,7 @@ impl BenchOptions {
             quick: false,
             figures: Vec::new(),
             segment_size: None,
+            speculate: None,
         }
     }
 }
@@ -74,6 +81,8 @@ pub struct BenchScale {
     pub representative_only: bool,
     /// Accesses per segment used by the segment-parallel measurement.
     pub segment_size: usize,
+    /// Run-ahead depth used by the speculative measurement.
+    pub speculation: usize,
 }
 
 /// Throughput and speedup of one experiment's job list.
@@ -112,6 +121,22 @@ pub struct FigureBench {
     /// Whether the segment-parallel results were bit-identical to the
     /// serial run (must always be `true`).
     pub segmented_deterministic: bool,
+    /// Wall-clock seconds of the speculative segment-parallel run (the
+    /// segment pipeline with run-ahead speculation).  This and the fields
+    /// below are required as of envelope schema version 3; `bench --against`
+    /// reads pre-speculation reports leniently without them.
+    pub speculative_seconds: f64,
+    /// Accesses/second of the speculative run.
+    pub speculative_accesses_per_sec: f64,
+    /// `serial_seconds / speculative_seconds`.
+    pub speculative_speedup: f64,
+    /// Whether the speculative results were bit-identical to the serial run
+    /// (must always be `true` — speculation commits only verified segments).
+    pub speculative_deterministic: bool,
+    /// Speculative segments that passed fingerprint verification and were
+    /// committed, summed over the figure's jobs (must be nonzero: the
+    /// speculative configuration has to actually speculate).
+    pub speculation_commits: u64,
 }
 
 /// The measured batched-vs-unbatched driver hot-path comparison.
@@ -156,6 +181,10 @@ pub struct BenchTotals {
     pub segmented_seconds: f64,
     /// Whole-suite segment-parallel speedup over serial.
     pub segmented_speedup: f64,
+    /// Total speculative wall-clock seconds.
+    pub speculative_seconds: f64,
+    /// Whole-suite speculative speedup over serial.
+    pub speculative_speedup: f64,
 }
 
 /// The payload of a `BENCH_<name>.json` file.
@@ -229,13 +258,15 @@ impl BenchReport {
             }
             if !(figure.serial_seconds > 0.0
                 && figure.parallel_seconds > 0.0
-                && figure.segmented_seconds > 0.0)
+                && figure.segmented_seconds > 0.0
+                && figure.speculative_seconds > 0.0)
             {
                 return Err(format!("{f}: missing wall-clock timings"));
             }
             if !(figure.serial_accesses_per_sec > 0.0
                 && figure.parallel_accesses_per_sec > 0.0
-                && figure.segmented_accesses_per_sec > 0.0)
+                && figure.segmented_accesses_per_sec > 0.0
+                && figure.speculative_accesses_per_sec > 0.0)
             {
                 return Err(format!("{f}: missing throughput"));
             }
@@ -256,6 +287,22 @@ impl BenchReport {
             if !figure.segmented_deterministic {
                 return Err(format!(
                     "{f}: segment-parallel results diverged from the serial run"
+                ));
+            }
+            if !figure.speculative_speedup.is_finite() || figure.speculative_speedup <= 0.0 {
+                return Err(format!(
+                    "{f}: bad speculative speedup {}",
+                    figure.speculative_speedup
+                ));
+            }
+            if !figure.speculative_deterministic {
+                return Err(format!(
+                    "{f}: speculative results diverged from the serial run"
+                ));
+            }
+            if figure.speculation_commits == 0 {
+                return Err(format!(
+                    "{f}: speculative run committed no speculative segments"
                 ));
             }
         }
@@ -305,6 +352,7 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
         .segment_size
         .filter(|&s| s > 0)
         .unwrap_or_else(|| (config.accesses / 6).max(10_000));
+    let speculation = options.speculate.filter(|&d| d > 0).unwrap_or(4);
     let registry = Registry::builtin();
     let collect = MetricsConfig::enabled();
     let mut rows = Vec::with_capacity(figures.len());
@@ -341,6 +389,16 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             &collect,
         )
         .map_err(|e| e.to_string())?;
+        let (speculative_results, speculative) = run_jobs_metered(
+            &jobs,
+            &EngineConfig::with_workers(workers)
+                .with_segment_size(segment_size)
+                .with_speculation(speculation),
+            registry,
+            &collect,
+        )
+        .map_err(|e| e.to_string())?;
+        let speculation_commits: u64 = speculative.jobs.iter().map(|j| j.spec_commits).sum();
         rows.push(FigureBench {
             figure: name.clone(),
             jobs: jobs.len(),
@@ -356,6 +414,11 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             segmented_accesses_per_sec: segmented.accesses_per_sec,
             segmented_speedup: ratio(serial.total_seconds, segmented.total_seconds),
             segmented_deterministic: serial_results == segmented_results,
+            speculative_seconds: speculative.total_seconds,
+            speculative_accesses_per_sec: speculative.accesses_per_sec,
+            speculative_speedup: ratio(serial.total_seconds, speculative.total_seconds),
+            speculative_deterministic: serial_results == speculative_results,
+            speculation_commits,
         });
     }
 
@@ -377,6 +440,11 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             rows.iter().map(|f| f.serial_seconds).sum(),
             rows.iter().map(|f| f.segmented_seconds).sum(),
         ),
+        speculative_seconds: rows.iter().map(|f| f.speculative_seconds).sum(),
+        speculative_speedup: ratio(
+            rows.iter().map(|f| f.serial_seconds).sum(),
+            rows.iter().map(|f| f.speculative_seconds).sum(),
+        ),
     };
 
     Ok(BenchReport {
@@ -390,6 +458,7 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             accesses: config.accesses,
             representative_only,
             segment_size,
+            speculation,
         },
         figures: rows,
         totals,
@@ -668,13 +737,14 @@ pub fn render(report: &BenchReport) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "bench {:?}: {} jobs, {} accesses, workers 1 vs {}, segments of {} \
-         (scale: {} cpus x {} accesses{}; host threads: {})",
+        "bench {:?}: {} jobs, {} accesses, workers 1 vs {}, segments of {}, \
+         speculation depth {} (scale: {} cpus x {} accesses{}; host threads: {})",
         report.name,
         report.totals.jobs,
         report.totals.accesses,
         report.workers,
         report.scale.segment_size,
+        report.scale.speculation,
         report.scale.cpus,
         report.scale.accesses,
         if report.scale.representative_only {
@@ -686,13 +756,23 @@ pub fn render(report: &BenchReport) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>5} {:>10} {:>14} {:>14} {:>8} {:>14} {:>8}",
-        "figure", "jobs", "accesses", "serial acc/s", "par acc/s", "par", "seg acc/s", "seg"
+        "{:<10} {:>5} {:>10} {:>14} {:>14} {:>8} {:>14} {:>8} {:>14} {:>8} {:>8}",
+        "figure",
+        "jobs",
+        "accesses",
+        "serial acc/s",
+        "par acc/s",
+        "par",
+        "seg acc/s",
+        "seg",
+        "spec acc/s",
+        "spec",
+        "commits"
     );
     for f in &report.figures {
         let _ = writeln!(
             out,
-            "{:<10} {:>5} {:>10} {:>14.0} {:>14.0} {:>7.2}x {:>14.0} {:>7.2}x",
+            "{:<10} {:>5} {:>10} {:>14.0} {:>14.0} {:>7.2}x {:>14.0} {:>7.2}x {:>14.0} {:>7.2}x {:>8}",
             f.figure,
             f.jobs,
             f.accesses,
@@ -701,12 +781,15 @@ pub fn render(report: &BenchReport) -> String {
             f.speedup,
             f.segmented_accesses_per_sec,
             f.segmented_speedup,
+            f.speculative_accesses_per_sec,
+            f.speculative_speedup,
+            f.speculation_commits,
         );
     }
     let t = &report.totals;
     let _ = writeln!(
         out,
-        "{:<10} {:>5} {:>10} {:>14} {:>14.0} {:>7.2}x {:>14} {:>7.2}x",
+        "{:<10} {:>5} {:>10} {:>14} {:>14.0} {:>7.2}x {:>14} {:>7.2}x {:>14} {:>7.2}x",
         "total",
         t.jobs,
         t.accesses,
@@ -715,6 +798,8 @@ pub fn render(report: &BenchReport) -> String {
         t.speedup,
         "",
         t.segmented_speedup,
+        "",
+        t.speculative_speedup,
     );
     let h = &report.hot_path;
     let _ = writeln!(
@@ -741,6 +826,7 @@ mod tests {
             quick: true,
             figures: vec!["fig5".to_string(), "fig11".to_string()],
             segment_size: None,
+            speculate: None,
         }
     }
 
@@ -755,8 +841,17 @@ mod tests {
             report.figures.iter().all(|f| f.segmented_deterministic),
             "segment-parallel results must be bit-identical"
         );
+        assert!(
+            report.figures.iter().all(|f| f.speculative_deterministic),
+            "speculative results must be bit-identical"
+        );
+        assert!(
+            report.figures.iter().all(|f| f.speculation_commits > 0),
+            "the speculative configuration must actually commit speculative segments"
+        );
         assert!(report.figures.iter().all(|f| f.warmup_seconds > 0.0));
         assert!(report.scale.segment_size > 0);
+        assert_eq!(report.scale.speculation, 4, "default speculation depth");
         assert!(report.host_threads >= 1);
         assert!(report.hot_path.identical_results);
         assert!(report.hot_path.before_accesses_per_sec > 0.0);
@@ -798,6 +893,11 @@ mod tests {
             segmented_accesses_per_sec: 64_000.0,
             segmented_speedup: 1.6,
             segmented_deterministic: true,
+            speculative_seconds: 1.0,
+            speculative_accesses_per_sec: 80_000.0,
+            speculative_speedup: 2.0,
+            speculative_deterministic: true,
+            speculation_commits: 8,
         };
         BenchReport {
             name: "fixture".to_string(),
@@ -808,6 +908,7 @@ mod tests {
                 accesses: 20_000,
                 representative_only: true,
                 segment_size: 10_000,
+                speculation: 4,
             },
             totals: BenchTotals {
                 jobs: 4,
@@ -818,6 +919,8 @@ mod tests {
                 parallel_accesses_per_sec: 80_000.0,
                 segmented_seconds: 1.25,
                 segmented_speedup: 1.6,
+                speculative_seconds: 1.0,
+                speculative_speedup: 2.0,
             },
             figures: vec![figure],
             hot_path: HotPathBench {
@@ -872,6 +975,178 @@ mod tests {
         let mut broken = fixture();
         broken.figures[0].segmented_seconds = 0.0;
         assert!(broken.validate().unwrap_err().contains("wall-clock"));
+    }
+
+    #[test]
+    fn validation_rejects_broken_speculative_runs() {
+        let mut broken = fixture();
+        broken.figures[0].speculative_deterministic = false;
+        assert!(broken
+            .validate()
+            .unwrap_err()
+            .contains("speculative results diverged"));
+
+        let mut broken = fixture();
+        broken.figures[0].speculative_seconds = 0.0;
+        assert!(broken.validate().unwrap_err().contains("wall-clock"));
+
+        let mut broken = fixture();
+        broken.figures[0].speculative_accesses_per_sec = 0.0;
+        assert!(broken.validate().unwrap_err().contains("throughput"));
+
+        let mut broken = fixture();
+        broken.figures[0].speculative_speedup = f64::NAN;
+        assert!(broken
+            .validate()
+            .unwrap_err()
+            .contains("bad speculative speedup"));
+
+        // A "speculative" run that never speculated is a measurement bug,
+        // not a slow run.
+        let mut broken = fixture();
+        broken.figures[0].speculation_commits = 0;
+        assert!(broken
+            .validate()
+            .unwrap_err()
+            .contains("committed no speculative segments"));
+    }
+
+    /// Asserts the exact `bench-diff` envelope contract: the kind tag, the
+    /// current schema version, a validating envelope, and a payload that
+    /// JSON-round-trips back to `diff` bit for bit.
+    fn assert_diff_envelope(diff: &BenchDiff) {
+        let envelope = diff.into_envelope();
+        assert_eq!(envelope.kind, DIFF_REPORT_KIND);
+        assert_eq!(envelope.schema_version, MetricsReport::SCHEMA_VERSION);
+        envelope.validate().expect("diff envelope validates");
+        let json = serde_json::to_string(&envelope).unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        let decoded: BenchDiff = back
+            .decode(DIFF_REPORT_KIND)
+            .expect("payload decodes")
+            .expect("kind matches");
+        assert_eq!(&decoded, diff);
+    }
+
+    /// A two-figure report: the fixture's fig5 plus a fig11 at half its
+    /// throughput (totals don't matter to `diff_reports`).
+    fn two_figure_fixture() -> BenchReport {
+        let mut report = fixture();
+        let mut second = report.figures[0].clone();
+        second.figure = "fig11".to_string();
+        second.parallel_accesses_per_sec = 40_000.0;
+        report.figures.push(second);
+        report
+    }
+
+    #[test]
+    fn diff_handles_a_figure_missing_from_the_old_baseline() {
+        // The old report predates fig11: the diff must compare fig5, list
+        // fig11 as added (not compared), and not invent a regression.
+        let new = two_figure_fixture();
+        let old = fixture();
+        let old_json = serde_json::to_string(&old.into_envelope()).unwrap();
+
+        let diff = diff_reports(&new, &old_json, 0.8).expect("comparable");
+        assert_eq!(
+            diff.figures,
+            vec![FigureDiff {
+                figure: "fig5".to_string(),
+                old_accesses_per_sec: 80_000.0,
+                new_accesses_per_sec: 80_000.0,
+                ratio: 1.0,
+                regressed: false,
+            }]
+        );
+        assert_eq!(diff.added, vec!["fig11".to_string()]);
+        assert!(diff.removed.is_empty());
+        assert!(!diff.regressed);
+        assert_diff_envelope(&diff);
+
+        // No overlap at all is an error, not an empty success: an all-new
+        // figure set means the baseline is not comparable.
+        let mut renamed = fixture();
+        renamed.figures[0].figure = "figX".to_string();
+        let err = diff_reports(&renamed, &old_json, 0.8).unwrap_err();
+        assert_eq!(err, "no figures in common between the two reports");
+    }
+
+    #[test]
+    fn diff_errors_when_an_old_baseline_figure_has_zero_throughput() {
+        // A present-but-unusable baseline entry (recorded zero throughput)
+        // must fail with the exact named-figure error, never be skipped.
+        let mut old = fixture();
+        old.figures[0].parallel_accesses_per_sec = 0.0;
+        let old_json = serde_json::to_string(&old.into_envelope()).unwrap();
+        let err = diff_reports(&fixture(), &old_json, 0.8).unwrap_err();
+        assert_eq!(
+            err,
+            "old report figure fig5: non-positive parallel throughput 0"
+        );
+    }
+
+    #[test]
+    fn diff_parses_a_schema_version_1_baseline_leniently() {
+        // A version-1 envelope (the BENCH_pr4.json era: no segmented or
+        // speculative columns, no host_threads) must still diff — only the
+        // figure names and parallel throughput matter — and the resulting
+        // diff must satisfy the exact current bench-diff envelope contract.
+        let old_json = r#"{
+            "schema_version": 1,
+            "kind": "bench",
+            "data": {
+                "name": "pr4",
+                "workers": 2,
+                "figures": [
+                    {"figure": "fig5", "jobs": 4, "parallel_accesses_per_sec": 160000.0}
+                ]
+            }
+        }"#;
+        let diff = diff_reports(&fixture(), old_json, 0.8).expect("v1 baseline comparable");
+        assert_eq!(
+            diff,
+            BenchDiff {
+                name: "fixture".to_string(),
+                against: "pr4".to_string(),
+                threshold: 0.8,
+                figures: vec![FigureDiff {
+                    figure: "fig5".to_string(),
+                    old_accesses_per_sec: 160_000.0,
+                    new_accesses_per_sec: 80_000.0,
+                    ratio: 0.5,
+                    regressed: true,
+                }],
+                added: Vec::new(),
+                removed: Vec::new(),
+                regressed: true,
+            }
+        );
+        assert_diff_envelope(&diff);
+    }
+
+    #[test]
+    fn threshold_exactly_at_the_boundary_is_not_a_regression() {
+        // The gate is `ratio < threshold`, strictly: a figure sitting
+        // exactly at the threshold passes.  100k -> 80k at threshold 0.8
+        // gives a ratio equal to the 0.8 threshold double, which must not
+        // regress; a threshold a hair above the ratio must.
+        let mut old = fixture();
+        old.figures[0].parallel_accesses_per_sec = 100_000.0;
+        let old_json = serde_json::to_string(&old.into_envelope()).unwrap();
+
+        let diff = diff_reports(&fixture(), &old_json, 0.8).expect("comparable");
+        assert_eq!(diff.threshold, 0.8);
+        assert_eq!(diff.figures[0].ratio, 0.8);
+        assert!(!diff.figures[0].regressed, "ratio == threshold must pass");
+        assert!(!diff.regressed);
+        assert_diff_envelope(&diff);
+
+        let above = diff_reports(&fixture(), &old_json, 0.8 + f64::EPSILON).expect("comparable");
+        assert!(
+            above.figures[0].regressed && above.regressed,
+            "a threshold above the ratio must regress"
+        );
+        assert_diff_envelope(&above);
     }
 
     #[test]

@@ -6,13 +6,14 @@
 //!
 //! ```text
 //! sms-experiments <experiment> [--quick] [--jobs N] [--segment-size N]
-//!                 [--json <path>] [--out <path>] [--emit-spec <path>]
+//!                 [--speculate N] [--json <path>] [--out <path>]
+//!                 [--emit-spec <path>]
 //! sms-experiments --figure <experiment> [same flags]
 //! sms-experiments run --spec <jobs.json> [--jobs N] [--segment-size N]
-//!                 [--out <path>]
+//!                 [--speculate N] [--out <path>]
 //! sms-experiments list [--json]
 //! sms-experiments bench [--quick] [--jobs N] [--segment-size N]
-//!                 [--name NAME] [--out <path>]
+//!                 [--speculate N] [--name NAME] [--out <path>]
 //!                 [--against OLD.json [--threshold F] [--diff-out <path>]]
 //! sms-experiments bench --check <path>
 //!
@@ -21,9 +22,10 @@
 //! list           print the experiments and the registered prefetcher plugins
 //!                (--json: the machine-readable catalog)
 //! run --spec P   execute a serialized engine job list (see --emit-spec)
-//! bench          measure serial / job-parallel / segment-parallel throughput
-//!                of the experiment suite and the batched hot path; write a
-//!                schema-versioned BENCH_<name>.json
+//! bench          measure serial / job-parallel / segment-parallel /
+//!                speculative throughput of the experiment suite and the
+//!                batched hot path; write a schema-versioned
+//!                BENCH_<name>.json
 //! bench --check  validate an existing bench report against its schema
 //! bench --against OLD.json
 //!                additionally diff per-figure throughput against a previous
@@ -38,6 +40,11 @@
 //!                run every job through the intra-job segment pipeline with
 //!                N accesses per segment (results are bit-identical; long
 //!                jobs stop pinning one worker)
+//! --speculate N  let the segment pipeline simulate up to N segments ahead
+//!                of the verified commit frontier (implies --segment-size at
+//!                a default size when not given; results stay bit-identical
+//!                because every speculative segment is verified against the
+//!                authoritative state before it commits)
 //! --json PATH    additionally dump the figure-level results as JSON
 //! --out PATH     dump the raw engine JobResults as JSON (byte-identical to
 //!                what `run --spec` produces for the same jobs)
@@ -76,10 +83,10 @@ struct JsonDump {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> \
-         [--quick] [--jobs N] [--segment-size N] [--json PATH] [--out PATH] [--emit-spec PATH]\n\
-       \x20      sms-experiments run --spec JOBS.json [--jobs N] [--segment-size N] [--out PATH]\n\
+         [--quick] [--jobs N] [--segment-size N] [--speculate N] [--json PATH] [--out PATH] [--emit-spec PATH]\n\
+       \x20      sms-experiments run --spec JOBS.json [--jobs N] [--segment-size N] [--speculate N] [--out PATH]\n\
        \x20      sms-experiments list [--json]\n\
-       \x20      sms-experiments bench [--quick] [--jobs N] [--segment-size N] [--name NAME] [--out PATH]\n\
+       \x20      sms-experiments bench [--quick] [--jobs N] [--segment-size N] [--speculate N] [--name NAME] [--out PATH]\n\
        \x20                            [--against OLD.json [--threshold F] [--diff-out PATH]]\n\
        \x20      sms-experiments bench --check PATH"
     );
@@ -129,6 +136,7 @@ struct BenchFlags<'a> {
     name: Option<&'a str>,
     out: Option<&'a str>,
     segment_size: Option<usize>,
+    speculate: Option<usize>,
     against: Option<&'a str>,
     threshold: f64,
     diff_out: Option<&'a str>,
@@ -165,6 +173,7 @@ fn run_bench_command(flags: &BenchFlags<'_>, quick: bool, workers: usize) -> Exi
         quick,
         figures: Vec::new(),
         segment_size: flags.segment_size,
+        speculate: flags.speculate,
     }) {
         Ok(report) => report,
         Err(e) => {
@@ -236,7 +245,13 @@ fn read_bench_report(path: &str) -> Result<bench::BenchReport, String> {
 
 /// Executes a serialized job list (`run --spec`), printing a per-job summary
 /// table and optionally dumping the raw results.
-fn run_spec(spec_path: &str, workers: usize, segment_size: usize, out: Option<&str>) -> ExitCode {
+fn run_spec(
+    spec_path: &str,
+    workers: usize,
+    segment_size: usize,
+    speculate: usize,
+    out: Option<&str>,
+) -> ExitCode {
     let text = match std::fs::read_to_string(spec_path) {
         Ok(text) => text,
         Err(e) => {
@@ -256,7 +271,9 @@ fn run_spec(spec_path: &str, workers: usize, segment_size: usize, out: Option<&s
     };
     let results = match engine::run_jobs_in(
         &list.jobs,
-        &EngineConfig::with_workers(workers).with_segment_size(segment_size),
+        &EngineConfig::with_workers(workers)
+            .with_segment_size(segment_size)
+            .with_speculation(speculate),
         Registry::builtin(),
     ) {
         Ok(results) => results,
@@ -347,6 +364,16 @@ fn main() -> ExitCode {
         },
         None => 0,
     };
+    let speculate = match flag_value("--speculate") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--speculate expects a number of segments, got {n:?}");
+                return usage();
+            }
+        },
+        None => 0,
+    };
 
     if experiment == "list" {
         return list(args.iter().any(|a| a == "--json"));
@@ -356,7 +383,13 @@ fn main() -> ExitCode {
             eprintln!("run requires --spec JOBS.json");
             return usage();
         };
-        return run_spec(&spec_path, workers, segment_size, out_path.as_deref());
+        return run_spec(
+            &spec_path,
+            workers,
+            segment_size,
+            speculate,
+            out_path.as_deref(),
+        );
     }
     if experiment == "bench" {
         let check = flag_value("--check");
@@ -393,6 +426,7 @@ fn main() -> ExitCode {
                 } else {
                     None
                 },
+                speculate: if speculate > 0 { Some(speculate) } else { None },
                 against: against.as_deref(),
                 threshold,
                 diff_out: diff_out.as_deref(),
@@ -419,7 +453,8 @@ fn main() -> ExitCode {
         ExperimentConfig::full()
     }
     .with_workers(workers)
-    .with_segment_size(segment_size);
+    .with_segment_size(segment_size)
+    .with_speculation(speculate);
     // Quick runs restrict class-level experiments to representative
     // applications; full runs use the whole suite.
     let representative_only = quick;

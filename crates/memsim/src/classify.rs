@@ -21,6 +21,7 @@
 
 use crate::config::HierarchyConfig;
 use crate::fasthash::{FastMap, FastSet};
+use crate::fingerprint::{scramble, FingerprintBuilder};
 use serde::{Deserialize, Serialize};
 use trace::MemAccess;
 
@@ -115,6 +116,32 @@ impl MissClassifier {
     pub fn block_bytes(&self) -> u64 {
         self.block_bytes
     }
+
+    /// Feeds the classifier's history into a state fingerprint.
+    ///
+    /// The per-CPU sets and maps iterate in hash order, so each entry is
+    /// scrambled individually and the results combined commutatively before
+    /// mixing — two classifiers with equal contents fingerprint identically
+    /// regardless of insertion order.
+    pub(crate) fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.mix(self.block_bytes);
+        for seen in &self.seen {
+            let mut sum = 0u64;
+            for &block in seen {
+                sum = sum.wrapping_add(scramble(block));
+            }
+            fp.mix(seen.len() as u64);
+            fp.mix(sum);
+        }
+        for invalidated in &self.invalidated {
+            let mut sum = 0u64;
+            for (&block, &written) in invalidated {
+                sum = sum.wrapping_add(scramble(scramble(block).wrapping_add(written)));
+            }
+            fp.mix(invalidated.len() as u64);
+            fp.mix(sum);
+        }
+    }
 }
 
 /// Per-kind miss counters.
@@ -149,6 +176,14 @@ impl MissBreakdown {
     /// Misses not caused by false sharing.
     pub fn other_than_false_sharing(&self) -> u64 {
         self.total() - self.false_sharing
+    }
+
+    /// Feeds the four counters into a state fingerprint.
+    pub(crate) fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        fp.mix(self.cold);
+        fp.mix(self.replacement);
+        fp.mix(self.true_sharing);
+        fp.mix(self.false_sharing);
     }
 }
 
@@ -337,6 +372,30 @@ impl MissAccounting {
     /// Panics if the tape does not cover `accesses` (they must come from the
     /// same deferred segment run).
     pub fn replay(&mut self, accesses: &[MemAccess], tape: &OutcomeTape) {
+        self.replay_with_kinds(accesses, tape, |_, _, _| {});
+    }
+
+    /// [`replay`](Self::replay) with an observer: `observe` is called once
+    /// per non-skipped access with the `(l1, l2)` miss kinds
+    /// [`on_access`](Self::on_access) returns — exactly the values the
+    /// inline path's [`SystemOutcome`](crate::system::SystemOutcome) would
+    /// have carried for the same access (`Some` for classified read misses,
+    /// `None` for hits and write misses).
+    ///
+    /// This is how the segment pipeline's accounting stage feeds probes that
+    /// declare `wants_miss_kinds`: the kinds are recomputed here, in access
+    /// order, bit-identically to the serial run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tape does not cover `accesses` (they must come from the
+    /// same deferred segment run).
+    pub fn replay_with_kinds(
+        &mut self,
+        accesses: &[MemAccess],
+        tape: &OutcomeTape,
+        mut observe: impl FnMut(&MemAccess, Option<MissKind>, Option<MissKind>),
+    ) {
         assert_eq!(
             accesses.len(),
             tape.len(),
@@ -346,7 +405,8 @@ impl MissAccounting {
         for (index, access) in accesses.iter().enumerate() {
             let flags = tape.flags_at(index);
             if !flags.skipped {
-                let _ = self.on_access(access, flags.l1_miss, flags.offchip);
+                let (l1, l2) = self.on_access(access, flags.l1_miss, flags.offchip);
+                observe(access, l1, l2);
             }
             while let Some(&&(event_index, cpu)) = invalidations.peek() {
                 if event_index as usize != index {
@@ -360,6 +420,15 @@ impl MissAccounting {
             invalidations.next().is_none(),
             "tape records invalidations past the access buffer"
         );
+    }
+
+    /// Feeds both levels' classifier history and breakdowns into a state
+    /// fingerprint.
+    pub(crate) fn fingerprint_into(&self, fp: &mut FingerprintBuilder) {
+        self.l1.fingerprint_into(fp);
+        self.l2.fingerprint_into(fp);
+        self.l1_breakdown.fingerprint_into(fp);
+        self.l2_breakdown.fingerprint_into(fp);
     }
 }
 
@@ -452,6 +521,45 @@ mod tests {
         assert_eq!(replayed.l1_breakdown(), inline.l1_breakdown());
         assert_eq!(replayed.l2_breakdown(), inline.l2_breakdown());
         assert!(inline.l1_breakdown().true_sharing + inline.l1_breakdown().false_sharing > 0);
+    }
+
+    #[test]
+    fn replay_with_kinds_reports_the_inline_kinds() {
+        use crate::config::HierarchyConfig;
+        use trace::MemAccess;
+
+        let config = HierarchyConfig::scaled();
+        let accesses = vec![
+            MemAccess::read(0, 0x400, 0x1000),  // cold read miss
+            MemAccess::write(1, 0x404, 0x1000), // write miss: kinds stay None
+            MemAccess::read(0, 0x408, 0x1010),  // sharing read miss (L1 only)
+            MemAccess::read(0, 0x40c, 0x1000),  // hit: kinds stay None
+        ];
+
+        // Drive the inline path and record its returned kinds.
+        let mut inline = MissAccounting::new(2, &config);
+        let mut tape = OutcomeTape::new();
+        let mut inline_kinds = Vec::new();
+        inline_kinds.push(inline.on_access(&accesses[0], true, true));
+        tape.push_outcome(true, true);
+        inline_kinds.push(inline.on_access(&accesses[1], true, true));
+        inline.on_invalidation(0, accesses[1].addr);
+        tape.push_outcome(true, true);
+        tape.push_invalidation(0);
+        inline_kinds.push(inline.on_access(&accesses[2], true, false));
+        tape.push_outcome(true, false);
+        inline_kinds.push(inline.on_access(&accesses[3], false, false));
+        tape.push_outcome(false, false);
+
+        let mut replayed = MissAccounting::new(2, &config);
+        let mut observed = Vec::new();
+        replayed.replay_with_kinds(&accesses, &tape, |_, l1, l2| observed.push((l1, l2)));
+        assert_eq!(observed, inline_kinds);
+        assert_eq!(observed[0].0, Some(MissKind::Cold));
+        assert_eq!(observed[1], (None, None), "write misses report no kinds");
+        assert!(observed[2].0.is_some(), "sharing miss classified on replay");
+        assert_eq!(observed[3], (None, None), "hits report no kinds");
+        assert_eq!(replayed.l1_breakdown(), inline.l1_breakdown());
     }
 
     #[test]

@@ -116,6 +116,11 @@ pub trait DriverMeter {
     fn prefetch_issue(&mut self);
     /// One access's request batch was drained (`len > 0`).
     fn batch(&mut self, len: usize);
+    /// Folds a batch of counters collected elsewhere (e.g. by a speculative
+    /// worker on its own thread) into this meter.  The default is a no-op so
+    /// disabled telemetry stays free; counting meters add the counter fields
+    /// (wall-clock fields are stamped by the caller, not absorbed).
+    fn absorb(&mut self, _delta: &DriverMetrics) {}
 }
 
 /// The no-op meter: all callbacks are empty and inline to nothing.
@@ -144,6 +149,13 @@ impl DriverMeter for DriverMetrics {
     fn batch(&mut self, len: usize) {
         self.request_batches += 1;
         self.max_batch_len = self.max_batch_len.max(len as u64);
+    }
+
+    fn absorb(&mut self, delta: &DriverMetrics) {
+        self.cache_ops += delta.cache_ops;
+        self.prefetch_issues += delta.prefetch_issues;
+        self.request_batches += delta.request_batches;
+        self.max_batch_len = self.max_batch_len.max(delta.max_batch_len);
     }
 }
 

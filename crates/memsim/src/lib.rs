@@ -41,6 +41,7 @@ pub mod classify;
 pub mod config;
 pub mod driver;
 pub mod fasthash;
+pub mod fingerprint;
 pub mod hierarchy;
 pub mod mshr;
 pub mod prefetch;
@@ -59,6 +60,7 @@ pub use driver::{
     SimJob,
 };
 pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
+pub use fingerprint::{FingerprintBuilder, StateFingerprint};
 pub use hierarchy::{CpuHierarchy, HierarchyOutcome};
 pub use mshr::MshrFile;
 pub use prefetch::{NullPrefetcher, PrefetchLevel, PrefetchRequest, Prefetcher};

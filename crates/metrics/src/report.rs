@@ -25,12 +25,13 @@ impl MetricsReport {
     ///
     /// History: **1** — PR 4 (first envelopes: `engine-run`, `bench`);
     /// **2** — PR 5 (bench payloads gained required segment-parallel and
-    /// warm-up fields, and the `bench-diff` kind was added).  A version-1
-    /// `BENCH_*.json` no longer decodes as the current payload shape, so
-    /// validation must fail it with this version error rather than a
-    /// confusing field-level decode error; `bench --against` still *reads*
-    /// old reports leniently for throughput comparison.
-    pub const SCHEMA_VERSION: u32 = 2;
+    /// warm-up fields, and the `bench-diff` kind was added);
+    /// **3** — PR 6 (bench payloads gained required speculative-run fields
+    /// and the recorded speculation depth).  An old-versioned `BENCH_*.json`
+    /// must fail validation with this version error rather than a confusing
+    /// field-level decode error; `bench --against` still *reads* old reports
+    /// leniently for throughput comparison.
+    pub const SCHEMA_VERSION: u32 = 3;
 
     /// A report of the given kind carrying `payload` serialized as JSON.
     pub fn new<T: Serialize + ?Sized>(kind: &str, payload: &T) -> Self {
