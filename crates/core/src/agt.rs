@@ -97,17 +97,354 @@ struct AccumulationEntry {
     lru: u64,
 }
 
+/// Flat struct-of-arrays filter table for bounded configurations.
+///
+/// The paper's filter table holds 32 entries; a linear scan over one dense
+/// array of keys (a few cache lines) beats a hash map lookup at that size,
+/// and the parallel arrays mean the probe touches only the `keys` array
+/// until a hit is found.  Occupancy is dense: slots `0..keys.len()` are
+/// live, and removal `swap_remove`s every column.  Slot order is
+/// insignificant — lookups scan all slots and the capacity victim is the
+/// unique minimum LRU tick.
+#[derive(Debug, Clone)]
+struct FlatFilter {
+    cap: usize,
+    keys: Vec<u64>,
+    trigger_pcs: Vec<Pc>,
+    trigger_offsets: Vec<u32>,
+    lru: Vec<u64>,
+}
+
+impl FlatFilter {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            cap,
+            keys: Vec::with_capacity(cap),
+            trigger_pcs: Vec::with_capacity(cap),
+            trigger_offsets: Vec::with_capacity(cap),
+            lru: Vec::with_capacity(cap),
+        }
+    }
+
+    fn find(&self, base: u64) -> Option<usize> {
+        self.keys.iter().position(|&k| k == base)
+    }
+
+    fn remove(&mut self, slot: usize) -> (Pc, u32) {
+        self.keys.swap_remove(slot);
+        self.lru.swap_remove(slot);
+        (
+            self.trigger_pcs.swap_remove(slot),
+            self.trigger_offsets.swap_remove(slot),
+        )
+    }
+
+    /// Slot of the least-recently-used entry (unique ticks: unambiguous).
+    fn victim(&self) -> Option<usize> {
+        (0..self.lru.len()).min_by_key(|&i| self.lru[i])
+    }
+
+    fn push(&mut self, base: u64, pc: Pc, trigger_offset: u32, tick: u64) {
+        self.keys.push(base);
+        self.trigger_pcs.push(pc);
+        self.trigger_offsets.push(trigger_offset);
+        self.lru.push(tick);
+    }
+}
+
+/// Flat struct-of-arrays accumulation table for bounded configurations
+/// (paper: 64 entries).  Same layout discipline as [`FlatFilter`] with a
+/// dense column of spatial patterns.
+#[derive(Debug, Clone)]
+struct FlatAccumulation {
+    cap: usize,
+    keys: Vec<u64>,
+    trigger_pcs: Vec<Pc>,
+    trigger_offsets: Vec<u32>,
+    patterns: Vec<SpatialPattern>,
+    lru: Vec<u64>,
+}
+
+impl FlatAccumulation {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
+            cap,
+            keys: Vec::with_capacity(cap),
+            trigger_pcs: Vec::with_capacity(cap),
+            trigger_offsets: Vec::with_capacity(cap),
+            patterns: Vec::with_capacity(cap),
+            lru: Vec::with_capacity(cap),
+        }
+    }
+
+    fn find(&self, base: u64) -> Option<usize> {
+        self.keys.iter().position(|&k| k == base)
+    }
+
+    fn remove(&mut self, slot: usize) -> TrainedPattern {
+        let region_base = self.keys.swap_remove(slot);
+        self.lru.swap_remove(slot);
+        TrainedPattern {
+            region_base,
+            trigger_pc: self.trigger_pcs.swap_remove(slot),
+            trigger_offset: self.trigger_offsets.swap_remove(slot),
+            pattern: self.patterns.swap_remove(slot),
+        }
+    }
+
+    fn victim(&self) -> Option<usize> {
+        (0..self.lru.len()).min_by_key(|&i| self.lru[i])
+    }
+
+    fn push(&mut self, base: u64, pc: Pc, trigger_offset: u32, pattern: SpatialPattern, tick: u64) {
+        self.keys.push(base);
+        self.trigger_pcs.push(pc);
+        self.trigger_offsets.push(trigger_offset);
+        self.patterns.push(pattern);
+        self.lru.push(tick);
+    }
+}
+
+/// Filter-table storage: flat SoA when bounded, map fallback when unbounded
+/// (a limit study can grow without bound, where a linear scan would not do).
+#[derive(Debug, Clone)]
+enum FilterStore {
+    Flat(FlatFilter),
+    Map(FastMap<u64, FilterEntry>),
+}
+
+/// What the filter table found for an access (step 2 of the lifecycle).
+enum FilterHit {
+    /// No generation in the filter table for this region.
+    Miss,
+    /// Same block as the trigger: LRU refreshed, entry stays put.
+    SameBlock,
+    /// A second distinct block: the entry was removed for promotion to the
+    /// accumulation table.
+    Promoted { trigger_pc: Pc, trigger_offset: u32 },
+}
+
+impl FilterStore {
+    fn len(&self) -> usize {
+        match self {
+            Self::Flat(f) => f.keys.len(),
+            Self::Map(m) => m.len(),
+        }
+    }
+
+    /// Looks up `base`; refreshes LRU on a same-block hit, removes the entry
+    /// on a distinct-block hit (the caller promotes it).
+    fn promote_or_touch(&mut self, base: u64, offset: u32, tick: u64) -> FilterHit {
+        match self {
+            Self::Flat(f) => match f.find(base) {
+                None => FilterHit::Miss,
+                Some(slot) if f.trigger_offsets[slot] == offset => {
+                    f.lru[slot] = tick;
+                    FilterHit::SameBlock
+                }
+                Some(slot) => {
+                    let (trigger_pc, trigger_offset) = f.remove(slot);
+                    FilterHit::Promoted {
+                        trigger_pc,
+                        trigger_offset,
+                    }
+                }
+            },
+            Self::Map(m) => match m.get_mut(&base) {
+                None => FilterHit::Miss,
+                Some(entry) if entry.trigger_offset == offset => {
+                    entry.lru = tick;
+                    FilterHit::SameBlock
+                }
+                Some(_) => {
+                    let entry = m.remove(&base).expect("entry just found");
+                    FilterHit::Promoted {
+                        trigger_pc: entry.trigger_pc,
+                        trigger_offset: entry.trigger_offset,
+                    }
+                }
+            },
+        }
+    }
+
+    /// Inserts a fresh trigger entry, victimizing the least-recently-used
+    /// entry when a bounded table is full (the victim generation had only a
+    /// trigger access, so it is simply dropped).
+    fn insert(&mut self, base: u64, pc: Pc, trigger_offset: u32, tick: u64) {
+        match self {
+            Self::Flat(f) => {
+                if f.keys.len() >= f.cap {
+                    if let Some(victim) = f.victim() {
+                        f.remove(victim);
+                    }
+                }
+                f.push(base, pc, trigger_offset, tick);
+            }
+            Self::Map(m) => {
+                m.insert(
+                    base,
+                    FilterEntry {
+                        trigger_pc: pc,
+                        trigger_offset,
+                        lru: tick,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Removes the entry for `base`, returning whether one existed.
+    fn remove_base(&mut self, base: u64) -> bool {
+        match self {
+            Self::Flat(f) => match f.find(base) {
+                Some(slot) => {
+                    f.remove(slot);
+                    true
+                }
+                None => false,
+            },
+            Self::Map(m) => m.remove(&base).is_some(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Self::Flat(f) => {
+                f.keys.clear();
+                f.trigger_pcs.clear();
+                f.trigger_offsets.clear();
+                f.lru.clear();
+            }
+            Self::Map(m) => m.clear(),
+        }
+    }
+}
+
+/// Accumulation-table storage: flat SoA when bounded, map when unbounded.
+#[derive(Debug, Clone)]
+enum AccumulationStore {
+    Flat(FlatAccumulation),
+    Map(FastMap<u64, AccumulationEntry>),
+}
+
+impl AccumulationStore {
+    fn len(&self) -> usize {
+        match self {
+            Self::Flat(a) => a.keys.len(),
+            Self::Map(m) => m.len(),
+        }
+    }
+
+    /// Sets the pattern bit for an access to a region already accumulating
+    /// (step 3).  Returns whether the region was found.
+    fn set_bit(&mut self, base: u64, offset: u32, tick: u64) -> bool {
+        match self {
+            Self::Flat(a) => match a.find(base) {
+                Some(slot) => {
+                    a.patterns[slot].set(offset);
+                    a.lru[slot] = tick;
+                    true
+                }
+                None => false,
+            },
+            Self::Map(m) => match m.get_mut(&base) {
+                Some(entry) => {
+                    entry.pattern.set(offset);
+                    entry.lru = tick;
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Inserts a promoted generation; when a bounded table is full the
+    /// least-recently-used generation terminates early and spills out to
+    /// train the PHT.
+    fn insert(
+        &mut self,
+        base: u64,
+        pc: Pc,
+        trigger_offset: u32,
+        pattern: SpatialPattern,
+        tick: u64,
+    ) -> Option<TrainedPattern> {
+        match self {
+            Self::Flat(a) => {
+                let mut spilled = None;
+                if a.keys.len() >= a.cap {
+                    if let Some(victim) = a.victim() {
+                        spilled = Some(a.remove(victim));
+                    }
+                }
+                a.push(base, pc, trigger_offset, pattern, tick);
+                spilled
+            }
+            Self::Map(m) => {
+                m.insert(
+                    base,
+                    AccumulationEntry {
+                        trigger_pc: pc,
+                        trigger_offset,
+                        pattern,
+                        lru: tick,
+                    },
+                );
+                None
+            }
+        }
+    }
+
+    /// Removes the generation for `base`, returning its trained pattern.
+    fn remove_base(&mut self, base: u64) -> Option<TrainedPattern> {
+        match self {
+            Self::Flat(a) => a.find(base).map(|slot| a.remove(slot)),
+            Self::Map(m) => m.remove(&base).map(|entry| TrainedPattern {
+                region_base: base,
+                trigger_pc: entry.trigger_pc,
+                trigger_offset: entry.trigger_offset,
+                pattern: entry.pattern,
+            }),
+        }
+    }
+
+    /// Removes every generation, sorted by region base for determinism.
+    fn drain_sorted(&mut self) -> Vec<TrainedPattern> {
+        let mut out: Vec<TrainedPattern> = match self {
+            Self::Flat(a) => {
+                let mut out = Vec::with_capacity(a.keys.len());
+                while !a.keys.is_empty() {
+                    out.push(a.remove(0));
+                }
+                out
+            }
+            Self::Map(m) => m
+                .drain()
+                .map(|(base, entry)| TrainedPattern {
+                    region_base: base,
+                    trigger_pc: entry.trigger_pc,
+                    trigger_offset: entry.trigger_offset,
+                    pattern: entry.pattern,
+                })
+                .collect(),
+        };
+        out.sort_by_key(|t| t.region_base);
+        out
+    }
+}
+
 /// The Active Generation Table.
+///
+/// Bounded configurations (the paper's 32-entry filter / 64-entry
+/// accumulation CAMs) are stored as flat struct-of-arrays tables probed by a
+/// linear key scan; unbounded limit-study configurations fall back to a
+/// deterministic hash map.  Capacity-victim selection is deterministic in
+/// both layouts because LRU ticks are unique (the minimum is unambiguous).
 #[derive(Debug, Clone)]
 pub struct ActiveGenerationTable {
     region: RegionConfig,
-    config: AgtConfig,
-    // Fast deterministic hashing: region-base keyed, looked up on every
-    // access.  The capacity-victim scans below stay deterministic despite
-    // map iteration order because LRU ticks are unique (the minimum is
-    // unambiguous).
-    filter: FastMap<u64, FilterEntry>,
-    accumulation: FastMap<u64, AccumulationEntry>,
+    filter: FilterStore,
+    accumulation: AccumulationStore,
     tick: u64,
 }
 
@@ -116,9 +453,14 @@ impl ActiveGenerationTable {
     pub fn new(region: RegionConfig, config: AgtConfig) -> Self {
         Self {
             region,
-            config,
-            filter: FastMap::default(),
-            accumulation: FastMap::default(),
+            filter: match config.filter_entries {
+                Some(cap) => FilterStore::Flat(FlatFilter::with_capacity(cap)),
+                None => FilterStore::Map(FastMap::default()),
+            },
+            accumulation: match config.accumulation_entries {
+                Some(cap) => AccumulationStore::Flat(FlatAccumulation::with_capacity(cap)),
+                None => AccumulationStore::Map(FastMap::default()),
+            },
             tick: 0,
         }
     }
@@ -140,9 +482,7 @@ impl ActiveGenerationTable {
         let offset = self.region.region_offset(addr);
 
         // Step 3: accesses to regions already accumulating set pattern bits.
-        if let Some(entry) = self.accumulation.get_mut(&base) {
-            entry.pattern.set(offset);
-            entry.lru = self.tick;
+        if self.accumulation.set_bit(base, offset, self.tick) {
             return RecordOutcome {
                 is_trigger: false,
                 spilled: None,
@@ -151,85 +491,37 @@ impl ActiveGenerationTable {
 
         // Step 2: a second distinct block moves the generation from the
         // filter table to the accumulation table.
-        if let Some(entry) = self.filter.get_mut(&base) {
-            if entry.trigger_offset == offset {
-                entry.lru = self.tick;
+        match self.filter.promote_or_touch(base, offset, self.tick) {
+            FilterHit::SameBlock => {
                 return RecordOutcome {
                     is_trigger: false,
                     spilled: None,
                 };
             }
-            let filter_entry = self.filter.remove(&base).expect("entry just found");
-            let mut pattern = SpatialPattern::new(self.region.blocks_per_region());
-            pattern.set(filter_entry.trigger_offset);
-            pattern.set(offset);
-            let spilled = self.insert_accumulation(
-                base,
-                AccumulationEntry {
-                    trigger_pc: filter_entry.trigger_pc,
-                    trigger_offset: filter_entry.trigger_offset,
-                    pattern,
-                    lru: self.tick,
-                },
-            );
-            return RecordOutcome {
-                is_trigger: false,
-                spilled,
-            };
+            FilterHit::Promoted {
+                trigger_pc,
+                trigger_offset,
+            } => {
+                let mut pattern = SpatialPattern::new(self.region.blocks_per_region());
+                pattern.set(trigger_offset);
+                pattern.set(offset);
+                let spilled =
+                    self.accumulation
+                        .insert(base, trigger_pc, trigger_offset, pattern, self.tick);
+                return RecordOutcome {
+                    is_trigger: false,
+                    spilled,
+                };
+            }
+            FilterHit::Miss => {}
         }
 
         // Step 1: trigger access allocates in the filter table.
-        self.insert_filter(
-            base,
-            FilterEntry {
-                trigger_pc: pc,
-                trigger_offset: offset,
-                lru: self.tick,
-            },
-        );
+        self.filter.insert(base, pc, offset, self.tick);
         RecordOutcome {
             is_trigger: true,
             spilled: None,
         }
-    }
-
-    fn insert_filter(&mut self, base: u64, entry: FilterEntry) {
-        if let Some(cap) = self.config.filter_entries {
-            if self.filter.len() >= cap {
-                // Victimize the least-recently-used filter entry; it is
-                // dropped (its generation had only a trigger access).
-                if let Some((&victim, _)) = self.filter.iter().min_by_key(|(_, e)| e.lru) {
-                    self.filter.remove(&victim);
-                }
-            }
-        }
-        self.filter.insert(base, entry);
-    }
-
-    fn insert_accumulation(
-        &mut self,
-        base: u64,
-        entry: AccumulationEntry,
-    ) -> Option<TrainedPattern> {
-        let mut spilled = None;
-        if let Some(cap) = self.config.accumulation_entries {
-            if self.accumulation.len() >= cap {
-                if let Some((&victim, _)) = self.accumulation.iter().min_by_key(|(_, e)| e.lru) {
-                    let victim_entry = self
-                        .accumulation
-                        .remove(&victim)
-                        .expect("victim just found");
-                    spilled = Some(TrainedPattern {
-                        region_base: victim,
-                        trigger_pc: victim_entry.trigger_pc,
-                        trigger_offset: victim_entry.trigger_offset,
-                        pattern: victim_entry.pattern,
-                    });
-                }
-            }
-        }
-        self.accumulation.insert(base, entry);
-        spilled
     }
 
     /// Ends the generation (if any) covering the region that contains
@@ -240,33 +532,17 @@ impl ActiveGenerationTable {
     /// discarded and return `None`.
     pub fn end_generation(&mut self, block_addr: u64) -> Option<TrainedPattern> {
         let base = self.region.region_base(block_addr);
-        if self.filter.remove(&base).is_some() {
+        if self.filter.remove_base(base) {
             return None;
         }
-        self.accumulation.remove(&base).map(|entry| TrainedPattern {
-            region_base: base,
-            trigger_pc: entry.trigger_pc,
-            trigger_offset: entry.trigger_offset,
-            pattern: entry.pattern,
-        })
+        self.accumulation.remove_base(base)
     }
 
     /// Ends every live generation, returning the accumulated patterns (used
     /// at the end of a trace so partially-observed generations still train).
     pub fn drain(&mut self) -> Vec<TrainedPattern> {
         self.filter.clear();
-        let mut out: Vec<TrainedPattern> = self
-            .accumulation
-            .drain()
-            .map(|(base, entry)| TrainedPattern {
-                region_base: base,
-                trigger_pc: entry.trigger_pc,
-                trigger_offset: entry.trigger_offset,
-                pattern: entry.pattern,
-            })
-            .collect();
-        out.sort_by_key(|t| t.region_base);
-        out
+        self.accumulation.drain_sorted()
     }
 }
 

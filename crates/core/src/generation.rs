@@ -8,10 +8,10 @@
 //! [`DensityHistogram`] accumulates, per density bin, how many misses came
 //! from generations of that density.
 
+use crate::pattern::SpatialPattern;
 use crate::region::RegionConfig;
-use memsim::{PrefetchRequest, Prefetcher, SystemOutcome};
+use memsim::{FastMap, PrefetchRequest, Prefetcher, SystemOutcome};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 use trace::MemAccess;
 
 /// The density bins used by Figure 5 (for 32-block regions).
@@ -101,10 +101,14 @@ impl DensityHistogram {
     }
 }
 
-#[derive(Debug, Default, Clone)]
+/// One live generation's footprint as two spatial-pattern bitmaps over the
+/// region's blocks.  Distinct-block counting is a popcount (`pattern.count`)
+/// instead of a per-generation pair of hash sets, and membership tests are
+/// single bit probes.
+#[derive(Debug, Clone, Copy)]
 struct LiveGeneration {
-    accessed_blocks: HashSet<u64>,
-    missed_blocks: HashSet<u64>,
+    accessed: SpatialPattern,
+    missed: SpatialPattern,
 }
 
 /// Tracks live spatial region generations at one cache level and feeds a
@@ -112,7 +116,9 @@ struct LiveGeneration {
 #[derive(Debug, Clone)]
 pub struct GenerationTracker {
     region: RegionConfig,
-    live: Vec<HashMap<u64, LiveGeneration>>,
+    // Deterministic fast map; histogram accumulation is additive, so
+    // generation drain order never affects the result.
+    live: Vec<FastMap<u64, LiveGeneration>>,
     histogram: DensityHistogram,
 }
 
@@ -126,7 +132,7 @@ impl GenerationTracker {
         assert!(num_cpus > 0, "need at least one cpu");
         Self {
             region,
-            live: vec![HashMap::new(); num_cpus],
+            live: vec![FastMap::default(); num_cpus],
             histogram: DensityHistogram::new(),
         }
     }
@@ -134,26 +140,29 @@ impl GenerationTracker {
     /// Observes a demand access and whether it missed at this level.
     pub fn on_access(&mut self, cpu: u8, addr: u64, was_miss: bool) {
         let base = self.region.region_base(addr);
-        let block = self.region.block_addr(addr);
-        let generation = self.live[cpu as usize].entry(base).or_default();
-        generation.accessed_blocks.insert(block);
+        let offset = self.region.region_offset(addr);
+        let blocks = self.region.blocks_per_region();
+        let generation = self.live[cpu as usize]
+            .entry(base)
+            .or_insert_with(|| LiveGeneration {
+                accessed: SpatialPattern::new(blocks),
+                missed: SpatialPattern::new(blocks),
+            });
+        generation.accessed.set(offset);
         if was_miss {
-            generation.missed_blocks.insert(block);
+            generation.missed.set(offset);
         }
     }
 
     /// Observes a block eviction/invalidation, possibly closing a generation.
     pub fn on_block_removed(&mut self, cpu: u8, block_addr: u64) {
         let base = self.region.region_base(block_addr);
-        let block = self.region.block_addr(block_addr);
+        let offset = self.region.region_offset(block_addr);
         let live = &mut self.live[cpu as usize];
-        let ends = live
-            .get(&base)
-            .is_some_and(|g| g.accessed_blocks.contains(&block));
+        let ends = live.get(&base).is_some_and(|g| g.accessed.get(offset));
         if ends {
             let generation = live.remove(&base).expect("generation just found");
-            self.histogram
-                .record_generation(generation.missed_blocks.len() as u32);
+            self.histogram.record_generation(generation.missed.count());
         }
     }
 
@@ -161,8 +170,7 @@ impl GenerationTracker {
     pub fn flush(&mut self) {
         for live in &mut self.live {
             for (_, generation) in live.drain() {
-                self.histogram
-                    .record_generation(generation.missed_blocks.len() as u32);
+                self.histogram.record_generation(generation.missed.count());
             }
         }
     }

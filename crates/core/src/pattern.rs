@@ -103,8 +103,35 @@ impl SpatialPattern {
     }
 
     /// Iterates over the offsets of set bits in ascending order.
-    pub fn iter_set(&self) -> impl Iterator<Item = u32> + '_ {
-        (0..self.len).filter(move |&o| self.get(o))
+    ///
+    /// Scans word by word with `trailing_zeros`, so cost is proportional to
+    /// the number of set bits, not the pattern length. This is the single
+    /// bit-scan implementation; `for_each_set`, `first_set` and `Display`
+    /// all share its word-walk.
+    pub fn iter_set(&self) -> SetBits {
+        SetBits {
+            words: self.bits,
+            word_index: 0,
+        }
+    }
+
+    /// Calls `f` with each set offset in ascending order.
+    ///
+    /// Equivalent to `iter_set().for_each(f)`; kept as a named entry point
+    /// for hot loops that want the closure form.
+    pub fn for_each_set(&self, mut f: impl FnMut(u32)) {
+        self.iter_set().for_each(&mut f);
+    }
+
+    /// Offset of the lowest set bit, if any.
+    pub fn first_set(&self) -> Option<u32> {
+        if self.bits[0] != 0 {
+            Some(self.bits[0].trailing_zeros())
+        } else if self.bits[1] != 0 {
+            Some(64 + self.bits[1].trailing_zeros())
+        } else {
+            None
+        }
     }
 
     /// Unions another pattern into this one.
@@ -149,12 +176,48 @@ impl SpatialPattern {
     }
 }
 
+/// Iterator over the set offsets of a [`SpatialPattern`], ascending.
+///
+/// Holds a copy of the pattern words and clears the lowest set bit on each
+/// step (`w & (w - 1)`), yielding its position via `trailing_zeros`.
+#[derive(Debug, Clone)]
+pub struct SetBits {
+    words: [u64; 2],
+    word_index: u32,
+}
+
+impl Iterator for SetBits {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while (self.word_index as usize) < 2 {
+            let w = self.words[self.word_index as usize];
+            if w != 0 {
+                self.words[self.word_index as usize] = w & (w - 1);
+                return Some(self.word_index * 64 + w.trailing_zeros());
+            }
+            self.word_index += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.words[self.word_index.min(1) as usize..]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SetBits {}
+impl std::iter::FusedIterator for SetBits {}
+
 impl fmt::Display for SpatialPattern {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for o in 0..self.len {
-            write!(f, "{}", if self.get(o) { '1' } else { '0' })?;
-        }
-        Ok(())
+        let mut buf = vec![b'0'; self.len as usize];
+        self.for_each_set(|o| buf[o as usize] = b'1');
+        f.write_str(std::str::from_utf8(&buf).expect("ASCII digits"))
     }
 }
 
@@ -224,7 +287,43 @@ mod tests {
         let _ = a.count_minus(&b);
     }
 
+    #[test]
+    fn first_set_finds_lowest_bit_in_either_word() {
+        assert_eq!(SpatialPattern::new(128).first_set(), None);
+        let mut p = SpatialPattern::new(128);
+        p.set(127);
+        assert_eq!(p.first_set(), Some(127));
+        p.set(3);
+        assert_eq!(p.first_set(), Some(3));
+    }
+
+    #[test]
+    fn iter_set_is_exact_size_and_fused() {
+        let p = SpatialPattern::from_offsets(128, &[0, 63, 64, 100]);
+        let mut it = p.iter_set();
+        assert_eq!(it.len(), 4);
+        assert_eq!(it.next(), Some(0));
+        assert_eq!(it.len(), 3);
+        assert!(it.by_ref().count() == 3 && it.next().is_none() && it.next().is_none());
+    }
+
     proptest! {
+        // Satellite: the word-scan iterator must agree exactly with the
+        // per-bit reference scan it replaced, for every derived entry point.
+        #[test]
+        fn word_scan_matches_per_bit_scan(offsets in proptest::collection::vec(0u32..128, 0..80)) {
+            let p = SpatialPattern::from_offsets(128, &offsets);
+            let per_bit: Vec<u32> = (0..p.len()).filter(|&o| p.get(o)).collect();
+            prop_assert_eq!(p.iter_set().collect::<Vec<_>>(), per_bit.clone());
+            let mut via_closure = Vec::new();
+            p.for_each_set(|o| via_closure.push(o));
+            prop_assert_eq!(via_closure, per_bit.clone());
+            prop_assert_eq!(p.first_set(), per_bit.first().copied());
+            let per_bit_display: String =
+                (0..p.len()).map(|o| if p.get(o) { '1' } else { '0' }).collect();
+            prop_assert_eq!(p.to_string(), per_bit_display);
+        }
+
         #[test]
         fn count_matches_iter_set(offsets in proptest::collection::vec(0u32..64, 0..40)) {
             let p = SpatialPattern::from_offsets(64, &offsets);

@@ -49,38 +49,23 @@ impl Default for PhtCapacity {
     }
 }
 
-/// One way of the flat bounded table.  `lru == 0` marks a free slot (live
-/// entries always carry a tick of at least 1).
-#[derive(Debug, Clone, Copy)]
-struct BoundedSlot {
-    key: u64,
-    pattern: SpatialPattern,
-    lru: u64,
-}
-
-impl BoundedSlot {
-    const FREE: u64 = 0;
-
-    fn empty() -> Self {
-        Self {
-            key: 0,
-            pattern: SpatialPattern::new(1),
-            lru: Self::FREE,
-        }
-    }
-
-    fn is_occupied(&self) -> bool {
-        self.lru != Self::FREE
-    }
-}
+/// `lru` value marking a free way (live entries carry a tick of at least 1).
+const FREE: u64 = 0;
 
 #[derive(Debug, Clone)]
 enum Storage {
     Unbounded(FastMap<u64, SpatialPattern>),
     Bounded {
-        /// `num_sets * associativity` slots; set `s` owns the contiguous run
-        /// `s*associativity .. (s+1)*associativity`.
-        slots: Vec<BoundedSlot>,
+        /// Struct-of-arrays slot storage, `num_sets * associativity` slots
+        /// per column; set `s` owns the contiguous run
+        /// `s*associativity .. (s+1)*associativity` of every column.  The
+        /// probe scans only `keys` and `lru` (16 ways x 8 B each — two cache
+        /// lines per column) and touches a `patterns` entry only on a hit,
+        /// instead of dragging 40-byte key+pattern+lru slots through the
+        /// cache on every way.
+        keys: Vec<u64>,
+        patterns: Vec<SpatialPattern>,
+        lru: Vec<u64>,
         num_sets: usize,
         associativity: usize,
         tick: u64,
@@ -119,8 +104,11 @@ impl PatternHistoryTable {
                     "entries must be a multiple of associativity"
                 );
                 let num_sets = (entries / associativity).max(1);
+                let slots = num_sets * associativity;
                 Storage::Bounded {
-                    slots: vec![BoundedSlot::empty(); num_sets * associativity],
+                    keys: vec![0; slots],
+                    patterns: vec![SpatialPattern::new(1); slots],
+                    lru: vec![FREE; slots],
                     num_sets,
                     associativity,
                     tick: 0,
@@ -142,7 +130,9 @@ impl PatternHistoryTable {
                 map.insert(key, pattern);
             }
             Storage::Bounded {
-                slots,
+                keys,
+                patterns,
+                lru,
                 num_sets,
                 associativity,
                 tick,
@@ -150,33 +140,34 @@ impl PatternHistoryTable {
             } => {
                 *tick += 1;
                 let start = ((key as usize) % *num_sets) * *associativity;
-                let ways = &mut slots[start..start + *associativity];
-                // One linear scan resolves the whole insert: a key match wins
-                // outright; otherwise the first free way is preferred, and the
-                // LRU way (ticks are unique, so the minimum is unambiguous)
-                // is the fallback victim.
+                // One linear scan over the dense key/lru columns resolves the
+                // whole insert: a key match wins outright; otherwise the
+                // first free way is preferred (FREE = 0 always loses the lru
+                // minimum to live ticks >= 1), and the LRU way (ticks are
+                // unique, so the minimum is unambiguous) is the fallback
+                // victim.
                 let mut victim = 0;
                 let mut victim_lru = u64::MAX;
                 let mut matched = false;
-                for (i, slot) in ways.iter().enumerate() {
-                    if slot.is_occupied() && slot.key == key {
+                for i in 0..*associativity {
+                    let slot = start + i;
+                    if lru[slot] != FREE && keys[slot] == key {
                         victim = i;
                         matched = true;
                         break;
                     }
-                    if slot.lru < victim_lru {
-                        victim_lru = slot.lru;
+                    if lru[slot] < victim_lru {
+                        victim_lru = lru[slot];
                         victim = i;
                     }
                 }
-                if !matched && !ways[victim].is_occupied() {
+                let slot = start + victim;
+                if !matched && lru[slot] == FREE {
                     *occupied += 1;
                 }
-                ways[victim] = BoundedSlot {
-                    key,
-                    pattern,
-                    lru: *tick,
-                };
+                keys[slot] = key;
+                patterns[slot] = pattern;
+                lru[slot] = *tick;
             }
         }
     }
@@ -186,7 +177,9 @@ impl PatternHistoryTable {
         match &mut self.storage {
             Storage::Unbounded(map) => map.get(&key).copied(),
             Storage::Bounded {
-                slots,
+                keys,
+                patterns,
+                lru,
                 num_sets,
                 associativity,
                 tick,
@@ -194,12 +187,10 @@ impl PatternHistoryTable {
             } => {
                 *tick += 1;
                 let start = ((key as usize) % *num_sets) * *associativity;
-                let ways = &mut slots[start..start + *associativity];
-                let slot = ways
-                    .iter_mut()
-                    .find(|slot| slot.is_occupied() && slot.key == key)?;
-                slot.lru = *tick;
-                Some(slot.pattern)
+                let hit = (start..start + *associativity)
+                    .find(|&slot| lru[slot] != FREE && keys[slot] == key)?;
+                lru[hit] = *tick;
+                Some(patterns[hit])
             }
         }
     }

@@ -159,7 +159,7 @@ impl PredictionRegisterFile {
             let idx = self.cursor;
             self.cursor = (self.cursor + 1) % n;
             let next_offset = match self.registers[idx].as_ref() {
-                Some(reg) => reg.pattern.iter_set().next(),
+                Some(reg) => reg.pattern.first_set(),
                 None => {
                     scanned_without_progress += 1;
                     continue;

@@ -1,0 +1,335 @@
+//! Property-based equivalence of the struct-of-arrays AGT and PHT against
+//! reference map-backed implementations.
+//!
+//! The hot-path storage rework (flat SoA CAMs for the bounded AGT tables,
+//! SoA slot columns for the bounded PHT) is meant to be behaviorally
+//! identical by construction: same lookups, same LRU victims (ticks are
+//! unique, so the minimum is unambiguous), same `TrainedPattern` sequences.
+//! These suites drive both implementations with the same random access
+//! streams and demand bit-exact agreement on every externally visible
+//! output — a divergent eviction victim anywhere would surface as a
+//! mismatched outcome on a later access.
+
+use proptest::prelude::*;
+use sms::agt::{ActiveGenerationTable, AgtConfig, RecordOutcome, TrainedPattern};
+use sms::pattern::SpatialPattern;
+use sms::pht::{PatternHistoryTable, PhtCapacity};
+use sms::region::RegionConfig;
+use std::collections::HashMap;
+use trace::Pc;
+
+// ---------------------------------------------------------------------------
+// Reference AGT: the pre-SoA map-backed implementation, verbatim semantics.
+// ---------------------------------------------------------------------------
+
+struct RefFilterEntry {
+    trigger_pc: Pc,
+    trigger_offset: u32,
+    lru: u64,
+}
+
+struct RefAccumEntry {
+    trigger_pc: Pc,
+    trigger_offset: u32,
+    pattern: SpatialPattern,
+    lru: u64,
+}
+
+struct RefAgt {
+    region: RegionConfig,
+    config: AgtConfig,
+    filter: HashMap<u64, RefFilterEntry>,
+    accumulation: HashMap<u64, RefAccumEntry>,
+    tick: u64,
+}
+
+impl RefAgt {
+    fn new(region: RegionConfig, config: AgtConfig) -> Self {
+        Self {
+            region,
+            config,
+            filter: HashMap::new(),
+            accumulation: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn live_generations(&self) -> usize {
+        self.filter.len() + self.accumulation.len()
+    }
+
+    fn record_access(&mut self, addr: u64, pc: Pc) -> RecordOutcome {
+        self.tick += 1;
+        let base = self.region.region_base(addr);
+        let offset = self.region.region_offset(addr);
+        if let Some(entry) = self.accumulation.get_mut(&base) {
+            entry.pattern.set(offset);
+            entry.lru = self.tick;
+            return RecordOutcome {
+                is_trigger: false,
+                spilled: None,
+            };
+        }
+        if let Some(entry) = self.filter.get_mut(&base) {
+            if entry.trigger_offset == offset {
+                entry.lru = self.tick;
+                return RecordOutcome {
+                    is_trigger: false,
+                    spilled: None,
+                };
+            }
+            let fe = self.filter.remove(&base).expect("just found");
+            let mut pattern = SpatialPattern::new(self.region.blocks_per_region());
+            pattern.set(fe.trigger_offset);
+            pattern.set(offset);
+            let spilled = self.insert_accumulation(
+                base,
+                RefAccumEntry {
+                    trigger_pc: fe.trigger_pc,
+                    trigger_offset: fe.trigger_offset,
+                    pattern,
+                    lru: self.tick,
+                },
+            );
+            return RecordOutcome {
+                is_trigger: false,
+                spilled,
+            };
+        }
+        if let Some(cap) = self.config.filter_entries {
+            if self.filter.len() >= cap {
+                if let Some((&victim, _)) = self.filter.iter().min_by_key(|(_, e)| e.lru) {
+                    self.filter.remove(&victim);
+                }
+            }
+        }
+        self.filter.insert(
+            base,
+            RefFilterEntry {
+                trigger_pc: pc,
+                trigger_offset: offset,
+                lru: self.tick,
+            },
+        );
+        RecordOutcome {
+            is_trigger: true,
+            spilled: None,
+        }
+    }
+
+    fn insert_accumulation(&mut self, base: u64, entry: RefAccumEntry) -> Option<TrainedPattern> {
+        let mut spilled = None;
+        if let Some(cap) = self.config.accumulation_entries {
+            if self.accumulation.len() >= cap {
+                if let Some((&victim, _)) = self.accumulation.iter().min_by_key(|(_, e)| e.lru) {
+                    let e = self.accumulation.remove(&victim).expect("victim found");
+                    spilled = Some(TrainedPattern {
+                        region_base: victim,
+                        trigger_pc: e.trigger_pc,
+                        trigger_offset: e.trigger_offset,
+                        pattern: e.pattern,
+                    });
+                }
+            }
+        }
+        self.accumulation.insert(base, entry);
+        spilled
+    }
+
+    fn end_generation(&mut self, block_addr: u64) -> Option<TrainedPattern> {
+        let base = self.region.region_base(block_addr);
+        if self.filter.remove(&base).is_some() {
+            return None;
+        }
+        self.accumulation.remove(&base).map(|e| TrainedPattern {
+            region_base: base,
+            trigger_pc: e.trigger_pc,
+            trigger_offset: e.trigger_offset,
+            pattern: e.pattern,
+        })
+    }
+
+    fn drain(&mut self) -> Vec<TrainedPattern> {
+        self.filter.clear();
+        let mut out: Vec<TrainedPattern> = self
+            .accumulation
+            .drain()
+            .map(|(base, e)| TrainedPattern {
+                region_base: base,
+                trigger_pc: e.trigger_pc,
+                trigger_offset: e.trigger_offset,
+                pattern: e.pattern,
+            })
+            .collect();
+        out.sort_by_key(|t| t.region_base);
+        out
+    }
+}
+
+/// Drives both AGTs with the same op stream and asserts bit-exact agreement
+/// on every outcome.  Ops: `(region index, block offset, pc, op selector)`.
+fn check_agt_equivalence(config: AgtConfig, ops: &[(u8, u8, u8, u8)]) {
+    // Small 8-block regions force frequent same-region traffic and spills.
+    let region = RegionConfig::new(512, 64);
+    let mut soa = ActiveGenerationTable::new(region, config);
+    let mut reference = RefAgt::new(region, config);
+    for (step, &(region_idx, block, pc, op)) in ops.iter().enumerate() {
+        let addr = u64::from(region_idx) * 512 + u64::from(block % 8) * 64;
+        match op {
+            // Mostly accesses; occasional generation ends and mid-stream
+            // drains exercise removal and the full-drain path.
+            0..=15 => {
+                let got = soa.record_access(addr, Pc::from(pc));
+                let want = reference.record_access(addr, Pc::from(pc));
+                assert_eq!(got, want, "record_access diverged at step {step}");
+            }
+            16..=18 => {
+                let got = soa.end_generation(addr);
+                let want = reference.end_generation(addr);
+                assert_eq!(got, want, "end_generation diverged at step {step}");
+            }
+            _ => {
+                assert_eq!(soa.drain(), reference.drain(), "drain diverged at {step}");
+            }
+        }
+        assert_eq!(
+            soa.live_generations(),
+            reference.live_generations(),
+            "live generation count diverged at step {step}"
+        );
+    }
+    assert_eq!(soa.drain(), reference.drain(), "final drain diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Reference PHT: per-set vectors with explicit key-match / free-way / LRU
+// eviction resolution.
+// ---------------------------------------------------------------------------
+
+struct RefPht {
+    sets: Vec<Vec<(u64, SpatialPattern, u64)>>,
+    associativity: usize,
+    tick: u64,
+}
+
+impl RefPht {
+    fn new(entries: usize, associativity: usize) -> Self {
+        Self {
+            sets: vec![Vec::new(); entries / associativity],
+            associativity,
+            tick: 0,
+        }
+    }
+
+    fn insert(&mut self, key: u64, pattern: SpatialPattern) {
+        self.tick += 1;
+        let tick = self.tick;
+        let num_sets = self.sets.len();
+        let set = &mut self.sets[(key as usize) % num_sets];
+        if let Some(way) = set.iter_mut().find(|(k, _, _)| *k == key) {
+            *way = (key, pattern, tick);
+            return;
+        }
+        if set.len() < self.associativity {
+            set.push((key, pattern, tick));
+            return;
+        }
+        let victim = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, _, lru))| *lru)
+            .map(|(i, _)| i)
+            .expect("full set has a victim");
+        set[victim] = (key, pattern, tick);
+    }
+
+    fn lookup(&mut self, key: u64) -> Option<SpatialPattern> {
+        self.tick += 1;
+        let tick = self.tick;
+        let num_sets = self.sets.len();
+        let way = self.sets[(key as usize) % num_sets]
+            .iter_mut()
+            .find(|(k, _, _)| *k == key)?;
+        way.2 = tick;
+        Some(way.1)
+    }
+
+    fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+fn check_pht_equivalence(entries: usize, associativity: usize, ops: &[(u8, bool, u8)]) {
+    let mut soa = PatternHistoryTable::new(PhtCapacity::Bounded {
+        entries,
+        associativity,
+    });
+    let mut reference = RefPht::new(entries, associativity);
+    for (step, &(key, is_insert, offset)) in ops.iter().enumerate() {
+        // A small key universe hammers each set well past its associativity.
+        let key = u64::from(key % 32);
+        if is_insert {
+            let pattern = SpatialPattern::from_offsets(32, &[u32::from(offset % 32)]);
+            soa.insert(key, pattern);
+            reference.insert(key, pattern);
+        } else {
+            assert_eq!(
+                soa.lookup(key),
+                reference.lookup(key),
+                "lookup diverged at step {step}"
+            );
+        }
+        assert_eq!(soa.len(), reference.len(), "len diverged at step {step}");
+    }
+    // Sweep the key universe once at the end: surviving residents (and
+    // thus every eviction decision along the way) must match exactly.
+    for key in 0..32u64 {
+        assert_eq!(
+            soa.lookup(key),
+            reference.lookup(key),
+            "final residency of key {key} diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn soa_agt_matches_reference_at_paper_capacity(
+        ops in proptest::collection::vec((0u8..24, 0u8..8, 1u8..16, 0u8..20), 0..400),
+    ) {
+        // 24 regions against 32/64 capacity: fills but rarely overflows.
+        check_agt_equivalence(AgtConfig::paper_default(), &ops);
+    }
+
+    #[test]
+    fn soa_agt_matches_reference_under_eviction_pressure(
+        ops in proptest::collection::vec((0u8..32, 0u8..8, 1u8..16, 0u8..20), 0..400),
+        filter_cap in 1usize..5,
+        accum_cap in 1usize..5,
+    ) {
+        // Tiny tables: nearly every insert victimizes, pinning LRU choice.
+        let config = AgtConfig {
+            filter_entries: Some(filter_cap),
+            accumulation_entries: Some(accum_cap),
+        };
+        check_agt_equivalence(config, &ops);
+    }
+
+    #[test]
+    fn unbounded_agt_fallback_matches_reference(
+        ops in proptest::collection::vec((0u8..16, 0u8..8, 1u8..16, 0u8..20), 0..300),
+    ) {
+        check_agt_equivalence(AgtConfig::unbounded(), &ops);
+    }
+
+    #[test]
+    fn soa_pht_matches_reference(
+        ops in proptest::collection::vec((0u8..255, proptest::bool::weighted(0.6), 0u8..255), 0..400),
+    ) {
+        // 4 sets x 2 ways and 2 sets x 4 ways, both under heavy conflict.
+        check_pht_equivalence(8, 2, &ops);
+        check_pht_equivalence(8, 4, &ops);
+    }
+}

@@ -54,6 +54,11 @@ pub struct BenchOptions {
     /// Speculation depth for the speculative measurement (`None` = the
     /// default depth of 4 segments ahead of the commit frontier).
     pub speculate: Option<usize>,
+    /// Measured passes per figure (`bench --repeat N`, minimum 1).  Each
+    /// figure records best-of-N wall-clock per configuration plus the
+    /// relative spread of its parallel-throughput samples, so noisy hosts
+    /// can be recognized in the payload instead of guessed at.
+    pub repeat: usize,
 }
 
 impl BenchOptions {
@@ -66,6 +71,7 @@ impl BenchOptions {
             figures: Vec::new(),
             segment_size: None,
             speculate: None,
+            repeat: 1,
         }
     }
 }
@@ -83,6 +89,8 @@ pub struct BenchScale {
     pub segment_size: usize,
     /// Run-ahead depth used by the speculative measurement.
     pub speculation: usize,
+    /// Measured passes per figure; recorded timings are best-of-`repeats`.
+    pub repeats: usize,
 }
 
 /// Throughput and speedup of one experiment's job list.
@@ -137,6 +145,12 @@ pub struct FigureBench {
     /// committed, summed over the figure's jobs (must be nonzero: the
     /// speculative configuration has to actually speculate).
     pub speculation_commits: u64,
+    /// Relative spread of the parallel-throughput samples across the
+    /// repeated passes: `(max - min) / max`, `0.0` when a single pass was
+    /// measured.  Required as of envelope schema version 4; a large spread
+    /// means the host was noisy and the best-of-N numbers should be read
+    /// with care.
+    pub parallel_spread: f64,
 }
 
 /// The measured batched-vs-unbatched driver hot-path comparison.
@@ -305,6 +319,13 @@ impl BenchReport {
                     "{f}: speculative run committed no speculative segments"
                 ));
             }
+            if !(figure.parallel_spread.is_finite() && (0.0..1.0).contains(&figure.parallel_spread))
+            {
+                return Err(format!("{f}: bad sample spread {}", figure.parallel_spread));
+            }
+        }
+        if self.scale.repeats == 0 {
+            return Err("bench report must record the measured repeat count".to_string());
         }
         let jobs: u64 = self.figures.iter().map(|f| f.jobs as u64).sum();
         let accesses: u64 = self.figures.iter().map(|f| f.accesses).sum();
@@ -353,6 +374,7 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
         .filter(|&s| s > 0)
         .unwrap_or_else(|| (config.accesses / 6).max(10_000));
     let speculation = options.speculate.filter(|&d| d > 0).unwrap_or(4);
+    let repeats = options.repeat.max(1);
     let registry = Registry::builtin();
     let collect = MetricsConfig::enabled();
     let mut rows = Vec::with_capacity(figures.len());
@@ -372,53 +394,84 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
         .map_err(|e| e.to_string())?;
         let warmup_seconds = warmup_watch.elapsed_seconds();
 
-        let (serial_results, serial) =
-            run_jobs_metered(&jobs, &EngineConfig::serial(), registry, &collect)
-                .map_err(|e| e.to_string())?;
-        let (parallel_results, parallel) = run_jobs_metered(
-            &jobs,
-            &EngineConfig::with_workers(workers),
-            registry,
-            &collect,
-        )
-        .map_err(|e| e.to_string())?;
-        let (segmented_results, segmented) = run_jobs_metered(
-            &jobs,
-            &EngineConfig::with_workers(workers).with_segment_size(segment_size),
-            registry,
-            &collect,
-        )
-        .map_err(|e| e.to_string())?;
-        let (speculative_results, speculative) = run_jobs_metered(
-            &jobs,
-            &EngineConfig::with_workers(workers)
-                .with_segment_size(segment_size)
-                .with_speculation(speculation),
-            registry,
-            &collect,
-        )
-        .map_err(|e| e.to_string())?;
-        let speculation_commits: u64 = speculative.jobs.iter().map(|j| j.spec_commits).sum();
+        // Best-of-N measurement: every configuration runs `repeats` times,
+        // the minimum wall-clock per configuration is recorded, and the
+        // relative spread of the parallel-throughput samples lands in the
+        // payload so a noisy host is visible instead of guessed at.
+        // Determinism must hold on *every* pass, not just the fastest one.
+        let mut accesses = 0u64;
+        let mut serial_seconds = f64::INFINITY;
+        let mut parallel_seconds = f64::INFINITY;
+        let mut segmented_seconds = f64::INFINITY;
+        let mut speculative_seconds = f64::INFINITY;
+        let mut deterministic = true;
+        let mut segmented_deterministic = true;
+        let mut speculative_deterministic = true;
+        let mut speculation_commits = 0u64;
+        let mut parallel_samples = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let (serial_results, serial) =
+                run_jobs_metered(&jobs, &EngineConfig::serial(), registry, &collect)
+                    .map_err(|e| e.to_string())?;
+            let (parallel_results, parallel) = run_jobs_metered(
+                &jobs,
+                &EngineConfig::with_workers(workers),
+                registry,
+                &collect,
+            )
+            .map_err(|e| e.to_string())?;
+            let (segmented_results, segmented) = run_jobs_metered(
+                &jobs,
+                &EngineConfig::with_workers(workers).with_segment_size(segment_size),
+                registry,
+                &collect,
+            )
+            .map_err(|e| e.to_string())?;
+            let (speculative_results, speculative) = run_jobs_metered(
+                &jobs,
+                &EngineConfig::with_workers(workers)
+                    .with_segment_size(segment_size)
+                    .with_speculation(speculation),
+                registry,
+                &collect,
+            )
+            .map_err(|e| e.to_string())?;
+            accesses = serial.total_accesses;
+            deterministic &= serial_results == parallel_results;
+            segmented_deterministic &= serial_results == segmented_results;
+            speculative_deterministic &= serial_results == speculative_results;
+            serial_seconds = serial_seconds.min(serial.total_seconds);
+            parallel_seconds = parallel_seconds.min(parallel.total_seconds);
+            segmented_seconds = segmented_seconds.min(segmented.total_seconds);
+            // The commit count rides with the fastest speculative pass, so
+            // the recorded timing and its commit activity stay one story.
+            if speculative.total_seconds < speculative_seconds {
+                speculative_seconds = speculative.total_seconds;
+                speculation_commits = speculative.jobs.iter().map(|j| j.spec_commits).sum();
+            }
+            parallel_samples.push(parallel.accesses_per_sec);
+        }
         rows.push(FigureBench {
             figure: name.clone(),
             jobs: jobs.len(),
-            accesses: serial.total_accesses,
-            serial_seconds: serial.total_seconds,
-            parallel_seconds: parallel.total_seconds,
-            serial_accesses_per_sec: serial.accesses_per_sec,
-            parallel_accesses_per_sec: parallel.accesses_per_sec,
-            speedup: ratio(serial.total_seconds, parallel.total_seconds),
-            deterministic: serial_results == parallel_results,
+            accesses,
+            serial_seconds,
+            parallel_seconds,
+            serial_accesses_per_sec: per_sec(accesses, serial_seconds),
+            parallel_accesses_per_sec: per_sec(accesses, parallel_seconds),
+            speedup: ratio(serial_seconds, parallel_seconds),
+            deterministic,
             warmup_seconds,
-            segmented_seconds: segmented.total_seconds,
-            segmented_accesses_per_sec: segmented.accesses_per_sec,
-            segmented_speedup: ratio(serial.total_seconds, segmented.total_seconds),
-            segmented_deterministic: serial_results == segmented_results,
-            speculative_seconds: speculative.total_seconds,
-            speculative_accesses_per_sec: speculative.accesses_per_sec,
-            speculative_speedup: ratio(serial.total_seconds, speculative.total_seconds),
-            speculative_deterministic: serial_results == speculative_results,
+            segmented_seconds,
+            segmented_accesses_per_sec: per_sec(accesses, segmented_seconds),
+            segmented_speedup: ratio(serial_seconds, segmented_seconds),
+            segmented_deterministic,
+            speculative_seconds,
+            speculative_accesses_per_sec: per_sec(accesses, speculative_seconds),
+            speculative_speedup: ratio(serial_seconds, speculative_seconds),
+            speculative_deterministic,
             speculation_commits,
+            parallel_spread: sample_spread(&parallel_samples),
         });
     }
 
@@ -459,6 +512,7 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             representative_only,
             segment_size,
             speculation,
+            repeats,
         },
         figures: rows,
         totals,
@@ -723,6 +777,18 @@ fn resolve_workers(requested: usize) -> usize {
         .max(2)
 }
 
+/// Relative spread of throughput samples: `(max - min) / max`, `0.0` for a
+/// single sample (or an empty/degenerate set).
+fn sample_spread(samples: &[f64]) -> f64 {
+    let max = samples.iter().fold(0.0f64, |a, &s| a.max(s));
+    let min = samples.iter().fold(f64::INFINITY, |a, &s| a.min(s));
+    if max > 0.0 && min.is_finite() {
+        (max - min) / max
+    } else {
+        0.0
+    }
+}
+
 fn ratio(numerator: f64, denominator: f64) -> f64 {
     if denominator > 0.0 {
         numerator / denominator
@@ -738,13 +804,16 @@ pub fn render(report: &BenchReport) -> String {
     let _ = writeln!(
         out,
         "bench {:?}: {} jobs, {} accesses, workers 1 vs {}, segments of {}, \
-         speculation depth {} (scale: {} cpus x {} accesses{}; host threads: {})",
+         speculation depth {}, best of {} pass{} (scale: {} cpus x {} accesses{}; \
+         host threads: {})",
         report.name,
         report.totals.jobs,
         report.totals.accesses,
         report.workers,
         report.scale.segment_size,
         report.scale.speculation,
+        report.scale.repeats,
+        if report.scale.repeats == 1 { "" } else { "es" },
         report.scale.cpus,
         report.scale.accesses,
         if report.scale.representative_only {
@@ -827,6 +896,7 @@ mod tests {
             figures: vec!["fig5".to_string(), "fig11".to_string()],
             segment_size: None,
             speculate: None,
+            repeat: 1,
         }
     }
 
@@ -850,6 +920,11 @@ mod tests {
             "the speculative configuration must actually commit speculative segments"
         );
         assert!(report.figures.iter().all(|f| f.warmup_seconds > 0.0));
+        assert!(
+            report.figures.iter().all(|f| f.parallel_spread == 0.0),
+            "a single pass has no spread"
+        );
+        assert_eq!(report.scale.repeats, 1, "default is one measured pass");
         assert!(report.scale.segment_size > 0);
         assert_eq!(report.scale.speculation, 4, "default speculation depth");
         assert!(report.host_threads >= 1);
@@ -875,6 +950,36 @@ mod tests {
         assert!(diff.added.is_empty() && diff.removed.is_empty());
     }
 
+    #[test]
+    fn repeated_passes_record_best_of_n_and_spread() {
+        let mut options = quick_options();
+        options.figures = vec!["fig5".to_string()];
+        options.repeat = 3;
+        let report = run_bench(&options).expect("bench runs");
+        report.validate().expect("repeated report validates");
+        assert_eq!(report.scale.repeats, 3);
+        let figure = &report.figures[0];
+        // The spread is measured, not assumed zero: three samples on a real
+        // host essentially never coincide exactly, but all the invariant
+        // demands is a well-formed relative spread.
+        assert!(figure.parallel_spread.is_finite());
+        assert!((0.0..1.0).contains(&figure.parallel_spread));
+        // Best-of-N throughput is derived from the recorded best seconds.
+        let derived = figure.accesses as f64 / figure.parallel_seconds;
+        assert!((figure.parallel_accesses_per_sec - derived).abs() < 1e-6 * derived);
+        assert!(figure.deterministic && figure.segmented_deterministic);
+        assert!(figure.speculative_deterministic && figure.speculation_commits > 0);
+    }
+
+    #[test]
+    fn sample_spread_is_relative_max_minus_min() {
+        assert_eq!(sample_spread(&[]), 0.0);
+        assert_eq!(sample_spread(&[250_000.0]), 0.0);
+        let spread = sample_spread(&[100_000.0, 80_000.0, 90_000.0]);
+        assert!((spread - 0.2).abs() < 1e-12, "got {spread}");
+        assert_eq!(sample_spread(&[0.0, 0.0]), 0.0, "degenerate samples");
+    }
+
     /// A hand-built, schema-valid report (no simulation needed), so the
     /// validation tests stay fast.
     fn fixture() -> BenchReport {
@@ -898,6 +1003,7 @@ mod tests {
             speculative_speedup: 2.0,
             speculative_deterministic: true,
             speculation_commits: 8,
+            parallel_spread: 0.0,
         };
         BenchReport {
             name: "fixture".to_string(),
@@ -909,6 +1015,7 @@ mod tests {
                 representative_only: true,
                 segment_size: 10_000,
                 speculation: 4,
+                repeats: 1,
             },
             totals: BenchTotals {
                 jobs: 4,
@@ -957,6 +1064,18 @@ mod tests {
         let mut broken = report.clone();
         broken.figures[0].serial_seconds = 0.0;
         assert!(broken.validate().unwrap_err().contains("wall-clock"));
+
+        let mut broken = report.clone();
+        broken.figures[0].parallel_spread = f64::NAN;
+        assert!(broken.validate().unwrap_err().contains("sample spread"));
+
+        let mut broken = report.clone();
+        broken.figures[0].parallel_spread = 1.5;
+        assert!(broken.validate().unwrap_err().contains("sample spread"));
+
+        let mut broken = report.clone();
+        broken.scale.repeats = 0;
+        assert!(broken.validate().unwrap_err().contains("repeat count"));
 
         let mut broken = report;
         broken.figures.clear();

@@ -13,7 +13,7 @@
 //!                 [--speculate N] [--out <path>]
 //! sms-experiments list [--json]
 //! sms-experiments bench [--quick] [--jobs N] [--segment-size N]
-//!                 [--speculate N] [--name NAME] [--out <path>]
+//!                 [--speculate N] [--repeat N] [--name NAME] [--out <path>]
 //!                 [--against OLD.json [--threshold F] [--diff-out <path>]]
 //! sms-experiments bench --check <path>
 //!
@@ -45,6 +45,9 @@
 //!                a default size when not given; results stay bit-identical
 //!                because every speculative segment is verified against the
 //!                authoritative state before it commits)
+//! --repeat N     (bench) measure each figure N times and record best-of-N
+//!                wall-clock per configuration plus the relative spread of
+//!                the parallel-throughput samples (default 1)
 //! --json PATH    additionally dump the figure-level results as JSON
 //! --out PATH     dump the raw engine JobResults as JSON (byte-identical to
 //!                what `run --spec` produces for the same jobs)
@@ -86,7 +89,7 @@ fn usage() -> ExitCode {
          [--quick] [--jobs N] [--segment-size N] [--speculate N] [--json PATH] [--out PATH] [--emit-spec PATH]\n\
        \x20      sms-experiments run --spec JOBS.json [--jobs N] [--segment-size N] [--speculate N] [--out PATH]\n\
        \x20      sms-experiments list [--json]\n\
-       \x20      sms-experiments bench [--quick] [--jobs N] [--segment-size N] [--speculate N] [--name NAME] [--out PATH]\n\
+       \x20      sms-experiments bench [--quick] [--jobs N] [--segment-size N] [--speculate N] [--repeat N] [--name NAME] [--out PATH]\n\
        \x20                            [--against OLD.json [--threshold F] [--diff-out PATH]]\n\
        \x20      sms-experiments bench --check PATH"
     );
@@ -137,6 +140,7 @@ struct BenchFlags<'a> {
     out: Option<&'a str>,
     segment_size: Option<usize>,
     speculate: Option<usize>,
+    repeat: usize,
     against: Option<&'a str>,
     threshold: f64,
     diff_out: Option<&'a str>,
@@ -174,6 +178,7 @@ fn run_bench_command(flags: &BenchFlags<'_>, quick: bool, workers: usize) -> Exi
         figures: Vec::new(),
         segment_size: flags.segment_size,
         speculate: flags.speculate,
+        repeat: flags.repeat,
     }) {
         Ok(report) => report,
         Err(e) => {
@@ -414,6 +419,16 @@ fn main() -> ExitCode {
             },
             None => 0.8,
         };
+        let repeat = match flag_value("--repeat") {
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("--repeat expects a pass count of at least 1, got {n:?}");
+                    return usage();
+                }
+            },
+            None => 1,
+        };
         let name = flag_value("--name");
         let diff_out = flag_value("--diff-out");
         return run_bench_command(
@@ -427,6 +442,7 @@ fn main() -> ExitCode {
                     None
                 },
                 speculate: if speculate > 0 { Some(speculate) } else { None },
+                repeat,
                 against: against.as_deref(),
                 threshold,
                 diff_out: diff_out.as_deref(),

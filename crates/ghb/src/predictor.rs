@@ -1,6 +1,5 @@
 //! The per-processor GHB PC/DC predictor.
 
-use memsim::FastMap;
 use serde::{Deserialize, Serialize};
 use trace::Pc;
 
@@ -52,25 +51,137 @@ impl Default for GhbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct GhbEntry {
-    /// Block-aligned miss address.
-    block_addr: u64,
-    /// Absolute sequence number of the previous entry by the same PC, if it
-    /// is still resident in the buffer.
-    prev: Option<u64>,
+/// Sentinel for "no previous entry by this PC" in the `prevs` column.
+/// Absolute sequence numbers count up from 0 and never reach it.
+const NO_PREV: u64 = u64::MAX;
+
+/// Sentinel marking a free probe slot in [`PcIndex`] (a live mapping's value
+/// is an absolute sequence number, which never reaches `u64::MAX`).
+const EMPTY_SEQ: u64 = u64::MAX;
+
+/// Open-addressed struct-of-arrays index table: PC -> absolute sequence
+/// number of that PC's most recent history entry.
+///
+/// Replaces a hash map with two dense parallel columns (`pcs`, `seqs`)
+/// probed linearly from the Fx hash of the PC; the table is sized to at
+/// most half full so probe runs stay short, and removal uses the standard
+/// backward-shift so no tombstones accumulate.  Behaviorally this is still
+/// exactly a map: same lookups, same contents — FIFO capacity eviction is
+/// driven by the caller as before.
+#[derive(Debug, Clone)]
+struct PcIndex {
+    pcs: Vec<Pc>,
+    seqs: Vec<u64>,
+    mask: usize,
+    len: usize,
+}
+
+impl PcIndex {
+    fn with_capacity(entries: usize) -> Self {
+        // At most half full: probe table twice the bounded entry count.
+        let slots = (entries.max(1) * 2).next_power_of_two();
+        Self {
+            pcs: vec![0; slots],
+            seqs: vec![EMPTY_SEQ; slots],
+            mask: slots - 1,
+            len: 0,
+        }
+    }
+
+    fn home(&self, pc: Pc) -> usize {
+        use std::hash::Hasher;
+        let mut h = memsim::FxHasher::default();
+        h.write_u64(pc);
+        (h.finish() as usize) & self.mask
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Probe slot holding `pc`, if present.
+    fn find(&self, pc: Pc) -> Option<usize> {
+        let mut slot = self.home(pc);
+        while self.seqs[slot] != EMPTY_SEQ {
+            if self.pcs[slot] == pc {
+                return Some(slot);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        None
+    }
+
+    fn get(&self, pc: Pc) -> Option<u64> {
+        self.find(pc).map(|slot| self.seqs[slot])
+    }
+
+    fn contains(&self, pc: Pc) -> bool {
+        self.find(pc).is_some()
+    }
+
+    /// Inserts or overwrites the mapping for `pc`.
+    fn insert(&mut self, pc: Pc, seq: u64) {
+        debug_assert!(seq != EMPTY_SEQ);
+        let mut slot = self.home(pc);
+        while self.seqs[slot] != EMPTY_SEQ {
+            if self.pcs[slot] == pc {
+                self.seqs[slot] = seq;
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        debug_assert!(self.len < self.pcs.len() / 2, "PcIndex over-filled");
+        self.pcs[slot] = pc;
+        self.seqs[slot] = seq;
+        self.len += 1;
+    }
+
+    /// Removes the mapping for `pc` with backward-shift deletion, keeping
+    /// every remaining element reachable from its home slot.
+    fn remove(&mut self, pc: Pc) {
+        let Some(mut hole) = self.find(pc) else {
+            return;
+        };
+        self.len -= 1;
+        let mut probe = hole;
+        loop {
+            probe = (probe + 1) & self.mask;
+            if self.seqs[probe] == EMPTY_SEQ {
+                break;
+            }
+            // An element probing from `home` can fill the hole only if the
+            // hole lies cyclically within its probe run [home, probe).
+            let home = self.home(self.pcs[probe]);
+            if (probe.wrapping_sub(home) & self.mask) >= (probe.wrapping_sub(hole) & self.mask) {
+                self.pcs[hole] = self.pcs[probe];
+                self.seqs[hole] = self.seqs[probe];
+                hole = probe;
+            }
+        }
+        self.seqs[hole] = EMPTY_SEQ;
+    }
 }
 
 /// One processor's GHB PC/DC predictor.
+///
+/// The history buffer is stored struct-of-arrays: block addresses and
+/// previous-entry links in separate dense columns instead of a
+/// `Vec<Option<Entry>>`.  Residency of an absolute sequence number is
+/// decided purely by the `next_seq` window (a slot inside the window was
+/// written at exactly that sequence number), so no per-slot occupancy tag
+/// is needed.
 #[derive(Debug, Clone)]
 pub struct GhbPredictor {
     config: GhbConfig,
-    /// Circular buffer indexed by `seq % history_entries`.
-    buffer: Vec<Option<GhbEntry>>,
+    /// Block-aligned miss addresses, indexed by `seq % history_entries`.
+    block_addrs: Vec<u64>,
+    /// Absolute sequence number of the previous entry by the same PC
+    /// (`NO_PREV` when the chain ends), same indexing.
+    prevs: Vec<u64>,
     /// Next absolute sequence number.
     next_seq: u64,
     /// PC -> absolute sequence number of that PC's most recent entry.
-    index: FastMap<Pc, u64>,
+    index: PcIndex,
     /// Insertion order of index-table entries for capacity eviction.
     index_fifo: std::collections::VecDeque<Pc>,
     misses_observed: u64,
@@ -89,9 +200,10 @@ impl GhbPredictor {
         assert!(config.degree > 0, "prefetch degree must be positive");
         Self {
             config: *config,
-            buffer: vec![None; config.history_entries],
+            block_addrs: vec![0; config.history_entries],
+            prevs: vec![NO_PREV; config.history_entries],
             next_seq: 0,
-            index: FastMap::default(),
+            index: PcIndex::with_capacity(config.index_entries),
             index_fifo: std::collections::VecDeque::new(),
             misses_observed: 0,
             prefetches_issued: 0,
@@ -117,28 +229,30 @@ impl GhbPredictor {
         (seq % self.config.history_entries as u64) as usize
     }
 
-    fn entry_at(&self, seq: u64) -> Option<GhbEntry> {
-        // An absolute sequence number is resident only while it is within the
-        // last `history_entries` insertions.
-        if seq >= self.next_seq || self.next_seq - seq > self.config.history_entries as u64 {
-            return None;
-        }
-        self.buffer[self.slot(seq)]
+    /// Whether an absolute sequence number is still resident: only the last
+    /// `history_entries` insertions are (a slot inside that window was
+    /// written at exactly that sequence number).
+    fn resident(&self, seq: u64) -> bool {
+        seq < self.next_seq && self.next_seq - seq <= self.config.history_entries as u64
     }
 
     /// Reconstructs this PC's miss-address history, oldest first.
     fn pc_history(&self, pc: Pc) -> Vec<u64> {
         let mut history = Vec::new();
-        let mut cursor = self.index.get(&pc).copied();
+        let mut cursor = self.index.get(pc);
         while let Some(seq) = cursor {
-            let Some(entry) = self.entry_at(seq) else {
+            if !self.resident(seq) {
                 break;
-            };
-            history.push(entry.block_addr);
+            }
+            let slot = self.slot(seq);
+            history.push(self.block_addrs[slot]);
             if history.len() >= self.config.max_chain {
                 break;
             }
-            cursor = entry.prev;
+            cursor = match self.prevs[slot] {
+                NO_PREV => None,
+                prev => Some(prev),
+            };
         }
         history.reverse();
         history
@@ -153,17 +267,18 @@ impl GhbPredictor {
         // Insert the new entry, linking it to the PC's previous entry.
         let prev = self
             .index
-            .get(&pc)
-            .copied()
-            .filter(|&seq| self.entry_at(seq).is_some());
+            .get(pc)
+            .filter(|&seq| self.resident(seq))
+            .unwrap_or(NO_PREV);
         let seq = self.next_seq;
         self.next_seq += 1;
         let slot = self.slot(seq);
-        self.buffer[slot] = Some(GhbEntry { block_addr, prev });
-        if !self.index.contains_key(&pc) {
+        self.block_addrs[slot] = block_addr;
+        self.prevs[slot] = prev;
+        if !self.index.contains(pc) {
             if self.index.len() >= self.config.index_entries {
                 if let Some(victim) = self.index_fifo.pop_front() {
-                    self.index.remove(&victim);
+                    self.index.remove(victim);
                 }
             }
             self.index_fifo.push_back(pc);
@@ -306,5 +421,60 @@ mod tests {
         let mut cfg = GhbConfig::paper_small();
         cfg.degree = 0;
         let _ = GhbPredictor::new(&cfg);
+    }
+
+    #[test]
+    fn pc_index_basic_ops() {
+        let mut idx = PcIndex::with_capacity(8);
+        assert_eq!(idx.get(0x400), None);
+        idx.insert(0x400, 1);
+        idx.insert(0x500, 2);
+        idx.insert(0x400, 3); // overwrite
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.get(0x400), Some(3));
+        assert_eq!(idx.get(0x500), Some(2));
+        idx.remove(0x400);
+        assert_eq!(idx.get(0x400), None);
+        assert_eq!(idx.get(0x500), Some(2));
+        assert_eq!(idx.len(), 1);
+        idx.remove(0x999); // absent: no-op
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn pc_index_matches_reference_map_under_churn() {
+        // Deterministic xorshift stream of inserts/overwrites/removes over a
+        // small PC universe, forcing collisions and backward-shift deletes;
+        // the open-addressed table must agree with a reference map at every
+        // step.
+        let mut idx = PcIndex::with_capacity(16);
+        let mut reference = std::collections::HashMap::new();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for step in 0..4000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pc = x % 29; // small universe -> heavy probe collisions
+            if x.is_multiple_of(3) && reference.len() >= 14 {
+                // Stay under the table's half-full bound like on_miss does
+                // via FIFO eviction.
+                idx.remove(pc);
+                reference.remove(&pc);
+            } else if reference.len() < 14 || reference.contains_key(&pc) {
+                idx.insert(pc, step);
+                reference.insert(pc, step);
+            } else {
+                idx.remove(pc);
+                reference.remove(&pc);
+            }
+            assert_eq!(idx.len(), reference.len(), "length diverged at {step}");
+            for probe in 0..29u64 {
+                assert_eq!(
+                    idx.get(probe),
+                    reference.get(&probe).copied(),
+                    "pc {probe} diverged at step {step}"
+                );
+            }
+        }
     }
 }

@@ -168,6 +168,17 @@ impl MissBreakdown {
         }
     }
 
+    /// Adds every counter of `other` into this breakdown.  Counter addition
+    /// is commutative and associative, so accumulating into a local
+    /// breakdown and committing it later yields the same totals as
+    /// recording each miss directly.
+    pub fn merge(&mut self, other: &MissBreakdown) {
+        self.cold += other.cold;
+        self.replacement += other.replacement;
+        self.true_sharing += other.true_sharing;
+        self.false_sharing += other.false_sharing;
+    }
+
     /// Total misses across all kinds.
     pub fn total(&self) -> u64 {
         self.cold + self.replacement + self.true_sharing + self.false_sharing
@@ -332,24 +343,49 @@ impl MissAccounting {
         l1_miss: bool,
         offchip: bool,
     ) -> (Option<MissKind>, Option<MissKind>) {
+        Self::classify(
+            &mut self.l1,
+            &mut self.l2,
+            access,
+            l1_miss,
+            offchip,
+            &mut self.l1_breakdown,
+            &mut self.l2_breakdown,
+        )
+    }
+
+    /// The shared classification body: updates the classifiers in place and
+    /// records kinds into the given breakdown accumulators — the struct's
+    /// own breakdowns on the inline path, per-segment locals on the batched
+    /// replay path.
+    #[allow(clippy::too_many_arguments)]
+    fn classify(
+        l1: &mut MissClassifier,
+        l2: &mut MissClassifier,
+        access: &MemAccess,
+        l1_miss: bool,
+        offchip: bool,
+        l1_acc: &mut MissBreakdown,
+        l2_acc: &mut MissBreakdown,
+    ) -> (Option<MissKind>, Option<MissKind>) {
         let l1_kind = if l1_miss && access.kind.is_read() {
-            let kind = self.l1.classify_miss(access.cpu, access.addr);
-            self.l1_breakdown.record(kind);
+            let kind = l1.classify_miss(access.cpu, access.addr);
+            l1_acc.record(kind);
             Some(kind)
         } else if l1_miss {
             // Track residency for write misses without counting them in the
             // read-miss breakdown the figures report.
-            self.l1.note_fill(access.cpu, access.addr);
+            l1.note_fill(access.cpu, access.addr);
             None
         } else {
             None
         };
         let l2_kind = if offchip && access.kind.is_read() {
-            let kind = self.l2.classify_miss(access.cpu, access.addr);
-            self.l2_breakdown.record(kind);
+            let kind = l2.classify_miss(access.cpu, access.addr);
+            l2_acc.record(kind);
             Some(kind)
         } else if offchip {
-            self.l2.note_fill(access.cpu, access.addr);
+            l2.note_fill(access.cpu, access.addr);
             None
         } else {
             None
@@ -401,11 +437,25 @@ impl MissAccounting {
             tape.len(),
             "tape and access buffer are from different segments"
         );
+        // Batched walk: miss kinds accumulate into per-segment locals that
+        // are committed to the breakdown structs once at the end, instead of
+        // a read-modify-write on the struct fields per access.  Counter
+        // addition commutes, so the committed totals are identical; the
+        // classifier updates themselves still happen per access, in order.
+        let mut l1_acc = MissBreakdown::default();
+        let mut l2_acc = MissBreakdown::default();
         let mut invalidations = tape.invalidations.iter().peekable();
-        for (index, access) in accesses.iter().enumerate() {
-            let flags = tape.flags_at(index);
-            if !flags.skipped {
-                let (l1, l2) = self.on_access(access, flags.l1_miss, flags.offchip);
+        for (index, (access, &flags)) in accesses.iter().zip(&tape.flags).enumerate() {
+            if flags & OutcomeTape::SKIPPED == 0 {
+                let (l1, l2) = Self::classify(
+                    &mut self.l1,
+                    &mut self.l2,
+                    access,
+                    flags & OutcomeTape::L1_MISS != 0,
+                    flags & OutcomeTape::OFFCHIP != 0,
+                    &mut l1_acc,
+                    &mut l2_acc,
+                );
                 observe(access, l1, l2);
             }
             while let Some(&&(event_index, cpu)) = invalidations.peek() {
@@ -420,6 +470,8 @@ impl MissAccounting {
             invalidations.next().is_none(),
             "tape records invalidations past the access buffer"
         );
+        self.l1_breakdown.merge(&l1_acc);
+        self.l2_breakdown.merge(&l2_acc);
     }
 
     /// Feeds both levels' classifier history and breakdowns into a state

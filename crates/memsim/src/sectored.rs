@@ -53,10 +53,54 @@ pub struct SectoredAccessOutcome {
     pub completed: Option<SectorEviction>,
 }
 
-#[derive(Debug, Clone)]
+/// Per-sector valid-block bits as two inline `u64` words (pattern-style:
+/// sectors span at most 128 blocks, like `sms` spatial patterns).  Inline
+/// words keep the bits on the same cache line as the rest of the tag entry —
+/// the `Vec<bool>` this replaces cost a heap indirection on every access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct BlockMask {
+    words: [u64; 2],
+}
+
+impl BlockMask {
+    const MAX_BLOCKS: usize = 128;
+
+    fn single(offset: usize) -> Self {
+        let mut mask = Self::default();
+        mask.set(offset);
+        mask
+    }
+
+    fn set(&mut self, offset: usize) {
+        debug_assert!(offset < Self::MAX_BLOCKS);
+        self.words[offset / 64] |= 1u64 << (offset % 64);
+    }
+
+    fn get(&self, offset: usize) -> bool {
+        debug_assert!(offset < Self::MAX_BLOCKS);
+        self.words[offset / 64] & (1u64 << (offset % 64)) != 0
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words == [0, 0]
+    }
+
+    /// Set offsets in ascending order via `trailing_zeros` word scans.
+    fn iter_set(&self) -> impl Iterator<Item = u32> {
+        self.words.into_iter().enumerate().flat_map(|(wi, word)| {
+            std::iter::successors((word != 0).then_some(word), |w| {
+                let next = w & (w - 1);
+                (next != 0).then_some(next)
+            })
+            .map(move |w| wi as u32 * 64 + w.trailing_zeros())
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
 struct SectorEntry {
     region_base: u64,
-    valid_blocks: Vec<bool>,
+    valid_blocks: BlockMask,
     trigger_pc: Pc,
     trigger_offset: u32,
     lru: u64,
@@ -85,10 +129,15 @@ impl SectorTagArray {
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         assert!(assoc >= 1);
         let blocks = (region_bytes / block_bytes) as usize;
+        assert!(
+            blocks <= BlockMask::MAX_BLOCKS,
+            "a sector spans at most {} blocks",
+            BlockMask::MAX_BLOCKS
+        );
         let entries = vec![
             SectorEntry {
                 region_base: 0,
-                valid_blocks: vec![false; blocks],
+                valid_blocks: BlockMask::default(),
                 trigger_pc: 0,
                 trigger_offset: 0,
                 lru: 0,
@@ -133,15 +182,10 @@ impl SectorTagArray {
         if !e.live {
             return None;
         }
-        let accessed: Vec<u32> = e
-            .valid_blocks
-            .iter()
-            .enumerate()
-            .filter_map(|(b, &v)| if v { Some(b as u32) } else { None })
-            .collect();
-        if accessed.is_empty() {
+        if e.valid_blocks.is_empty() {
             return None;
         }
+        let accessed: Vec<u32> = e.valid_blocks.iter_set().collect();
         Some(SectorEviction {
             region_base: e.region_base,
             trigger_pc: e.trigger_pc,
@@ -156,8 +200,8 @@ impl SectorTagArray {
         let region = self.region_base(addr);
         let offset = self.offset(addr) as usize;
         if let Some(i) = self.find(region) {
-            let hit = self.entries[i].valid_blocks[offset];
-            self.entries[i].valid_blocks[offset] = true;
+            let hit = self.entries[i].valid_blocks.get(offset);
+            self.entries[i].valid_blocks.set(offset);
             self.entries[i].lru = self.tick;
             return SectoredAccessOutcome {
                 hit,
@@ -186,14 +230,9 @@ impl SectorTagArray {
         } else {
             self.eviction_of(victim)
         };
-        let blocks = self.entries[victim].valid_blocks.len();
         self.entries[victim] = SectorEntry {
             region_base: region,
-            valid_blocks: {
-                let mut v = vec![false; blocks];
-                v[offset] = true;
-                v
-            },
+            valid_blocks: BlockMask::single(offset),
             trigger_pc: pc,
             trigger_offset: offset as u32,
             lru: self.tick,

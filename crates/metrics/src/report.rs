@@ -27,11 +27,14 @@ impl MetricsReport {
     /// **2** — PR 5 (bench payloads gained required segment-parallel and
     /// warm-up fields, and the `bench-diff` kind was added);
     /// **3** — PR 6 (bench payloads gained required speculative-run fields
-    /// and the recorded speculation depth).  An old-versioned `BENCH_*.json`
+    /// and the recorded speculation depth);
+    /// **4** — PR 7 (bench payloads gained the required per-figure
+    /// `parallel_spread` sample-spread field and the recorded `repeats`
+    /// count from `bench --repeat`).  An old-versioned `BENCH_*.json`
     /// must fail validation with this version error rather than a confusing
     /// field-level decode error; `bench --against` still *reads* old reports
     /// leniently for throughput comparison.
-    pub const SCHEMA_VERSION: u32 = 3;
+    pub const SCHEMA_VERSION: u32 = 4;
 
     /// A report of the given kind carrying `payload` serialized as JSON.
     pub fn new<T: Serialize + ?Sized>(kind: &str, payload: &T) -> Self {
