@@ -59,6 +59,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod hash;
 pub mod plugin;
 pub mod runner;
 pub mod segment;
@@ -66,13 +67,15 @@ pub mod spec;
 pub mod speculate;
 pub mod telemetry;
 
+pub use hash::{canonical_json, list_fingerprint, spec_fingerprint};
 pub use plugin::{
     closest_match, decode_params, BuiltPrefetcher, DensityReport, KindSink, OracleReport,
     PluginError, PrefetcherPlugin, Probe, ProbeReport, Registry, TrainingReport,
 };
 pub use runner::{
-    run_job, run_job_metered, run_jobs, run_jobs_in, run_jobs_metered, run_jobs_with, EngineConfig,
-    EngineError, JobList, JobResult, JobWarning, SimJob, SpecError, TimingSpec,
+    run_job, run_job_metered, run_jobs, run_jobs_in, run_jobs_metered, run_jobs_streamed,
+    run_jobs_with, CancelToken, EngineConfig, EngineError, JobList, JobResult, JobWarning, SimJob,
+    SpecError, TimingSpec,
 };
 pub use segment::{run_job_segmented, SegmentPlan};
 pub use spec::{MultiOracle, OracleProbeSpec, PrefetcherSpec, TrainingSpec};

@@ -19,7 +19,8 @@ use memsim::{MultiCpuSystem, RunSummary};
 use metrics::{MetricsConfig, Stopwatch};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use timing::{TimingConfig, TimingModel, TimingResult};
 
 /// Timing-model parameters attached to a job that should run through the
@@ -69,20 +70,45 @@ impl From<memsim::SimJob<PrefetcherSpec>> for SimJob {
 pub struct JobList {
     /// Spec-file format version.
     pub version: u32,
+    /// Optional client-facing label for the list (introduced in version 2
+    /// for the job server's submission protocol).  Purely descriptive: it
+    /// never affects execution and is excluded from the content-addressed
+    /// result-cache key ([`crate::hash::spec_fingerprint`]).
+    pub name: Option<String>,
     /// The jobs, in submission order.
     pub jobs: Vec<SimJob>,
 }
 
 impl JobList {
     /// Current spec-file format version.
-    pub const VERSION: u32 = 1;
+    ///
+    /// # Version history
+    ///
+    /// * **1** — `{version, jobs}`.
+    /// * **2** — adds the optional `name` label.  Version-1 files remain
+    ///   loadable: [`JobList::from_json`] reads any version in
+    ///   [`MIN_VERSION`](Self::MIN_VERSION)`..=`[`VERSION`](Self::VERSION)
+    ///   and normalizes the loaded list to the current version (absent
+    ///   fields take their documented defaults — `name` becomes `None`), so
+    ///   re-serializing a loaded list is the migration path.
+    pub const VERSION: u32 = 2;
 
-    /// Wraps `jobs` in the current format version.
+    /// Oldest spec-file format version this build still reads.
+    pub const MIN_VERSION: u32 = 1;
+
+    /// Wraps `jobs` in the current format version with no name label.
     pub fn new(jobs: Vec<SimJob>) -> Self {
         Self {
             version: Self::VERSION,
+            name: None,
             jobs,
         }
+    }
+
+    /// Returns a copy carrying a client-facing label.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
     }
 
     /// Parses a spec file's JSON text, checking the format version *before*
@@ -90,11 +116,17 @@ impl JobList {
     /// build cannot read still gets the actionable version error rather than
     /// a field-level parse failure.
     ///
+    /// Any version in [`MIN_VERSION`](Self::MIN_VERSION)`..=`
+    /// [`VERSION`](Self::VERSION) is accepted; older lists load through the
+    /// lenient path (fields added since that version take their defaults)
+    /// and are normalized to the current version, so writing a loaded list
+    /// back out upgrades it.
+    ///
     /// # Errors
     ///
-    /// [`SpecError::UnsupportedVersion`] when the spec's version is not
-    /// [`JobList::VERSION`], [`SpecError::Parse`] for anything that is not a
-    /// well-formed version-1 job list.
+    /// [`SpecError::UnsupportedVersion`] when the spec's version is outside
+    /// the supported range, [`SpecError::Parse`] for anything that is not a
+    /// well-formed job list of its declared version.
     pub fn from_json(text: &str) -> Result<Self, SpecError> {
         let value: serde_json::Value =
             serde_json::from_str(text).map_err(|e| SpecError::Parse(e.to_string()))?;
@@ -108,13 +140,19 @@ impl JobList {
         };
         let version: u32 = Deserialize::from_value(version_value)
             .map_err(|e| SpecError::Parse(format!("\"version\" field: {e}")))?;
-        if version != Self::VERSION {
+        if !(Self::MIN_VERSION..=Self::VERSION).contains(&version) {
             return Err(SpecError::UnsupportedVersion {
                 found: version,
                 supported: Self::VERSION,
             });
         }
-        Deserialize::from_value(&value).map_err(|e| SpecError::Parse(e.to_string()))
+        // The lenient path: every field added after MIN_VERSION is optional
+        // with a documented default, so decoding the current struct shape
+        // against an older document fills the gaps (`name` absent → None).
+        let mut list: Self =
+            Deserialize::from_value(&value).map_err(|e| SpecError::Parse(e.to_string()))?;
+        list.version = Self::VERSION;
+        Ok(list)
     }
 }
 
@@ -127,7 +165,8 @@ pub enum SpecError {
     UnsupportedVersion {
         /// Version the spec file declares.
         found: u32,
-        /// The only version this build reads.
+        /// The newest version this build reads (the readable range is
+        /// [`JobList::MIN_VERSION`]`..=`this).
         supported: u32,
     },
 }
@@ -138,8 +177,9 @@ impl fmt::Display for SpecError {
             SpecError::Parse(message) => write!(f, "invalid job spec: {message}"),
             SpecError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "unsupported job-spec version {found}: this build reads version {supported}; \
-                 regenerate the spec with `sms-experiments <experiment> --emit-spec`"
+                "unsupported job-spec version {found}: this build reads versions {min} through \
+                 {supported}; regenerate the spec with `sms-experiments <experiment> --emit-spec`",
+                min = JobList::MIN_VERSION
             ),
         }
     }
@@ -650,6 +690,201 @@ pub fn run_jobs_metered(
     Ok((results, engine_metrics))
 }
 
+/// A shared cooperative-cancellation flag for a streaming engine run.
+///
+/// Cancellation is observed between jobs, never mid-job: workers stop
+/// claiming new work, already-running jobs complete, and the run returns
+/// cleanly with the contiguous prefix of results delivered so far.  Cloning
+/// shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// [`run_jobs_metered`] restructured for a serving loop: results are
+/// delivered to `sink` **incrementally, in submission order**, instead of
+/// being collected into a `Vec`, and the run can be cut short between jobs
+/// through `cancel`.
+///
+/// The per-job results handed to the sink are bit-identical to what
+/// [`run_jobs_metered`] would return for every worker count, segmentation
+/// and speculation setting — workers tag outcomes with the submission index
+/// and the calling thread reorders them into a strictly in-order stream, so
+/// a consumer can forward each result over a socket as it lands.  Because
+/// workers claim jobs from an atomic cursor, the claimed set is always a
+/// contiguous prefix of the list; a cancelled run therefore delivers jobs
+/// `0..n` for some `n` with nothing missing in between.
+///
+/// Returns the number of results delivered to the sink plus the run's
+/// [`EngineMetrics`] (no separate merge phase, so `merge_seconds` is zero).
+///
+/// # Errors
+///
+/// The lowest-index preparation failure, exactly as [`run_jobs_metered`];
+/// results before the failing index have already been delivered to the sink
+/// (a streaming consumer has by then forwarded them — the error frame
+/// follows the partial stream).
+pub fn run_jobs_streamed(
+    jobs: &[SimJob],
+    config: &EngineConfig,
+    registry: &Registry,
+    metrics: &MetricsConfig,
+    cancel: &CancelToken,
+    sink: &mut dyn FnMut(JobResult, JobMetrics),
+) -> Result<(usize, EngineMetrics), EngineError> {
+    let run_watch = Stopwatch::start_if(metrics.enabled);
+    let plan = config.segment_plan();
+    let workers = match &plan {
+        Some(p) => config.segmented_job_workers(jobs.len(), p),
+        None => config.effective_workers(jobs.len()),
+    };
+    let exec = |index: usize, job: &SimJob| match plan {
+        Some(p) => run_job_segmented(index, job, registry, metrics, p),
+        None => run_job_metered(index, job, registry, metrics),
+    };
+
+    if workers <= 1 {
+        let mut engine_metrics = EngineMetrics::default();
+        let mut simulate_seconds = 0.0;
+        let mut delivered = 0;
+        let mut first_error = None;
+        for (index, job) in jobs.iter().enumerate() {
+            if cancel.is_cancelled() {
+                break;
+            }
+            match exec(index, job) {
+                Ok((result, job_metrics)) => {
+                    simulate_seconds += job_metrics.elapsed_seconds;
+                    engine_metrics.jobs.push(job_metrics);
+                    sink(result, job_metrics);
+                    delivered += 1;
+                }
+                Err(e) => {
+                    first_error = Some(e);
+                    break;
+                }
+            }
+        }
+        let total_seconds = run_watch.elapsed_seconds();
+        engine_metrics.workers.push(WorkerMetrics {
+            worker: 0,
+            jobs_run: delivered as u64,
+            simulate_seconds,
+            queue_wait_seconds: (total_seconds - simulate_seconds).max(0.0),
+            total_seconds,
+        });
+        engine_metrics.finish(0.0, total_seconds);
+        return match first_error {
+            Some(e) => Err(e),
+            None => Ok((delivered, engine_metrics)),
+        };
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<TaggedOutcome>();
+    let mut engine_metrics = EngineMetrics::default();
+    let mut delivered = 0usize;
+    let mut first_error: Option<EngineError> = None;
+    std::thread::scope(|scope| {
+        let exec = &exec;
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let next = &next;
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let worker_watch = Stopwatch::start_if(metrics.enabled);
+                    let mut simulate_seconds = 0.0;
+                    let mut jobs_run = 0u64;
+                    loop {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= jobs.len() {
+                            break;
+                        }
+                        let outcome = exec(index, &jobs[index]);
+                        let failed = outcome.is_err();
+                        if let Ok((_, job_metrics)) = &outcome {
+                            simulate_seconds += job_metrics.elapsed_seconds;
+                        }
+                        jobs_run += 1;
+                        if tx.send((index, outcome)).is_err() || failed {
+                            break;
+                        }
+                    }
+                    let total_seconds = worker_watch.elapsed_seconds();
+                    WorkerMetrics {
+                        worker,
+                        jobs_run,
+                        simulate_seconds,
+                        queue_wait_seconds: (total_seconds - simulate_seconds).max(0.0),
+                        total_seconds,
+                    }
+                })
+            })
+            .collect();
+        // The workers hold the only remaining senders, so the channel closes
+        // when the last one finishes.
+        drop(tx);
+
+        // Reorder the tagged outcomes into a strictly in-order stream.  On
+        // the first in-order error (necessarily the lowest failing index:
+        // everything before it was already emitted as a success) cancel the
+        // remaining work and drain the channel.
+        let mut pending: std::collections::BTreeMap<
+            usize,
+            Result<(JobResult, JobMetrics), EngineError>,
+        > = std::collections::BTreeMap::new();
+        let mut next_emit = 0usize;
+        for (index, outcome) in rx {
+            pending.insert(index, outcome);
+            while first_error.is_none() {
+                match pending.remove(&next_emit) {
+                    Some(Ok((result, job_metrics))) => {
+                        engine_metrics.jobs.push(job_metrics);
+                        sink(result, job_metrics);
+                        delivered += 1;
+                        next_emit += 1;
+                    }
+                    Some(Err(e)) => {
+                        first_error = Some(e);
+                        cancel.cancel();
+                    }
+                    None => break,
+                }
+            }
+        }
+        for handle in handles {
+            engine_metrics
+                .workers
+                .push(handle.join().expect("engine worker panicked"));
+        }
+    });
+    engine_metrics.finish(0.0, run_watch.elapsed_seconds());
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok((delivered, engine_metrics)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -807,16 +1042,57 @@ mod tests {
             err,
             SpecError::UnsupportedVersion {
                 found: 3,
-                supported: 1
+                supported: 2
             }
         );
-        // The message is part of the CLI contract: it names both versions
-        // and says how to regenerate.
+        // The message is part of the CLI contract: it names the readable
+        // range and says how to regenerate.
         assert_eq!(
             err.to_string(),
-            "unsupported job-spec version 3: this build reads version 1; \
+            "unsupported job-spec version 3: this build reads versions 1 through 2; \
              regenerate the spec with `sms-experiments <experiment> --emit-spec`"
         );
+        // Below the readable range is rejected the same way.
+        let err = JobList::from_json(r#"{"version": 0, "jobs": []}"#)
+            .expect_err("version 0 must be rejected");
+        assert!(matches!(
+            err,
+            SpecError::UnsupportedVersion {
+                found: 0,
+                supported: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn version_1_specs_load_through_the_lenient_path() {
+        // A version-1 document (no `name` field) is exactly what every
+        // pre-bump `--emit-spec` wrote.  It must still load, normalize to
+        // the current version with `name: None`, and execute identically.
+        let current = JobList::new(job_list());
+        let mut value = serde_json::to_value(&current).expect("serialize");
+        let obj = match &mut value {
+            serde_json::Value::Object(entries) => entries,
+            other => panic!("job list serializes as an object, got {other:?}"),
+        };
+        obj.retain(|(key, _)| key != "name");
+        for (key, v) in obj.iter_mut() {
+            if key == "version" {
+                *v = serde_json::Value::UInt(1);
+            }
+        }
+        let v1_text = serde_json::to_string(&value).expect("render v1 spec");
+        assert!(!v1_text.contains("\"name\""), "{v1_text}");
+
+        let loaded = JobList::from_json(&v1_text).expect("version 1 loads leniently");
+        assert_eq!(loaded.version, JobList::VERSION, "normalized on load");
+        assert_eq!(loaded.name, None);
+        assert_eq!(loaded.jobs, current.jobs);
+        // Re-serializing the loaded list is the documented migration path:
+        // it round-trips as a current-version spec.
+        let migrated = serde_json::to_string(&loaded).expect("serialize migrated");
+        let back = JobList::from_json(&migrated).expect("migrated spec parses");
+        assert_eq!(back, loaded);
     }
 
     #[test]
@@ -908,6 +1184,107 @@ mod tests {
         );
         let report = engine_metrics.report();
         assert!(report.validate().is_ok());
+    }
+
+    #[test]
+    fn streamed_results_match_the_collected_path_bit_for_bit() {
+        let jobs = job_list();
+        for workers in [1, 4] {
+            let config = EngineConfig::with_workers(workers);
+            let (expected, _) = run_jobs_metered(
+                &jobs,
+                &config,
+                Registry::builtin(),
+                &metrics::MetricsConfig::enabled(),
+            )
+            .expect("jobs prepare");
+            let mut streamed = Vec::new();
+            let (delivered, engine_metrics) = run_jobs_streamed(
+                &jobs,
+                &config,
+                Registry::builtin(),
+                &metrics::MetricsConfig::enabled(),
+                &CancelToken::new(),
+                &mut |result, job_metrics| {
+                    assert_eq!(job_metrics.job_index, result.job_index);
+                    streamed.push(result);
+                },
+            )
+            .expect("streamed run succeeds");
+            // Strictly in submission order, nothing missing, bit-identical.
+            assert_eq!(delivered, jobs.len());
+            assert_eq!(streamed, expected, "workers = {workers}");
+            assert_eq!(engine_metrics.jobs.len(), jobs.len());
+            assert!(engine_metrics
+                .jobs
+                .iter()
+                .enumerate()
+                .all(|(i, j)| j.job_index == i));
+        }
+    }
+
+    #[test]
+    fn streamed_error_follows_the_delivered_prefix() {
+        let mut jobs = job_list();
+        jobs.insert(
+            1,
+            job(
+                Application::Ocean,
+                PrefetcherSpec {
+                    plugin: "warp-drive".to_string(),
+                    params: serde_json::Value::Null,
+                },
+            ),
+        );
+        for workers in [1, 4] {
+            let mut streamed = Vec::new();
+            let err = run_jobs_streamed(
+                &jobs,
+                &EngineConfig::with_workers(workers),
+                Registry::builtin(),
+                &metrics::MetricsConfig::disabled(),
+                &CancelToken::new(),
+                &mut |result, _| streamed.push(result.job_index),
+            )
+            .expect_err("unknown plugin must fail");
+            // Job 0 is emitted before the in-order merge reaches the failing
+            // index; the error then terminates the stream deterministically.
+            assert_eq!(streamed, vec![0], "workers = {workers}");
+            match err {
+                EngineError::Plugin { job_index, .. } => assert_eq!(job_index, 1),
+                other => panic!("expected Plugin error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_stream_delivers_a_clean_prefix() {
+        let jobs = job_list();
+        for workers in [1, 2] {
+            let cancel = CancelToken::new();
+            let mut streamed = Vec::new();
+            let (delivered, _) = run_jobs_streamed(
+                &jobs,
+                &EngineConfig::with_workers(workers),
+                Registry::builtin(),
+                &metrics::MetricsConfig::disabled(),
+                &cancel,
+                &mut |result, _| {
+                    streamed.push(result.job_index);
+                    // Cancel from inside the sink: jobs already claimed may
+                    // still land, but the stream stays an in-order prefix.
+                    cancel.cancel();
+                },
+            )
+            .expect("cancellation is not an error");
+            assert_eq!(delivered, streamed.len());
+            assert!(delivered >= 1, "the first result triggered the cancel");
+            assert_eq!(
+                streamed,
+                (0..delivered).collect::<Vec<_>>(),
+                "workers = {workers}"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //! measures per-figure throughput and speedup with the engine's own
 //! telemetry,
 //! measures the batched stream-request hot path against the kept
-//! pre-batching driver loop, and emits everything as a schema-versioned
-//! `BENCH_<name>.json` — the perf trajectory the ROADMAP's scaling work
-//! measures itself against.
+//! pre-batching driver loop, measures the **served** path (each figure's
+//! job list submitted to a local resident job server over its unix-domain
+//! socket — a cold round trip that prices the protocol + scheduling
+//! overhead, then best-of-N cache-hit replays that price the
+//! content-addressed result cache), and emits everything as a
+//! schema-versioned `BENCH_<name>.json` — the perf trajectory the ROADMAP's
+//! scaling work measures itself against.
 //!
 //! Each figure's measurement starts with an unmeasured **warm-up** pass, so
 //! cold-start costs (page faults, allocator growth, file cache) no longer
@@ -25,7 +29,7 @@
 
 use crate::catalog::{figure_jobs, job_bearing_experiments};
 use crate::common::ExperimentConfig;
-use engine::{run_jobs_metered, EngineConfig, PrefetcherSpec, Registry};
+use engine::{run_jobs_metered, EngineConfig, JobList, JobResult, PrefetcherSpec, Registry};
 use memsim::MultiCpuSystem;
 use metrics::{per_sec, MetricsConfig, MetricsReport, Stopwatch};
 use serde::{Deserialize, Serialize};
@@ -151,6 +155,30 @@ pub struct FigureBench {
     /// means the host was noisy and the best-of-N numbers should be read
     /// with care.
     pub parallel_spread: f64,
+    /// Wall-clock seconds of the cold served round trip: the figure's job
+    /// list submitted to a local resident job server over its unix-domain
+    /// socket, results streamed back frame by frame.  Includes protocol
+    /// encode/decode and queue scheduling on top of the engine run, so the
+    /// gap to `parallel_seconds` prices the serving overhead.  This and the
+    /// fields below are required as of envelope schema version 5;
+    /// `bench --against` reads pre-server reports leniently without them.
+    pub served_seconds: f64,
+    /// Accesses/second of the cold served round trip.
+    pub served_accesses_per_sec: f64,
+    /// `serial_seconds / served_seconds`.
+    pub served_speedup: f64,
+    /// Whether the served results were bit-identical to the serial run and
+    /// the cold submission actually computed (must always be `true`).
+    pub served_deterministic: bool,
+    /// Best-of-`repeats` wall-clock seconds of resubmitting the identical
+    /// spec: answered from the server's content-addressed result cache
+    /// without touching the engine, so this prices pure replay throughput.
+    pub served_cached_seconds: f64,
+    /// Accesses/second of the cache-hit replay.
+    pub served_cached_accesses_per_sec: f64,
+    /// Whether every resubmission was answered from the cache with results
+    /// bit-identical to the cold round trip (must always be `true`).
+    pub served_cache_hit: bool,
 }
 
 /// The measured batched-vs-unbatched driver hot-path comparison.
@@ -199,6 +227,15 @@ pub struct BenchTotals {
     pub speculative_seconds: f64,
     /// Whole-suite speculative speedup over serial.
     pub speculative_speedup: f64,
+    /// Total cold served wall-clock seconds.
+    pub served_seconds: f64,
+    /// Whole-suite cold served speedup over serial (below the parallel
+    /// speedup by exactly the serving overhead).
+    pub served_speedup: f64,
+    /// Total cache-hit replay wall-clock seconds.
+    pub served_cached_seconds: f64,
+    /// Whole-suite cache-hit replay speedup over serial.
+    pub served_cached_speedup: f64,
 }
 
 /// The payload of a `BENCH_<name>.json` file.
@@ -323,6 +360,25 @@ impl BenchReport {
             {
                 return Err(format!("{f}: bad sample spread {}", figure.parallel_spread));
             }
+            if !(figure.served_seconds > 0.0 && figure.served_cached_seconds > 0.0) {
+                return Err(format!("{f}: missing served wall-clock timings"));
+            }
+            if !(figure.served_accesses_per_sec > 0.0
+                && figure.served_cached_accesses_per_sec > 0.0)
+            {
+                return Err(format!("{f}: missing served throughput"));
+            }
+            if !figure.served_speedup.is_finite() || figure.served_speedup <= 0.0 {
+                return Err(format!("{f}: bad served speedup {}", figure.served_speedup));
+            }
+            if !figure.served_deterministic {
+                return Err(format!("{f}: served results diverged from the serial run"));
+            }
+            if !figure.served_cache_hit {
+                return Err(format!(
+                    "{f}: an identical resubmission was not answered from the result cache"
+                ));
+            }
         }
         if self.scale.repeats == 0 {
             return Err("bench report must record the measured repeat count".to_string());
@@ -377,103 +433,175 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
     let repeats = options.repeat.max(1);
     let registry = Registry::builtin();
     let collect = MetricsConfig::enabled();
-    let mut rows = Vec::with_capacity(figures.len());
-    for name in &figures {
-        let jobs = figure_jobs(name, &config, representative_only)
-            .ok_or_else(|| format!("{name}: not a job-bearing experiment"))?;
-        // Unmeasured warm-up at the parallel configuration: pages, the
-        // allocator and thread stacks are hot before any measured pass, so
-        // measurement order stops biasing the serial-vs-parallel ratio.
-        let warmup_watch = Stopwatch::started();
-        let _ = run_jobs_metered(
-            &jobs,
-            &EngineConfig::with_workers(workers),
-            registry,
-            &MetricsConfig::disabled(),
-        )
-        .map_err(|e| e.to_string())?;
-        let warmup_seconds = warmup_watch.elapsed_seconds();
 
-        // Best-of-N measurement: every configuration runs `repeats` times,
-        // the minimum wall-clock per configuration is recorded, and the
-        // relative spread of the parallel-throughput samples lands in the
-        // payload so a noisy host is visible instead of guessed at.
-        // Determinism must hold on *every* pass, not just the fastest one.
-        let mut accesses = 0u64;
-        let mut serial_seconds = f64::INFINITY;
-        let mut parallel_seconds = f64::INFINITY;
-        let mut segmented_seconds = f64::INFINITY;
-        let mut speculative_seconds = f64::INFINITY;
-        let mut deterministic = true;
-        let mut segmented_deterministic = true;
-        let mut speculative_deterministic = true;
-        let mut speculation_commits = 0u64;
-        let mut parallel_samples = Vec::with_capacity(repeats);
-        for _ in 0..repeats {
-            let (serial_results, serial) =
-                run_jobs_metered(&jobs, &EngineConfig::serial(), registry, &collect)
-                    .map_err(|e| e.to_string())?;
-            let (parallel_results, parallel) = run_jobs_metered(
+    // One resident job server for the whole bench run: each figure's cold
+    // submission prices the protocol + scheduling overhead, each identical
+    // resubmission the content-addressed result cache.  The socket name
+    // carries the pid and a counter so concurrent benches (e.g. the test
+    // suite running in one process) cannot collide.
+    static BENCH_SERVER_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let socket = std::env::temp_dir().join(format!(
+        "sms-bench-{}-{}.sock",
+        std::process::id(),
+        BENCH_SERVER_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let bench_server = server::Server::start(server::ServerConfig {
+        unix_socket: Some(socket.clone()),
+        tcp: None,
+        quota: 0,
+        workers,
+    })
+    .map_err(|e| format!("bench job server failed to start: {e}"))?;
+    let endpoint = server::Endpoint::Unix(socket);
+    let submit_options = server::SubmitOptions {
+        client: "bench".to_string(),
+        workers,
+        ..server::SubmitOptions::default()
+    };
+
+    // The measuring loop runs inside a closure so the bench server is shut
+    // down (queue drained, socket file removed) on the error path too.
+    let measure = || -> Result<Vec<FigureBench>, String> {
+        let mut rows = Vec::with_capacity(figures.len());
+        for name in &figures {
+            let jobs = figure_jobs(name, &config, representative_only)
+                .ok_or_else(|| format!("{name}: not a job-bearing experiment"))?;
+            // Unmeasured warm-up at the parallel configuration: pages, the
+            // allocator and thread stacks are hot before any measured pass, so
+            // measurement order stops biasing the serial-vs-parallel ratio.
+            let warmup_watch = Stopwatch::started();
+            let _ = run_jobs_metered(
                 &jobs,
                 &EngineConfig::with_workers(workers),
                 registry,
-                &collect,
+                &MetricsConfig::disabled(),
             )
             .map_err(|e| e.to_string())?;
-            let (segmented_results, segmented) = run_jobs_metered(
-                &jobs,
-                &EngineConfig::with_workers(workers).with_segment_size(segment_size),
-                registry,
-                &collect,
-            )
-            .map_err(|e| e.to_string())?;
-            let (speculative_results, speculative) = run_jobs_metered(
-                &jobs,
-                &EngineConfig::with_workers(workers)
-                    .with_segment_size(segment_size)
-                    .with_speculation(speculation),
-                registry,
-                &collect,
-            )
-            .map_err(|e| e.to_string())?;
-            accesses = serial.total_accesses;
-            deterministic &= serial_results == parallel_results;
-            segmented_deterministic &= serial_results == segmented_results;
-            speculative_deterministic &= serial_results == speculative_results;
-            serial_seconds = serial_seconds.min(serial.total_seconds);
-            parallel_seconds = parallel_seconds.min(parallel.total_seconds);
-            segmented_seconds = segmented_seconds.min(segmented.total_seconds);
-            // The commit count rides with the fastest speculative pass, so
-            // the recorded timing and its commit activity stay one story.
-            if speculative.total_seconds < speculative_seconds {
-                speculative_seconds = speculative.total_seconds;
-                speculation_commits = speculative.jobs.iter().map(|j| j.spec_commits).sum();
+            let warmup_seconds = warmup_watch.elapsed_seconds();
+
+            // Best-of-N measurement: every configuration runs `repeats` times,
+            // the minimum wall-clock per configuration is recorded, and the
+            // relative spread of the parallel-throughput samples lands in the
+            // payload so a noisy host is visible instead of guessed at.
+            // Determinism must hold on *every* pass, not just the fastest one.
+            let mut accesses = 0u64;
+            let mut baseline: Vec<JobResult> = Vec::new();
+            let mut serial_seconds = f64::INFINITY;
+            let mut parallel_seconds = f64::INFINITY;
+            let mut segmented_seconds = f64::INFINITY;
+            let mut speculative_seconds = f64::INFINITY;
+            let mut deterministic = true;
+            let mut segmented_deterministic = true;
+            let mut speculative_deterministic = true;
+            let mut speculation_commits = 0u64;
+            let mut parallel_samples = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                let (serial_results, serial) =
+                    run_jobs_metered(&jobs, &EngineConfig::serial(), registry, &collect)
+                        .map_err(|e| e.to_string())?;
+                let (parallel_results, parallel) = run_jobs_metered(
+                    &jobs,
+                    &EngineConfig::with_workers(workers),
+                    registry,
+                    &collect,
+                )
+                .map_err(|e| e.to_string())?;
+                let (segmented_results, segmented) = run_jobs_metered(
+                    &jobs,
+                    &EngineConfig::with_workers(workers).with_segment_size(segment_size),
+                    registry,
+                    &collect,
+                )
+                .map_err(|e| e.to_string())?;
+                let (speculative_results, speculative) = run_jobs_metered(
+                    &jobs,
+                    &EngineConfig::with_workers(workers)
+                        .with_segment_size(segment_size)
+                        .with_speculation(speculation),
+                    registry,
+                    &collect,
+                )
+                .map_err(|e| e.to_string())?;
+                accesses = serial.total_accesses;
+                deterministic &= serial_results == parallel_results;
+                segmented_deterministic &= serial_results == segmented_results;
+                speculative_deterministic &= serial_results == speculative_results;
+                serial_seconds = serial_seconds.min(serial.total_seconds);
+                parallel_seconds = parallel_seconds.min(parallel.total_seconds);
+                segmented_seconds = segmented_seconds.min(segmented.total_seconds);
+                // The commit count rides with the fastest speculative pass, so
+                // the recorded timing and its commit activity stay one story.
+                if speculative.total_seconds < speculative_seconds {
+                    speculative_seconds = speculative.total_seconds;
+                    speculation_commits = speculative.jobs.iter().map(|j| j.spec_commits).sum();
+                }
+                parallel_samples.push(parallel.accesses_per_sec);
+                baseline = serial_results;
             }
-            parallel_samples.push(parallel.accesses_per_sec);
+
+            // Served measurements: one cold round trip through the local job
+            // server (the engine computes, so the frames must match the serial
+            // baseline and must NOT come from the cache), then best-of-N
+            // identical resubmissions, each of which must be answered from the
+            // content-addressed result cache with bit-identical frames.
+            let list = JobList::new(jobs.clone());
+            let watch = Stopwatch::started();
+            let cold = server::client::submit(&endpoint, &list, &submit_options, &mut |_| {})
+                .map_err(|e| format!("{name}: served submission failed: {e}"))?;
+            let served_seconds = watch.elapsed_seconds();
+            let cold_results: Vec<JobResult> =
+                cold.frames.iter().map(|f| f.result.clone()).collect();
+            let served_deterministic = !cold.done.cache_hit && cold_results == baseline;
+            let mut served_cached_seconds = f64::INFINITY;
+            let mut served_cache_hit = true;
+            for _ in 0..repeats {
+                let watch = Stopwatch::started();
+                let replay = server::client::submit(&endpoint, &list, &submit_options, &mut |_| {})
+                    .map_err(|e| format!("{name}: cached resubmission failed: {e}"))?;
+                served_cached_seconds = served_cached_seconds.min(watch.elapsed_seconds());
+                let replay_results: Vec<JobResult> =
+                    replay.frames.iter().map(|f| f.result.clone()).collect();
+                served_cache_hit &= replay.done.cache_hit && replay_results == cold_results;
+            }
+
+            rows.push(FigureBench {
+                figure: name.clone(),
+                jobs: jobs.len(),
+                accesses,
+                serial_seconds,
+                parallel_seconds,
+                serial_accesses_per_sec: per_sec(accesses, serial_seconds),
+                parallel_accesses_per_sec: per_sec(accesses, parallel_seconds),
+                speedup: ratio(serial_seconds, parallel_seconds),
+                deterministic,
+                warmup_seconds,
+                segmented_seconds,
+                segmented_accesses_per_sec: per_sec(accesses, segmented_seconds),
+                segmented_speedup: ratio(serial_seconds, segmented_seconds),
+                segmented_deterministic,
+                speculative_seconds,
+                speculative_accesses_per_sec: per_sec(accesses, speculative_seconds),
+                speculative_speedup: ratio(serial_seconds, speculative_seconds),
+                speculative_deterministic,
+                speculation_commits,
+                parallel_spread: sample_spread(&parallel_samples),
+                served_seconds,
+                served_accesses_per_sec: per_sec(accesses, served_seconds),
+                served_speedup: ratio(serial_seconds, served_seconds),
+                served_deterministic,
+                served_cached_seconds,
+                served_cached_accesses_per_sec: per_sec(accesses, served_cached_seconds),
+                served_cache_hit,
+            });
         }
-        rows.push(FigureBench {
-            figure: name.clone(),
-            jobs: jobs.len(),
-            accesses,
-            serial_seconds,
-            parallel_seconds,
-            serial_accesses_per_sec: per_sec(accesses, serial_seconds),
-            parallel_accesses_per_sec: per_sec(accesses, parallel_seconds),
-            speedup: ratio(serial_seconds, parallel_seconds),
-            deterministic,
-            warmup_seconds,
-            segmented_seconds,
-            segmented_accesses_per_sec: per_sec(accesses, segmented_seconds),
-            segmented_speedup: ratio(serial_seconds, segmented_seconds),
-            segmented_deterministic,
-            speculative_seconds,
-            speculative_accesses_per_sec: per_sec(accesses, speculative_seconds),
-            speculative_speedup: ratio(serial_seconds, speculative_seconds),
-            speculative_deterministic,
-            speculation_commits,
-            parallel_spread: sample_spread(&parallel_samples),
-        });
-    }
+        Ok(rows)
+    };
+    let rows = measure();
+    // Drain and join the bench server before surfacing any measurement
+    // error, so a failed bench never leaks the scheduler thread or the
+    // socket file.
+    bench_server.shutdown();
+    let rows = rows?;
 
     let totals = BenchTotals {
         jobs: rows.iter().map(|f| f.jobs as u64).sum(),
@@ -497,6 +625,16 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
         speculative_speedup: ratio(
             rows.iter().map(|f| f.serial_seconds).sum(),
             rows.iter().map(|f| f.speculative_seconds).sum(),
+        ),
+        served_seconds: rows.iter().map(|f| f.served_seconds).sum(),
+        served_speedup: ratio(
+            rows.iter().map(|f| f.serial_seconds).sum(),
+            rows.iter().map(|f| f.served_seconds).sum(),
+        ),
+        served_cached_seconds: rows.iter().map(|f| f.served_cached_seconds).sum(),
+        served_cached_speedup: ratio(
+            rows.iter().map(|f| f.serial_seconds).sum(),
+            rows.iter().map(|f| f.served_cached_seconds).sum(),
         ),
     };
 
@@ -825,7 +963,7 @@ pub fn render(report: &BenchReport) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>5} {:>10} {:>14} {:>14} {:>8} {:>14} {:>8} {:>14} {:>8} {:>8}",
+        "{:<10} {:>5} {:>10} {:>14} {:>14} {:>8} {:>14} {:>8} {:>14} {:>8} {:>8} {:>14} {:>8} {:>14}",
         "figure",
         "jobs",
         "accesses",
@@ -836,12 +974,15 @@ pub fn render(report: &BenchReport) -> String {
         "seg",
         "spec acc/s",
         "spec",
-        "commits"
+        "commits",
+        "srv acc/s",
+        "srv",
+        "cached acc/s"
     );
     for f in &report.figures {
         let _ = writeln!(
             out,
-            "{:<10} {:>5} {:>10} {:>14.0} {:>14.0} {:>7.2}x {:>14.0} {:>7.2}x {:>14.0} {:>7.2}x {:>8}",
+            "{:<10} {:>5} {:>10} {:>14.0} {:>14.0} {:>7.2}x {:>14.0} {:>7.2}x {:>14.0} {:>7.2}x {:>8} {:>14.0} {:>7.2}x {:>14.0}",
             f.figure,
             f.jobs,
             f.accesses,
@@ -853,12 +994,15 @@ pub fn render(report: &BenchReport) -> String {
             f.speculative_accesses_per_sec,
             f.speculative_speedup,
             f.speculation_commits,
+            f.served_accesses_per_sec,
+            f.served_speedup,
+            f.served_cached_accesses_per_sec,
         );
     }
     let t = &report.totals;
     let _ = writeln!(
         out,
-        "{:<10} {:>5} {:>10} {:>14} {:>14.0} {:>7.2}x {:>14} {:>7.2}x {:>14} {:>7.2}x",
+        "{:<10} {:>5} {:>10} {:>14} {:>14.0} {:>7.2}x {:>14} {:>7.2}x {:>14} {:>7.2}x {:>8} {:>14} {:>7.2}x",
         "total",
         t.jobs,
         t.accesses,
@@ -869,6 +1013,9 @@ pub fn render(report: &BenchReport) -> String {
         t.segmented_speedup,
         "",
         t.speculative_speedup,
+        "",
+        "",
+        t.served_speedup,
     );
     let h = &report.hot_path;
     let _ = writeln!(
@@ -919,6 +1066,18 @@ mod tests {
             report.figures.iter().all(|f| f.speculation_commits > 0),
             "the speculative configuration must actually commit speculative segments"
         );
+        assert!(
+            report.figures.iter().all(|f| f.served_deterministic),
+            "served results must be bit-identical to the serial run"
+        );
+        assert!(
+            report.figures.iter().all(|f| f.served_cache_hit),
+            "identical resubmissions must be answered from the result cache"
+        );
+        assert!(report
+            .figures
+            .iter()
+            .all(|f| f.served_seconds > 0.0 && f.served_cached_seconds > 0.0));
         assert!(report.figures.iter().all(|f| f.warmup_seconds > 0.0));
         assert!(
             report.figures.iter().all(|f| f.parallel_spread == 0.0),
@@ -1004,6 +1163,13 @@ mod tests {
             speculative_deterministic: true,
             speculation_commits: 8,
             parallel_spread: 0.0,
+            served_seconds: 1.1,
+            served_accesses_per_sec: 72_727.0,
+            served_speedup: 1.8,
+            served_deterministic: true,
+            served_cached_seconds: 0.01,
+            served_cached_accesses_per_sec: 8_000_000.0,
+            served_cache_hit: true,
         };
         BenchReport {
             name: "fixture".to_string(),
@@ -1028,6 +1194,10 @@ mod tests {
                 segmented_speedup: 1.6,
                 speculative_seconds: 1.0,
                 speculative_speedup: 2.0,
+                served_seconds: 1.1,
+                served_speedup: 1.8,
+                served_cached_seconds: 0.01,
+                served_cached_speedup: 200.0,
             },
             figures: vec![figure],
             hot_path: HotPathBench {
@@ -1080,6 +1250,38 @@ mod tests {
         let mut broken = report;
         broken.figures.clear();
         assert!(broken.validate().unwrap_err().contains("no experiments"));
+    }
+
+    #[test]
+    fn validation_rejects_broken_served_runs() {
+        let mut broken = fixture();
+        broken.figures[0].served_deterministic = false;
+        assert!(broken
+            .validate()
+            .unwrap_err()
+            .contains("served results diverged"));
+
+        let mut broken = fixture();
+        broken.figures[0].served_cache_hit = false;
+        assert!(broken
+            .validate()
+            .unwrap_err()
+            .contains("not answered from the result cache"));
+
+        let mut broken = fixture();
+        broken.figures[0].served_seconds = 0.0;
+        assert!(broken.validate().unwrap_err().contains("served wall-clock"));
+
+        let mut broken = fixture();
+        broken.figures[0].served_cached_accesses_per_sec = 0.0;
+        assert!(broken.validate().unwrap_err().contains("served throughput"));
+
+        let mut broken = fixture();
+        broken.figures[0].served_speedup = f64::NAN;
+        assert!(broken
+            .validate()
+            .unwrap_err()
+            .contains("bad served speedup"));
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //!                 [--speculate N] [--repeat N] [--name NAME] [--out <path>]
 //!                 [--against OLD.json [--threshold F] [--diff-out <path>]]
 //! sms-experiments bench --check <path>
+//! sms-experiments serve (--socket PATH | --tcp ADDR) [--quota N] [--jobs N]
+//!                 [--metrics-out <path>]
+//! sms-experiments submit (--socket PATH | --tcp ADDR) --spec <jobs.json>
+//!                 [--client NAME] [--priority N] [--jobs N]
+//!                 [--segment-size N] [--speculate N] [--out <path>]
+//!                 [--expect-cache-hit]
+//! sms-experiments submit (--socket PATH | --tcp ADDR) --status
+//! sms-experiments submit (--socket PATH | --tcp ADDR) --shutdown
 //!
 //! experiments: all, table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
 //!              agt-size, fig11, fig12, fig13 (leading zeros accepted: fig05)
@@ -27,6 +35,18 @@
 //!                batched hot path; write a schema-versioned
 //!                BENCH_<name>.json
 //! bench --check  validate an existing bench report against its schema
+//! serve          start the resident job server on a unix-domain socket
+//!                and/or loopback TCP; submissions stream back results as
+//!                jobs finish, identical resubmissions are answered from the
+//!                content-addressed result cache, and graceful shutdown
+//!                drains the queue (--quota caps jobs queued+running per
+//!                client; --metrics-out writes the server's counters as a
+//!                metrics report on exit)
+//! submit         send a serialized job list to a running server; prints the
+//!                same table and writes the same --out file as `run --spec`,
+//!                byte for byte (--expect-cache-hit fails unless the reply
+//!                came from the cache; --status prints the server's
+//!                counters; --shutdown asks the server to drain and exit)
 //! bench --against OLD.json
 //!                additionally diff per-figure throughput against a previous
 //!                report; exit non-zero when any figure drops below
@@ -64,6 +84,8 @@ use experiments::{
     fig13_breakdown, table1,
 };
 use serde::Serialize;
+use server::{Endpoint, Server, ServerConfig, SubmitOptions};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use timing::TimingConfig;
 use trace::Application;
@@ -91,7 +113,11 @@ fn usage() -> ExitCode {
        \x20      sms-experiments list [--json]\n\
        \x20      sms-experiments bench [--quick] [--jobs N] [--segment-size N] [--speculate N] [--repeat N] [--name NAME] [--out PATH]\n\
        \x20                            [--against OLD.json [--threshold F] [--diff-out PATH]]\n\
-       \x20      sms-experiments bench --check PATH"
+       \x20      sms-experiments bench --check PATH\n\
+       \x20      sms-experiments serve (--socket PATH | --tcp ADDR) [--quota N] [--jobs N] [--metrics-out PATH]\n\
+       \x20      sms-experiments submit (--socket PATH | --tcp ADDR) --spec JOBS.json [--client NAME] [--priority N]\n\
+       \x20                             [--jobs N] [--segment-size N] [--speculate N] [--out PATH] [--expect-cache-hit]\n\
+       \x20      sms-experiments submit (--socket PATH | --tcp ADDR) --status|--shutdown"
     );
     ExitCode::from(2)
 }
@@ -248,6 +274,230 @@ fn read_bench_report(path: &str) -> Result<bench::BenchReport, String> {
     bench::BenchReport::from_envelope(&envelope)
 }
 
+/// Header of the per-job summary table shared by `run --spec` and `submit`
+/// (the two must stay byte-identical on stdout).
+const SPEC_TABLE_HEADER: &str =
+    "job  prefetcher     source                accesses  L1 MPKI  L2 MPKI  prefetches";
+
+/// Prints one row of the per-job summary table (shared by `run --spec` and
+/// `submit`).
+fn print_spec_row(job: &engine::SimJob, result: &JobResult) {
+    println!(
+        "{:<4} {:<14} {:<21} {:>8}  {:>7.2}  {:>7.2}  {:>10}",
+        result.job_index,
+        job.sim.prefetcher.plugin,
+        job.sim.source.describe(),
+        result.summary.accesses,
+        result.summary.l1_read_mpki(),
+        result.summary.l2_read_mpki(),
+        result.summary.prefetch_requests,
+    );
+}
+
+/// Prints a job's warnings to stderr (shared by `run --spec` and `submit`).
+fn print_spec_warnings(result: &JobResult) {
+    for warning in &result.warnings {
+        eprintln!(
+            "warning: job {} [{}]: {}",
+            result.job_index, warning.kind, warning.message
+        );
+    }
+}
+
+/// Flags of the `serve` subcommand beyond the shared ones.
+struct ServeFlags {
+    socket: Option<String>,
+    tcp: Option<String>,
+    quota: usize,
+    metrics_out: Option<String>,
+}
+
+/// Starts the resident job server (`serve`) and blocks until a client asks
+/// it to shut down, then optionally writes the server's counters as a
+/// metrics report.
+fn run_serve(flags: &ServeFlags, workers: usize) -> ExitCode {
+    let server = match Server::start(ServerConfig {
+        unix_socket: flags.socket.clone().map(PathBuf::from),
+        tcp: flags.tcp.clone(),
+        quota: flags.quota,
+        workers,
+    }) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = server.unix_socket() {
+        println!("serving on unix:{}", path.display());
+    }
+    if let Some(addr) = server.tcp_addr() {
+        println!("serving on tcp:{addr}");
+    }
+    if flags.quota > 0 {
+        println!("per-client quota: {} jobs queued or running", flags.quota);
+    }
+    println!("waiting for submissions; stop with `sms-experiments submit --shutdown`");
+    let metrics = server.wait();
+    println!(
+        "served {} submissions / {} jobs ({} cache hits, {} misses); max queue depth {}",
+        metrics.submissions,
+        metrics.jobs_served,
+        metrics.cache_hits,
+        metrics.cache_misses,
+        metrics.max_queue_depth,
+    );
+    if let Some(path) = &flags.metrics_out {
+        let json = serde_json::to_string_pretty(&metrics.report())
+            .expect("server metrics report serializes");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("server metrics written to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Flags of the `submit` subcommand beyond the shared ones.
+struct SubmitFlags {
+    socket: Option<String>,
+    tcp: Option<String>,
+    spec: Option<String>,
+    client: String,
+    priority: i64,
+    expect_cache_hit: bool,
+    status: bool,
+    shutdown: bool,
+    out: Option<String>,
+}
+
+/// Sends a serialized job list to a running server (`submit`), streaming the
+/// same per-job table `run --spec` prints as result frames arrive.  Also
+/// carries the server's control verbs (`--status`, `--shutdown`).
+fn run_submit(
+    flags: &SubmitFlags,
+    workers: usize,
+    segment_size: usize,
+    speculate: usize,
+) -> ExitCode {
+    let endpoint = match (&flags.socket, &flags.tcp) {
+        (Some(path), None) => Endpoint::Unix(PathBuf::from(path)),
+        (None, Some(addr)) => Endpoint::Tcp(addr.clone()),
+        (Some(_), Some(_)) => {
+            eprintln!("submit takes --socket PATH or --tcp ADDR, not both");
+            return usage();
+        }
+        (None, None) => {
+            eprintln!("submit requires the server endpoint: --socket PATH or --tcp ADDR");
+            return usage();
+        }
+    };
+    if flags.status {
+        return match server::client::status(&endpoint) {
+            Ok(report) => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report)
+                        .expect("server metrics report serializes")
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{endpoint}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if flags.shutdown {
+        return match server::client::shutdown(&endpoint) {
+            Ok(ack) => {
+                println!(
+                    "server shutting down ({} submissions draining)",
+                    ack.draining
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{endpoint}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Some(spec_path) = &flags.spec else {
+        eprintln!("submit requires --spec JOBS.json (or --status / --shutdown)");
+        return usage();
+    };
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("failed to read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The spec is validated client-side first so a bad file gets the same
+    // error `run --spec` prints, without a server round trip.
+    let list = match JobList::from_json(&text) {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = SubmitOptions {
+        client: flags.client.clone(),
+        priority: flags.priority,
+        workers,
+        segment_size,
+        speculate,
+    };
+    // Rows stream as frames arrive; the header waits for the first frame so
+    // a refused submission leaves stdout untouched.
+    let mut header_printed = false;
+    let mut print_frame = |frame: &server::JobFrame| {
+        if !header_printed {
+            println!("{SPEC_TABLE_HEADER}");
+            header_printed = true;
+        }
+        if let Some(job) = list.jobs.get(frame.result.job_index) {
+            print_spec_row(job, &frame.result);
+        }
+    };
+    let outcome = match server::client::submit(&endpoint, &list, &options, &mut print_frame) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("{endpoint}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !header_printed {
+        // `run --spec` prints the header even for an empty job list.
+        println!("{SPEC_TABLE_HEADER}");
+    }
+    for frame in &outcome.frames {
+        print_spec_warnings(&frame.result);
+    }
+    if outcome.done.cache_hit {
+        // Informational only, and on stderr: stdout stays byte-identical to
+        // `run --spec` whether or not the cache answered.
+        eprintln!(
+            "note: answered from the server's result cache ({} jobs)",
+            outcome.done.jobs
+        );
+    }
+    if flags.expect_cache_hit && !outcome.done.cache_hit {
+        eprintln!("--expect-cache-hit: the submission was computed, not replayed from the cache");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &flags.out {
+        let results: Vec<JobResult> = outcome.frames.iter().map(|f| f.result.clone()).collect();
+        if let Err(code) = write_results(path, &results) {
+            return code;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Executes a serialized job list (`run --spec`), printing a per-job summary
 /// table and optionally dumping the raw results.
 fn run_spec(
@@ -287,26 +537,12 @@ fn run_spec(
             return ExitCode::FAILURE;
         }
     };
-    println!("job  prefetcher     source                accesses  L1 MPKI  L2 MPKI  prefetches");
+    println!("{SPEC_TABLE_HEADER}");
     for (job, result) in list.jobs.iter().zip(&results) {
-        println!(
-            "{:<4} {:<14} {:<21} {:>8}  {:>7.2}  {:>7.2}  {:>10}",
-            result.job_index,
-            job.sim.prefetcher.plugin,
-            job.sim.source.describe(),
-            result.summary.accesses,
-            result.summary.l1_read_mpki(),
-            result.summary.l2_read_mpki(),
-            result.summary.prefetch_requests,
-        );
+        print_spec_row(job, result);
     }
     for result in &results {
-        for warning in &result.warnings {
-            eprintln!(
-                "warning: job {} [{}]: {}",
-                result.job_index, warning.kind, warning.message
-            );
-        }
+        print_spec_warnings(result);
     }
     if let Some(path) = out {
         if let Err(code) = write_results(path, &results) {
@@ -394,6 +630,55 @@ fn main() -> ExitCode {
             segment_size,
             speculate,
             out_path.as_deref(),
+        );
+    }
+    if experiment == "serve" {
+        let quota = match flag_value("--quota") {
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--quota expects a number of jobs, got {n:?}");
+                    return usage();
+                }
+            },
+            None => 0,
+        };
+        return run_serve(
+            &ServeFlags {
+                socket: flag_value("--socket"),
+                tcp: flag_value("--tcp"),
+                quota,
+                metrics_out: flag_value("--metrics-out"),
+            },
+            workers,
+        );
+    }
+    if experiment == "submit" {
+        let priority = match flag_value("--priority") {
+            Some(n) => match n.parse::<i64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--priority expects an integer, got {n:?}");
+                    return usage();
+                }
+            },
+            None => 0,
+        };
+        return run_submit(
+            &SubmitFlags {
+                socket: flag_value("--socket"),
+                tcp: flag_value("--tcp"),
+                spec: flag_value("--spec"),
+                client: flag_value("--client").unwrap_or_else(|| "anonymous".to_string()),
+                priority,
+                expect_cache_hit: args.iter().any(|a| a == "--expect-cache-hit"),
+                status: args.iter().any(|a| a == "--status"),
+                shutdown: args.iter().any(|a| a == "--shutdown"),
+                out: out_path,
+            },
+            workers,
+            segment_size,
+            speculate,
         );
     }
     if experiment == "bench" {

@@ -30,11 +30,15 @@ impl MetricsReport {
     /// and the recorded speculation depth);
     /// **4** — PR 7 (bench payloads gained the required per-figure
     /// `parallel_spread` sample-spread field and the recorded `repeats`
-    /// count from `bench --repeat`).  An old-versioned `BENCH_*.json`
-    /// must fail validation with this version error rather than a confusing
-    /// field-level decode error; `bench --against` still *reads* old reports
-    /// leniently for throughput comparison.
-    pub const SCHEMA_VERSION: u32 = 4;
+    /// count from `bench --repeat`);
+    /// **5** — PR 8 (bench payloads gained required served-through-a-local-
+    /// server columns — cold round trip and cache-hit replay — and the
+    /// `server` kind was added for the job server's counters).  An
+    /// old-versioned `BENCH_*.json` must fail validation with this version
+    /// error rather than a confusing field-level decode error;
+    /// `bench --against` still *reads* old reports leniently for throughput
+    /// comparison.
+    pub const SCHEMA_VERSION: u32 = 5;
 
     /// A report of the given kind carrying `payload` serialized as JSON.
     pub fn new<T: Serialize + ?Sized>(kind: &str, payload: &T) -> Self {

@@ -1,0 +1,90 @@
+//! The content-addressed result cache.
+//!
+//! Jobs are deterministic, so [`engine::spec_fingerprint`] — the canonical
+//! hash of the jobs plus the engine-relevant execution parameters — fully
+//! identifies a submission's result bytes.  The cache maps that fingerprint
+//! to the recorded stream of [`JobFrame`]s; a hit replays the original
+//! frames verbatim, including the original run's [`engine::JobMetrics`]
+//! (telemetry of the run that produced the bytes, not of the lookup).
+//!
+//! Entries are never evicted: a resident server's working set is the
+//! experiment catalog, which is small relative to the cost of recomputing
+//! any entry.  (Eviction policy becomes interesting with the sweep driver
+//! of ROADMAP direction 4; the fingerprint contract here does not change.)
+
+use crate::protocol::JobFrame;
+use std::collections::HashMap;
+
+/// Fingerprint-keyed store of recorded result streams, with hit/miss
+/// counters for the server's telemetry.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    entries: HashMap<String, Vec<JobFrame>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a fingerprint, counting the outcome; a hit clones the
+    /// recorded frames for replay.
+    pub fn lookup(&mut self, fingerprint: &str) -> Option<Vec<JobFrame>> {
+        match self.entries.get(fingerprint) {
+            Some(frames) => {
+                self.hits += 1;
+                Some(frames.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a completed submission's frames.  Re-inserting an existing
+    /// fingerprint is a no-op: determinism guarantees the bytes match, and
+    /// keeping the first recording makes concurrent identical submissions
+    /// idempotent.
+    pub fn insert(&mut self, fingerprint: String, frames: Vec<JobFrame>) {
+        self.entries.entry(fingerprint).or_insert(frames);
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of recorded entries.
+    pub fn entries(&self) -> u64 {
+        self.entries.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_and_replays_identical_frames() {
+        let mut cache = ResultCache::new();
+        assert_eq!(cache.lookup("abc"), None);
+        assert_eq!((cache.hits(), cache.misses(), cache.entries()), (0, 1, 0));
+
+        cache.insert("abc".to_string(), Vec::new());
+        assert_eq!(cache.lookup("abc"), Some(Vec::new()));
+        assert_eq!((cache.hits(), cache.misses(), cache.entries()), (1, 1, 1));
+
+        // First recording wins; the counters keep accumulating.
+        cache.insert("abc".to_string(), Vec::new());
+        assert_eq!(cache.entries(), 1);
+    }
+}

@@ -1,0 +1,365 @@
+//! Server lifecycle coverage: byte-identity with the direct engine path,
+//! cache-hit replay, quota enforcement, structured errors, and graceful
+//! shutdown draining the queue.
+
+use engine::{EngineConfig, JobList, PrefetcherSpec, Registry, SimJob};
+use memsim::HierarchyConfig;
+use server::{client, Endpoint, ErrorFrame, Server, ServerConfig, ServerError, SubmitOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use trace::{Application, GeneratorConfig};
+
+fn unique_socket(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "sms-lifecycle-{tag}-{}-{}.sock",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn job(app: Application, prefetcher: PrefetcherSpec, accesses: usize) -> SimJob {
+    SimJob::new(memsim::SimJob::synthetic(
+        app,
+        GeneratorConfig::default().with_cpus(2),
+        2006,
+        2,
+        HierarchyConfig::scaled(),
+        prefetcher,
+        accesses,
+    ))
+}
+
+fn job_list(accesses: usize) -> JobList {
+    JobList::new(vec![
+        job(Application::OltpDb2, PrefetcherSpec::null(), accesses),
+        job(
+            Application::OltpDb2,
+            PrefetcherSpec::sms_paper_default(),
+            accesses,
+        ),
+    ])
+}
+
+fn start_unix(tag: &str, config: ServerConfig) -> (Server, Endpoint) {
+    let socket = unique_socket(tag);
+    let server = Server::start(ServerConfig {
+        unix_socket: Some(socket.clone()),
+        ..config
+    })
+    .expect("server starts");
+    (server, Endpoint::Unix(socket))
+}
+
+#[test]
+fn served_results_are_byte_identical_to_a_direct_run() {
+    let list = job_list(6_000);
+    let config = EngineConfig::with_workers(2);
+    let direct = engine::run_jobs_in(&list.jobs, &config, Registry::builtin()).expect("direct run");
+    let direct_json = serde_json::to_string_pretty(&direct).expect("serialize direct");
+
+    let (server, endpoint) = start_unix("bytes", ServerConfig::default());
+    let options = SubmitOptions {
+        workers: 2,
+        ..SubmitOptions::default()
+    };
+    let mut streamed_indices = Vec::new();
+    let outcome = client::submit(&endpoint, &list, &options, &mut |frame| {
+        streamed_indices.push(frame.result.job_index);
+    })
+    .expect("submission succeeds");
+
+    // Streamed strictly in submission order, metrics attached per job.
+    assert_eq!(streamed_indices, vec![0, 1]);
+    assert!(!outcome.accepted.cache_hit);
+    assert!(!outcome.done.cache_hit);
+    assert_eq!(outcome.done.jobs, 2);
+    assert!(outcome.frames.iter().all(|f| f.metrics.accesses > 0));
+
+    // The served result bytes are exactly what `run --spec --out` writes.
+    let served: Vec<engine::JobResult> = outcome.frames.iter().map(|f| f.result.clone()).collect();
+    let served_json = serde_json::to_string_pretty(&served).expect("serialize served");
+    assert_eq!(served_json, direct_json);
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.submissions, 1);
+    assert_eq!(metrics.jobs_served, 2);
+    assert_eq!(metrics.cache_misses, 1);
+    assert_eq!(metrics.cache_hits, 0);
+    assert!(metrics.report().validate().is_ok());
+}
+
+#[test]
+fn identical_resubmission_is_a_cache_hit_with_identical_bytes() {
+    let list = job_list(5_000);
+    let (server, endpoint) = start_unix("cache", ServerConfig::default());
+    let options = SubmitOptions {
+        workers: 2,
+        ..SubmitOptions::default()
+    };
+
+    let first = client::submit(&endpoint, &list, &options, &mut |_| {}).expect("first submission");
+    assert!(!first.done.cache_hit);
+
+    // Same spec, different client and priority: still the same fingerprint.
+    let resubmit_options = SubmitOptions {
+        client: "someone-else".to_string(),
+        priority: 9,
+        workers: 2,
+        ..SubmitOptions::default()
+    };
+    let second =
+        client::submit(&endpoint, &list, &resubmit_options, &mut |_| {}).expect("resubmission");
+    assert!(second.accepted.cache_hit, "second submission must hit");
+    assert!(second.done.cache_hit);
+    assert_eq!(second.frames, first.frames, "replayed frames are identical");
+
+    // A different worker count is not part of the identity either.
+    let other_workers = SubmitOptions {
+        workers: 1,
+        ..SubmitOptions::default()
+    };
+    let third =
+        client::submit(&endpoint, &list, &other_workers, &mut |_| {}).expect("third submission");
+    assert!(third.accepted.cache_hit);
+
+    // But a different segment size is: it must miss and recompute.
+    let segmented = SubmitOptions {
+        workers: 2,
+        segment_size: 2_000,
+        ..SubmitOptions::default()
+    };
+    let fourth =
+        client::submit(&endpoint, &list, &segmented, &mut |_| {}).expect("segmented submission");
+    assert!(!fourth.accepted.cache_hit);
+    assert_eq!(
+        fourth
+            .frames
+            .iter()
+            .map(|f| f.result.clone())
+            .collect::<Vec<_>>(),
+        first
+            .frames
+            .iter()
+            .map(|f| f.result.clone())
+            .collect::<Vec<_>>(),
+        "segmentation is an execution strategy, not a behavior change"
+    );
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.submissions, 4);
+    assert_eq!(metrics.cache_hits, 2);
+    assert_eq!(metrics.cache_misses, 2);
+    assert_eq!(metrics.cache_entries, 2);
+    assert_eq!(metrics.jobs_served, 4, "only the two misses ran");
+    assert_eq!(metrics.results_streamed, 8);
+}
+
+#[test]
+fn quota_exceeded_is_a_structured_error() {
+    let (server, endpoint) = start_unix(
+        "quota",
+        ServerConfig {
+            quota: 3,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Two jobs fit the quota of three...
+    let small = job_list(2_000);
+    client::submit(&endpoint, &small, &SubmitOptions::default(), &mut |_| {})
+        .expect("within quota");
+
+    // ...four do not, even for a fresh client with nothing outstanding.
+    let big = JobList::new(vec![
+        job(Application::OltpDb2, PrefetcherSpec::null(), 2_000),
+        job(Application::Ocean, PrefetcherSpec::null(), 2_000),
+        job(Application::Sparse, PrefetcherSpec::null(), 2_000),
+        job(Application::DssQry1, PrefetcherSpec::null(), 2_000),
+    ]);
+    let err = client::submit(&endpoint, &big, &SubmitOptions::default(), &mut |_| {})
+        .expect_err("over quota");
+    match err {
+        client::ClientError::Server(frame) => {
+            assert_eq!(frame.code, ErrorFrame::QUOTA_EXCEEDED);
+            assert!(frame.message.contains("quota of 3"), "{}", frame.message);
+        }
+        other => panic!("expected a structured server error, got {other:?}"),
+    }
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.quota_rejections, 1);
+    assert_eq!(
+        metrics.submissions, 1,
+        "the refused submission never counts"
+    );
+}
+
+#[test]
+fn bad_specs_get_structured_errors_with_the_cli_version_message() {
+    use server::{Frame, Request, SubmitRequest};
+    use std::io::{BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let (server, endpoint) = start_unix("badspec", ServerConfig::default());
+    let Endpoint::Unix(path) = &endpoint else {
+        unreachable!()
+    };
+
+    // A future-versioned spec must surface the same pinned version error
+    // the CLI prints for `run --spec`.
+    let mut stream = UnixStream::connect(path).expect("connect");
+    let request = Request::Submit(SubmitRequest {
+        client: "ci".to_string(),
+        priority: 0,
+        workers: 0,
+        segment_size: 0,
+        speculate: 0,
+        spec: serde_json::from_str(r#"{"version": 99, "jobs": []}"#).unwrap(),
+    });
+    server::protocol::write_line(&mut stream, &request).expect("send");
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let frame: Frame = server::protocol::read_line(&mut reader)
+        .expect("read")
+        .expect("one frame");
+    match frame {
+        Frame::Error(error) => {
+            assert_eq!(error.code, ErrorFrame::BAD_SPEC);
+            assert!(
+                error
+                    .message
+                    .contains("this build reads versions 1 through 2"),
+                "{}",
+                error.message
+            );
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+
+    // Garbage that is not a request at all gets bad_request, not a hangup.
+    let mut stream = UnixStream::connect(path).expect("connect");
+    stream.write_all(b"{\"nonsense\": true}\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let frame: Frame = server::protocol::read_line(&mut reader)
+        .expect("read")
+        .expect("one frame");
+    match frame {
+        Frame::Error(error) => assert_eq!(error.code, ErrorFrame::BAD_REQUEST),
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_queued_submissions() {
+    let (server, endpoint) = start_unix("drain", ServerConfig::default());
+
+    // A slow submission to occupy the scheduler, then a fast one that must
+    // sit in the queue behind it.
+    let slow = JobList::new(vec![job(
+        Application::OltpDb2,
+        PrefetcherSpec::sms_paper_default(),
+        400_000,
+    )]);
+    let fast = job_list(2_000);
+
+    let slow_thread = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            client::submit(&endpoint, &slow, &SubmitOptions::default(), &mut |_| {})
+        })
+    };
+    wait_for(
+        || server.metrics().submissions >= 1,
+        "slow submission admitted",
+    );
+
+    let fast_thread = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            client::submit(&endpoint, &fast, &SubmitOptions::default(), &mut |_| {})
+        })
+    };
+    wait_for(
+        || server.metrics().submissions >= 2,
+        "fast submission queued",
+    );
+
+    // Shutdown with work still queued: the ack names the backlog and both
+    // submissions complete with full result streams.
+    let ack = client::shutdown(&endpoint).expect("shutdown request");
+    let slow_outcome = slow_thread.join().unwrap().expect("slow submission drains");
+    let fast_outcome = fast_thread.join().unwrap().expect("fast submission drains");
+    assert_eq!(slow_outcome.frames.len(), 1);
+    assert_eq!(fast_outcome.frames.len(), 2);
+
+    // New submissions are refused while (and after) draining.
+    let refused = client::submit(
+        &endpoint,
+        &job_list(1_000),
+        &SubmitOptions::default(),
+        &mut |_| {},
+    );
+    match refused {
+        Err(client::ClientError::Server(frame)) => {
+            assert_eq!(frame.code, ErrorFrame::SHUTTING_DOWN)
+        }
+        // The listener may already be gone (connection refused, or accepted
+        // into the backlog and then reset), which is an equally valid way
+        // to learn the server is stopping.
+        Err(client::ClientError::Io(_)) | Err(client::ClientError::Protocol(_)) => {}
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    let metrics = server.wait();
+    assert_eq!(metrics.queue_depth, 0, "queue fully drained");
+    assert_eq!(metrics.jobs_served, 3);
+    // `draining` counted the backlog at ack time; it can only have been the
+    // fast submission (1) or nothing if the scheduler had already started
+    // it (0).
+    assert!(ack.draining <= 1, "draining = {}", ack.draining);
+}
+
+#[test]
+fn tcp_endpoint_is_loopback_only() {
+    // Loopback works end to end.
+    let server = Server::start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .expect("loopback TCP server starts");
+    let addr = server.tcp_addr().expect("bound address");
+    let endpoint = Endpoint::Tcp(addr.to_string());
+    let outcome = client::submit(
+        &endpoint,
+        &job_list(2_000),
+        &SubmitOptions::default(),
+        &mut |_| {},
+    )
+    .expect("TCP submission succeeds");
+    assert_eq!(outcome.frames.len(), 2);
+    server.shutdown();
+
+    // Anything routable is refused outright.
+    let err = Server::start(ServerConfig {
+        tcp: Some("0.0.0.0:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .expect_err("non-loopback must be refused");
+    assert!(matches!(err, ServerError::Config(_)), "{err}");
+    assert!(err.to_string().contains("loopback"), "{err}");
+
+    // No endpoint at all is a configuration error too.
+    let err = Server::start(ServerConfig::default()).expect_err("no endpoint");
+    assert!(matches!(err, ServerError::Config(_)), "{err}");
+}
+
+fn wait_for(mut condition: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !condition() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}

@@ -11,10 +11,13 @@
 //! * [`timing`] — the first-order timing/speedup model.
 //! * [`stats`] — confidence intervals, sampling and summaries.
 //! * [`experiments`] — runners that regenerate the paper's figures.
+//! * [`server`] — the resident job server with its content-addressed
+//!   result cache (`sms-experiments serve` / `submit`).
 
 pub use experiments;
 pub use ghb;
 pub use memsim;
+pub use server;
 pub use sms;
 pub use stats;
 pub use timing;
