@@ -73,10 +73,10 @@ pub use plugin::{
     PluginError, PrefetcherPlugin, Probe, ProbeReport, Registry, TrainingReport,
 };
 pub use runner::{
-    run_job, run_job_metered, run_jobs, run_jobs_in, run_jobs_metered, run_jobs_streamed,
-    run_jobs_with, CancelToken, EngineConfig, EngineError, JobList, JobResult, JobWarning, SimJob,
-    SpecError, TimingSpec,
+    run_job, run_job_metered, run_jobs, run_jobs_in, run_jobs_metered, run_jobs_observed,
+    run_jobs_streamed, run_jobs_streamed_observed, run_jobs_with, CancelToken, EngineConfig,
+    EngineError, JobList, JobResult, JobWarning, SimJob, SpecError, TimingSpec,
 };
-pub use segment::{run_job_segmented, SegmentPlan};
+pub use segment::{run_job_segmented, run_job_segmented_observed, SegmentPlan};
 pub use spec::{MultiOracle, OracleProbeSpec, PrefetcherSpec, TrainingSpec};
 pub use telemetry::{EngineMetrics, JobMetrics, WorkerMetrics};

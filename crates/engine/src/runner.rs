@@ -12,7 +12,7 @@
 //! `Vec<JobResult>` is the JSON the engine writes back out.
 
 use crate::plugin::{PluginError, ProbeReport, Registry};
-use crate::segment::{run_job_segmented, SegmentPlan};
+use crate::segment::{run_job_segmented_observed, SegmentPlan};
 use crate::spec::PrefetcherSpec;
 use crate::telemetry::{EngineMetrics, JobMetrics, WorkerMetrics};
 use memsim::{MultiCpuSystem, RunSummary};
@@ -22,6 +22,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use timing::{TimingConfig, TimingModel, TimingResult};
+use tracelog::{Recorder, Trace};
 
 /// Timing-model parameters attached to a job that should run through the
 /// [`TimingModel`] instead of the plain cache driver (Figures 12 and 13).
@@ -583,6 +584,26 @@ pub fn run_jobs_metered(
     registry: &Registry,
     metrics: &MetricsConfig,
 ) -> Result<(Vec<JobResult>, EngineMetrics), EngineError> {
+    run_jobs_observed(jobs, config, registry, metrics, &Trace::disabled())
+}
+
+/// [`run_jobs_metered`] with span tracing: when `trace` is enabled, every
+/// worker records a `worker` span, each executed job a nested `job` span,
+/// and segmented jobs hand the trace down to their pipeline threads for
+/// per-segment stage spans.  With a disabled trace this *is*
+/// [`run_jobs_metered`] — recorders are no-ops that never read the clock —
+/// and results are bit-identical for every tracing and metrics setting.
+///
+/// # Errors
+///
+/// As [`run_jobs_in`]: the first (lowest-job-index) preparation failure.
+pub fn run_jobs_observed(
+    jobs: &[SimJob],
+    config: &EngineConfig,
+    registry: &Registry,
+    metrics: &MetricsConfig,
+    trace: &Trace,
+) -> Result<(Vec<JobResult>, EngineMetrics), EngineError> {
     let run_watch = Stopwatch::start_if(metrics.enabled);
     // With segmentation active the thread budget is spent inside jobs (up
     // to three pipeline threads each), so fewer jobs run concurrently; the
@@ -592,16 +613,21 @@ pub fn run_jobs_metered(
         Some(p) => config.segmented_job_workers(jobs.len(), p),
         None => config.effective_workers(jobs.len()),
     };
-    let exec = |index: usize, job: &SimJob| match plan {
-        Some(p) => run_job_segmented(index, job, registry, metrics, p),
-        None => run_job_metered(index, job, registry, metrics),
+    let exec = |index: usize, job: &SimJob, rec: &Recorder| {
+        let mut span = rec.span("job");
+        span.arg_u64("job", index as u64);
+        match plan {
+            Some(p) => run_job_segmented_observed(index, job, registry, metrics, p, trace),
+            None => run_job_metered(index, job, registry, metrics),
+        }
     };
     if workers <= 1 {
+        let recorder = trace.recorder("engine");
         let mut results = Vec::with_capacity(jobs.len());
         let mut engine_metrics = EngineMetrics::default();
         let mut simulate_seconds = 0.0;
         for (index, job) in jobs.iter().enumerate() {
-            let (result, job_metrics) = exec(index, job)?;
+            let (result, job_metrics) = exec(index, job, &recorder)?;
             simulate_seconds += job_metrics.elapsed_seconds;
             results.push(result);
             engine_metrics.jobs.push(job_metrics);
@@ -629,6 +655,8 @@ pub fn run_jobs_metered(
                 // captured by reference.
                 let next = &next;
                 scope.spawn(move || {
+                    let recorder = trace.recorder(&format!("worker{worker}"));
+                    let mut worker_span = recorder.span("worker");
                     let worker_watch = Stopwatch::start_if(metrics.enabled);
                     let mut simulate_seconds = 0.0;
                     let mut shard = Vec::new();
@@ -637,7 +665,7 @@ pub fn run_jobs_metered(
                         if index >= jobs.len() {
                             break;
                         }
-                        let result = exec(index, &jobs[index]);
+                        let result = exec(index, &jobs[index], &recorder);
                         let failed = result.is_err();
                         if let Ok((_, job_metrics)) = &result {
                             simulate_seconds += job_metrics.elapsed_seconds;
@@ -658,6 +686,8 @@ pub fn run_jobs_metered(
                         queue_wait_seconds: (total_seconds - simulate_seconds).max(0.0),
                         total_seconds,
                     };
+                    worker_span.arg_u64("jobs_run", worker_metrics.jobs_run);
+                    worker_span.arg_f64("queue_wait_seconds", worker_metrics.queue_wait_seconds);
                     (worker_metrics, shard)
                 })
             })
@@ -749,18 +779,51 @@ pub fn run_jobs_streamed(
     cancel: &CancelToken,
     sink: &mut dyn FnMut(JobResult, JobMetrics),
 ) -> Result<(usize, EngineMetrics), EngineError> {
+    run_jobs_streamed_observed(
+        jobs,
+        config,
+        registry,
+        metrics,
+        &Trace::disabled(),
+        cancel,
+        sink,
+    )
+}
+
+/// [`run_jobs_streamed`] with span tracing, exactly as [`run_jobs_observed`]
+/// relates to [`run_jobs_metered`]: a `worker` span per worker, a nested
+/// `job` span per executed job, stage spans inside segmented jobs — and a
+/// disabled trace records nothing and costs nothing.
+///
+/// # Errors
+///
+/// As [`run_jobs_streamed`].
+pub fn run_jobs_streamed_observed(
+    jobs: &[SimJob],
+    config: &EngineConfig,
+    registry: &Registry,
+    metrics: &MetricsConfig,
+    trace: &Trace,
+    cancel: &CancelToken,
+    sink: &mut dyn FnMut(JobResult, JobMetrics),
+) -> Result<(usize, EngineMetrics), EngineError> {
     let run_watch = Stopwatch::start_if(metrics.enabled);
     let plan = config.segment_plan();
     let workers = match &plan {
         Some(p) => config.segmented_job_workers(jobs.len(), p),
         None => config.effective_workers(jobs.len()),
     };
-    let exec = |index: usize, job: &SimJob| match plan {
-        Some(p) => run_job_segmented(index, job, registry, metrics, p),
-        None => run_job_metered(index, job, registry, metrics),
+    let exec = |index: usize, job: &SimJob, rec: &Recorder| {
+        let mut span = rec.span("job");
+        span.arg_u64("job", index as u64);
+        match plan {
+            Some(p) => run_job_segmented_observed(index, job, registry, metrics, p, trace),
+            None => run_job_metered(index, job, registry, metrics),
+        }
     };
 
     if workers <= 1 {
+        let recorder = trace.recorder("engine");
         let mut engine_metrics = EngineMetrics::default();
         let mut simulate_seconds = 0.0;
         let mut delivered = 0;
@@ -769,7 +832,7 @@ pub fn run_jobs_streamed(
             if cancel.is_cancelled() {
                 break;
             }
-            match exec(index, job) {
+            match exec(index, job, &recorder) {
                 Ok((result, job_metrics)) => {
                     simulate_seconds += job_metrics.elapsed_seconds;
                     engine_metrics.jobs.push(job_metrics);
@@ -809,6 +872,8 @@ pub fn run_jobs_streamed(
                 let next = &next;
                 let tx = tx.clone();
                 scope.spawn(move || {
+                    let recorder = trace.recorder(&format!("worker{worker}"));
+                    let mut worker_span = recorder.span("worker");
                     let worker_watch = Stopwatch::start_if(metrics.enabled);
                     let mut simulate_seconds = 0.0;
                     let mut jobs_run = 0u64;
@@ -820,7 +885,7 @@ pub fn run_jobs_streamed(
                         if index >= jobs.len() {
                             break;
                         }
-                        let outcome = exec(index, &jobs[index]);
+                        let outcome = exec(index, &jobs[index], &recorder);
                         let failed = outcome.is_err();
                         if let Ok((_, job_metrics)) = &outcome {
                             simulate_seconds += job_metrics.elapsed_seconds;
@@ -831,13 +896,16 @@ pub fn run_jobs_streamed(
                         }
                     }
                     let total_seconds = worker_watch.elapsed_seconds();
-                    WorkerMetrics {
+                    let worker_metrics = WorkerMetrics {
                         worker,
                         jobs_run,
                         simulate_seconds,
                         queue_wait_seconds: (total_seconds - simulate_seconds).max(0.0),
                         total_seconds,
-                    }
+                    };
+                    worker_span.arg_u64("jobs_run", jobs_run);
+                    worker_span.arg_f64("queue_wait_seconds", worker_metrics.queue_wait_seconds);
+                    worker_metrics
                 })
             })
             .collect();

@@ -60,11 +60,18 @@ use memsim::{
     DriverMeter, DriverMetrics, MissAccounting, MultiCpuSystem, OutcomeTape, PrefetchRequest,
     SegmentCounts,
 };
-use metrics::{per_sec, MetricsConfig, Stopwatch};
+use metrics::{per_sec, Histogram, MetricsConfig, Stopwatch};
 use std::io;
 use std::sync::mpsc;
 use timing::TimingAccounting;
 use trace::{fill_segment, BoxedStream, MemAccess};
+use tracelog::{Recorder, Trace};
+
+/// Converts a stopwatch reading to the whole microseconds the histograms
+/// bucket.
+pub(crate) fn as_micros(seconds: f64) -> u64 {
+    (seconds * 1e6) as u64
+}
 
 /// Buffers (and tapes) circulating through the pipeline: one being pulled,
 /// one being simulated, one being accounted.  This also bounds how far the
@@ -130,6 +137,10 @@ pub(crate) struct SegmentTelemetry {
     pub(crate) spec_commits: u64,
     pub(crate) spec_mispredicts: u64,
     pub(crate) spec_replayed_accesses: u64,
+    /// Per-segment stage latency distributions, microseconds.
+    pub(crate) pull_hist: Histogram,
+    pub(crate) simulate_hist: Histogram,
+    pub(crate) account_hist: Histogram,
 }
 
 /// Runs one job through the segment pipeline, resolving its prefetcher spec
@@ -159,12 +170,37 @@ pub fn run_job_segmented(
     metrics: &MetricsConfig,
     plan: SegmentPlan,
 ) -> Result<(JobResult, JobMetrics), EngineError> {
+    run_job_segmented_observed(index, job, registry, metrics, plan, &Trace::disabled())
+}
+
+/// [`run_job_segmented`] with span tracing: each pipeline thread records
+/// per-segment stage spans (`seg.pull`, `seg.simulate`, `seg.account`,
+/// `seg.speculate`) and the speculative owner records commit/mispredict/
+/// replay events.  With a disabled trace this *is* [`run_job_segmented`].
+///
+/// # Errors
+///
+/// As [`run_job_segmented`].
+pub fn run_job_segmented_observed(
+    index: usize,
+    job: &SimJob,
+    registry: &Registry,
+    metrics: &MetricsConfig,
+    plan: SegmentPlan,
+    trace: &Trace,
+) -> Result<(JobResult, JobMetrics), EngineError> {
     let sim = &job.sim;
     let trace_error = |message: String| EngineError::Trace {
         job_index: index,
         source: sim.source.describe(),
         message,
     };
+    // Prepare and finalize get their own spans so the stage spans plus
+    // these two account for (nearly) the whole job span: coverage gaps in
+    // a trace read as instrumented time that was actually spent elsewhere.
+    let recorder = trace.recorder(&format!("job{index}.pipeline"));
+    let mut prepare_span = recorder.span("job.prepare");
+    prepare_span.arg_u64("job", index as u64);
     let mut prefetcher =
         registry
             .build(&sim.prefetcher, sim.cpus)
@@ -191,7 +227,10 @@ pub fn run_job_segmented(
             sink,
         },
         plan,
+        job: index,
+        trace: trace.clone(),
     };
+    drop(prepare_span);
 
     let watch = Stopwatch::start_if(metrics.enabled);
     let (end, telemetry, driver) = if metrics.enabled {
@@ -207,6 +246,8 @@ pub fn run_job_segmented(
         return Err(trace_error(format!("corrupt mid-stream: {e}")));
     }
 
+    let mut finalize_span = recorder.span("job.finalize");
+    finalize_span.arg_u64("job", index as u64);
     let summary = memsim::summarize_segmented(&end.system, &end.account.accounting, &end.counts);
     let mut prefetcher = end.prefetcher;
     if let Some(sink) = end.account.sink {
@@ -227,6 +268,7 @@ pub fn run_job_segmented(
             sim.accesses,
         ));
     }
+    drop(finalize_span);
 
     let mut job_metrics = if metrics.enabled {
         let mut driver = driver;
@@ -235,6 +277,9 @@ pub fn run_job_segmented(
         let mut m = JobMetrics::from_driver(index, &driver);
         m.pull_seconds = telemetry.pull_seconds;
         m.account_seconds = telemetry.account_seconds;
+        m.pull_segment_us = telemetry.pull_hist;
+        m.simulate_segment_us = telemetry.simulate_hist;
+        m.account_segment_us = telemetry.account_hist;
         m
     } else {
         JobMetrics {
@@ -303,9 +348,23 @@ struct HelperState {
     /// Busy (non-idle) seconds spent pulling / accounting.
     pull_seconds: f64,
     account_seconds: f64,
+    /// Per-segment stage latencies, microseconds.
+    pull_hist: Histogram,
+    account_hist: Histogram,
 }
 
 impl HelperState {
+    fn new() -> HelperState {
+        HelperState {
+            stream: None,
+            account: None,
+            pull_seconds: 0.0,
+            account_seconds: 0.0,
+            pull_hist: Histogram::new(),
+            account_hist: Histogram::new(),
+        }
+    }
+
     /// Serves tasks until the owner hangs up the task channel.
     fn serve(
         &mut self,
@@ -313,17 +372,26 @@ impl HelperState {
         tasks: mpsc::Receiver<Task>,
         pulled_tx: mpsc::Sender<Vec<MemAccess>>,
         recycle_tx: mpsc::Sender<(Vec<MemAccess>, OutcomeTape)>,
+        recorder: &Recorder,
     ) {
+        let mut pulls = 0u64;
+        let mut accounts = 0u64;
         while let Ok(task) = tasks.recv() {
             match task {
                 Task::Pull(mut buffer) => {
+                    let mut span = recorder.span("seg.pull");
+                    span.arg_u64("segment", pulls);
+                    pulls += 1;
                     let watch = Stopwatch::started();
                     let (stream, remaining) =
                         self.stream.as_mut().expect("helper serves the pull stage");
                     let want = segment_size.min(*remaining);
                     let got = fill_segment(&mut **stream, &mut buffer, want);
                     *remaining -= got;
-                    self.pull_seconds += watch.elapsed_seconds();
+                    let seconds = watch.elapsed_seconds();
+                    self.pull_seconds += seconds;
+                    self.pull_hist.record(as_micros(seconds));
+                    drop(span);
                     // Always respond, even with an empty buffer: the owner
                     // counts outstanding pulls and reads emptiness as
                     // end-of-stream.
@@ -332,13 +400,19 @@ impl HelperState {
                     }
                 }
                 Task::Account(buffer, tape) => {
+                    let mut span = recorder.span("seg.account");
+                    span.arg_u64("segment", accounts);
+                    accounts += 1;
                     let watch = Stopwatch::started();
                     let account = self
                         .account
                         .as_mut()
                         .expect("helper serves the account stage");
                     account.replay_segment(&buffer, &tape);
-                    self.account_seconds += watch.elapsed_seconds();
+                    let seconds = watch.elapsed_seconds();
+                    self.account_seconds += seconds;
+                    self.account_hist.record(as_micros(seconds));
+                    drop(span);
                     // Recycling is best-effort; the owner may be done.
                     let _ = recycle_tx.send((buffer, tape));
                 }
@@ -365,6 +439,10 @@ pub(crate) struct Pipeline {
     pub(crate) budget: usize,
     pub(crate) account: AccountState,
     pub(crate) plan: SegmentPlan,
+    /// Submission index of the job, used to label per-thread trace tracks.
+    pub(crate) job: usize,
+    /// Span trace the pipeline threads record into (disabled = free no-op).
+    pub(crate) trace: Trace,
 }
 
 impl Pipeline {
@@ -393,6 +471,7 @@ impl Pipeline {
     /// bit for bit.
     fn run_inline<M: DriverMeter>(mut self, meter: &mut M) -> (PipelineEnd, SegmentTelemetry) {
         let segment_size = self.plan.segment_size.max(1);
+        let recorder = self.trace.recorder(&format!("job{}.pipeline", self.job));
         let mut telemetry = SegmentTelemetry::default();
         let mut counts = SegmentCounts::default();
         let mut batch: Vec<PrefetchRequest> = Vec::new();
@@ -400,15 +479,24 @@ impl Pipeline {
         let mut tape = OutcomeTape::new();
         let mut remaining = self.budget;
         while remaining > 0 {
+            let segment = telemetry.segments;
             let want = segment_size.min(remaining);
+            let mut span = recorder.span("seg.pull");
+            span.arg_u64("segment", segment);
             let watch = Stopwatch::started();
             let got = fill_segment(&mut *self.stream, &mut buffer, want);
-            telemetry.pull_seconds += watch.elapsed_seconds();
+            let seconds = watch.elapsed_seconds();
+            drop(span);
+            telemetry.pull_seconds += seconds;
+            telemetry.pull_hist.record(as_micros(seconds));
             remaining -= got;
             if got == 0 {
                 break;
             }
             tape.clear();
+            let mut span = recorder.span("seg.simulate");
+            span.arg_u64("segment", segment);
+            let watch = Stopwatch::started();
             memsim::run_segment_deferred(
                 &mut self.system,
                 &mut self.prefetcher,
@@ -418,9 +506,18 @@ impl Pipeline {
                 &mut counts,
                 meter,
             );
+            telemetry
+                .simulate_hist
+                .record(as_micros(watch.elapsed_seconds()));
+            drop(span);
+            let mut span = recorder.span("seg.account");
+            span.arg_u64("segment", segment);
             let watch = Stopwatch::started();
             self.account.replay_segment(&buffer, &tape);
-            telemetry.account_seconds += watch.elapsed_seconds();
+            let seconds = watch.elapsed_seconds();
+            drop(span);
+            telemetry.account_seconds += seconds;
+            telemetry.account_hist.record(as_micros(seconds));
             telemetry.segments += 1;
             if got < want {
                 break;
@@ -461,6 +558,8 @@ impl Pipeline {
         threads: usize,
     ) -> (PipelineEnd, SegmentTelemetry) {
         let segment_size = self.plan.segment_size.max(1);
+        let job = self.job;
+        let trace = self.trace.clone();
         let mut telemetry = SegmentTelemetry::default();
         let mut counts = SegmentCounts::default();
         let mut batch: Vec<PrefetchRequest> = Vec::new();
@@ -470,15 +569,11 @@ impl Pipeline {
 
         let mut pull_state = HelperState {
             stream: Some((self.stream, self.budget)),
-            account: None,
-            pull_seconds: 0.0,
-            account_seconds: 0.0,
+            ..HelperState::new()
         };
         let mut account_state = HelperState {
-            stream: None,
             account: Some(self.account),
-            pull_seconds: 0.0,
-            account_seconds: 0.0,
+            ..HelperState::new()
         };
 
         let (system, prefetcher) = std::thread::scope(|scope| {
@@ -500,21 +595,28 @@ impl Pipeline {
                 let pulled_tx = pulled_tx.clone();
                 let recycle_tx = recycle_tx.clone();
                 let state = &mut pull_state;
-                if threads == 2 {
+                let label = if threads == 2 {
                     // Single helper: move the account stage in with the
                     // pull stage.
                     state.account = account_state.account.take();
-                }
+                    format!("job{job}.helper")
+                } else {
+                    format!("job{job}.pull")
+                };
+                let trace = &trace;
                 handles.push(scope.spawn(move || {
-                    state.serve(segment_size, pull_task_rx, pulled_tx, recycle_tx);
+                    let recorder = trace.recorder(&label);
+                    state.serve(segment_size, pull_task_rx, pulled_tx, recycle_tx, &recorder);
                 }));
             }
             if let Some(rx) = account_task_rx {
                 let pulled_tx = pulled_tx.clone();
                 let recycle_tx = recycle_tx.clone();
                 let state = &mut account_state;
+                let trace = &trace;
                 handles.push(scope.spawn(move || {
-                    state.serve(segment_size, rx, pulled_tx, recycle_tx);
+                    let recorder = trace.recorder(&format!("job{job}.account"));
+                    state.serve(segment_size, rx, pulled_tx, recycle_tx, &recorder);
                 }));
             }
             drop((pulled_tx, recycle_tx));
@@ -522,6 +624,7 @@ impl Pipeline {
             // The owner: prime the pull stage, then simulate each pulled
             // segment and hand its tape to the account stage, recycling
             // buffers into new pull requests as they come back.
+            let recorder = trace.recorder(&format!("job{job}.simulate"));
             let mut tapes: Vec<OutcomeTape> = Vec::new();
             let mut pulls_outstanding = 0usize;
             let mut stream_done = false;
@@ -543,6 +646,9 @@ impl Pipeline {
                 if !buffer.is_empty() {
                     let mut tape = tapes.pop().unwrap_or_default();
                     tape.clear();
+                    let mut span = recorder.span("seg.simulate");
+                    span.arg_u64("segment", telemetry.segments);
+                    let watch = Stopwatch::started();
                     memsim::run_segment_deferred(
                         &mut self.system,
                         &mut self.prefetcher,
@@ -552,6 +658,10 @@ impl Pipeline {
                         &mut counts,
                         meter,
                     );
+                    telemetry
+                        .simulate_hist
+                        .record(as_micros(watch.elapsed_seconds()));
+                    drop(span);
                     telemetry.segments += 1;
                     account_task_tx
                         .send(Task::Account(buffer, tape))
@@ -596,6 +706,10 @@ impl Pipeline {
 
         telemetry.pull_seconds = pull_state.pull_seconds + account_state.pull_seconds;
         telemetry.account_seconds = pull_state.account_seconds + account_state.account_seconds;
+        telemetry.pull_hist.merge(&pull_state.pull_hist);
+        telemetry.pull_hist.merge(&account_state.pull_hist);
+        telemetry.account_hist.merge(&pull_state.account_hist);
+        telemetry.account_hist.merge(&account_state.account_hist);
         let (mut stream, _) = pull_state.stream.take().expect("stream returns to owner");
         let stream_error = stream.take_error();
         let account = pull_state

@@ -46,15 +46,16 @@
 //! * 4 — owner verifies; helpers pull and account; worker simulates.
 
 use crate::plugin::BuiltPrefetcher;
-use crate::segment::{AccountState, Pipeline, PipelineEnd, SegmentTelemetry};
+use crate::segment::{as_micros, AccountState, Pipeline, PipelineEnd, SegmentTelemetry};
 use memsim::{
     DriverMeter, DriverMetrics, MultiCpuSystem, OutcomeTape, PrefetchRequest, SegmentCounts,
     StateFingerprint,
 };
-use metrics::Stopwatch;
+use metrics::{Histogram, Stopwatch};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::mpsc;
 use trace::{fill_segment, BoxedStream, MemAccess};
+use tracelog::Recorder;
 
 /// A message from the owner to the speculative worker.
 enum WorkerMsg {
@@ -82,6 +83,9 @@ struct SpecResult {
     /// the job meter only on commit, so discarded speculation never skews
     /// the counters).
     meter: DriverMetrics,
+    /// Wall-clock microseconds the worker spent simulating this segment
+    /// (folded into the simulate latency histogram only on commit).
+    simulate_us: u64,
 }
 
 /// Everything that can wake the owner: a pulled segment, a recycled
@@ -90,7 +94,9 @@ struct SpecResult {
 enum OwnerEvent {
     Pulled(Vec<MemAccess>),
     Recycled(Vec<MemAccess>, OutcomeTape),
-    Result(SpecResult),
+    // Boxed: the embedded driver metrics carry a histogram, which would
+    // otherwise dwarf the other variants.
+    Result(Box<SpecResult>),
 }
 
 /// Where segment pulls happen: on the owner (2–3 threads) or a helper (4).
@@ -127,6 +133,7 @@ fn worker_loop(
     msgs: mpsc::Receiver<WorkerMsg>,
     events: mpsc::Sender<OwnerEvent>,
     mispredict_every: u64,
+    recorder: Recorder,
 ) -> (MultiCpuSystem, BuiltPrefetcher) {
     let mut chain_fp = system.fingerprint();
     let mut batch: Vec<PrefetchRequest> = Vec::new();
@@ -175,6 +182,10 @@ fn worker_loop(
         tape.clear();
         let mut counts = SegmentCounts::default();
         let mut meter = DriverMetrics::default();
+        let mut span = recorder.span("seg.speculate");
+        span.arg_u64("segment", seq);
+        span.arg_u64("replay", replay as u64);
+        let watch = Stopwatch::started();
         memsim::run_segment_deferred(
             &mut system,
             &mut prefetcher,
@@ -184,6 +195,8 @@ fn worker_loop(
             &mut counts,
             &mut meter,
         );
+        let simulate_us = as_micros(watch.elapsed_seconds());
+        drop(span);
         chain_fp = system.fingerprint();
         let result = SpecResult {
             seq,
@@ -193,8 +206,9 @@ fn worker_loop(
             tape,
             counts,
             meter,
+            simulate_us,
         };
-        if events.send(OwnerEvent::Result(result)).is_err() {
+        if events.send(OwnerEvent::Result(Box::new(result))).is_err() {
             break;
         }
     }
@@ -216,6 +230,8 @@ pub(crate) fn run_speculative<M: DriverMeter>(
         budget,
         account,
         plan,
+        job,
+        trace,
     } = pipeline;
     let segment_size = plan.segment_size.max(1);
     let depth = plan.speculation.max(1);
@@ -231,6 +247,7 @@ pub(crate) fn run_speculative<M: DriverMeter>(
         let (worker_tx, worker_rx) = mpsc::channel::<WorkerMsg>();
         let worker_events = event_tx.clone();
         let mispredict_every = plan.mispredict_every;
+        let worker_recorder = trace.recorder(&format!("job{job}.speculate"));
         let worker = scope.spawn(move || {
             worker_loop(
                 system,
@@ -238,6 +255,7 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                 worker_rx,
                 worker_events,
                 mispredict_every,
+                worker_recorder,
             )
         });
 
@@ -247,14 +265,24 @@ pub(crate) fn run_speculative<M: DriverMeter>(
             let events = event_tx.clone();
             let mut stream = stream;
             let mut remaining = budget;
+            let pull_trace = trace.clone();
             pull_handle = Some(scope.spawn(move || {
+                let recorder = pull_trace.recorder(&format!("job{job}.pull"));
                 let mut seconds = 0.0;
+                let mut hist = Histogram::new();
+                let mut pulls = 0u64;
                 while let Ok(mut buffer) = task_rx.recv() {
+                    let mut span = recorder.span("seg.pull");
+                    span.arg_u64("segment", pulls);
+                    pulls += 1;
                     let watch = Stopwatch::started();
                     let want = segment_size.min(remaining);
                     let got = fill_segment(&mut *stream, &mut buffer, want);
                     remaining -= got;
-                    seconds += watch.elapsed_seconds();
+                    let elapsed = watch.elapsed_seconds();
+                    seconds += elapsed;
+                    hist.record(as_micros(elapsed));
+                    drop(span);
                     // Always respond, even empty: the owner counts
                     // outstanding pulls and reads emptiness as
                     // end-of-stream.
@@ -262,7 +290,7 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                         break;
                     }
                 }
-                (stream, seconds)
+                (stream, seconds, hist)
             }));
             PullStage::Helper { tasks: task_tx }
         } else {
@@ -278,16 +306,26 @@ pub(crate) fn run_speculative<M: DriverMeter>(
             let (task_tx, task_rx) = mpsc::channel::<(Vec<MemAccess>, OutcomeTape)>();
             let events = event_tx.clone();
             let mut state = account;
+            let account_trace = trace.clone();
             account_handle = Some(scope.spawn(move || {
+                let recorder = account_trace.recorder(&format!("job{job}.account"));
                 let mut seconds = 0.0;
+                let mut hist = Histogram::new();
+                let mut accounts = 0u64;
                 while let Ok((buffer, tape)) = task_rx.recv() {
+                    let mut span = recorder.span("seg.account");
+                    span.arg_u64("segment", accounts);
+                    accounts += 1;
                     let watch = Stopwatch::started();
                     state.replay_segment(&buffer, &tape);
-                    seconds += watch.elapsed_seconds();
+                    let elapsed = watch.elapsed_seconds();
+                    seconds += elapsed;
+                    hist.record(as_micros(elapsed));
+                    drop(span);
                     // Recycling is best-effort; the owner may be done.
                     let _ = events.send(OwnerEvent::Recycled(buffer, tape));
                 }
-                (state, seconds)
+                (state, seconds, hist)
             }));
             AccountStage::Helper { tasks: task_tx }
         } else {
@@ -297,6 +335,9 @@ pub(crate) fn run_speculative<M: DriverMeter>(
             }
         };
         drop(event_tx);
+        // The owner thread's recorder: commit/mispredict/replay decisions
+        // plus any inline pull/account stage work.
+        let recorder = trace.recorder(&format!("job{job}.commit"));
 
         // Owner bookkeeping.  `in_flight` counts worker messages not yet
         // answered; `stale` holds raw segments whose speculative results
@@ -342,11 +383,16 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                             seconds,
                         } => {
                             let mut buffer = spare_buffers.pop().unwrap_or_default();
+                            let mut span = recorder.span("seg.pull");
+                            span.arg_u64("segment", next_seq);
                             let watch = Stopwatch::started();
                             let want = segment_size.min(*remaining);
                             let got = fill_segment(&mut **stream, &mut buffer, want);
                             *remaining -= got;
-                            *seconds += watch.elapsed_seconds();
+                            let elapsed = watch.elapsed_seconds();
+                            *seconds += elapsed;
+                            telemetry.pull_hist.record(as_micros(elapsed));
+                            drop(span);
                             if got < segment_size {
                                 stream_done = true;
                             }
@@ -413,6 +459,10 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                     if result.seq == commit_seq && result.start_fp == committed_fp {
                         // Verified: the segment was simulated from exactly
                         // the committed state.  Commit it.
+                        recorder.instant("spec.commit", |args| {
+                            args.u64("segment", result.seq);
+                        });
+                        telemetry.simulate_hist.record(result.simulate_us);
                         replayed.remove(&result.seq);
                         committed_fp = result.end_fp;
                         commit_seq += 1;
@@ -424,9 +474,14 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                         meter.absorb(&result.meter);
                         match &mut account_stage {
                             AccountStage::Inline { state, seconds } => {
+                                let mut span = recorder.span("seg.account");
+                                span.arg_u64("segment", result.seq);
                                 let watch = Stopwatch::started();
                                 state.replay_segment(&result.accesses, &result.tape);
-                                *seconds += watch.elapsed_seconds();
+                                let elapsed = watch.elapsed_seconds();
+                                *seconds += elapsed;
+                                telemetry.account_hist.record(as_micros(elapsed));
+                                drop(span);
                                 tapes.push(result.tape);
                                 spare_buffers.push(result.accesses);
                             }
@@ -440,6 +495,9 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                             if let Some((buffer, tape)) = stale.remove(&commit_seq) {
                                 // The next discarded segment replays from
                                 // the now-authoritative state.
+                                recorder.instant("spec.replay", |args| {
+                                    args.u64("segment", commit_seq);
+                                });
                                 telemetry.spec_replayed_accesses += buffer.len() as u64;
                                 replayed.insert(commit_seq);
                                 worker_tx
@@ -467,6 +525,12 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                             result.start_fp,
                             committed_fp,
                         );
+                        recorder.instant("spec.mispredict", |args| {
+                            args.u64("segment", result.seq);
+                        });
+                        recorder.instant("spec.replay", |args| {
+                            args.u64("segment", result.seq);
+                        });
                         recovering = true;
                         telemetry.spec_mispredicts += 1;
                         telemetry.spec_replayed_accesses += result.accesses.len() as u64;
@@ -485,6 +549,9 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                             result.seq,
                             commit_seq,
                         );
+                        recorder.instant("spec.mispredict", |args| {
+                            args.u64("segment", result.seq);
+                        });
                         telemetry.spec_mispredicts += 1;
                         stale.insert(result.seq, (result.accesses, result.tape));
                     }
@@ -508,22 +575,26 @@ pub(crate) fn run_speculative<M: DriverMeter>(
             } => (stream, seconds),
             PullStage::Helper { tasks } => {
                 drop(tasks);
-                pull_handle
+                let (stream, seconds, hist) = pull_handle
                     .take()
                     .expect("pull helper spawned")
                     .join()
-                    .expect("pull helper panicked")
+                    .expect("pull helper panicked");
+                telemetry.pull_hist.merge(&hist);
+                (stream, seconds)
             }
         };
         let (account, account_seconds) = match account_stage {
             AccountStage::Inline { state, seconds } => (*state, seconds),
             AccountStage::Helper { tasks } => {
                 drop(tasks);
-                account_handle
+                let (state, seconds, hist) = account_handle
                     .take()
                     .expect("account helper spawned")
                     .join()
-                    .expect("account helper panicked")
+                    .expect("account helper panicked");
+                telemetry.account_hist.merge(&hist);
+                (state, seconds)
             }
         };
         telemetry.pull_seconds = pull_seconds;

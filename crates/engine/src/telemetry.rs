@@ -12,7 +12,7 @@
 //! (segment sharding, async trace IO) need as a baseline.
 
 use memsim::DriverMetrics;
-use metrics::{per_sec, MetricsReport};
+use metrics::{per_sec, Histogram, MetricsReport};
 use serde::{Deserialize, Serialize};
 
 /// Telemetry of one executed job.
@@ -55,6 +55,13 @@ pub struct JobMetrics {
     pub spec_mispredicts: u64,
     /// Accesses re-simulated on the replay path after failed verifications.
     pub spec_replayed_accesses: u64,
+    /// Per-segment pull-stage latency distribution, microseconds (empty for
+    /// unsegmented execution or disabled metrics).
+    pub pull_segment_us: Histogram,
+    /// Per-segment simulate-stage latency distribution, microseconds.
+    pub simulate_segment_us: Histogram,
+    /// Per-segment account-stage latency distribution, microseconds.
+    pub account_segment_us: Histogram,
 }
 
 impl JobMetrics {
@@ -75,6 +82,9 @@ impl JobMetrics {
             spec_commits: 0,
             spec_mispredicts: 0,
             spec_replayed_accesses: 0,
+            pull_segment_us: Histogram::new(),
+            simulate_segment_us: Histogram::new(),
+            account_segment_us: Histogram::new(),
         }
     }
 
@@ -101,6 +111,9 @@ impl JobMetrics {
             spec_commits: 0,
             spec_mispredicts: 0,
             spec_replayed_accesses: 0,
+            pull_segment_us: Histogram::new(),
+            simulate_segment_us: Histogram::new(),
+            account_segment_us: Histogram::new(),
         }
     }
 }
@@ -176,6 +189,7 @@ mod tests {
             prefetch_issues: 100,
             request_batches: 40,
             max_batch_len: 8,
+            batch_len_hist: Histogram::new(),
         };
         let job = JobMetrics::from_driver(3, &driver);
         assert_eq!(job.job_index, 3);

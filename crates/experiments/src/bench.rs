@@ -29,11 +29,14 @@
 
 use crate::catalog::{figure_jobs, job_bearing_experiments};
 use crate::common::ExperimentConfig;
-use engine::{run_jobs_metered, EngineConfig, JobList, JobResult, PrefetcherSpec, Registry};
+use engine::{
+    run_jobs_metered, run_jobs_observed, EngineConfig, JobList, JobResult, PrefetcherSpec, Registry,
+};
 use memsim::MultiCpuSystem;
 use metrics::{per_sec, MetricsConfig, MetricsReport, Stopwatch};
 use serde::{Deserialize, Serialize};
 use trace::{Application, TraceSource};
+use tracelog::Trace;
 
 /// The [`MetricsReport`] kind tag of a serialized bench report.
 pub const REPORT_KIND: &str = "bench";
@@ -119,10 +122,22 @@ pub struct FigureBench {
     /// Whether the N-worker results were bit-identical to the serial run
     /// (must always be `true`; recorded so the report proves it).
     pub deterministic: bool,
-    /// Wall-clock seconds of the unmeasured warm-up pass that precedes the
-    /// measured runs (the ordering-bias fix: cold-start cost lands here,
-    /// not on whichever measured configuration runs first).
+    /// Total wall-clock seconds of the unmeasured warm-up passes that
+    /// precede the measured runs (the ordering-bias fix: cold-start cost
+    /// lands here, not on whichever measured configuration runs first).
+    /// The sum of the four per-configuration warm-up timings below.
     pub warmup_seconds: f64,
+    /// Wall-clock seconds of the serial configuration's warm-up pass.  This
+    /// and the three fields below are required as of envelope schema
+    /// version 6; older reports recorded only the parallel warm-up total.
+    pub warmup_serial_seconds: f64,
+    /// Wall-clock seconds of the N-worker configuration's warm-up pass.
+    pub warmup_parallel_seconds: f64,
+    /// Wall-clock seconds of the segment-parallel configuration's warm-up
+    /// pass.
+    pub warmup_segmented_seconds: f64,
+    /// Wall-clock seconds of the speculative configuration's warm-up pass.
+    pub warmup_speculative_seconds: f64,
     /// Wall-clock seconds of the N-worker segment-parallel run.
     pub segmented_seconds: f64,
     /// Accesses/second of the segment-parallel run.
@@ -360,6 +375,13 @@ impl BenchReport {
             {
                 return Err(format!("{f}: bad sample spread {}", figure.parallel_spread));
             }
+            if !(figure.warmup_serial_seconds > 0.0
+                && figure.warmup_parallel_seconds > 0.0
+                && figure.warmup_segmented_seconds > 0.0
+                && figure.warmup_speculative_seconds > 0.0)
+            {
+                return Err(format!("{f}: missing per-configuration warm-up timings"));
+            }
             if !(figure.served_seconds > 0.0 && figure.served_cached_seconds > 0.0) {
                 return Err(format!("{f}: missing served wall-clock timings"));
             }
@@ -410,6 +432,20 @@ impl BenchReport {
 /// catalog-declared jobs unless the build is broken — surfaced rather than
 /// panicking so the CLI exits cleanly).
 pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
+    run_bench_observed(options, &Trace::disabled())
+}
+
+/// [`run_bench`] with span tracing: the measured engine passes and the
+/// resident bench server share `trace`, so a `bench --trace-out` run yields
+/// one Chrome-trace document covering workers, segment stages, and the
+/// served round trips.  The unmeasured warm-up passes stay untraced — they
+/// exist to absorb cold-start noise, not to be looked at.  With a disabled
+/// trace this *is* [`run_bench`].
+///
+/// # Errors
+///
+/// As [`run_bench`].
+pub fn run_bench_observed(options: &BenchOptions, trace: &Trace) -> Result<BenchReport, String> {
     let (config, representative_only) = if options.quick {
         (ExperimentConfig::tiny(), true)
     } else {
@@ -450,6 +486,9 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
         tcp: None,
         quota: 0,
         workers,
+        cache_max_entries: 0,
+        cache_max_bytes: 0,
+        trace: trace.clone(),
     })
     .map_err(|e| format!("bench job server failed to start: {e}"))?;
     let endpoint = server::Endpoint::Unix(socket);
@@ -466,18 +505,32 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
         for name in &figures {
             let jobs = figure_jobs(name, &config, representative_only)
                 .ok_or_else(|| format!("{name}: not a job-bearing experiment"))?;
-            // Unmeasured warm-up at the parallel configuration: pages, the
-            // allocator and thread stacks are hot before any measured pass, so
-            // measurement order stops biasing the serial-vs-parallel ratio.
-            let warmup_watch = Stopwatch::started();
-            let _ = run_jobs_metered(
-                &jobs,
-                &EngineConfig::with_workers(workers),
-                registry,
-                &MetricsConfig::disabled(),
-            )
-            .map_err(|e| e.to_string())?;
-            let warmup_seconds = warmup_watch.elapsed_seconds();
+            // Unmeasured warm-up of *each* configuration: pages, the
+            // allocator, thread stacks and per-configuration code paths are
+            // hot before any measured pass, so measurement order stops
+            // biasing the serial-vs-parallel ratio.  Each pass is timed
+            // individually — the report records per-configuration warm-up
+            // wall-clock next to host_threads, so a suspicious measured
+            // number can be cross-checked against its own cold pass.
+            let warm = |config: &EngineConfig| -> Result<f64, String> {
+                let watch = Stopwatch::started();
+                run_jobs_metered(&jobs, config, registry, &MetricsConfig::disabled())
+                    .map_err(|e| e.to_string())?;
+                Ok(watch.elapsed_seconds())
+            };
+            let warmup_serial_seconds = warm(&EngineConfig::serial())?;
+            let warmup_parallel_seconds = warm(&EngineConfig::with_workers(workers))?;
+            let warmup_segmented_seconds =
+                warm(&EngineConfig::with_workers(workers).with_segment_size(segment_size))?;
+            let warmup_speculative_seconds = warm(
+                &EngineConfig::with_workers(workers)
+                    .with_segment_size(segment_size)
+                    .with_speculation(speculation),
+            )?;
+            let warmup_seconds = warmup_serial_seconds
+                + warmup_parallel_seconds
+                + warmup_segmented_seconds
+                + warmup_speculative_seconds;
 
             // Best-of-N measurement: every configuration runs `repeats` times,
             // the minimum wall-clock per configuration is recorded, and the
@@ -497,29 +550,32 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
             let mut parallel_samples = Vec::with_capacity(repeats);
             for _ in 0..repeats {
                 let (serial_results, serial) =
-                    run_jobs_metered(&jobs, &EngineConfig::serial(), registry, &collect)
+                    run_jobs_observed(&jobs, &EngineConfig::serial(), registry, &collect, trace)
                         .map_err(|e| e.to_string())?;
-                let (parallel_results, parallel) = run_jobs_metered(
+                let (parallel_results, parallel) = run_jobs_observed(
                     &jobs,
                     &EngineConfig::with_workers(workers),
                     registry,
                     &collect,
+                    trace,
                 )
                 .map_err(|e| e.to_string())?;
-                let (segmented_results, segmented) = run_jobs_metered(
+                let (segmented_results, segmented) = run_jobs_observed(
                     &jobs,
                     &EngineConfig::with_workers(workers).with_segment_size(segment_size),
                     registry,
                     &collect,
+                    trace,
                 )
                 .map_err(|e| e.to_string())?;
-                let (speculative_results, speculative) = run_jobs_metered(
+                let (speculative_results, speculative) = run_jobs_observed(
                     &jobs,
                     &EngineConfig::with_workers(workers)
                         .with_segment_size(segment_size)
                         .with_speculation(speculation),
                     registry,
                     &collect,
+                    trace,
                 )
                 .map_err(|e| e.to_string())?;
                 accesses = serial.total_accesses;
@@ -575,6 +631,10 @@ pub fn run_bench(options: &BenchOptions) -> Result<BenchReport, String> {
                 speedup: ratio(serial_seconds, parallel_seconds),
                 deterministic,
                 warmup_seconds,
+                warmup_serial_seconds,
+                warmup_parallel_seconds,
+                warmup_segmented_seconds,
+                warmup_speculative_seconds,
                 segmented_seconds,
                 segmented_accesses_per_sec: per_sec(accesses, segmented_seconds),
                 segmented_speedup: ratio(serial_seconds, segmented_seconds),
@@ -1080,6 +1140,20 @@ mod tests {
             .all(|f| f.served_seconds > 0.0 && f.served_cached_seconds > 0.0));
         assert!(report.figures.iter().all(|f| f.warmup_seconds > 0.0));
         assert!(
+            report.figures.iter().all(|f| {
+                let sum = f.warmup_serial_seconds
+                    + f.warmup_parallel_seconds
+                    + f.warmup_segmented_seconds
+                    + f.warmup_speculative_seconds;
+                f.warmup_serial_seconds > 0.0
+                    && f.warmup_parallel_seconds > 0.0
+                    && f.warmup_segmented_seconds > 0.0
+                    && f.warmup_speculative_seconds > 0.0
+                    && (f.warmup_seconds - sum).abs() < 1e-9
+            }),
+            "every configuration records its own warm-up wall-clock"
+        );
+        assert!(
             report.figures.iter().all(|f| f.parallel_spread == 0.0),
             "a single pass has no spread"
         );
@@ -1153,6 +1227,10 @@ mod tests {
             speedup: 2.0,
             deterministic: true,
             warmup_seconds: 1.1,
+            warmup_serial_seconds: 0.5,
+            warmup_parallel_seconds: 0.2,
+            warmup_segmented_seconds: 0.2,
+            warmup_speculative_seconds: 0.2,
             segmented_seconds: 1.25,
             segmented_accesses_per_sec: 64_000.0,
             segmented_speedup: 1.6,
@@ -1242,6 +1320,10 @@ mod tests {
         let mut broken = report.clone();
         broken.figures[0].parallel_spread = 1.5;
         assert!(broken.validate().unwrap_err().contains("sample spread"));
+
+        let mut broken = report.clone();
+        broken.figures[0].warmup_segmented_seconds = 0.0;
+        assert!(broken.validate().unwrap_err().contains("warm-up"));
 
         let mut broken = report.clone();
         broken.scale.repeats = 0;

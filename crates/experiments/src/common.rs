@@ -163,7 +163,28 @@ impl ExperimentConfig {
     /// Executes `jobs` with this configuration's engine settings, returning
     /// results in submission order.
     pub fn run_jobs(&self, jobs: &[SimJob]) -> Vec<JobResult> {
-        engine::run_jobs_with(jobs, &self.engine())
+        self.run_jobs_traced(jobs, &tracelog::Trace::disabled())
+    }
+
+    /// [`run_jobs`](Self::run_jobs) with span tracing: workers, jobs, and
+    /// segment pipeline stages record into `trace` when it is enabled.  The
+    /// results are bit-identical either way — a disabled trace records
+    /// nothing and costs nothing.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_jobs`](Self::run_jobs): panics if a job fails to prepare
+    /// (cannot happen for catalog-declared jobs unless the build is broken).
+    pub fn run_jobs_traced(&self, jobs: &[SimJob], trace: &tracelog::Trace) -> Vec<JobResult> {
+        engine::run_jobs_observed(
+            jobs,
+            &self.engine(),
+            engine::Registry::builtin(),
+            &metrics::MetricsConfig::disabled(),
+            trace,
+        )
+        .map(|(results, _)| results)
+        .expect("job failed to prepare")
     }
 
     /// Coverage of a predictor run against a baseline run at `level`.

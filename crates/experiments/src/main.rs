@@ -7,23 +7,26 @@
 //! ```text
 //! sms-experiments <experiment> [--quick] [--jobs N] [--segment-size N]
 //!                 [--speculate N] [--json <path>] [--out <path>]
-//!                 [--emit-spec <path>]
+//!                 [--emit-spec <path>] [--trace-out <path>]
 //! sms-experiments --figure <experiment> [same flags]
 //! sms-experiments run --spec <jobs.json> [--jobs N] [--segment-size N]
-//!                 [--speculate N] [--out <path>]
+//!                 [--speculate N] [--out <path>] [--trace-out <path>]
 //! sms-experiments list [--json]
 //! sms-experiments bench [--quick] [--jobs N] [--segment-size N]
 //!                 [--speculate N] [--repeat N] [--name NAME] [--out <path>]
+//!                 [--trace-out <path>]
 //!                 [--against OLD.json [--threshold F] [--diff-out <path>]]
 //! sms-experiments bench --check <path>
 //! sms-experiments serve (--socket PATH | --tcp ADDR) [--quota N] [--jobs N]
-//!                 [--metrics-out <path>]
+//!                 [--cache-max-entries N] [--cache-max-bytes N]
+//!                 [--metrics-out <path>] [--trace-out <path>]
 //! sms-experiments submit (--socket PATH | --tcp ADDR) --spec <jobs.json>
 //!                 [--client NAME] [--priority N] [--jobs N]
 //!                 [--segment-size N] [--speculate N] [--out <path>]
 //!                 [--expect-cache-hit]
-//! sms-experiments submit (--socket PATH | --tcp ADDR) --status
+//! sms-experiments submit (--socket PATH | --tcp ADDR) --status [--json]
 //! sms-experiments submit (--socket PATH | --tcp ADDR) --shutdown
+//! sms-experiments trace-check <trace.json> [--require NAME]...
 //!
 //! experiments: all, table1, fig4, fig5, fig6, fig7, fig8, fig9, fig10,
 //!              agt-size, fig11, fig12, fig13 (leading zeros accepted: fig05)
@@ -40,13 +43,20 @@
 //!                jobs finish, identical resubmissions are answered from the
 //!                content-addressed result cache, and graceful shutdown
 //!                drains the queue (--quota caps jobs queued+running per
-//!                client; --metrics-out writes the server's counters as a
-//!                metrics report on exit)
+//!                client; --cache-max-entries / --cache-max-bytes bound the
+//!                result cache with LRU eviction, 0 = unlimited;
+//!                --metrics-out writes the server's counters as a metrics
+//!                report on exit)
 //! submit         send a serialized job list to a running server; prints the
 //!                same table and writes the same --out file as `run --spec`,
 //!                byte for byte (--expect-cache-hit fails unless the reply
-//!                came from the cache; --status prints the server's
-//!                counters; --shutdown asks the server to drain and exit)
+//!                came from the cache; --status prints a human-readable
+//!                summary of the server's counters, or the raw metrics
+//!                report with --json; --shutdown asks the server to drain
+//!                and exit)
+//! trace-check P  validate a Chrome trace-event file produced by --trace-out:
+//!                well-formed JSON, spans paired and monotonic, and every
+//!                --require NAME present among the span names (repeatable)
 //! bench --against OLD.json
 //!                additionally diff per-figure throughput against a previous
 //!                report; exit non-zero when any figure drops below
@@ -68,6 +78,13 @@
 //! --repeat N     (bench) measure each figure N times and record best-of-N
 //!                wall-clock per configuration plus the relative spread of
 //!                the parallel-throughput samples (default 1)
+//! --trace-out PATH
+//!                record spans of the run (workers, jobs, segment pipeline
+//!                stages, server submissions) and write them as Chrome
+//!                trace-event JSON — load the file at https://ui.perfetto.dev
+//!                or chrome://tracing.  Tracing is off (and costs nothing)
+//!                without this flag, and simulated results are bit-identical
+//!                either way
 //! --json PATH    additionally dump the figure-level results as JSON
 //! --out PATH     dump the raw engine JobResults as JSON (byte-identical to
 //!                what `run --spec` produces for the same jobs)
@@ -84,11 +101,12 @@ use experiments::{
     fig13_breakdown, table1,
 };
 use serde::Serialize;
-use server::{Endpoint, Server, ServerConfig, SubmitOptions};
+use server::{Endpoint, Server, ServerConfig, ServerMetrics, SubmitOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use timing::TimingConfig;
 use trace::Application;
+use tracelog::Trace;
 
 #[derive(Debug, Default, Serialize)]
 struct JsonDump {
@@ -108,18 +126,38 @@ struct JsonDump {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> \
-         [--quick] [--jobs N] [--segment-size N] [--speculate N] [--json PATH] [--out PATH] [--emit-spec PATH]\n\
-       \x20      sms-experiments run --spec JOBS.json [--jobs N] [--segment-size N] [--speculate N] [--out PATH]\n\
+         [--quick] [--jobs N] [--segment-size N] [--speculate N] [--json PATH] [--out PATH] [--emit-spec PATH] [--trace-out PATH]\n\
+       \x20      sms-experiments run --spec JOBS.json [--jobs N] [--segment-size N] [--speculate N] [--out PATH] [--trace-out PATH]\n\
        \x20      sms-experiments list [--json]\n\
        \x20      sms-experiments bench [--quick] [--jobs N] [--segment-size N] [--speculate N] [--repeat N] [--name NAME] [--out PATH]\n\
-       \x20                            [--against OLD.json [--threshold F] [--diff-out PATH]]\n\
+       \x20                            [--trace-out PATH] [--against OLD.json [--threshold F] [--diff-out PATH]]\n\
        \x20      sms-experiments bench --check PATH\n\
-       \x20      sms-experiments serve (--socket PATH | --tcp ADDR) [--quota N] [--jobs N] [--metrics-out PATH]\n\
+       \x20      sms-experiments serve (--socket PATH | --tcp ADDR) [--quota N] [--jobs N] [--cache-max-entries N]\n\
+       \x20                            [--cache-max-bytes N] [--metrics-out PATH] [--trace-out PATH]\n\
        \x20      sms-experiments submit (--socket PATH | --tcp ADDR) --spec JOBS.json [--client NAME] [--priority N]\n\
        \x20                             [--jobs N] [--segment-size N] [--speculate N] [--out PATH] [--expect-cache-hit]\n\
-       \x20      sms-experiments submit (--socket PATH | --tcp ADDR) --status|--shutdown"
+       \x20      sms-experiments submit (--socket PATH | --tcp ADDR) --status [--json] | --shutdown\n\
+       \x20      sms-experiments trace-check TRACE.json [--require NAME]..."
     );
     ExitCode::from(2)
+}
+
+/// Writes the spans recorded in `trace` as Chrome trace-event JSON (the
+/// `--trace-out` output, loadable at <https://ui.perfetto.dev>).
+fn write_trace(trace: &Trace, path: &str) -> Result<(), ExitCode> {
+    match trace.write_chrome_trace(std::path::Path::new(path)) {
+        Ok(true) => {
+            println!("chrome trace written to {path} (load in Perfetto or chrome://tracing)");
+            Ok(())
+        }
+        // Unreachable from the CLI — the trace is enabled whenever
+        // --trace-out is given — but a disabled trace is not an error.
+        Ok(false) => Ok(()),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
 }
 
 /// Canonicalizes an experiment name: lowercase, zero-padded figure numbers
@@ -175,7 +213,13 @@ struct BenchFlags<'a> {
 /// Runs the bench pipeline (`bench`), validates an existing report
 /// (`bench --check PATH`), and optionally diffs against a previous report
 /// (`bench --against OLD.json`).
-fn run_bench_command(flags: &BenchFlags<'_>, quick: bool, workers: usize) -> ExitCode {
+fn run_bench_command(
+    flags: &BenchFlags<'_>,
+    quick: bool,
+    workers: usize,
+    trace: &Trace,
+    trace_out: Option<&str>,
+) -> ExitCode {
     if let Some(path) = flags.check {
         return match read_bench_report(path) {
             Ok(report) => {
@@ -197,21 +241,29 @@ fn run_bench_command(flags: &BenchFlags<'_>, quick: bool, workers: usize) -> Exi
     let name = flags.name.unwrap_or("bench").to_string();
     let default_out = format!("BENCH_{name}.json");
     let out = flags.out.unwrap_or(&default_out);
-    let report = match bench::run_bench(&bench::BenchOptions {
-        name,
-        workers,
-        quick,
-        figures: Vec::new(),
-        segment_size: flags.segment_size,
-        speculate: flags.speculate,
-        repeat: flags.repeat,
-    }) {
+    let report = match bench::run_bench_observed(
+        &bench::BenchOptions {
+            name,
+            workers,
+            quick,
+            figures: Vec::new(),
+            segment_size: flags.segment_size,
+            speculate: flags.speculate,
+            repeat: flags.repeat,
+        },
+        trace,
+    ) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("bench failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = trace_out {
+        if let Err(code) = write_trace(trace, path) {
+            return code;
+        }
+    }
     print!("{}", bench::render(&report));
     // The report validates its own schema before it is written; a report
     // that cannot satisfy its contract (e.g. nondeterministic parallel
@@ -309,18 +361,24 @@ struct ServeFlags {
     socket: Option<String>,
     tcp: Option<String>,
     quota: usize,
+    cache_max_entries: usize,
+    cache_max_bytes: u64,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 /// Starts the resident job server (`serve`) and blocks until a client asks
 /// it to shut down, then optionally writes the server's counters as a
-/// metrics report.
-fn run_serve(flags: &ServeFlags, workers: usize) -> ExitCode {
+/// metrics report and its recorded spans as a Chrome trace.
+fn run_serve(flags: &ServeFlags, workers: usize, trace: &Trace) -> ExitCode {
     let server = match Server::start(ServerConfig {
         unix_socket: flags.socket.clone().map(PathBuf::from),
         tcp: flags.tcp.clone(),
         quota: flags.quota,
         workers,
+        cache_max_entries: flags.cache_max_entries,
+        cache_max_bytes: flags.cache_max_bytes,
+        trace: trace.clone(),
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -337,14 +395,22 @@ fn run_serve(flags: &ServeFlags, workers: usize) -> ExitCode {
     if flags.quota > 0 {
         println!("per-client quota: {} jobs queued or running", flags.quota);
     }
+    if flags.cache_max_entries > 0 || flags.cache_max_bytes > 0 {
+        println!(
+            "result cache budget: {} entries, {} bytes (0 = unlimited)",
+            flags.cache_max_entries, flags.cache_max_bytes
+        );
+    }
     println!("waiting for submissions; stop with `sms-experiments submit --shutdown`");
     let metrics = server.wait();
     println!(
-        "served {} submissions / {} jobs ({} cache hits, {} misses); max queue depth {}",
+        "served {} submissions / {} jobs ({} cache hits, {} misses, {} evictions); \
+         max queue depth {}",
         metrics.submissions,
         metrics.jobs_served,
         metrics.cache_hits,
         metrics.cache_misses,
+        metrics.cache_evictions,
         metrics.max_queue_depth,
     );
     if let Some(path) = &flags.metrics_out {
@@ -355,6 +421,11 @@ fn run_serve(flags: &ServeFlags, workers: usize) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("server metrics written to {path}");
+    }
+    if let Some(path) = &flags.trace_out {
+        if let Err(code) = write_trace(trace, path) {
+            return code;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -368,8 +439,62 @@ struct SubmitFlags {
     priority: i64,
     expect_cache_hit: bool,
     status: bool,
+    status_json: bool,
     shutdown: bool,
     out: Option<String>,
+}
+
+/// Renders the server's counters as the human-readable `submit --status`
+/// summary (`--json` keeps the raw metrics report for scripts).
+fn render_status(m: &ServerMetrics) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "queue depth       {:>10}  (max seen {})",
+        m.queue_depth, m.max_queue_depth
+    );
+    let _ = writeln!(out, "running           {:>10}", m.running);
+    let _ = writeln!(
+        out,
+        "submissions       {:>10}  ({} jobs served, {} results streamed)",
+        m.submissions, m.jobs_served, m.results_streamed
+    );
+    let _ = writeln!(
+        out,
+        "cache             {:>10}  hits, {} misses ({} entries / {} bytes resident)",
+        m.cache_hits, m.cache_misses, m.cache_entries, m.cache_bytes
+    );
+    let _ = writeln!(
+        out,
+        "cache evictions   {:>10}  ({} bytes reclaimed)",
+        m.cache_evictions, m.cache_evicted_bytes
+    );
+    let _ = writeln!(out, "quota rejections  {:>10}", m.quota_rejections);
+    if m.queue_wait_us.count() > 0 {
+        let _ = writeln!(
+            out,
+            "queue wait (us)   {:>10}  p50, {} p90, {} p99, {} max over {} submissions",
+            m.queue_wait_us.p50(),
+            m.queue_wait_us.p90(),
+            m.queue_wait_us.p99(),
+            m.queue_wait_us.max().unwrap_or(0),
+            m.queue_wait_us.count()
+        );
+    }
+    if m.clients.is_empty() {
+        let _ = writeln!(out, "clients           {:>10}  with active jobs", 0);
+    } else {
+        let _ = writeln!(out, "clients with active jobs:");
+        for client in &m.clients {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>6} jobs",
+                client.client, client.active_jobs
+            );
+        }
+    }
+    out
 }
 
 /// Sends a serialized job list to a running server (`submit`), streaming the
@@ -395,7 +520,7 @@ fn run_submit(
     };
     if flags.status {
         return match server::client::status(&endpoint) {
-            Ok(report) => {
+            Ok(report) if flags.status_json => {
                 println!(
                     "{}",
                     serde_json::to_string_pretty(&report)
@@ -403,6 +528,23 @@ fn run_submit(
                 );
                 ExitCode::SUCCESS
             }
+            Ok(report) => match report.decode::<ServerMetrics>(server::REPORT_KIND) {
+                Ok(Some(metrics)) => {
+                    print!("{}", render_status(&metrics));
+                    ExitCode::SUCCESS
+                }
+                Ok(None) => {
+                    eprintln!(
+                        "{endpoint}: unexpected report kind {:?} (try --status --json)",
+                        report.kind
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("{endpoint}: undecodable status report: {e}");
+                    ExitCode::FAILURE
+                }
+            },
             Err(e) => {
                 eprintln!("{endpoint}: {e}");
                 ExitCode::FAILURE
@@ -506,6 +648,8 @@ fn run_spec(
     segment_size: usize,
     speculate: usize,
     out: Option<&str>,
+    trace: &Trace,
+    trace_out: Option<&str>,
 ) -> ExitCode {
     let text = match std::fs::read_to_string(spec_path) {
         Ok(text) => text,
@@ -524,14 +668,16 @@ fn run_spec(
             return ExitCode::FAILURE;
         }
     };
-    let results = match engine::run_jobs_in(
+    let results = match engine::run_jobs_observed(
         &list.jobs,
         &EngineConfig::with_workers(workers)
             .with_segment_size(segment_size)
             .with_speculation(speculate),
         Registry::builtin(),
+        &metrics::MetricsConfig::disabled(),
+        trace,
     ) {
-        Ok(results) => results,
+        Ok((results, _)) => results,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -546,6 +692,11 @@ fn run_spec(
     }
     if let Some(path) = out {
         if let Err(code) = write_results(path, &results) {
+            return code;
+        }
+    }
+    if let Some(path) = trace_out {
+        if let Err(code) = write_trace(trace, path) {
             return code;
         }
     }
@@ -585,6 +736,18 @@ fn main() -> ExitCode {
     let json_path = flag_value("--json");
     let out_path = flag_value("--out");
     let emit_spec_path = flag_value("--emit-spec");
+    let trace_out = flag_value("--trace-out");
+    if trace_out.is_none() && args.iter().any(|a| a == "--trace-out") {
+        eprintln!("--trace-out requires the output path for the chrome trace");
+        return usage();
+    }
+    // Tracing is enabled only when there is somewhere to write it; a
+    // disabled trace records nothing and costs nothing on the hot paths.
+    let run_trace = if trace_out.is_some() {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
     let workers = match flag_value("--jobs") {
         Some(n) => match n.parse::<usize>() {
             Ok(n) => n,
@@ -619,6 +782,52 @@ fn main() -> ExitCode {
     if experiment == "list" {
         return list(args.iter().any(|a| a == "--json"));
     }
+    if experiment == "trace-check" {
+        // The file is named positionally right after the subcommand.
+        let path = match args.get(1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("trace-check requires the trace file to validate");
+                return usage();
+            }
+        };
+        let required: Vec<&str> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == "--require")
+            .filter_map(|(i, _)| args.get(i + 1))
+            .map(String::as_str)
+            .collect();
+        if required.len() != args.iter().filter(|a| *a == "--require").count() {
+            eprintln!("--require expects a span name after each occurrence");
+            return usage();
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("failed to read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match tracelog::check_chrome_trace(&text, &required) {
+            Ok(check) => {
+                println!(
+                    "{path}: valid chrome trace: {} events, {} spans ({} distinct names), \
+                     ends at {} us, {} events dropped to ring overflow",
+                    check.events,
+                    check.spans,
+                    check.span_names.len(),
+                    check.end_us,
+                    check.dropped,
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if experiment == "run" {
         let Some(spec_path) = flag_value("--spec") else {
             eprintln!("run requires --spec JOBS.json");
@@ -630,6 +839,8 @@ fn main() -> ExitCode {
             segment_size,
             speculate,
             out_path.as_deref(),
+            &run_trace,
+            trace_out.as_deref(),
         );
     }
     if experiment == "serve" {
@@ -643,14 +854,38 @@ fn main() -> ExitCode {
             },
             None => 0,
         };
+        let cache_max_entries = match flag_value("--cache-max-entries") {
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--cache-max-entries expects a number of entries, got {n:?}");
+                    return usage();
+                }
+            },
+            None => 0,
+        };
+        let cache_max_bytes = match flag_value("--cache-max-bytes") {
+            Some(n) => match n.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--cache-max-bytes expects a number of bytes, got {n:?}");
+                    return usage();
+                }
+            },
+            None => 0,
+        };
         return run_serve(
             &ServeFlags {
                 socket: flag_value("--socket"),
                 tcp: flag_value("--tcp"),
                 quota,
+                cache_max_entries,
+                cache_max_bytes,
                 metrics_out: flag_value("--metrics-out"),
+                trace_out,
             },
             workers,
+            &run_trace,
         );
     }
     if experiment == "submit" {
@@ -673,6 +908,7 @@ fn main() -> ExitCode {
                 priority,
                 expect_cache_hit: args.iter().any(|a| a == "--expect-cache-hit"),
                 status: args.iter().any(|a| a == "--status"),
+                status_json: args.iter().any(|a| a == "--json"),
                 shutdown: args.iter().any(|a| a == "--shutdown"),
                 out: out_path,
             },
@@ -734,6 +970,8 @@ fn main() -> ExitCode {
             },
             quick,
             workers,
+            &run_trace,
+            trace_out.as_deref(),
         );
     }
     if !EXPERIMENTS.contains(&experiment.as_str()) {
@@ -803,7 +1041,7 @@ fn main() -> ExitCode {
     // (which concatenates the job lists into one continuously-indexed run).
     let mut run_figure = |name: &str| -> Vec<JobResult> {
         let jobs = figure_jobs(name, &config, representative_only).expect("experiment with jobs");
-        let results = config.run_jobs(&jobs);
+        let results = config.run_jobs_traced(&jobs, &run_trace);
         if out_path.is_some() {
             let offset = raw_results.len();
             raw_results.extend(results.iter().cloned().map(|mut r| {
@@ -913,6 +1151,11 @@ fn main() -> ExitCode {
                 eprintln!("failed to serialize results: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(path) = trace_out {
+        if let Err(code) = write_trace(&run_trace, &path) {
+            return code;
         }
     }
     ExitCode::SUCCESS

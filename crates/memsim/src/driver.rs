@@ -93,6 +93,9 @@ pub struct DriverMetrics {
     pub request_batches: u64,
     /// Largest single batch of requests one access produced.
     pub max_batch_len: u64,
+    /// Distribution of drained batch lengths (log2 buckets); `p50`/`p99`
+    /// show whether `max_batch_len` is typical or a one-off burst.
+    pub batch_len_hist: metrics::Histogram,
 }
 
 impl DriverMetrics {
@@ -149,6 +152,7 @@ impl DriverMeter for DriverMetrics {
     fn batch(&mut self, len: usize) {
         self.request_batches += 1;
         self.max_batch_len = self.max_batch_len.max(len as u64);
+        self.batch_len_hist.record(len as u64);
     }
 
     fn absorb(&mut self, delta: &DriverMetrics) {
@@ -156,6 +160,7 @@ impl DriverMeter for DriverMetrics {
         self.prefetch_issues += delta.prefetch_issues;
         self.request_batches += delta.request_batches;
         self.max_batch_len = self.max_batch_len.max(delta.max_batch_len);
+        self.batch_len_hist.merge(&delta.batch_len_hist);
     }
 }
 

@@ -40,7 +40,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod collect;
+pub mod histogram;
 pub mod report;
 
 pub use collect::{per_sec, Counter, MetricsConfig, Stopwatch, Throughput, ThroughputMeter};
+pub use histogram::Histogram;
 pub use report::MetricsReport;

@@ -37,8 +37,14 @@ impl MetricsReport {
     /// old-versioned `BENCH_*.json` must fail validation with this version
     /// error rather than a confusing field-level decode error;
     /// `bench --against` still *reads* old reports leniently for throughput
-    /// comparison.
-    pub const SCHEMA_VERSION: u32 = 5;
+    /// comparison;
+    /// **6** — PR 9 (log2-bucketed [`crate::Histogram`]s joined the
+    /// payloads: `engine-run` job entries gained per-stage segment-latency
+    /// histograms, the `server` kind gained cache-eviction/byte counters, a
+    /// running-jobs gauge, per-client quota usage and a queue-wait
+    /// histogram, and bench figures gained per-configuration warm-up
+    /// wall-clock fields).
+    pub const SCHEMA_VERSION: u32 = 6;
 
     /// A report of the given kind carrying `payload` serialized as JSON.
     pub fn new<T: Serialize + ?Sized>(kind: &str, payload: &T) -> Self {

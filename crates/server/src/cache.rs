@@ -7,36 +7,72 @@
 //! frames verbatim, including the original run's [`engine::JobMetrics`]
 //! (telemetry of the run that produced the bytes, not of the lookup).
 //!
-//! Entries are never evicted: a resident server's working set is the
-//! experiment catalog, which is small relative to the cost of recomputing
-//! any entry.  (Eviction policy becomes interesting with the sweep driver
-//! of ROADMAP direction 4; the fingerprint contract here does not change.)
+//! The cache is bounded by an optional entry budget and an optional byte
+//! budget (serialized frame bytes).  When an insert pushes the cache over
+//! either budget, the **least recently used** entries are evicted until it
+//! fits again — a hit refreshes an entry's recency, so the resident set
+//! tracks the live experiment catalog.  A single entry larger than the
+//! whole byte budget is evicted immediately after insertion (it can never
+//! fit), which degrades that fingerprint to recompute-on-every-submission
+//! rather than letting one oversized result pin the cache.  Evictions are
+//! counted for the server's telemetry.
 
 use crate::protocol::JobFrame;
 use std::collections::HashMap;
 
-/// Fingerprint-keyed store of recorded result streams, with hit/miss
-/// counters for the server's telemetry.
+/// One cached result stream with its bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    frames: Vec<JobFrame>,
+    /// Serialized size of `frames`, the unit of the byte budget.
+    bytes: u64,
+    /// Recency stamp: the cache-wide tick of the last insert or hit.
+    tick: u64,
+}
+
+/// Fingerprint-keyed store of recorded result streams with LRU eviction
+/// and hit/miss/eviction counters for the server's telemetry.
 #[derive(Debug, Default)]
 pub struct ResultCache {
-    entries: HashMap<String, Vec<JobFrame>>,
+    entries: HashMap<String, Entry>,
+    /// Maximum resident entries (`0` = unlimited).
+    max_entries: usize,
+    /// Maximum resident serialized bytes (`0` = unlimited).
+    max_bytes: u64,
+    /// Serialized bytes currently resident.
+    bytes: u64,
+    /// Monotonic recency clock, bumped on every insert and hit.
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+    evicted_bytes: u64,
 }
 
 impl ResultCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Looks up a fingerprint, counting the outcome; a hit clones the
-    /// recorded frames for replay.
+    /// An empty cache with the given budgets (`0` = unlimited for each).
+    pub fn with_budget(max_entries: usize, max_bytes: u64) -> Self {
+        Self {
+            max_entries,
+            max_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Looks up a fingerprint, counting the outcome; a hit refreshes the
+    /// entry's recency and clones the recorded frames for replay.
     pub fn lookup(&mut self, fingerprint: &str) -> Option<Vec<JobFrame>> {
-        match self.entries.get(fingerprint) {
-            Some(frames) => {
+        self.tick += 1;
+        match self.entries.get_mut(fingerprint) {
+            Some(entry) => {
+                entry.tick = self.tick;
                 self.hits += 1;
-                Some(frames.clone())
+                Some(entry.frames.clone())
             }
             None => {
                 self.misses += 1;
@@ -45,12 +81,52 @@ impl ResultCache {
         }
     }
 
-    /// Records a completed submission's frames.  Re-inserting an existing
-    /// fingerprint is a no-op: determinism guarantees the bytes match, and
-    /// keeping the first recording makes concurrent identical submissions
-    /// idempotent.
+    /// Records a completed submission's frames, then evicts least recently
+    /// used entries until the budgets hold.  Re-inserting an existing
+    /// fingerprint refreshes its recency but keeps the first recording:
+    /// determinism guarantees the bytes match, and keeping the original
+    /// makes concurrent identical submissions idempotent.
     pub fn insert(&mut self, fingerprint: String, frames: Vec<JobFrame>) {
-        self.entries.entry(fingerprint).or_insert(frames);
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.entry(fingerprint) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                occupied.get_mut().tick = tick;
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                let bytes = serialized_bytes(&frames);
+                self.bytes += bytes;
+                vacant.insert(Entry {
+                    frames,
+                    bytes,
+                    tick,
+                });
+            }
+        }
+        self.enforce_budget();
+    }
+
+    /// Evicts least-recently-used entries while either budget is exceeded.
+    fn enforce_budget(&mut self) {
+        while self.over_budget() {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.tick)
+                .map(|(key, _)| key.clone())
+            else {
+                break;
+            };
+            let entry = self.entries.remove(&oldest).expect("key just observed");
+            self.bytes -= entry.bytes;
+            self.evictions += 1;
+            self.evicted_bytes += entry.bytes;
+        }
+    }
+
+    fn over_budget(&self) -> bool {
+        (self.max_entries > 0 && self.entries.len() > self.max_entries)
+            || (self.max_bytes > 0 && self.bytes > self.max_bytes)
     }
 
     /// Cache hits observed so far.
@@ -63,15 +139,45 @@ impl ResultCache {
         self.misses
     }
 
-    /// Number of recorded entries.
+    /// Number of recorded entries currently resident.
     pub fn entries(&self) -> u64 {
         self.entries.len() as u64
     }
+
+    /// Serialized bytes currently resident.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Entries evicted to hold the budgets.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Serialized bytes reclaimed by evictions.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes
+    }
+}
+
+/// Serialized size of a frame stream — the byte-budget unit, chosen because
+/// it tracks what a hit actually saves (bytes recomputed and re-streamed)
+/// and is stable across platforms, unlike in-memory size.
+fn serialized_bytes(frames: &[JobFrame]) -> u64 {
+    frames
+        .iter()
+        .map(|frame| {
+            serde_json::to_string(frame)
+                .expect("value-tree serialization cannot fail")
+                .len() as u64
+        })
+        .sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use engine::JobMetrics;
 
     #[test]
     fn lookup_counts_and_replays_identical_frames() {
@@ -86,5 +192,62 @@ mod tests {
         // First recording wins; the counters keep accumulating.
         cache.insert("abc".to_string(), Vec::new());
         assert_eq!(cache.entries(), 1);
+    }
+
+    fn frame(tag: u64) -> JobFrame {
+        JobFrame {
+            result: engine::JobResult {
+                job_index: tag as usize,
+                summary: memsim::RunSummary::default(),
+                probe: engine::ProbeReport::none(),
+                timing: None,
+                warnings: Vec::new(),
+            },
+            metrics: JobMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn entry_budget_evicts_least_recently_used() {
+        let mut cache = ResultCache::with_budget(2, 0);
+        cache.insert("a".to_string(), vec![frame(1)]);
+        cache.insert("b".to_string(), vec![frame(2)]);
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(cache.lookup("a").is_some());
+        cache.insert("c".to_string(), vec![frame(3)]);
+
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.lookup("a").is_some(), "recently used survives");
+        assert!(cache.lookup("c").is_some(), "just inserted survives");
+        assert!(cache.lookup("b").is_none(), "LRU entry evicted");
+    }
+
+    #[test]
+    fn byte_budget_evicts_and_counts_reclaimed_bytes() {
+        let one_frame_bytes = serialized_bytes(&[frame(0)]);
+        // Room for two single-frame entries but not three.
+        let mut cache = ResultCache::with_budget(0, one_frame_bytes * 2);
+        cache.insert("a".to_string(), vec![frame(1)]);
+        cache.insert("b".to_string(), vec![frame(2)]);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.bytes(), one_frame_bytes * 2);
+
+        cache.insert("c".to_string(), vec![frame(3)]);
+        assert_eq!(cache.entries(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.evicted_bytes(), one_frame_bytes);
+        assert_eq!(cache.bytes(), one_frame_bytes * 2);
+        assert!(cache.lookup("a").is_none(), "oldest entry evicted");
+    }
+
+    #[test]
+    fn oversized_lone_entry_cannot_pin_the_cache() {
+        let mut cache = ResultCache::with_budget(0, 1);
+        cache.insert("huge".to_string(), vec![frame(1), frame(2)]);
+        assert_eq!(cache.entries(), 0, "an entry over the whole budget goes");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.bytes(), 0);
+        assert!(cache.lookup("huge").is_none());
     }
 }

@@ -63,4 +63,4 @@ pub use protocol::{
     Accepted, Done, ErrorFrame, Frame, JobFrame, Request, ShutdownAck, SubmitRequest,
     PROTOCOL_VERSION,
 };
-pub use server::{Server, ServerConfig, ServerError, ServerMetrics, REPORT_KIND};
+pub use server::{ClientUsage, Server, ServerConfig, ServerError, ServerMetrics, REPORT_KIND};

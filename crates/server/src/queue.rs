@@ -40,6 +40,9 @@ pub struct Submission {
     pub fingerprint: String,
     /// Channel back to the connection handler streaming this submission.
     pub reply: mpsc::Sender<Event>,
+    /// When the submission was admitted to the queue, for queue-wait
+    /// latency accounting.
+    pub queued_at: std::time::Instant,
 }
 
 /// A [`Submission`] with its queue ordering key.
@@ -125,6 +128,7 @@ mod tests {
                 config: EngineConfig::serial(),
                 fingerprint: format!("fp-{seq}"),
                 reply,
+                queued_at: std::time::Instant::now(),
             },
         }
     }

@@ -17,7 +17,7 @@ use crate::protocol::{
 };
 use crate::queue::{Event, Queued, Submission, SubmissionQueue};
 use engine::{CancelToken, EngineConfig, JobList, Registry};
-use metrics::{MetricsConfig, MetricsReport};
+use metrics::{Histogram, MetricsConfig, MetricsReport};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -28,7 +28,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use tracelog::Trace;
 
 /// Report kind tag of the server's counters payload.
 pub const REPORT_KIND: &str = "server";
@@ -59,6 +60,17 @@ pub struct ServerConfig {
     /// Default engine worker count for submissions that do not name one
     /// (`0` = one per available hardware thread).
     pub workers: usize,
+    /// Result-cache entry budget: least recently used entries are evicted
+    /// past this many (`0` = unlimited).
+    pub cache_max_entries: usize,
+    /// Result-cache byte budget, in serialized frame bytes (`0` =
+    /// unlimited).
+    pub cache_max_bytes: u64,
+    /// Pipeline trace the server records into: per-submission lifecycle
+    /// spans, cache hit/miss events and a queue-depth counter, plus the
+    /// engine's own spans for every scheduled run.  Disabled by default
+    /// (zero cost — see `tracelog`).
+    pub trace: Trace,
 }
 
 /// An error starting a [`Server`].
@@ -81,14 +93,25 @@ impl fmt::Display for ServerError {
 
 impl std::error::Error for ServerError {}
 
+/// One client's live quota usage, reported in [`ServerMetrics::clients`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientUsage {
+    /// Client identity as given at submission.
+    pub client: String,
+    /// Jobs this client currently has queued or running.
+    pub active_jobs: u64,
+}
+
 /// The server's counters, exported through the standard [`MetricsReport`]
 /// envelope as kind [`REPORT_KIND`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServerMetrics {
     /// Submissions currently waiting in the queue.
     pub queue_depth: u64,
     /// Highest queue depth observed.
     pub max_queue_depth: u64,
+    /// Submissions currently being executed by the scheduler (0 or 1).
+    pub running: u64,
     /// Submit requests accepted (cache hits included).
     pub submissions: u64,
     /// Jobs executed by the engine on behalf of submissions.
@@ -99,10 +122,22 @@ pub struct ServerMetrics {
     pub cache_hits: u64,
     /// Submissions that missed the cache and ran.
     pub cache_misses: u64,
-    /// Distinct fingerprints recorded in the cache.
+    /// Distinct fingerprints currently resident in the cache.
     pub cache_entries: u64,
+    /// Serialized bytes currently resident in the cache.
+    pub cache_bytes: u64,
+    /// Cache entries evicted to hold the configured budgets.
+    pub cache_evictions: u64,
+    /// Serialized bytes reclaimed by cache evictions.
+    pub cache_evicted_bytes: u64,
     /// Submissions refused because they would exceed the client's quota.
     pub quota_rejections: u64,
+    /// Queue-wait latency distribution: microseconds from admission to the
+    /// scheduler starting the submission (cache hits never queue and never
+    /// land here).
+    pub queue_wait_us: Histogram,
+    /// Per-client live quota usage, sorted by client identity.
+    pub clients: Vec<ClientUsage>,
 }
 
 impl ServerMetrics {
@@ -125,6 +160,10 @@ struct State {
     results_streamed: u64,
     quota_rejections: u64,
     max_queue_depth: u64,
+    /// Submissions the scheduler is currently executing (0 or 1).
+    running: u64,
+    /// Admission-to-start queue-wait latency, microseconds.
+    queue_wait_us: Histogram,
 }
 
 /// State shared by every server thread.
@@ -152,16 +191,31 @@ impl Shared {
     fn metrics(&self) -> ServerMetrics {
         let state = self.state.lock().expect("state mutex poisoned");
         let cache = self.cache.lock().expect("cache mutex poisoned");
+        let mut clients: Vec<ClientUsage> = state
+            .active
+            .iter()
+            .map(|(client, &active_jobs)| ClientUsage {
+                client: client.clone(),
+                active_jobs,
+            })
+            .collect();
+        clients.sort_by(|a, b| a.client.cmp(&b.client));
         ServerMetrics {
             queue_depth: state.queue.len() as u64,
             max_queue_depth: state.max_queue_depth,
+            running: state.running,
             submissions: state.submissions,
             jobs_served: state.jobs_served,
             results_streamed: state.results_streamed,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             cache_entries: cache.entries(),
+            cache_bytes: cache.bytes(),
+            cache_evictions: cache.evictions(),
+            cache_evicted_bytes: cache.evicted_bytes(),
             quota_rejections: state.quota_rejections,
+            queue_wait_us: state.queue_wait_us,
+            clients,
         }
     }
 
@@ -249,11 +303,12 @@ impl Server {
             None => None,
         };
 
+        let cache = ResultCache::with_budget(config.cache_max_entries, config.cache_max_bytes);
         let shared = Arc::new(Shared {
             config,
             state: Mutex::new(State::default()),
             queue_cv: Condvar::new(),
-            cache: Mutex::new(ResultCache::new()),
+            cache: Mutex::new(cache),
             shutdown: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
         });
@@ -337,12 +392,17 @@ impl Server {
 /// through the engine, draining the queue even during shutdown.
 fn scheduler(shared: &Arc<Shared>) {
     let registry = Registry::builtin();
+    let trace = &shared.config.trace;
+    let recorder = trace.recorder("scheduler");
     loop {
-        let queued = {
+        let (queued, queue_depth) = {
             let mut state = shared.state.lock().expect("state mutex poisoned");
             loop {
                 if let Some(queued) = state.queue.pop() {
-                    break queued;
+                    let waited = queued.submission.queued_at.elapsed();
+                    state.queue_wait_us.record(waited.as_micros() as u64);
+                    state.running += 1;
+                    break (queued, state.queue.len() as u64);
                 }
                 if state.shutting_down {
                     return;
@@ -350,20 +410,28 @@ fn scheduler(shared: &Arc<Shared>) {
                 state = shared.queue_cv.wait(state).expect("state mutex poisoned");
             }
         };
+        recorder.counter("queue_depth", queue_depth as f64);
         let Submission {
             client,
             jobs,
             config,
             fingerprint,
             reply,
+            queued_at,
         } = queued.submission;
         let job_count = jobs.len() as u64;
+        let mut span = recorder.span("submission");
+        span.arg_u64("seq", queued.seq);
+        span.arg_u64("jobs", job_count);
+        span.arg_text("client", &client);
+        span.arg_f64("queue_wait_seconds", queued_at.elapsed().as_secs_f64());
         let mut recorded: Vec<JobFrame> = Vec::new();
-        let outcome = engine::run_jobs_streamed(
+        let outcome = engine::run_jobs_streamed_observed(
             &jobs,
             &config,
             registry,
             &MetricsConfig::enabled(),
+            trace,
             &CancelToken::new(),
             &mut |result, metrics| {
                 let frame = JobFrame { result, metrics };
@@ -373,6 +441,7 @@ fn scheduler(shared: &Arc<Shared>) {
                 let _ = reply.send(Event::Result(Box::new(frame)));
             },
         );
+        drop(span);
         let streamed = recorded.len() as u64;
         match outcome {
             Ok((delivered, _)) => {
@@ -397,6 +466,7 @@ fn scheduler(shared: &Arc<Shared>) {
         let mut state = shared.state.lock().expect("state mutex poisoned");
         state.jobs_served += streamed;
         state.results_streamed += streamed;
+        state.running -= 1;
         release_quota(&mut state, &client, job_count);
     }
 }
@@ -530,7 +600,11 @@ fn handle_submit<S: Write>(
     let fingerprint = engine::spec_fingerprint(&list.jobs, &config);
     let job_count = list.jobs.len() as u64;
 
+    let recorder = shared.config.trace.recorder("server.conn");
     let admission = {
+        let mut accept_span = recorder.span("submit.accept");
+        accept_span.arg_u64("jobs", job_count);
+        accept_span.arg_text("client", &submit.client);
         let mut state = shared.state.lock().expect("state mutex poisoned");
         if state.shutting_down {
             Admission::Refused(ErrorFrame::new(
@@ -547,11 +621,17 @@ fn handle_submit<S: Write>(
                 .lookup(&fingerprint);
             match cached {
                 Some(frames) => {
+                    recorder.instant("cache.hit", |args| {
+                        args.u64("jobs", job_count);
+                    });
                     state.submissions += 1;
                     state.results_streamed += frames.len() as u64;
                     Admission::CacheHit(frames)
                 }
                 None => {
+                    recorder.instant("cache.miss", |args| {
+                        args.u64("jobs", job_count);
+                    });
                     let quota = shared.config.quota as u64;
                     let active = state.active.get(&submit.client).copied().unwrap_or(0);
                     if quota > 0 && active + job_count > quota {
@@ -579,10 +659,12 @@ fn handle_submit<S: Write>(
                                 config,
                                 fingerprint,
                                 reply,
+                                queued_at: Instant::now(),
                             },
                         });
                         let queue_depth = state.queue.len() as u64;
                         state.max_queue_depth = state.max_queue_depth.max(queue_depth);
+                        recorder.counter("queue_depth", queue_depth as f64);
                         shared.queue_cv.notify_one();
                         Admission::Queued {
                             receiver,
@@ -605,6 +687,9 @@ fn handle_submit<S: Write>(
                     cache_hit: true,
                 }),
             )?;
+            let mut stream_span = recorder.span("submit.stream");
+            stream_span.arg_u64("jobs", job_count);
+            stream_span.arg_u64("cache_hit", 1);
             let jobs = frames.len() as u64;
             for frame in frames {
                 write_line(stream, &Frame::Result(Box::new(frame)))?;
@@ -629,6 +714,9 @@ fn handle_submit<S: Write>(
                     cache_hit: false,
                 }),
             )?;
+            let mut stream_span = recorder.span("submit.stream");
+            stream_span.arg_u64("jobs", job_count);
+            stream_span.arg_u64("cache_hit", 0);
             // Forward events until the terminal frame.  If the client hangs
             // up mid-stream the write fails and we simply stop forwarding;
             // the scheduler finishes the run and caches it regardless.

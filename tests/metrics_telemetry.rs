@@ -156,6 +156,52 @@ fn segmented_metrics_collection_is_byte_identical_and_counts_segments() {
 }
 
 #[test]
+fn tracing_enabled_vs_disabled_is_byte_identical() {
+    // The PR 4 telemetry contract extends to span tracing: recording spans
+    // must never alter a single result byte, across the plain, segmented,
+    // and speculative execution paths.
+    let jobs = job_list();
+    for config in [
+        EngineConfig::serial(),
+        EngineConfig::with_workers(3),
+        EngineConfig::with_workers(2).with_segment_size(1_000),
+        EngineConfig::with_workers(4)
+            .with_segment_size(1_000)
+            .with_speculation(2),
+    ] {
+        let (untraced, _) = engine::run_jobs_observed(
+            &jobs,
+            &config,
+            Registry::builtin(),
+            &MetricsConfig::disabled(),
+            &tracelog::Trace::disabled(),
+        )
+        .expect("jobs prepare");
+        let trace = tracelog::Trace::enabled();
+        let (traced, _) = engine::run_jobs_observed(
+            &jobs,
+            &config,
+            Registry::builtin(),
+            &MetricsConfig::enabled(),
+            &trace,
+        )
+        .expect("jobs prepare");
+        assert_eq!(
+            serde_json::to_string(&untraced).expect("serialize"),
+            serde_json::to_string(&traced).expect("serialize"),
+            "{config:?}: tracing must not alter a single result byte"
+        );
+        let chrome = trace.to_chrome_json().expect("enabled trace exports");
+        let check =
+            tracelog::check_chrome_trace(&chrome, &["job"]).expect("traced run yields valid JSON");
+        assert!(
+            check.spans as usize >= jobs.len(),
+            "every job records at least its own span"
+        );
+    }
+}
+
+#[test]
 fn batched_and_unbatched_drivers_agree_for_every_builtin_prefetcher() {
     for spec in [
         PrefetcherSpec::null(),
