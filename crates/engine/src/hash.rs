@@ -52,8 +52,9 @@ fn sort_keys(value: &Value) -> Value {
 
 /// 64-bit FNV-1a over a byte string: small, dependency-free, and stable
 /// across platforms and releases (the constants are fixed by the algorithm,
-/// not by this build).
-fn fnv1a_64(bytes: &[u8]) -> u64 {
+/// not by this build).  Public because it doubles as the workspace's
+/// content checksum (the server's persistent cache files carry it).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = OFFSET;

@@ -67,7 +67,7 @@ pub mod spec;
 pub mod speculate;
 pub mod telemetry;
 
-pub use hash::{canonical_json, list_fingerprint, spec_fingerprint};
+pub use hash::{canonical_json, fnv1a_64, list_fingerprint, spec_fingerprint};
 pub use plugin::{
     closest_match, decode_params, BuiltPrefetcher, DensityReport, KindSink, OracleReport,
     PluginError, PrefetcherPlugin, Probe, ProbeReport, Registry, TrainingReport,

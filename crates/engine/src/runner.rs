@@ -254,6 +254,17 @@ pub enum EngineError {
         /// The I/O error message.
         message: String,
     },
+    /// The job's execution panicked (a prefetcher plugin or probe raised a
+    /// panic mid-run).  The panic is caught at the job boundary, so the run
+    /// completes with the usual lowest-index-error semantics instead of
+    /// poisoning the worker or the calling scheduler.
+    Panicked {
+        /// Index of the panicking job in the submitted list.
+        job_index: usize,
+        /// The panic payload, when it was a string (the common
+        /// `panic!("...")` case), or a placeholder otherwise.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -270,11 +281,27 @@ impl fmt::Display for EngineError {
                 f,
                 "job {job_index}: trace source {source} failed: {message}"
             ),
+            EngineError::Panicked { job_index, message } => {
+                write!(f, "job {job_index}: panicked: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Renders a caught panic payload as a message: the payload itself when it
+/// was a string (the overwhelmingly common `panic!("...")` / `expect` case),
+/// a placeholder otherwise.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Execution parameters of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -562,6 +589,48 @@ pub fn run_jobs_in(
 /// stopped its worker.
 type TaggedOutcome = (usize, Result<(JobResult, JobMetrics), EngineError>);
 
+/// Executes one job with panic isolation: a panic anywhere inside the job —
+/// plugin build, probe callback, segmented pipeline helper, speculative
+/// worker — is caught at this boundary and surfaced as
+/// [`EngineError::Panicked`], so a broken plugin fails its own job with the
+/// usual lowest-index-error semantics instead of tearing down the worker
+/// thread and every job queued behind it.
+///
+/// Segmented and speculative jobs run their helper threads inside a
+/// [`std::thread::scope`], which joins them before the owning panic
+/// propagates out, so nothing outlives the catch.  `AssertUnwindSafe` is
+/// sound: the job's system, prefetcher and stream are constructed inside
+/// the closure and dropped with it, and the shared `registry`, `metrics`
+/// and `trace` are only read through `&` references.
+fn exec_job_isolated(
+    index: usize,
+    job: &SimJob,
+    registry: &Registry,
+    metrics: &MetricsConfig,
+    plan: Option<SegmentPlan>,
+    trace: &Trace,
+    rec: &Recorder,
+) -> Result<(JobResult, JobMetrics), EngineError> {
+    let mut span = rec.span("job");
+    span.arg_u64("job", index as u64);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match plan {
+        Some(p) => run_job_segmented_observed(index, job, registry, metrics, p, trace),
+        None => run_job_metered(index, job, registry, metrics),
+    }));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            rec.instant("job_panicked", |args| {
+                args.u64("job", index as u64);
+            });
+            Err(EngineError::Panicked {
+                job_index: index,
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
 /// One worker's output: its timing plus the tagged job outcomes it ran.
 type WorkerShard = (WorkerMetrics, Vec<TaggedOutcome>);
 
@@ -614,12 +683,7 @@ pub fn run_jobs_observed(
         None => config.effective_workers(jobs.len()),
     };
     let exec = |index: usize, job: &SimJob, rec: &Recorder| {
-        let mut span = rec.span("job");
-        span.arg_u64("job", index as u64);
-        match plan {
-            Some(p) => run_job_segmented_observed(index, job, registry, metrics, p, trace),
-            None => run_job_metered(index, job, registry, metrics),
-        }
+        exec_job_isolated(index, job, registry, metrics, plan, trace, rec)
     };
     if workers <= 1 {
         let recorder = trace.recorder("engine");
@@ -814,12 +878,7 @@ pub fn run_jobs_streamed_observed(
         None => config.effective_workers(jobs.len()),
     };
     let exec = |index: usize, job: &SimJob, rec: &Recorder| {
-        let mut span = rec.span("job");
-        span.arg_u64("job", index as u64);
-        match plan {
-            Some(p) => run_job_segmented_observed(index, job, registry, metrics, p, trace),
-            None => run_job_metered(index, job, registry, metrics),
-        }
+        exec_job_isolated(index, job, registry, metrics, plan, trace, rec)
     };
 
     if workers <= 1 {
@@ -844,6 +903,11 @@ pub fn run_jobs_streamed_observed(
                     break;
                 }
             }
+        }
+        if first_error.is_none() && cancel.is_cancelled() {
+            recorder.instant("run_cancelled", |args| {
+                args.u64("delivered", delivered as u64);
+            });
         }
         let total_seconds = run_watch.elapsed_seconds();
         engine_metrics.workers.push(WorkerMetrics {
@@ -946,6 +1010,11 @@ pub fn run_jobs_streamed_observed(
                 .push(handle.join().expect("engine worker panicked"));
         }
     });
+    if first_error.is_none() && cancel.is_cancelled() {
+        trace.recorder("engine").instant("run_cancelled", |args| {
+            args.u64("delivered", delivered as u64);
+        });
+    }
     engine_metrics.finish(0.0, run_watch.elapsed_seconds());
     match first_error {
         Some(e) => Err(e),
@@ -1384,6 +1453,134 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert!(matches!(err, EngineError::Trace { job_index: 0, .. }));
         assert!(err.to_string().contains("corrupt mid-stream"), "{err}");
+    }
+
+    /// A prefetcher that panics after a fixed number of observed accesses —
+    /// the in-crate stand-in for a broken custom plugin (the `faultinject`
+    /// crate ships the full chaos plugin).
+    struct PanicAtPrefetcher {
+        countdown: usize,
+    }
+
+    impl memsim::Prefetcher for PanicAtPrefetcher {
+        fn on_access(
+            &mut self,
+            _access: &trace::MemAccess,
+            _outcome: &memsim::SystemOutcome,
+        ) -> Vec<memsim::PrefetchRequest> {
+            if self.countdown == 0 {
+                panic!("injected prefetcher panic");
+            }
+            self.countdown -= 1;
+            Vec::new()
+        }
+
+        fn name(&self) -> &str {
+            "panic-at"
+        }
+    }
+
+    impl crate::plugin::Probe for PanicAtPrefetcher {}
+
+    struct PanicAtPlugin;
+
+    impl crate::plugin::PrefetcherPlugin for PanicAtPlugin {
+        fn name(&self) -> &str {
+            "panic-at"
+        }
+
+        fn build(
+            &self,
+            _params: &serde_json::Value,
+            _num_cpus: usize,
+        ) -> Result<crate::plugin::BuiltPrefetcher, PluginError> {
+            Ok(crate::plugin::BuiltPrefetcher::new(PanicAtPrefetcher {
+                countdown: 100,
+            }))
+        }
+    }
+
+    fn chaos_registry() -> Registry {
+        let mut registry = Registry::with_builtins();
+        registry.register(std::sync::Arc::new(PanicAtPlugin));
+        registry
+    }
+
+    fn panic_job() -> SimJob {
+        job(
+            Application::Ocean,
+            PrefetcherSpec {
+                plugin: "panic-at".to_string(),
+                params: serde_json::Value::Null,
+            },
+        )
+    }
+
+    #[test]
+    fn panicking_plugin_fails_only_its_own_job() {
+        let registry = chaos_registry();
+        let mut jobs = job_list();
+        jobs.insert(1, panic_job());
+        for workers in [1, 4] {
+            let err = run_jobs_in(&jobs, &EngineConfig::with_workers(workers), &registry)
+                .expect_err("panicking plugin must fail the run");
+            match &err {
+                EngineError::Panicked { job_index, message } => {
+                    assert_eq!(*job_index, 1);
+                    assert!(message.contains("injected prefetcher panic"), "{message}");
+                }
+                other => panic!("expected Panicked error, got {other:?}"),
+            }
+            // The rendered message is part of the server's error-frame
+            // contract, so it is pinned.
+            assert_eq!(
+                err.to_string(),
+                "job 1: panicked: injected prefetcher panic"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_in_streamed_run_follows_the_clean_prefix() {
+        let registry = chaos_registry();
+        let mut jobs = job_list();
+        jobs.insert(1, panic_job());
+        for workers in [1, 4] {
+            let mut streamed = Vec::new();
+            let err = run_jobs_streamed(
+                &jobs,
+                &EngineConfig::with_workers(workers),
+                &registry,
+                &metrics::MetricsConfig::disabled(),
+                &CancelToken::new(),
+                &mut |result, _| streamed.push(result.job_index),
+            )
+            .expect_err("panicking plugin must fail the run");
+            assert_eq!(streamed, vec![0], "workers = {workers}");
+            assert!(matches!(err, EngineError::Panicked { job_index: 1, .. }));
+        }
+    }
+
+    #[test]
+    fn panic_is_isolated_under_segmentation_and_speculation() {
+        // The panic fires on a pipeline thread (segmented) or a speculative
+        // worker; either way it must surface as the job's structured error,
+        // not tear down the engine.
+        let registry = chaos_registry();
+        let jobs = vec![panic_job()];
+        for config in [
+            EngineConfig::with_workers(2).with_segment_size(1_000),
+            EngineConfig::with_workers(4)
+                .with_segment_size(1_000)
+                .with_speculation(2),
+        ] {
+            let err = run_jobs_in(&jobs, &config, &registry)
+                .expect_err("panicking plugin must fail the run");
+            assert!(
+                matches!(err, EngineError::Panicked { job_index: 0, .. }),
+                "{err:?}"
+            );
+        }
     }
 
     #[test]

@@ -63,6 +63,8 @@ use memsim::{
 use metrics::{per_sec, Histogram, MetricsConfig, Stopwatch};
 use std::io;
 use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Duration;
 use timing::TimingAccounting;
 use trace::{fill_segment, BoxedStream, MemAccess};
 use tracelog::{Recorder, Trace};
@@ -567,6 +569,13 @@ impl Pipeline {
         let (pulled_tx, pulled_rx) = mpsc::channel::<Vec<MemAccess>>();
         let (recycle_tx, recycle_rx) = mpsc::channel::<(Vec<MemAccess>, OutcomeTape)>();
 
+        // A helper that panics (tape replay feeds a plugin's kind sink)
+        // parks its payload here for the owner to re-raise.  The owner must
+        // poll the slot from its blocking receives: with two helpers the
+        // *other* helper's live senders would keep those receives from ever
+        // erroring, which would otherwise turn the panic into a deadlock.
+        let helper_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
         let mut pull_state = HelperState {
             stream: Some((self.stream, self.budget)),
             ..HelperState::new()
@@ -604,9 +613,20 @@ impl Pipeline {
                     format!("job{job}.pull")
                 };
                 let trace = &trace;
+                let helper_panic = &helper_panic;
                 handles.push(scope.spawn(move || {
                     let recorder = trace.recorder(&label);
-                    state.serve(segment_size, pull_task_rx, pulled_tx, recycle_tx, &recorder);
+                    // Keep the response channels open until the slot is
+                    // filled, so the owner never observes the hangup before
+                    // the payload is available.
+                    let keepalive = (pulled_tx.clone(), recycle_tx.clone());
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        state.serve(segment_size, pull_task_rx, pulled_tx, recycle_tx, &recorder);
+                    }));
+                    if let Err(payload) = caught {
+                        *helper_panic.lock().unwrap() = Some(payload);
+                    }
+                    drop(keepalive);
                 }));
             }
             if let Some(rx) = account_task_rx {
@@ -614,12 +634,29 @@ impl Pipeline {
                 let recycle_tx = recycle_tx.clone();
                 let state = &mut account_state;
                 let trace = &trace;
+                let helper_panic = &helper_panic;
                 handles.push(scope.spawn(move || {
                     let recorder = trace.recorder(&format!("job{job}.account"));
-                    state.serve(segment_size, rx, pulled_tx, recycle_tx, &recorder);
+                    let keepalive = (pulled_tx.clone(), recycle_tx.clone());
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        state.serve(segment_size, rx, pulled_tx, recycle_tx, &recorder);
+                    }));
+                    if let Err(payload) = caught {
+                        *helper_panic.lock().unwrap() = Some(payload);
+                    }
+                    drop(keepalive);
                 }));
             }
             drop((pulled_tx, recycle_tx));
+
+            // Re-raises a parked helper panic on the owner's thread, so it
+            // reaches the engine's per-job `catch_unwind` with its original
+            // message after the scope joins the surviving helper.
+            let check_helper_panic = || {
+                if let Some(payload) = helper_panic.lock().unwrap().take() {
+                    std::panic::resume_unwind(payload);
+                }
+            };
 
             // The owner: prime the pull stage, then simulate each pulled
             // segment and hand its tape to the account stage, recycling
@@ -634,9 +671,16 @@ impl Pipeline {
                 }
             }
             while pulls_outstanding > 0 {
-                let buffer = pulled_rx
-                    .recv()
-                    .expect("pull helper alive while pulls are outstanding");
+                let buffer = loop {
+                    match pulled_rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok(buffer) => break buffer,
+                        Err(mpsc::RecvTimeoutError::Timeout) => check_helper_panic(),
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            check_helper_panic();
+                            panic!("pull helper hung up while pulls are outstanding");
+                        }
+                    }
+                };
                 pulls_outstanding -= 1;
                 if buffer.len() < segment_size {
                     // A short (or empty) segment: the stream or the budget
@@ -663,9 +707,12 @@ impl Pipeline {
                         .record(as_micros(watch.elapsed_seconds()));
                     drop(span);
                     telemetry.segments += 1;
-                    account_task_tx
-                        .send(Task::Account(buffer, tape))
-                        .expect("account helper alive while the owner simulates");
+                    if account_task_tx.send(Task::Account(buffer, tape)).is_err() {
+                        // The account helper only hangs up by panicking:
+                        // stop pulling and drain, and the post-join check
+                        // below re-raises its payload.
+                        stream_done = true;
+                    }
                 }
                 // Keep the pull stage fed: convert recycled buffers into new
                 // pull requests.  While the stream may still deliver, at
@@ -675,7 +722,16 @@ impl Pipeline {
                 // empty one set `stream_done`).
                 while !stream_done {
                     let recycled = if pulls_outstanding == 0 {
-                        recycle_rx.recv().ok()
+                        loop {
+                            match recycle_rx.recv_timeout(Duration::from_millis(20)) {
+                                Ok(pair) => break Some(pair),
+                                Err(mpsc::RecvTimeoutError::Timeout) => check_helper_panic(),
+                                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                    check_helper_panic();
+                                    break None;
+                                }
+                            }
+                        }
                     } else {
                         recycle_rx.try_recv().ok()
                     };
@@ -701,6 +757,10 @@ impl Pipeline {
             for handle in handles {
                 handle.join().expect("pipeline helper panicked");
             }
+            // A helper can panic on its final task after the owner is done
+            // dispatching, leaving e.g. the accounting state half replayed:
+            // re-raise rather than return state a caught panic corrupted.
+            check_helper_panic();
             (self.system, self.prefetcher)
         });
 

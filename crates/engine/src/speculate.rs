@@ -97,6 +97,11 @@ enum OwnerEvent {
     // Boxed: the embedded driver metrics carry a histogram, which would
     // otherwise dwarf the other variants.
     Result(Box<SpecResult>),
+    // A stage thread panicked.  The payload is forwarded so the owner can
+    // resume the unwind on its own thread — if the panicking stage merely
+    // hung up, the other stages' live senders would keep the owner blocked
+    // on this channel forever.
+    StagePanicked(Box<dyn std::any::Any + Send>),
 }
 
 /// Where segment pulls happen: on the owner (2–3 threads) or a helper (4).
@@ -135,6 +140,38 @@ fn worker_loop(
     mispredict_every: u64,
     recorder: Recorder,
 ) -> (MultiCpuSystem, BuiltPrefetcher) {
+    // Prefetcher callbacks are plugin code, so a panic lands on *this*
+    // thread.  Catch it and forward the payload as an event before this
+    // thread's channel ends drop: the other stages' live `events` clones
+    // would otherwise keep the owner blocked on its receiver forever.  The
+    // owner re-raises the payload inside the job's isolation boundary.
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_worker_loop(
+            &mut system,
+            &mut prefetcher,
+            &msgs,
+            &events,
+            mispredict_every,
+            &recorder,
+        );
+    }));
+    if let Err(payload) = caught {
+        let _ = events.send(OwnerEvent::StagePanicked(payload));
+    }
+    (system, prefetcher)
+}
+
+/// The body of [`worker_loop`], split out so the panic boundary above stays
+/// readable.  The state is borrowed, not owned, so the worker can hand it
+/// back at join even after a caught panic.
+fn run_worker_loop(
+    system: &mut MultiCpuSystem,
+    prefetcher: &mut BuiltPrefetcher,
+    msgs: &mpsc::Receiver<WorkerMsg>,
+    events: &mpsc::Sender<OwnerEvent>,
+    mispredict_every: u64,
+    recorder: &Recorder,
+) {
     let mut chain_fp = system.fingerprint();
     let mut batch: Vec<PrefetchRequest> = Vec::new();
     // Fault injection keeps exactly one clean snapshot: `faulted` blocks
@@ -149,8 +186,8 @@ fn worker_loop(
         };
         if replay {
             if let Some((clean_system, clean_prefetcher)) = rollback.take() {
-                system = clean_system;
-                prefetcher = clean_prefetcher;
+                *system = clean_system;
+                *prefetcher = clean_prefetcher;
                 chain_fp = system.fingerprint();
             }
             // Without a pending rollback the current state is already
@@ -167,8 +204,8 @@ fn worker_loop(
                 let mut scratch_tape = OutcomeTape::new();
                 let mut scratch_counts = SegmentCounts::default();
                 memsim::run_segment_deferred(
-                    &mut system,
-                    &mut prefetcher,
+                    system,
+                    prefetcher,
                     &[MemAccess::read(0, 0, 0)],
                     &mut batch,
                     &mut scratch_tape,
@@ -187,8 +224,8 @@ fn worker_loop(
         span.arg_u64("replay", replay as u64);
         let watch = Stopwatch::started();
         memsim::run_segment_deferred(
-            &mut system,
-            &mut prefetcher,
+            system,
+            prefetcher,
             &buffer,
             &mut batch,
             &mut tape,
@@ -212,7 +249,6 @@ fn worker_loop(
             break;
         }
     }
-    (system, prefetcher)
 }
 
 /// Runs the pipeline with a speculative simulate worker.  See the module
@@ -271,24 +307,32 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                 let mut seconds = 0.0;
                 let mut hist = Histogram::new();
                 let mut pulls = 0u64;
-                while let Ok(mut buffer) = task_rx.recv() {
-                    let mut span = recorder.span("seg.pull");
-                    span.arg_u64("segment", pulls);
-                    pulls += 1;
-                    let watch = Stopwatch::started();
-                    let want = segment_size.min(remaining);
-                    let got = fill_segment(&mut *stream, &mut buffer, want);
-                    remaining -= got;
-                    let elapsed = watch.elapsed_seconds();
-                    seconds += elapsed;
-                    hist.record(as_micros(elapsed));
-                    drop(span);
-                    // Always respond, even empty: the owner counts
-                    // outstanding pulls and reads emptiness as
-                    // end-of-stream.
-                    if events.send(OwnerEvent::Pulled(buffer)).is_err() {
-                        break;
+                // Catch and forward a panic instead of just hanging up:
+                // the other stages' live `events` clones would keep the
+                // owner blocked on its receiver (see `worker_loop`).
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    while let Ok(mut buffer) = task_rx.recv() {
+                        let mut span = recorder.span("seg.pull");
+                        span.arg_u64("segment", pulls);
+                        pulls += 1;
+                        let watch = Stopwatch::started();
+                        let want = segment_size.min(remaining);
+                        let got = fill_segment(&mut *stream, &mut buffer, want);
+                        remaining -= got;
+                        let elapsed = watch.elapsed_seconds();
+                        seconds += elapsed;
+                        hist.record(as_micros(elapsed));
+                        drop(span);
+                        // Always respond, even empty: the owner counts
+                        // outstanding pulls and reads emptiness as
+                        // end-of-stream.
+                        if events.send(OwnerEvent::Pulled(buffer)).is_err() {
+                            break;
+                        }
                     }
+                }));
+                if let Err(payload) = caught {
+                    let _ = events.send(OwnerEvent::StagePanicked(payload));
                 }
                 (stream, seconds, hist)
             }));
@@ -312,18 +356,26 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                 let mut seconds = 0.0;
                 let mut hist = Histogram::new();
                 let mut accounts = 0u64;
-                while let Ok((buffer, tape)) = task_rx.recv() {
-                    let mut span = recorder.span("seg.account");
-                    span.arg_u64("segment", accounts);
-                    accounts += 1;
-                    let watch = Stopwatch::started();
-                    state.replay_segment(&buffer, &tape);
-                    let elapsed = watch.elapsed_seconds();
-                    seconds += elapsed;
-                    hist.record(as_micros(elapsed));
-                    drop(span);
-                    // Recycling is best-effort; the owner may be done.
-                    let _ = events.send(OwnerEvent::Recycled(buffer, tape));
+                // Tape replay feeds a plugin's kind sink, so this stage can
+                // panic in plugin code too; catch and forward like the
+                // worker does.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    while let Ok((buffer, tape)) = task_rx.recv() {
+                        let mut span = recorder.span("seg.account");
+                        span.arg_u64("segment", accounts);
+                        accounts += 1;
+                        let watch = Stopwatch::started();
+                        state.replay_segment(&buffer, &tape);
+                        let elapsed = watch.elapsed_seconds();
+                        seconds += elapsed;
+                        hist.record(as_micros(elapsed));
+                        drop(span);
+                        // Recycling is best-effort; the owner may be done.
+                        let _ = events.send(OwnerEvent::Recycled(buffer, tape));
+                    }
+                }));
+                if let Err(payload) = caught {
+                    let _ = events.send(OwnerEvent::StagePanicked(payload));
                 }
                 (state, seconds, hist)
             }));
@@ -410,9 +462,16 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                 match buffer {
                     Some(buffer) => {
                         let tape = tapes.pop().unwrap_or_default();
-                        worker_tx
+                        // A send can only fail if the worker panicked, and
+                        // it queues its panic event before its receiver
+                        // drops: fall through to the event loop, which
+                        // re-raises it.
+                        if worker_tx
                             .send(WorkerMsg::Segment(next_seq, buffer, tape))
-                            .expect("speculative worker alive");
+                            .is_err()
+                        {
+                            break;
+                        }
                         next_seq += 1;
                         in_flight += 1;
                     }
@@ -500,10 +559,16 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                                 });
                                 telemetry.spec_replayed_accesses += buffer.len() as u64;
                                 replayed.insert(commit_seq);
-                                worker_tx
+                                // A failed send means the worker panicked
+                                // mid-message; that message's `in_flight`
+                                // keeps the loop alive until its queued
+                                // panic event is received and re-raised.
+                                if worker_tx
                                     .send(WorkerMsg::Replay(commit_seq, buffer, tape))
-                                    .expect("speculative worker alive");
-                                in_flight += 1;
+                                    .is_ok()
+                                {
+                                    in_flight += 1;
+                                }
                             } else if stale.is_empty() && in_flight == 0 {
                                 // Every wrong-path segment has been replayed
                                 // and committed; resume dispatching.
@@ -535,10 +600,14 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                         telemetry.spec_mispredicts += 1;
                         telemetry.spec_replayed_accesses += result.accesses.len() as u64;
                         replayed.insert(result.seq);
-                        worker_tx
+                        // As above: a failed send means the worker panicked
+                        // and its panic event is already queued.
+                        if worker_tx
                             .send(WorkerMsg::Replay(result.seq, result.accesses, result.tape))
-                            .expect("speculative worker alive");
-                        in_flight += 1;
+                            .is_ok()
+                        {
+                            in_flight += 1;
+                        }
                     } else {
                         // A result past a stalled frontier: its chain input
                         // was wrong-path by construction.  Discard the
@@ -555,6 +624,13 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                         telemetry.spec_mispredicts += 1;
                         stale.insert(result.seq, (result.accesses, result.tape));
                     }
+                }
+                OwnerEvent::StagePanicked(payload) => {
+                    // Re-raise on the owner: unwinding drops the task
+                    // senders, the surviving stages hang up, the scope
+                    // joins them, and the payload reaches the engine's
+                    // per-job `catch_unwind` with its original message.
+                    std::panic::resume_unwind(payload);
                 }
             }
         }
@@ -597,6 +673,16 @@ pub(crate) fn run_speculative<M: DriverMeter>(
                 (state, seconds)
             }
         };
+        // A stage can panic after the owner's last dispatch (e.g. the
+        // account helper on the final tape, leaving its state half
+        // replayed).  Every stage has now been joined, so any forwarded
+        // panic is already queued: re-raise it rather than return state
+        // that a caught panic may have left inconsistent.
+        while let Ok(event) = event_rx.try_recv() {
+            if let OwnerEvent::StagePanicked(payload) = event {
+                std::panic::resume_unwind(payload);
+            }
+        }
         telemetry.pull_seconds = pull_seconds;
         telemetry.account_seconds = account_seconds;
         let stream_error = stream.take_error();

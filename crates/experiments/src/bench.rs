@@ -489,6 +489,7 @@ pub fn run_bench_observed(options: &BenchOptions, trace: &Trace) -> Result<Bench
         cache_max_entries: 0,
         cache_max_bytes: 0,
         trace: trace.clone(),
+        ..server::ServerConfig::default()
     })
     .map_err(|e| format!("bench job server failed to start: {e}"))?;
     let endpoint = server::Endpoint::Unix(socket);

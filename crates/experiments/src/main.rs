@@ -10,7 +10,8 @@
 //!                 [--emit-spec <path>] [--trace-out <path>]
 //! sms-experiments --figure <experiment> [same flags]
 //! sms-experiments run --spec <jobs.json> [--jobs N] [--segment-size N]
-//!                 [--speculate N] [--out <path>] [--trace-out <path>]
+//!                 [--speculate N] [--timeout MS] [--out <path>]
+//!                 [--trace-out <path>]
 //! sms-experiments list [--json]
 //! sms-experiments bench [--quick] [--jobs N] [--segment-size N]
 //!                 [--speculate N] [--repeat N] [--name NAME] [--out <path>]
@@ -19,11 +20,12 @@
 //! sms-experiments bench --check <path>
 //! sms-experiments serve (--socket PATH | --tcp ADDR) [--quota N] [--jobs N]
 //!                 [--cache-max-entries N] [--cache-max-bytes N]
+//!                 [--queue-max N] [--cache-dir DIR]
 //!                 [--metrics-out <path>] [--trace-out <path>]
 //! sms-experiments submit (--socket PATH | --tcp ADDR) --spec <jobs.json>
 //!                 [--client NAME] [--priority N] [--jobs N]
-//!                 [--segment-size N] [--speculate N] [--out <path>]
-//!                 [--expect-cache-hit]
+//!                 [--segment-size N] [--speculate N] [--timeout MS]
+//!                 [--retries N] [--out <path>] [--expect-cache-hit]
 //! sms-experiments submit (--socket PATH | --tcp ADDR) --status [--json]
 //! sms-experiments submit (--socket PATH | --tcp ADDR) --shutdown
 //! sms-experiments trace-check <trace.json> [--require NAME]...
@@ -75,6 +77,25 @@
 //!                a default size when not given; results stay bit-identical
 //!                because every speculative segment is verified against the
 //!                authoritative state before it commits)
+//! --timeout MS   (run, submit) deadline for the whole job list in
+//!                milliseconds: a run that exceeds it is cancelled at the
+//!                next job boundary and fails with a structured
+//!                deadline-exceeded error instead of hanging; results
+//!                finished before the deadline are still printed (0 = none)
+//! --retries N    (submit) reconnect and resubmit up to N times after a
+//!                connection-level failure, with exponential backoff.  Safe:
+//!                submissions are content-addressed, so work the server
+//!                already finished replays from its result cache instead of
+//!                recomputing.  Structured refusals are never retried
+//! --queue-max N  (serve) bound the submission queue: submissions arriving
+//!                when N are already queued are shed with a structured
+//!                `overloaded` error instead of growing the backlog without
+//!                limit; cache hits are still answered (0 = unbounded)
+//! --cache-dir DIR
+//!                (serve) persist the result cache in DIR as checksummed
+//!                entry files and reload them on start, so a restarted
+//!                server answers repeat submissions from disk; corrupt or
+//!                truncated entries are skipped and recomputed, never fatal
 //! --repeat N     (bench) measure each figure N times and record best-of-N
 //!                wall-clock per configuration plus the relative spread of
 //!                the parallel-throughput samples (default 1)
@@ -127,15 +148,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: sms-experiments <all|table1|fig4|fig5|fig6|fig7|fig8|fig9|fig10|agt-size|fig11|fig12|fig13> \
          [--quick] [--jobs N] [--segment-size N] [--speculate N] [--json PATH] [--out PATH] [--emit-spec PATH] [--trace-out PATH]\n\
-       \x20      sms-experiments run --spec JOBS.json [--jobs N] [--segment-size N] [--speculate N] [--out PATH] [--trace-out PATH]\n\
+       \x20      sms-experiments run --spec JOBS.json [--jobs N] [--segment-size N] [--speculate N] [--timeout MS] [--out PATH] [--trace-out PATH]\n\
        \x20      sms-experiments list [--json]\n\
        \x20      sms-experiments bench [--quick] [--jobs N] [--segment-size N] [--speculate N] [--repeat N] [--name NAME] [--out PATH]\n\
        \x20                            [--trace-out PATH] [--against OLD.json [--threshold F] [--diff-out PATH]]\n\
        \x20      sms-experiments bench --check PATH\n\
        \x20      sms-experiments serve (--socket PATH | --tcp ADDR) [--quota N] [--jobs N] [--cache-max-entries N]\n\
-       \x20                            [--cache-max-bytes N] [--metrics-out PATH] [--trace-out PATH]\n\
+       \x20                            [--cache-max-bytes N] [--queue-max N] [--cache-dir DIR] [--metrics-out PATH] [--trace-out PATH]\n\
        \x20      sms-experiments submit (--socket PATH | --tcp ADDR) --spec JOBS.json [--client NAME] [--priority N]\n\
-       \x20                             [--jobs N] [--segment-size N] [--speculate N] [--out PATH] [--expect-cache-hit]\n\
+       \x20                             [--jobs N] [--segment-size N] [--speculate N] [--timeout MS] [--retries N]\n\
+       \x20                             [--out PATH] [--expect-cache-hit]\n\
        \x20      sms-experiments submit (--socket PATH | --tcp ADDR) --status [--json] | --shutdown\n\
        \x20      sms-experiments trace-check TRACE.json [--require NAME]..."
     );
@@ -363,6 +385,8 @@ struct ServeFlags {
     quota: usize,
     cache_max_entries: usize,
     cache_max_bytes: u64,
+    queue_max: usize,
+    cache_dir: Option<String>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
 }
@@ -378,7 +402,10 @@ fn run_serve(flags: &ServeFlags, workers: usize, trace: &Trace) -> ExitCode {
         workers,
         cache_max_entries: flags.cache_max_entries,
         cache_max_bytes: flags.cache_max_bytes,
+        queue_max: flags.queue_max,
+        cache_dir: flags.cache_dir.clone().map(PathBuf::from),
         trace: trace.clone(),
+        ..ServerConfig::default()
     }) {
         Ok(server) => server,
         Err(e) => {
@@ -401,6 +428,19 @@ fn run_serve(flags: &ServeFlags, workers: usize, trace: &Trace) -> ExitCode {
             flags.cache_max_entries, flags.cache_max_bytes
         );
     }
+    if flags.queue_max > 0 {
+        println!(
+            "submission queue bound: {} (excess submissions are shed as `overloaded`)",
+            flags.queue_max
+        );
+    }
+    if let Some(dir) = &flags.cache_dir {
+        let m = server.metrics();
+        println!(
+            "result cache persisted in {dir}: {} entries reloaded, {} skipped as corrupt",
+            m.cache_loaded, m.cache_load_skipped
+        );
+    }
     println!("waiting for submissions; stop with `sms-experiments submit --shutdown`");
     let metrics = server.wait();
     println!(
@@ -413,6 +453,17 @@ fn run_serve(flags: &ServeFlags, workers: usize, trace: &Trace) -> ExitCode {
         metrics.cache_evictions,
         metrics.max_queue_depth,
     );
+    if metrics.deadline_cancellations > 0
+        || metrics.disconnect_cancellations > 0
+        || metrics.overload_rejections > 0
+    {
+        println!(
+            "faults tolerated: {} deadline cancellations, {} client disconnects, {} overload sheds",
+            metrics.deadline_cancellations,
+            metrics.disconnect_cancellations,
+            metrics.overload_rejections,
+        );
+    }
     if let Some(path) = &flags.metrics_out {
         let json = serde_json::to_string_pretty(&metrics.report())
             .expect("server metrics report serializes");
@@ -437,6 +488,8 @@ struct SubmitFlags {
     spec: Option<String>,
     client: String,
     priority: i64,
+    timeout_ms: u64,
+    retries: usize,
     expect_cache_hit: bool,
     status: bool,
     status_json: bool,
@@ -471,6 +524,23 @@ fn render_status(m: &ServerMetrics) -> String {
         m.cache_evictions, m.cache_evicted_bytes
     );
     let _ = writeln!(out, "quota rejections  {:>10}", m.quota_rejections);
+    let _ = writeln!(
+        out,
+        "overload sheds    {:>10}  (queue at its bound on arrival)",
+        m.overload_rejections
+    );
+    let _ = writeln!(
+        out,
+        "cancellations     {:>10}  deadline, {} client-disconnect",
+        m.deadline_cancellations, m.disconnect_cancellations
+    );
+    if m.cache_loaded > 0 || m.cache_load_skipped > 0 || m.cache_persist_failures > 0 {
+        let _ = writeln!(
+            out,
+            "persistent cache  {:>10}  entries reloaded, {} skipped as corrupt, {} persist failures",
+            m.cache_loaded, m.cache_load_skipped, m.cache_persist_failures
+        );
+    }
     if m.queue_wait_us.count() > 0 {
         let _ = writeln!(
             out,
@@ -592,6 +662,8 @@ fn run_submit(
         workers,
         segment_size,
         speculate,
+        timeout_ms: flags.timeout_ms,
+        retries: flags.retries,
     };
     // Rows stream as frames arrive; the header waits for the first frame so
     // a refused submission leaves stdout untouched.
@@ -640,17 +712,29 @@ fn run_submit(
     ExitCode::SUCCESS
 }
 
+/// Flags of the `run` subcommand beyond the shared ones.
+struct RunFlags<'a> {
+    spec_path: &'a str,
+    timeout_ms: u64,
+    out: Option<&'a str>,
+    trace_out: Option<&'a str>,
+}
+
 /// Executes a serialized job list (`run --spec`), printing a per-job summary
 /// table and optionally dumping the raw results.
 fn run_spec(
-    spec_path: &str,
+    flags: &RunFlags<'_>,
     workers: usize,
     segment_size: usize,
     speculate: usize,
-    out: Option<&str>,
     trace: &Trace,
-    trace_out: Option<&str>,
 ) -> ExitCode {
+    let RunFlags {
+        spec_path,
+        timeout_ms,
+        out,
+        trace_out,
+    } = *flags;
     let text = match std::fs::read_to_string(spec_path) {
         Ok(text) => text,
         Err(e) => {
@@ -668,7 +752,28 @@ fn run_spec(
             return ExitCode::FAILURE;
         }
     };
-    let results = match engine::run_jobs_observed(
+    // The streamed entry point is used even without a deadline so the two
+    // paths cannot drift; an un-cancelled token makes it byte-identical to
+    // the plain run.
+    let cancel = engine::CancelToken::new();
+    let watchdog_done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let watchdog = (timeout_ms > 0).then(|| {
+        let cancel = cancel.clone();
+        let done = std::sync::Arc::clone(&watchdog_done);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        std::thread::spawn(move || {
+            while !done.load(std::sync::atomic::Ordering::SeqCst) {
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    cancel.cancel();
+                    return;
+                }
+                std::thread::park_timeout(deadline - now);
+            }
+        })
+    });
+    let mut results: Vec<JobResult> = Vec::new();
+    let outcome = engine::run_jobs_streamed_observed(
         &list.jobs,
         &EngineConfig::with_workers(workers)
             .with_segment_size(segment_size)
@@ -676,8 +781,16 @@ fn run_spec(
         Registry::builtin(),
         &metrics::MetricsConfig::disabled(),
         trace,
-    ) {
-        Ok((results, _)) => results,
+        &cancel,
+        &mut |result, _| results.push(result),
+    );
+    if let Some(handle) = watchdog {
+        watchdog_done.store(true, std::sync::atomic::Ordering::SeqCst);
+        handle.thread().unpark();
+        handle.join().expect("deadline watchdog never panics");
+    }
+    let timed_out = match outcome {
+        Ok((delivered, _)) => delivered < list.jobs.len(),
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -689,6 +802,22 @@ fn run_spec(
     }
     for result in &results {
         print_spec_warnings(result);
+    }
+    if timed_out {
+        // Partial results were printed above but are not dumped to --out: a
+        // truncated dump must not masquerade as the full run.
+        eprintln!(
+            "deadline exceeded: {} of {} jobs finished within {timeout_ms} ms; \
+             the run was cancelled at the next job boundary",
+            results.len(),
+            list.jobs.len(),
+        );
+        if let Some(path) = trace_out {
+            if let Err(code) = write_trace(trace, path) {
+                return code;
+            }
+        }
+        return ExitCode::FAILURE;
     }
     if let Some(path) = out {
         if let Err(code) = write_results(path, &results) {
@@ -778,6 +907,16 @@ fn main() -> ExitCode {
         },
         None => 0,
     };
+    let timeout_ms = match flag_value("--timeout") {
+        Some(n) => match n.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--timeout expects a deadline in milliseconds, got {n:?}");
+                return usage();
+            }
+        },
+        None => 0,
+    };
 
     if experiment == "list" {
         return list(args.iter().any(|a| a == "--json"));
@@ -834,13 +973,16 @@ fn main() -> ExitCode {
             return usage();
         };
         return run_spec(
-            &spec_path,
+            &RunFlags {
+                spec_path: &spec_path,
+                timeout_ms,
+                out: out_path.as_deref(),
+                trace_out: trace_out.as_deref(),
+            },
             workers,
             segment_size,
             speculate,
-            out_path.as_deref(),
             &run_trace,
-            trace_out.as_deref(),
         );
     }
     if experiment == "serve" {
@@ -874,6 +1016,16 @@ fn main() -> ExitCode {
             },
             None => 0,
         };
+        let queue_max = match flag_value("--queue-max") {
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--queue-max expects a number of submissions, got {n:?}");
+                    return usage();
+                }
+            },
+            None => 0,
+        };
         return run_serve(
             &ServeFlags {
                 socket: flag_value("--socket"),
@@ -881,6 +1033,8 @@ fn main() -> ExitCode {
                 quota,
                 cache_max_entries,
                 cache_max_bytes,
+                queue_max,
+                cache_dir: flag_value("--cache-dir"),
                 metrics_out: flag_value("--metrics-out"),
                 trace_out,
             },
@@ -899,6 +1053,16 @@ fn main() -> ExitCode {
             },
             None => 0,
         };
+        let retries = match flag_value("--retries") {
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--retries expects a retry count, got {n:?}");
+                    return usage();
+                }
+            },
+            None => 0,
+        };
         return run_submit(
             &SubmitFlags {
                 socket: flag_value("--socket"),
@@ -906,6 +1070,8 @@ fn main() -> ExitCode {
                 spec: flag_value("--spec"),
                 client: flag_value("--client").unwrap_or_else(|| "anonymous".to_string()),
                 priority,
+                timeout_ms,
+                retries,
                 expect_cache_hit: args.iter().any(|a| a == "--expect-cache-hit"),
                 status: args.iter().any(|a| a == "--status"),
                 status_json: args.iter().any(|a| a == "--json"),

@@ -16,9 +16,22 @@
 //! fit), which degrades that fingerprint to recompute-on-every-submission
 //! rather than letting one oversized result pin the cache.  Evictions are
 //! counted for the server's telemetry.
+//!
+//! # Persistence
+//!
+//! With [`ResultCache::attach_dir`] the cache becomes durable: every insert
+//! writes a checksummed entry file (`<fingerprint>.smsc`, written to a temp
+//! name and renamed so a crash never leaves a half-written entry under the
+//! real name), evictions delete the file, and a restart reloads whatever
+//! the directory holds.  Recovery is **corruption-tolerant**: an entry that
+//! is truncated, fails its FNV-1a checksum, or does not parse is skipped
+//! and counted ([`ResultCache::load_skipped`]) — one bad file costs one
+//! recomputation, never the startup.
 
 use crate::protocol::JobFrame;
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// One cached result stream with its bookkeeping.
 #[derive(Debug)]
@@ -47,6 +60,15 @@ pub struct ResultCache {
     misses: u64,
     evictions: u64,
     evicted_bytes: u64,
+    /// Directory entries are persisted into, when attached.
+    dir: Option<PathBuf>,
+    /// Entries reloaded from the directory at attach time.
+    loaded: u64,
+    /// Corrupt or truncated entry files skipped at attach time.
+    load_skipped: u64,
+    /// Entry writes that failed (persistence is best-effort; the in-memory
+    /// cache stays authoritative).
+    persist_failures: u64,
 }
 
 impl ResultCache {
@@ -85,8 +107,13 @@ impl ResultCache {
     /// used entries until the budgets hold.  Re-inserting an existing
     /// fingerprint refreshes its recency but keeps the first recording:
     /// determinism guarantees the bytes match, and keeping the original
-    /// makes concurrent identical submissions idempotent.
+    /// makes concurrent identical submissions idempotent.  With a directory
+    /// attached, a fresh entry is also persisted to disk.
     pub fn insert(&mut self, fingerprint: String, frames: Vec<JobFrame>) {
+        self.insert_inner(fingerprint, frames, true);
+    }
+
+    fn insert_inner(&mut self, fingerprint: String, frames: Vec<JobFrame>, persist: bool) {
         self.tick += 1;
         let tick = self.tick;
         match self.entries.entry(fingerprint) {
@@ -96,6 +123,14 @@ impl ResultCache {
             std::collections::hash_map::Entry::Vacant(vacant) => {
                 let bytes = serialized_bytes(&frames);
                 self.bytes += bytes;
+                if persist {
+                    if let Some(dir) = &self.dir {
+                        let fingerprint = vacant.key().clone();
+                        if persist_entry(dir, &fingerprint, &frames).is_err() {
+                            self.persist_failures += 1;
+                        }
+                    }
+                }
                 vacant.insert(Entry {
                     frames,
                     bytes,
@@ -106,7 +141,9 @@ impl ResultCache {
         self.enforce_budget();
     }
 
-    /// Evicts least-recently-used entries while either budget is exceeded.
+    /// Evicts least-recently-used entries while either budget is exceeded,
+    /// deleting the persisted files of evicted entries so the directory
+    /// tracks the resident set.
     fn enforce_budget(&mut self) {
         while self.over_budget() {
             let Some(oldest) = self
@@ -121,7 +158,65 @@ impl ResultCache {
             self.bytes -= entry.bytes;
             self.evictions += 1;
             self.evicted_bytes += entry.bytes;
+            if let Some(dir) = &self.dir {
+                std::fs::remove_file(entry_path(dir, &oldest)).ok();
+            }
         }
+    }
+
+    /// Attaches a persistence directory: creates it if missing, reloads
+    /// every readable entry it holds (in sorted filename order, so recency
+    /// after a restart is deterministic), and persists future inserts into
+    /// it.  Corrupt, truncated or misnamed entry files are skipped and
+    /// counted, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// Only when the directory itself cannot be created or read — a server
+    /// asked to persist into an unusable path should fail loudly at startup
+    /// rather than run silently non-durable.
+    pub fn attach_dir(&mut self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut names: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| path.extension().is_some_and(|ext| ext == ENTRY_EXTENSION))
+            .collect();
+        names.sort();
+        for path in names {
+            let fingerprint = match path.file_stem().and_then(|stem| stem.to_str()) {
+                Some(stem) => stem.to_string(),
+                None => {
+                    self.load_skipped += 1;
+                    continue;
+                }
+            };
+            let frames = match std::fs::read(&path).ok().and_then(|b| decode_entry(&b)) {
+                Some(frames) => frames,
+                None => {
+                    self.load_skipped += 1;
+                    continue;
+                }
+            };
+            self.loaded += 1;
+            self.insert_inner(fingerprint, frames, false);
+        }
+        self.dir = Some(dir.to_path_buf());
+        Ok(())
+    }
+
+    /// Entries reloaded from the attached directory.
+    pub fn loaded(&self) -> u64 {
+        self.loaded
+    }
+
+    /// Corrupt or truncated entry files skipped while reloading.
+    pub fn load_skipped(&self) -> u64 {
+        self.load_skipped
+    }
+
+    /// Entry writes that failed (persistence is best-effort).
+    pub fn persist_failures(&self) -> u64 {
+        self.persist_failures
     }
 
     fn over_budget(&self) -> bool {
@@ -158,6 +253,63 @@ impl ResultCache {
     pub fn evicted_bytes(&self) -> u64 {
         self.evicted_bytes
     }
+}
+
+/// Extension of persisted cache entry files.
+const ENTRY_EXTENSION: &str = "smsc";
+
+/// Magic + format version of the entry-file header line.
+const ENTRY_MAGIC: &str = "SMSCACHE 1";
+
+/// Path of a fingerprint's entry file inside the attached directory.
+fn entry_path(dir: &Path, fingerprint: &str) -> PathBuf {
+    dir.join(format!("{fingerprint}.{ENTRY_EXTENSION}"))
+}
+
+/// Encodes a frame stream as a self-validating entry file:
+/// `SMSCACHE 1 <fnv1a-hex> <payload-len>\n` followed by the JSON payload.
+/// The length catches truncation cheaply; the checksum catches corruption.
+fn encode_entry(frames: &[JobFrame]) -> Vec<u8> {
+    let payload = serde_json::to_string(&frames).expect("value-tree serialization cannot fail");
+    let mut bytes = format!(
+        "{ENTRY_MAGIC} {:016x} {}\n",
+        engine::fnv1a_64(payload.as_bytes()),
+        payload.len()
+    )
+    .into_bytes();
+    bytes.extend_from_slice(payload.as_bytes());
+    bytes
+}
+
+/// Decodes an entry file, returning `None` for anything malformed: a wrong
+/// magic or version, a header that does not parse, a payload whose length or
+/// checksum disagrees with the header, or JSON that no longer decodes.
+fn decode_entry(bytes: &[u8]) -> Option<Vec<JobFrame>> {
+    let newline = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+    let rest = header.strip_prefix(ENTRY_MAGIC)?.trim_start();
+    let mut fields = rest.split_ascii_whitespace();
+    let checksum = u64::from_str_radix(fields.next()?, 16).ok()?;
+    let length: usize = fields.next()?.parse().ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    let payload = &bytes[newline + 1..];
+    if payload.len() != length || engine::fnv1a_64(payload) != checksum {
+        return None;
+    }
+    serde_json::from_str(std::str::from_utf8(payload).ok()?).ok()
+}
+
+/// Writes a fingerprint's entry file atomically: the bytes land under a
+/// temp name first and are renamed into place, so a crash mid-write leaves
+/// at worst a stray temp file, never a half-written entry.
+fn persist_entry(dir: &Path, fingerprint: &str, frames: &[JobFrame]) -> std::io::Result<()> {
+    let tmp = dir.join(format!(".{fingerprint}.tmp"));
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(&encode_entry(frames))?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, entry_path(dir, fingerprint))
 }
 
 /// Serialized size of a frame stream — the byte-budget unit, chosen because
@@ -249,5 +401,85 @@ mod tests {
         assert_eq!(cache.evictions(), 1);
         assert_eq!(cache.bytes(), 0);
         assert!(cache.lookup("huge").is_none());
+    }
+
+    /// A fresh, empty scratch directory unique to the calling test.
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sms-cache-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn entries_survive_a_restart_through_the_attached_dir() {
+        let dir = scratch("restart");
+        let mut first = ResultCache::new();
+        first.attach_dir(&dir).unwrap();
+        first.insert("aaaa".to_string(), vec![frame(1)]);
+        first.insert("bbbb".to_string(), vec![frame(2), frame(3)]);
+        drop(first);
+
+        let mut reborn = ResultCache::new();
+        reborn.attach_dir(&dir).unwrap();
+        assert_eq!(reborn.loaded(), 2);
+        assert_eq!(reborn.load_skipped(), 0);
+        assert_eq!(reborn.lookup("aaaa"), Some(vec![frame(1)]));
+        assert_eq!(reborn.lookup("bbbb"), Some(vec![frame(2), frame(3)]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entry_files_are_skipped_not_fatal() {
+        let dir = scratch("corrupt");
+        let mut writer = ResultCache::new();
+        writer.attach_dir(&dir).unwrap();
+        writer.insert("good".to_string(), vec![frame(7)]);
+        drop(writer);
+
+        // Flipped payload byte: checksum mismatch.
+        let good = std::fs::read(entry_path(&dir, "good")).unwrap();
+        let mut flipped = good.clone();
+        *flipped.last_mut().unwrap() ^= 0x01;
+        std::fs::write(entry_path(&dir, "flipped"), &flipped).unwrap();
+        // Truncated payload: length mismatch.
+        std::fs::write(entry_path(&dir, "short"), &good[..good.len() - 3]).unwrap();
+        // Not an entry file at all.
+        std::fs::write(entry_path(&dir, "noise"), b"hello\nworld").unwrap();
+
+        let mut reborn = ResultCache::new();
+        reborn.attach_dir(&dir).unwrap();
+        assert_eq!(reborn.loaded(), 1, "only the intact entry loads");
+        assert_eq!(reborn.load_skipped(), 3);
+        assert_eq!(reborn.lookup("good"), Some(vec![frame(7)]));
+        assert_eq!(reborn.lookup("flipped"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eviction_deletes_the_persisted_file() {
+        let dir = scratch("evict");
+        let mut cache = ResultCache::with_budget(1, 0);
+        cache.attach_dir(&dir).unwrap();
+        cache.insert("first".to_string(), vec![frame(1)]);
+        cache.insert("second".to_string(), vec![frame(2)]);
+        assert_eq!(cache.evictions(), 1);
+        assert!(!entry_path(&dir, "first").exists(), "evicted file removed");
+        assert!(entry_path(&dir, "second").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn entry_encoding_round_trips_and_rejects_tampering() {
+        let frames = vec![frame(1), frame(2)];
+        let bytes = encode_entry(&frames);
+        assert_eq!(decode_entry(&bytes), Some(frames));
+        assert_eq!(decode_entry(b""), None);
+        assert_eq!(decode_entry(b"SMSCACHE 1\n"), None);
+        assert_eq!(decode_entry(b"SMSCACHE 2 0123 4\nabcd"), None, "version");
+        let mut tampered = bytes.clone();
+        *tampered.last_mut().unwrap() ^= 0x40;
+        assert_eq!(decode_entry(&tampered), None, "checksum");
+        assert_eq!(decode_entry(&bytes[..bytes.len() - 1]), None, "length");
     }
 }

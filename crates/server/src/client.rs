@@ -13,6 +13,7 @@ use std::io::{self, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Where the server lives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,6 +116,16 @@ pub struct SubmitOptions {
     pub segment_size: usize,
     /// Speculative run-ahead depth (`0` = off).
     pub speculate: usize,
+    /// Submission deadline in milliseconds, measured from admission
+    /// (`0` = none).
+    pub timeout_ms: u64,
+    /// Transport-failure retries: how many times [`submit`] reconnects and
+    /// resubmits after a connection-level failure (`0` = fail fast).
+    /// Resubmission is safe — the submission is content-addressed, so a
+    /// retry of work the server already finished replays the cached frames
+    /// instead of recomputing.  Structured server refusals and protocol
+    /// violations are never retried.
+    pub retries: usize,
 }
 
 impl Default for SubmitOptions {
@@ -125,6 +136,8 @@ impl Default for SubmitOptions {
             workers: 0,
             segment_size: 0,
             speculate: 0,
+            timeout_ms: 0,
+            retries: 0,
         }
     }
 }
@@ -144,12 +157,41 @@ pub struct SubmitOutcome {
 /// invoking `on_frame` for each per-job frame as it arrives (before the
 /// frame is appended to the returned outcome).
 ///
+/// Connection-level failures ([`ClientError::Io`]) are retried up to
+/// `options.retries` times with exponential backoff (50 ms doubling, capped
+/// at 1 s), reconnecting and resubmitting from scratch each time; `on_frame`
+/// may therefore see a prefix of frames more than once across attempts.
+/// Structured refusals and protocol violations fail immediately — the
+/// server answered, so resubmitting the same request cannot help.
+///
 /// # Errors
 ///
 /// [`ClientError::Server`] for a structured refusal (bad spec, quota,
 /// shutdown, engine failure), [`ClientError::Io`] /
-/// [`ClientError::Protocol`] for transport or grammar violations.
+/// [`ClientError::Protocol`] for transport or grammar violations
+/// ([`ClientError::Io`] only after the configured retries are exhausted).
 pub fn submit(
+    endpoint: &Endpoint,
+    list: &JobList,
+    options: &SubmitOptions,
+    on_frame: &mut dyn FnMut(&JobFrame),
+) -> Result<SubmitOutcome, ClientError> {
+    let mut backoff = Duration::from_millis(50);
+    let mut attempts_left = options.retries;
+    loop {
+        match submit_once(endpoint, list, options, on_frame) {
+            Err(ClientError::Io(_)) if attempts_left > 0 => {
+                attempts_left -= 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+            outcome => return outcome,
+        }
+    }
+}
+
+/// One connect-submit-stream attempt; [`submit`] adds the retry loop.
+fn submit_once(
     endpoint: &Endpoint,
     list: &JobList,
     options: &SubmitOptions,
@@ -161,6 +203,7 @@ pub fn submit(
         workers: options.workers,
         segment_size: options.segment_size,
         speculate: options.speculate,
+        timeout_ms: (options.timeout_ms > 0).then_some(options.timeout_ms),
         spec: serde_json::to_value(list).expect("value-tree serialization cannot fail"),
     });
     let mut reader = send(endpoint, &request)?;

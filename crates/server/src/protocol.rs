@@ -38,6 +38,13 @@ pub struct SubmitRequest {
     pub segment_size: usize,
     /// Speculative run-ahead depth (`0` = off).
     pub speculate: usize,
+    /// Submission deadline in milliseconds, measured from admission
+    /// (introduced after protocol version 1 shipped; absent on old clients
+    /// and decoded as `None` — no deadline).  A submission still queued or
+    /// running past its deadline is cancelled cleanly and answered with a
+    /// terminal [`ErrorFrame::DEADLINE_EXCEEDED`] after the in-order result
+    /// prefix streamed so far.
+    pub timeout_ms: Option<u64>,
     /// The job spec: a [`engine::JobList`] document of any supported
     /// version (the server loads it through the same lenient path as
     /// `run --spec`).
@@ -118,6 +125,12 @@ impl ErrorFrame {
     pub const ENGINE: &'static str = "engine";
     /// The server is draining for shutdown and accepts no new submissions.
     pub const SHUTTING_DOWN: &'static str = "shutting_down";
+    /// The submission's deadline (`timeout_ms`) passed before it completed;
+    /// results streamed before the cancellation stand.
+    pub const DEADLINE_EXCEEDED: &'static str = "deadline_exceeded";
+    /// The submission queue is at its configured bound (`--queue-max`);
+    /// resubmit later.  Cache hits are never shed — they bypass the queue.
+    pub const OVERLOADED: &'static str = "overloaded";
 
     /// An error frame with the given code and message.
     pub fn new(code: &str, message: impl Into<String>) -> Self {
@@ -189,6 +202,7 @@ mod tests {
             workers: 0,
             segment_size: 10_000,
             speculate: 2,
+            timeout_ms: Some(5_000),
             spec: serde_json::from_str(r#"{"version": 2, "name": null, "jobs": []}"#).unwrap(),
         });
         let mut bytes = Vec::new();
@@ -224,6 +238,27 @@ mod tests {
             let mut reader = BufReader::new(bytes.as_slice());
             let back: Frame = read_line(&mut reader).unwrap().expect("one frame");
             assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn version_1_submit_requests_without_timeout_still_decode() {
+        // A request rendered by a pre-deadline client has no `timeout_ms`
+        // key at all; it must decode with no deadline, not error.
+        let line = concat!(
+            r#"{"Submit":{"client":"old","priority":0,"workers":0,"#,
+            r#""segment_size":0,"speculate":0,"#,
+            r#""spec":{"version":2,"name":null,"jobs":[]}}}"#,
+            "\n"
+        );
+        let mut reader = BufReader::new(line.as_bytes());
+        let request: Request = read_line(&mut reader).unwrap().expect("decodes");
+        match request {
+            Request::Submit(submit) => {
+                assert_eq!(submit.client, "old");
+                assert_eq!(submit.timeout_ms, None);
+            }
+            other => panic!("expected Submit, got {other:?}"),
         }
     }
 

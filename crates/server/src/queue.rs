@@ -7,10 +7,11 @@
 //! a later high-priority one.
 
 use crate::protocol::{ErrorFrame, JobFrame};
-use engine::{EngineConfig, SimJob};
+use engine::{CancelToken, EngineConfig, SimJob};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// An event streamed from the scheduler back to the submitting connection.
 #[derive(Debug)]
@@ -42,7 +43,14 @@ pub struct Submission {
     pub reply: mpsc::Sender<Event>,
     /// When the submission was admitted to the queue, for queue-wait
     /// latency accounting.
-    pub queued_at: std::time::Instant,
+    pub queued_at: Instant,
+    /// Cooperative cancellation shared between the scheduler's engine run,
+    /// the deadline watchdog and the connection handler (a disconnected
+    /// client cancels its own submission through this token).
+    pub cancel: CancelToken,
+    /// Absolute deadline derived from the request's `timeout_ms`, measured
+    /// from admission; `None` means the submission never times out.
+    pub deadline: Option<Instant>,
 }
 
 /// A [`Submission`] with its queue ordering key.
@@ -128,7 +136,9 @@ mod tests {
                 config: EngineConfig::serial(),
                 fingerprint: format!("fp-{seq}"),
                 reply,
-                queued_at: std::time::Instant::now(),
+                queued_at: Instant::now(),
+                cancel: CancelToken::new(),
+                deadline: None,
             },
         }
     }

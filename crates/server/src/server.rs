@@ -66,6 +66,19 @@ pub struct ServerConfig {
     /// Result-cache byte budget, in serialized frame bytes (`0` =
     /// unlimited).
     pub cache_max_bytes: u64,
+    /// Directory the result cache persists into (`None` = memory only).
+    /// Attached at startup: surviving entries are reloaded, corrupt ones
+    /// skipped and counted — see [`ResultCache::attach_dir`].
+    pub cache_dir: Option<PathBuf>,
+    /// Submission-queue bound for load shedding (`0` = unbounded).  A
+    /// submission arriving while this many are already queued is refused
+    /// with a terminal [`ErrorFrame::OVERLOADED`]; cache hits are never
+    /// shed — they bypass the queue entirely.
+    pub queue_max: usize,
+    /// Plugin registry the scheduler resolves prefetcher specs through
+    /// (`None` = the built-ins).  Lets embedders and the chaos harness
+    /// serve custom plugins.
+    pub registry: Option<Arc<Registry>>,
     /// Pipeline trace the server records into: per-submission lifecycle
     /// spans, cache hit/miss events and a queue-depth counter, plus the
     /// engine's own spans for every scheduled run.  Disabled by default
@@ -130,8 +143,20 @@ pub struct ServerMetrics {
     pub cache_evictions: u64,
     /// Serialized bytes reclaimed by cache evictions.
     pub cache_evicted_bytes: u64,
+    /// Cache entries reloaded from the persistence directory at startup.
+    pub cache_loaded: u64,
+    /// Corrupt or truncated cache files skipped at startup.
+    pub cache_load_skipped: u64,
+    /// Cache entry writes that failed (persistence is best-effort).
+    pub cache_persist_failures: u64,
     /// Submissions refused because they would exceed the client's quota.
     pub quota_rejections: u64,
+    /// Submissions shed because the queue was at its configured bound.
+    pub overload_rejections: u64,
+    /// Submissions cancelled because their deadline passed.
+    pub deadline_cancellations: u64,
+    /// Submissions cancelled because their client disconnected mid-stream.
+    pub disconnect_cancellations: u64,
     /// Queue-wait latency distribution: microseconds from admission to the
     /// scheduler starting the submission (cache hits never queue and never
     /// land here).
@@ -159,6 +184,9 @@ struct State {
     jobs_served: u64,
     results_streamed: u64,
     quota_rejections: u64,
+    overload_rejections: u64,
+    deadline_cancellations: u64,
+    disconnect_cancellations: u64,
     max_queue_depth: u64,
     /// Submissions the scheduler is currently executing (0 or 1).
     running: u64,
@@ -213,7 +241,13 @@ impl Shared {
             cache_bytes: cache.bytes(),
             cache_evictions: cache.evictions(),
             cache_evicted_bytes: cache.evicted_bytes(),
+            cache_loaded: cache.loaded(),
+            cache_load_skipped: cache.load_skipped(),
+            cache_persist_failures: cache.persist_failures(),
             quota_rejections: state.quota_rejections,
+            overload_rejections: state.overload_rejections,
+            deadline_cancellations: state.deadline_cancellations,
+            disconnect_cancellations: state.disconnect_cancellations,
             queue_wait_us: state.queue_wait_us,
             clients,
         }
@@ -303,7 +337,12 @@ impl Server {
             None => None,
         };
 
-        let cache = ResultCache::with_budget(config.cache_max_entries, config.cache_max_bytes);
+        let mut cache = ResultCache::with_budget(config.cache_max_entries, config.cache_max_bytes);
+        if let Some(dir) = &config.cache_dir {
+            cache
+                .attach_dir(dir)
+                .map_err(|e| ServerError::Io(format!("cache dir {dir:?}: {e}")))?;
+        }
         let shared = Arc::new(Shared {
             config,
             state: Mutex::new(State::default()),
@@ -373,7 +412,9 @@ impl Server {
                 .expect("connections mutex poisoned"),
         );
         for connection in connections {
-            connection.join().expect("connection handler panicked");
+            // A handler that panicked already failed its own connection;
+            // tearing down the rest of the server must not panic with it.
+            connection.join().ok();
         }
         if let Some(path) = &self.unix_socket {
             std::fs::remove_file(path).ok();
@@ -391,7 +432,11 @@ impl Server {
 /// The scheduler: pops submissions in priority order and streams each one
 /// through the engine, draining the queue even during shutdown.
 fn scheduler(shared: &Arc<Shared>) {
-    let registry = Registry::builtin();
+    let registry = shared
+        .config
+        .registry
+        .as_deref()
+        .unwrap_or_else(|| Registry::builtin());
     let trace = &shared.config.trace;
     let recorder = trace.recorder("scheduler");
     loop {
@@ -418,13 +463,52 @@ fn scheduler(shared: &Arc<Shared>) {
             fingerprint,
             reply,
             queued_at,
+            cancel,
+            deadline,
         } = queued.submission;
         let job_count = jobs.len() as u64;
+
+        // A deadline that expired while the submission sat in the queue:
+        // answer it without burning engine time on a client that has
+        // already given up on the result.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            recorder.instant("deadline_expired_in_queue", |args| {
+                args.u64("seq", queued.seq);
+            });
+            let _ = reply.send(Event::Error(deadline_error()));
+            let mut state = shared.state.lock().expect("state mutex poisoned");
+            state.deadline_cancellations += 1;
+            state.running -= 1;
+            release_quota(&mut state, &client, job_count);
+            continue;
+        }
+
         let mut span = recorder.span("submission");
         span.arg_u64("seq", queued.seq);
         span.arg_u64("jobs", job_count);
         span.arg_text("client", &client);
         span.arg_f64("queue_wait_seconds", queued_at.elapsed().as_secs_f64());
+
+        // Deadline watchdog: parked until the deadline (or until the run
+        // finishes and unparks it), then trips the shared cancel token.
+        // Cancellation is cooperative — the engine stops claiming jobs and
+        // the delivered results stay a clean in-order prefix.
+        let watchdog_done = Arc::new(AtomicBool::new(false));
+        let watchdog = deadline.map(|deadline| {
+            let done = Arc::clone(&watchdog_done);
+            let cancel = cancel.clone();
+            std::thread::spawn(move || {
+                while !done.load(Ordering::SeqCst) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        cancel.cancel();
+                        return;
+                    }
+                    std::thread::park_timeout(deadline - now);
+                }
+            })
+        });
+
         let mut recorded: Vec<JobFrame> = Vec::new();
         let outcome = engine::run_jobs_streamed_observed(
             &jobs,
@@ -432,7 +516,7 @@ fn scheduler(shared: &Arc<Shared>) {
             registry,
             &MetricsConfig::enabled(),
             trace,
-            &CancelToken::new(),
+            &cancel,
             &mut |result, metrics| {
                 let frame = JobFrame { result, metrics };
                 recorded.push(frame.clone());
@@ -442,9 +526,18 @@ fn scheduler(shared: &Arc<Shared>) {
             },
         );
         drop(span);
+        watchdog_done.store(true, Ordering::SeqCst);
+        if let Some(handle) = watchdog {
+            handle.thread().unpark();
+            handle.join().expect("deadline watchdog panicked");
+        }
+
         let streamed = recorded.len() as u64;
+        let mut deadline_cancelled = false;
         match outcome {
-            Ok((delivered, _)) => {
+            // A cancelled run returns Ok with a short prefix; only a run
+            // that delivered every job is complete, cacheable and `Done`.
+            Ok((delivered, _)) if (delivered as u64) == job_count => {
                 shared
                     .cache
                     .lock()
@@ -453,6 +546,24 @@ fn scheduler(shared: &Arc<Shared>) {
                 let _ = reply.send(Event::Done {
                     jobs: delivered as u64,
                 });
+            }
+            Ok((delivered, _)) => {
+                // Cut short: by the deadline watchdog, or by the connection
+                // handler of a disconnected client (which already counted
+                // itself).  Partial results are never cached.
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    deadline_cancelled = true;
+                    recorder.instant("deadline_exceeded", |args| {
+                        args.u64("seq", queued.seq);
+                        args.u64("delivered", delivered as u64);
+                    });
+                    let _ = reply.send(Event::Error(deadline_error()));
+                } else {
+                    recorder.instant("run_abandoned", |args| {
+                        args.u64("seq", queued.seq);
+                        args.u64("delivered", delivered as u64);
+                    });
+                }
             }
             Err(e) => {
                 // Failures are not cached: the error may be environmental
@@ -467,8 +578,19 @@ fn scheduler(shared: &Arc<Shared>) {
         state.jobs_served += streamed;
         state.results_streamed += streamed;
         state.running -= 1;
+        if deadline_cancelled {
+            state.deadline_cancellations += 1;
+        }
         release_quota(&mut state, &client, job_count);
     }
+}
+
+/// The terminal frame of a submission whose deadline passed.
+fn deadline_error() -> ErrorFrame {
+    ErrorFrame::new(
+        ErrorFrame::DEADLINE_EXCEEDED,
+        "submission deadline passed before completion; results streamed so far stand",
+    )
 }
 
 /// Returns a client's jobs to its quota budget.
@@ -556,6 +678,10 @@ enum Admission {
     Queued {
         receiver: std::sync::mpsc::Receiver<Event>,
         queue_depth: u64,
+        /// The submission's cancel token: tripped by this handler when the
+        /// client disconnects mid-stream, so the scheduler stops spending
+        /// engine time on a reply nobody is reading.
+        cancel: CancelToken,
     },
     /// Refused with a terminal error.
     Refused(ErrorFrame),
@@ -606,70 +732,87 @@ fn handle_submit<S: Write>(
         accept_span.arg_u64("jobs", job_count);
         accept_span.arg_text("client", &submit.client);
         let mut state = shared.state.lock().expect("state mutex poisoned");
-        if state.shutting_down {
-            Admission::Refused(ErrorFrame::new(
+        // Cache admission happens under the state lock so an identical
+        // concurrent submission cannot double-run ahead of the insert.  It
+        // comes before every refusal: a hit consumes no engine capacity, so
+        // it is served even while draining or shedding load.
+        let cached = shared
+            .cache
+            .lock()
+            .expect("cache mutex poisoned")
+            .lookup(&fingerprint);
+        match cached {
+            Some(frames) => {
+                recorder.instant("cache.hit", |args| {
+                    args.u64("jobs", job_count);
+                });
+                state.submissions += 1;
+                state.results_streamed += frames.len() as u64;
+                Admission::CacheHit(frames)
+            }
+            None if state.shutting_down => Admission::Refused(ErrorFrame::new(
                 ErrorFrame::SHUTTING_DOWN,
                 "server is draining for shutdown and accepts no new submissions",
-            ))
-        } else {
-            // Cache admission happens under the state lock so an identical
-            // concurrent submission cannot double-run ahead of the insert.
-            let cached = shared
-                .cache
-                .lock()
-                .expect("cache mutex poisoned")
-                .lookup(&fingerprint);
-            match cached {
-                Some(frames) => {
-                    recorder.instant("cache.hit", |args| {
-                        args.u64("jobs", job_count);
+            )),
+            None => {
+                recorder.instant("cache.miss", |args| {
+                    args.u64("jobs", job_count);
+                });
+                let queue_max = shared.config.queue_max;
+                let quota = shared.config.quota as u64;
+                let active = state.active.get(&submit.client).copied().unwrap_or(0);
+                if queue_max > 0 && state.queue.len() >= queue_max {
+                    state.overload_rejections += 1;
+                    recorder.instant("overloaded", |args| {
+                        args.u64("queue_depth", state.queue.len() as u64);
                     });
+                    Admission::Refused(ErrorFrame::new(
+                        ErrorFrame::OVERLOADED,
+                        format!("submission queue is at its bound of {queue_max}; resubmit later"),
+                    ))
+                } else if quota > 0 && active + job_count > quota {
+                    state.quota_rejections += 1;
+                    Admission::Refused(ErrorFrame::new(
+                        ErrorFrame::QUOTA_EXCEEDED,
+                        format!(
+                            "client {:?} has {active} jobs outstanding; {job_count} more \
+                             would exceed the quota of {quota}",
+                            submit.client
+                        ),
+                    ))
+                } else {
+                    let (reply, receiver) = std::sync::mpsc::channel();
+                    let cancel = CancelToken::new();
+                    let deadline = submit
+                        .timeout_ms
+                        .filter(|&ms| ms > 0)
+                        .map(|ms| Instant::now() + Duration::from_millis(ms));
+                    let seq = state.next_seq;
+                    state.next_seq += 1;
                     state.submissions += 1;
-                    state.results_streamed += frames.len() as u64;
-                    Admission::CacheHit(frames)
-                }
-                None => {
-                    recorder.instant("cache.miss", |args| {
-                        args.u64("jobs", job_count);
+                    *state.active.entry(submit.client.clone()).or_default() += job_count;
+                    state.queue.push(Queued {
+                        seq,
+                        priority: submit.priority,
+                        submission: Submission {
+                            client: submit.client.clone(),
+                            jobs: list.jobs,
+                            config,
+                            fingerprint,
+                            reply,
+                            queued_at: Instant::now(),
+                            cancel: cancel.clone(),
+                            deadline,
+                        },
                     });
-                    let quota = shared.config.quota as u64;
-                    let active = state.active.get(&submit.client).copied().unwrap_or(0);
-                    if quota > 0 && active + job_count > quota {
-                        state.quota_rejections += 1;
-                        Admission::Refused(ErrorFrame::new(
-                            ErrorFrame::QUOTA_EXCEEDED,
-                            format!(
-                                "client {:?} has {active} jobs outstanding; {job_count} more \
-                                 would exceed the quota of {quota}",
-                                submit.client
-                            ),
-                        ))
-                    } else {
-                        let (reply, receiver) = std::sync::mpsc::channel();
-                        let seq = state.next_seq;
-                        state.next_seq += 1;
-                        state.submissions += 1;
-                        *state.active.entry(submit.client.clone()).or_default() += job_count;
-                        state.queue.push(Queued {
-                            seq,
-                            priority: submit.priority,
-                            submission: Submission {
-                                client: submit.client.clone(),
-                                jobs: list.jobs,
-                                config,
-                                fingerprint,
-                                reply,
-                                queued_at: Instant::now(),
-                            },
-                        });
-                        let queue_depth = state.queue.len() as u64;
-                        state.max_queue_depth = state.max_queue_depth.max(queue_depth);
-                        recorder.counter("queue_depth", queue_depth as f64);
-                        shared.queue_cv.notify_one();
-                        Admission::Queued {
-                            receiver,
-                            queue_depth,
-                        }
+                    let queue_depth = state.queue.len() as u64;
+                    state.max_queue_depth = state.max_queue_depth.max(queue_depth);
+                    recorder.counter("queue_depth", queue_depth as f64);
+                    shared.queue_cv.notify_one();
+                    Admission::Queued {
+                        receiver,
+                        queue_depth,
+                        cancel,
                     }
                 }
             }
@@ -705,37 +848,52 @@ fn handle_submit<S: Write>(
         Admission::Queued {
             receiver,
             queue_depth,
+            cancel,
         } => {
-            write_line(
-                stream,
-                &Frame::Accepted(Accepted {
-                    jobs: job_count,
-                    queue_depth,
-                    cache_hit: false,
-                }),
-            )?;
-            let mut stream_span = recorder.span("submit.stream");
-            stream_span.arg_u64("jobs", job_count);
-            stream_span.arg_u64("cache_hit", 0);
-            // Forward events until the terminal frame.  If the client hangs
-            // up mid-stream the write fails and we simply stop forwarding;
-            // the scheduler finishes the run and caches it regardless.
-            for event in receiver {
-                match event {
-                    Event::Result(frame) => write_line(stream, &Frame::Result(frame))?,
-                    Event::Done { jobs } => {
-                        return write_line(
-                            stream,
-                            &Frame::Done(Done {
-                                jobs,
-                                cache_hit: false,
-                            }),
-                        );
+            // Forward events until the terminal frame.  A failed write means
+            // the client hung up: trip the submission's cancel token so the
+            // scheduler stops the run at the next job boundary and the
+            // client's quota frees promptly, instead of finishing a reply
+            // nobody is reading.
+            let mut forward = || -> io::Result<()> {
+                write_line(
+                    stream,
+                    &Frame::Accepted(Accepted {
+                        jobs: job_count,
+                        queue_depth,
+                        cache_hit: false,
+                    }),
+                )?;
+                let mut stream_span = recorder.span("submit.stream");
+                stream_span.arg_u64("jobs", job_count);
+                stream_span.arg_u64("cache_hit", 0);
+                for event in receiver.iter() {
+                    match event {
+                        Event::Result(frame) => write_line(stream, &Frame::Result(frame))?,
+                        Event::Done { jobs } => {
+                            return write_line(
+                                stream,
+                                &Frame::Done(Done {
+                                    jobs,
+                                    cache_hit: false,
+                                }),
+                            );
+                        }
+                        Event::Error(error) => return write_line(stream, &Frame::Error(error)),
                     }
-                    Event::Error(error) => return write_line(stream, &Frame::Error(error)),
                 }
+                Ok(())
+            };
+            let outcome = forward();
+            if outcome.is_err() {
+                cancel.cancel();
+                recorder.instant("client_disconnected", |args| {
+                    args.u64("jobs", job_count);
+                });
+                let mut state = shared.state.lock().expect("state mutex poisoned");
+                state.disconnect_cancellations += 1;
             }
-            Ok(())
+            outcome
         }
     }
 }

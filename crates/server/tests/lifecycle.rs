@@ -215,6 +215,7 @@ fn bad_specs_get_structured_errors_with_the_cli_version_message() {
         workers: 0,
         segment_size: 0,
         speculate: 0,
+        timeout_ms: None,
         spec: serde_json::from_str(r#"{"version": 99, "jobs": []}"#).unwrap(),
     });
     server::protocol::write_line(&mut stream, &request).expect("send");
@@ -354,6 +355,359 @@ fn tcp_endpoint_is_loopback_only() {
     // No endpoint at all is a configuration error too.
     let err = Server::start(ServerConfig::default()).expect_err("no endpoint");
     assert!(matches!(err, ServerError::Config(_)), "{err}");
+}
+
+#[test]
+fn timed_out_submission_gets_deadline_exceeded_and_the_server_moves_on() {
+    let (server, endpoint) = start_unix("timeout", ServerConfig::default());
+    // Four jobs far too slow for a 50 ms deadline, run serially so the
+    // watchdog provably cuts the run short between jobs.
+    let slow = JobList::new(vec![
+        job(
+            Application::OltpDb2,
+            PrefetcherSpec::sms_paper_default(),
+            300_000,
+        ),
+        job(
+            Application::Ocean,
+            PrefetcherSpec::sms_paper_default(),
+            300_000,
+        ),
+        job(
+            Application::Sparse,
+            PrefetcherSpec::sms_paper_default(),
+            300_000,
+        ),
+        job(
+            Application::DssQry1,
+            PrefetcherSpec::sms_paper_default(),
+            300_000,
+        ),
+    ]);
+    let options = SubmitOptions {
+        workers: 1,
+        timeout_ms: 50,
+        ..SubmitOptions::default()
+    };
+    let mut streamed = 0usize;
+    let err = client::submit(&endpoint, &slow, &options, &mut |_| {
+        streamed += 1;
+    })
+    .expect_err("the deadline must cut the submission short");
+    match err {
+        client::ClientError::Server(frame) => {
+            assert_eq!(frame.code, ErrorFrame::DEADLINE_EXCEEDED);
+        }
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    assert!(streamed < 4, "the full stream must not have been delivered");
+
+    // The scheduler survives the cancellation and serves the next client.
+    client::submit(
+        &endpoint,
+        &job_list(2_000),
+        &SubmitOptions::default(),
+        &mut |_| {},
+    )
+    .expect("healthy follow-up submission");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.deadline_cancellations, 1);
+}
+
+#[test]
+fn overloaded_queue_sheds_new_submissions_but_still_serves_cache_hits() {
+    let (server, endpoint) = start_unix(
+        "overload",
+        ServerConfig {
+            queue_max: 1,
+            registry: Some(std::sync::Arc::new(faultinject::registry())),
+            ..ServerConfig::default()
+        },
+    );
+    // Warm the cache while the server is idle.
+    let warm = job_list(2_000);
+    client::submit(&endpoint, &warm, &SubmitOptions::default(), &mut |_| {}).expect("warm-up");
+    // The warm-up client returns on its Done frame, a moment before the
+    // scheduler's own bookkeeping marks it idle; wait that out so the
+    // `running == 1` below can only mean the gated submission.
+    wait_for(
+        || server.metrics().running == 0,
+        "scheduler idle after warm-up",
+    );
+
+    // Occupy the scheduler with a job gated on a file only this test
+    // creates: the queue provably cannot drain until the gate opens, so
+    // the shed below is a certainty, not a race against the scheduler.
+    let token = u64::from(std::process::id());
+    faultinject::close_gate(token).ok();
+    let slow = JobList::new(vec![job(
+        Application::OltpDb2,
+        faultinject::Fault::Gate { token }.spec(),
+        3_000,
+    )]);
+    let slow_thread = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            client::submit(&endpoint, &slow, &SubmitOptions::default(), &mut |_| {})
+        })
+    };
+    wait_for(|| server.metrics().running == 1, "slow submission running");
+    let queued = JobList::new(vec![job(Application::Ocean, PrefetcherSpec::null(), 3_000)]);
+    let queued_thread = {
+        let endpoint = endpoint.clone();
+        std::thread::spawn(move || {
+            client::submit(&endpoint, &queued, &SubmitOptions::default(), &mut |_| {})
+        })
+    };
+    wait_for(|| server.metrics().queue_depth == 1, "queue at its bound");
+
+    // The next distinct submission is shed with a structured error...
+    let shed = JobList::new(vec![job(
+        Application::Sparse,
+        PrefetcherSpec::null(),
+        3_000,
+    )]);
+    let err = client::submit(&endpoint, &shed, &SubmitOptions::default(), &mut |_| {})
+        .expect_err("must be shed");
+    match err {
+        client::ClientError::Server(frame) => {
+            assert_eq!(frame.code, ErrorFrame::OVERLOADED);
+            assert!(frame.message.contains("bound of 1"), "{}", frame.message);
+        }
+        other => panic!("expected overloaded, got {other:?}"),
+    }
+
+    // ...but a cache hit is still served: it consumes no engine capacity.
+    let hit = client::submit(&endpoint, &warm, &SubmitOptions::default(), &mut |_| {})
+        .expect("cache hit bypasses the full queue");
+    assert!(hit.accepted.cache_hit);
+
+    // Release the gated run; everything left drains and completes.
+    faultinject::open_gate(token).expect("open gate");
+    slow_thread.join().unwrap().expect("slow submission");
+    queued_thread.join().unwrap().expect("queued submission");
+    faultinject::close_gate(token).ok();
+    let metrics = server.shutdown();
+    assert_eq!(metrics.overload_rejections, 1);
+}
+
+#[test]
+fn client_retries_ride_out_a_late_starting_server() {
+    let socket = unique_socket("retry");
+    let endpoint = Endpoint::Unix(socket.clone());
+    let list = job_list(2_000);
+
+    // Without retries, a missing server fails fast with a transport error.
+    let err = client::submit(&endpoint, &list, &SubmitOptions::default(), &mut |_| {})
+        .expect_err("no server yet");
+    assert!(matches!(err, client::ClientError::Io(_)), "{err:?}");
+
+    // With retries, the client reconnects through the outage: the server
+    // comes up ~200 ms in, well inside the retry budget.
+    let starter = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(200));
+            Server::start(ServerConfig {
+                unix_socket: Some(socket),
+                ..ServerConfig::default()
+            })
+            .expect("server starts")
+        })
+    };
+    let options = SubmitOptions {
+        retries: 6,
+        ..SubmitOptions::default()
+    };
+    let outcome =
+        client::submit(&endpoint, &list, &options, &mut |_| {}).expect("retried submission");
+    assert_eq!(outcome.frames.len(), 2);
+    starter.join().unwrap().shutdown();
+}
+
+#[test]
+fn panicking_plugin_fails_its_submission_not_the_server() {
+    let (server, endpoint) = start_unix(
+        "panic",
+        ServerConfig {
+            registry: Some(std::sync::Arc::new(faultinject::registry())),
+            ..ServerConfig::default()
+        },
+    );
+    let list = JobList::new(vec![
+        job(Application::OltpDb2, PrefetcherSpec::null(), 2_000),
+        job(
+            Application::Ocean,
+            faultinject::Fault::Panic { after: 1 }.spec(),
+            2_000,
+        ),
+        job(Application::Sparse, PrefetcherSpec::null(), 2_000),
+    ]);
+    let options = SubmitOptions {
+        workers: 1,
+        ..SubmitOptions::default()
+    };
+    let mut streamed = Vec::new();
+    let err = client::submit(&endpoint, &list, &options, &mut |frame| {
+        streamed.push(frame.result.job_index);
+    })
+    .expect_err("the panicking job must fail the submission");
+    match err {
+        client::ClientError::Server(frame) => {
+            assert_eq!(frame.code, ErrorFrame::ENGINE);
+            assert!(
+                frame
+                    .message
+                    .contains("job 1: panicked: injected chaos panic"),
+                "{}",
+                frame.message
+            );
+        }
+        other => panic!("expected a structured engine error, got {other:?}"),
+    }
+    assert_eq!(streamed, vec![0], "clean prefix before the panicking job");
+
+    // Panic isolation: the scheduler thread survives and keeps serving.
+    client::submit(
+        &endpoint,
+        &job_list(2_000),
+        &SubmitOptions::default(),
+        &mut |_| {},
+    )
+    .expect("healthy follow-up submission");
+    server.shutdown();
+}
+
+#[test]
+fn client_disconnect_mid_stream_cancels_the_rest_of_the_run() {
+    use server::{Frame, Request, SubmitRequest};
+    use std::io::BufReader;
+    use std::os::unix::net::UnixStream;
+
+    let (server, endpoint) = start_unix(
+        "disconnect",
+        ServerConfig {
+            quota: 100,
+            registry: Some(std::sync::Arc::new(faultinject::registry())),
+            ..ServerConfig::default()
+        },
+    );
+    let Endpoint::Unix(path) = &endpoint else {
+        unreachable!()
+    };
+
+    // Eight deliberately slow jobs (every access sleeps), run serially, so
+    // the run is provably still going when the client vanishes.
+    let jobs: Vec<SimJob> = (0..8)
+        .map(|_| {
+            job(
+                Application::OltpDb2,
+                faultinject::Fault::Delay {
+                    every: 1,
+                    micros: 100,
+                }
+                .spec(),
+                3_000,
+            )
+        })
+        .collect();
+    let request = Request::Submit(SubmitRequest {
+        client: "flaky".to_string(),
+        priority: 0,
+        workers: 1,
+        segment_size: 0,
+        speculate: 0,
+        timeout_ms: None,
+        spec: serde_json::to_value(&JobList::new(jobs)).unwrap(),
+    });
+    let mut stream = UnixStream::connect(path).expect("connect");
+    server::protocol::write_line(&mut stream, &request).expect("send");
+    let mut reader = BufReader::new(stream);
+    let accepted: Frame = server::protocol::read_line(&mut reader)
+        .expect("read")
+        .expect("accepted frame");
+    assert!(matches!(accepted, Frame::Accepted(_)), "{accepted:?}");
+    let first: Frame = server::protocol::read_line(&mut reader)
+        .expect("read")
+        .expect("first result");
+    assert!(matches!(first, Frame::Result(_)), "{first:?}");
+    drop(reader); // hang up mid-stream
+
+    // The handler notices on its next write, trips the cancel token, and
+    // the client's quota frees without waiting for all eight jobs.
+    wait_for(
+        || {
+            let metrics = server.metrics();
+            metrics.disconnect_cancellations >= 1
+                && metrics.running == 0
+                && metrics.clients.is_empty()
+        },
+        "disconnect cancelled the run and freed the quota",
+    );
+    assert!(
+        server.metrics().jobs_served < 8,
+        "the run must have been cut short, served {}",
+        server.metrics().jobs_served
+    );
+
+    // And the server still answers the next client.
+    client::submit(
+        &endpoint,
+        &job_list(2_000),
+        &SubmitOptions::default(),
+        &mut |_| {},
+    )
+    .expect("healthy follow-up submission");
+    server.shutdown();
+}
+
+#[test]
+fn cache_dir_persists_results_across_restarts_and_tolerates_corruption() {
+    let dir = std::env::temp_dir().join(format!("sms-lifecycle-cachedir-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let list = job_list(2_000);
+
+    let first_frames = {
+        let (server, endpoint) = start_unix(
+            "cachedir-first",
+            ServerConfig {
+                cache_dir: Some(dir.clone()),
+                ..ServerConfig::default()
+            },
+        );
+        let outcome = client::submit(&endpoint, &list, &SubmitOptions::default(), &mut |_| {})
+            .expect("first run");
+        assert!(!outcome.accepted.cache_hit);
+        server.shutdown();
+        outcome.frames
+    };
+
+    // A corrupt entry dropped into the directory must cost one skip, not
+    // the restart.
+    std::fs::write(
+        dir.join("deadbeefdeadbeef.smsc"),
+        b"SMSCACHE 1 0123456789abcdef 4\nXXXX",
+    )
+    .expect("plant corrupt entry");
+
+    let (server, endpoint) = start_unix(
+        "cachedir-second",
+        ServerConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    );
+    let outcome = client::submit(&endpoint, &list, &SubmitOptions::default(), &mut |_| {})
+        .expect("replayed run");
+    assert!(
+        outcome.accepted.cache_hit,
+        "restart must hit the persisted cache"
+    );
+    assert_eq!(outcome.frames, first_frames, "byte-identical replay");
+    let metrics = server.shutdown();
+    assert_eq!(metrics.cache_loaded, 1);
+    assert_eq!(metrics.cache_load_skipped, 1);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 fn wait_for(mut condition: impl FnMut() -> bool, what: &str) {

@@ -46,6 +46,6 @@ pub mod workloads;
 pub use access::{AccessKind, Addr, MemAccess, Pc};
 pub use config::GeneratorConfig;
 pub use interleave::Interleaver;
-pub use source::{ReplayStream, TraceSource};
+pub use source::{retry_transient, ReplayStream, TraceSource};
 pub use stream::{fill_segment, AccessStream, BoxedStream};
 pub use suite::{Application, ApplicationClass};

@@ -128,12 +128,13 @@ impl TraceSource {
                 Ok(Box::new(stream))
             }
             TraceSource::BinaryFile { path } => {
-                let mut reader = read_binary_iter(BufReader::new(File::open(path)?))?;
+                let mut reader =
+                    read_binary_iter(BufReader::new(retry_transient(|| File::open(path))?))?;
                 reader.skip_records(skip)?;
                 Ok(Box::new(ReplayStream::new(self.describe(), reader)))
             }
             TraceSource::TextFile { path } => {
-                let reader = read_text_iter(BufReader::new(File::open(path)?));
+                let reader = read_text_iter(BufReader::new(retry_transient(|| File::open(path))?));
                 let mut stream = ReplayStream::new(self.describe(), reader);
                 for _ in 0..skip {
                     if stream.next().is_none() {
@@ -144,6 +145,45 @@ impl TraceSource {
             }
         }
     }
+}
+
+/// How many times [`retry_transient`] re-attempts an operation that keeps
+/// failing transiently before giving up with the last error.
+const TRANSIENT_RETRIES: u32 = 3;
+
+/// Runs a fallible I/O operation, retrying **transient** failures
+/// (`Interrupted`, `WouldBlock`, `TimedOut`) a bounded number of times with
+/// short exponential backoff (1 ms doubling).  Every other error kind —
+/// `NotFound`, `PermissionDenied`, `InvalidData`, ... — is a property of
+/// the request, not of the moment, and fails immediately.  Jobs stream
+/// traces from network filesystems in practice; a single load spike must
+/// not fail a whole submission.
+///
+/// # Errors
+///
+/// The first permanent error, or the last transient one once the retry
+/// budget is spent.
+pub fn retry_transient<T>(mut attempt: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut backoff = std::time::Duration::from_millis(1);
+    let mut retries_left = TRANSIENT_RETRIES;
+    loop {
+        match attempt() {
+            Err(e) if retries_left > 0 && is_transient(e.kind()) => {
+                retries_left -= 1;
+                std::thread::sleep(backoff);
+                backoff *= 2;
+            }
+            outcome => return outcome,
+        }
+    }
+}
+
+/// Whether an error kind can plausibly succeed on an immediate re-attempt.
+fn is_transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// Adapts a fallible record iterator into an [`AccessStream`]: yields
@@ -314,6 +354,42 @@ mod tests {
         assert!(stream.next().is_none());
         assert!(stream.take_error().is_none(), "exhaustion is not an error");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retry_transient_recovers_from_bounded_transient_failures() {
+        let mut failures_left = 2;
+        let result = retry_transient(|| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(io::Error::new(io::ErrorKind::Interrupted, "signal"))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+    }
+
+    #[test]
+    fn retry_transient_gives_up_after_the_budget() {
+        let mut attempts = 0;
+        let result: io::Result<()> = retry_transient(|| {
+            attempts += 1;
+            Err(io::Error::new(io::ErrorKind::TimedOut, "stuck"))
+        });
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(attempts, 1 + TRANSIENT_RETRIES, "initial try plus retries");
+    }
+
+    #[test]
+    fn retry_transient_fails_permanent_errors_immediately() {
+        let mut attempts = 0;
+        let result: io::Result<()> = retry_transient(|| {
+            attempts += 1;
+            Err(io::Error::new(io::ErrorKind::NotFound, "no such trace"))
+        });
+        assert_eq!(result.unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(attempts, 1, "NotFound cannot heal; never retried");
     }
 
     #[test]
